@@ -1,0 +1,47 @@
+"""Shared state and reporting helpers for the benchmark harness.
+
+The Fig. 3 and Fig. 4 benches consume the *same* two-tier scaling study
+(one measured ladder is ~2 minutes of real training); a process-level
+cache runs it once per pytest session.  Every bench also writes its
+regenerated table/figure to ``benchmarks/results/<id>.txt`` so the
+artifacts are diffable after a run.
+"""
+
+from __future__ import annotations
+
+import functools
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def write_result(experiment_id: str, text: str) -> Path:
+    """Persist a bench's regenerated artifact and echo it to stdout."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{experiment_id}.txt"
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[saved to {path}]")
+    return path
+
+
+@functools.lru_cache(maxsize=1)
+def shared_scaling_study():
+    """The measured ladder + calibrated surface, computed once per session."""
+    from repro.experiments.scaling_study import ScalingStudy
+    from repro.scaling import LadderSpec
+
+    return ScalingStudy.run(LadderSpec())
+
+
+@functools.lru_cache(maxsize=1)
+def shared_depth_width_grid():
+    """The measured (depth x width) grid, computed once per session."""
+    from repro.scaling import DepthWidthSpec, run_measured_grid
+
+    spec = DepthWidthSpec(
+        corpus_graphs=240,
+        widths=(8, 16),
+        depths=(3, 4, 5, 6),
+        epochs=3,
+    )
+    return run_measured_grid(spec)

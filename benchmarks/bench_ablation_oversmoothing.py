@@ -1,0 +1,52 @@
+"""ABL1 bench — over-smoothing vs depth (mechanism behind Fig. 5).
+
+Measures the MAD (mean average distance) profile of EGNN stacks of
+increasing depth on a fixed batch: the per-layer feature contraction the
+paper hypothesizes caps useful GNN depth at ~3 layers.
+"""
+
+import numpy as np
+
+from benchmarks._shared import write_result
+from repro.data.aggregate import generate_corpus
+from repro.experiments.report import ascii_table
+from repro.graph.batch import collate
+from repro.models import EGNNBackbone, ModelConfig
+from repro.scaling import mad_profile, oversmoothing_slope
+
+
+def _run_ablation() -> tuple[str, dict[int, float]]:
+    corpus = generate_corpus(40, seed=71)
+    batch = collate(corpus.graphs[:24])
+    rows = []
+    final_mad: dict[int, float] = {}
+    for depth in (1, 2, 3, 4, 6, 8):
+        backbone = EGNNBackbone(ModelConfig(hidden_dim=32, num_layers=depth), seed=0)
+        profile = mad_profile(backbone, batch)
+        final_mad[depth] = profile[-1]
+        rows.append(
+            [
+                str(depth),
+                f"{profile[0]:.4f}",
+                f"{profile[-1]:.4f}",
+                f"{oversmoothing_slope(profile):+.4f}",
+            ]
+        )
+    table = ascii_table(
+        ["depth", "MAD after embedding", "MAD after last layer", "slope/layer"],
+        rows,
+        title="Ablation: over-smoothing (feature diversity vs depth)",
+    )
+    return table, final_mad
+
+
+def bench_ablation_oversmoothing(benchmark):
+    table, final_mad = benchmark.pedantic(_run_ablation, rounds=1, iterations=1)
+    write_result("ablation_oversmoothing", table)
+    # Deeper stacks end with less feature diversity; depth 8 is far more
+    # collapsed than depth 1.
+    assert final_mad[8] < final_mad[1]
+    depths = sorted(final_mad)
+    values = np.array([final_mad[d] for d in depths])
+    # Overall decreasing trend (allow small local non-monotonicity).
+    assert values[-1] < values[0] * 0.9

@@ -1,0 +1,59 @@
+"""ABL2 bench — ZeRO scalability: rank count vs per-rank memory and time.
+
+Sweeps the simulated cluster size: per-rank optimizer-state memory must
+shrink ~1/R while the modeled all-gather cost grows, quantifying the
+memory/communication trade the paper's Sec. V-C describes.
+"""
+
+from benchmarks._shared import write_result
+from repro.data import Normalizer, generate_corpus
+from repro.distributed import DataParallelEngine, SimCluster
+from repro.experiments.report import ascii_table
+from repro.models import ModelConfig
+
+
+def _run_sweep():
+    corpus = generate_corpus(80, seed=72)
+    normalizer = Normalizer.fit(corpus.graphs)
+    molecules = [g for g in corpus.graphs if g.source in ("ani1x", "qm7x")]
+    config = ModelConfig(hidden_dim=128, num_layers=3, checkpoint_activations=True)
+    results = {}
+    for ranks in (1, 2, 4, 8):
+        graphs = (molecules * ((ranks * 2) // len(molecules) + 1))[: ranks * 2]
+        cluster = SimCluster(ranks)
+        engine = DataParallelEngine(cluster, config, normalizer, optimizer="zero", seed=0)
+        engine.train_step(graphs)
+        states = [
+            tracker.snapshot().by_category["optimizer_states"]
+            for tracker in cluster.trackers()
+        ]
+        results[ranks] = {
+            "max_state_bytes": max(states),
+            "comm_seconds": cluster.ranks[0].comm_time,
+        }
+    return results
+
+
+def bench_ablation_zero_ranks(benchmark):
+    results = benchmark.pedantic(_run_sweep, rounds=1, iterations=1)
+    rows = [
+        [
+            str(ranks),
+            f"{values['max_state_bytes'] / 1e6:.2f} MB",
+            f"{values['comm_seconds'] * 1e3:.3f} ms",
+        ]
+        for ranks, values in results.items()
+    ]
+    write_result(
+        "ablation_zero_ranks",
+        ascii_table(
+            ["ranks", "max per-rank Adam state", "modeled comm/step"],
+            rows,
+            title="Ablation: ZeRO-1 state sharding vs rank count",
+        ),
+    )
+    # State shards ~1/R (allow imbalance from whole-tensor partitioning).
+    assert results[4]["max_state_bytes"] < results[1]["max_state_bytes"] / 2.5
+    assert results[8]["max_state_bytes"] < results[2]["max_state_bytes"] / 2.5
+    # Communication grows with the ring size.
+    assert results[8]["comm_seconds"] > results[2]["comm_seconds"]

@@ -1,0 +1,77 @@
+"""Engine micro-benchmarks: training-step throughput of the substrate.
+
+These are conventional pytest-benchmark timings (multiple rounds) of the
+numpy engine itself — useful for tracking substrate regressions, and the
+denominators behind the "measured compute" column of Table II.
+"""
+
+import numpy as np
+
+from repro.data import Normalizer, generate_corpus
+from repro.graph.batch import collate
+from repro.models import HydraModel, ModelConfig
+from repro.optim import Adam
+
+_corpus = None
+
+
+def _workload(width: int, checkpoint: bool = False):
+    global _corpus
+    if _corpus is None:
+        _corpus = generate_corpus(48, seed=75)
+    normalizer = Normalizer.fit(_corpus.graphs)
+    graphs = [g for g in _corpus.graphs if g.source in ("ani1x", "qm7x")][:16]
+    batch = collate(graphs)
+    config = ModelConfig(hidden_dim=width, num_layers=3, checkpoint_activations=checkpoint)
+    model = HydraModel(config, seed=0)
+    optimizer = Adam(model.parameters(), lr=1e-3)
+    energy = normalizer.normalized_energy(batch)
+    forces = normalizer.normalized_forces(batch)
+
+    def step() -> float:
+        model.zero_grad()
+        loss = model.loss(model(batch), energy, forces)
+        loss.backward()
+        optimizer.step()
+        return loss.item()
+
+    return step
+
+
+def bench_train_step_width64(benchmark):
+    step = _workload(64)
+    step()  # warm-up (allocates Adam state)
+    loss = benchmark(step)
+    assert np.isfinite(loss)
+
+
+def bench_train_step_width128(benchmark):
+    step = _workload(128)
+    step()
+    loss = benchmark(step)
+    assert np.isfinite(loss)
+
+
+def bench_train_step_checkpointed_width64(benchmark):
+    step = _workload(64, checkpoint=True)
+    step()
+    loss = benchmark(step)
+    assert np.isfinite(loss)
+
+
+def bench_forward_only_width128(benchmark):
+    global _corpus
+    if _corpus is None:
+        _corpus = generate_corpus(48, seed=75)
+    from repro.tensor import no_grad
+
+    graphs = [g for g in _corpus.graphs if g.source in ("ani1x", "qm7x")][:16]
+    batch = collate(graphs)
+    model = HydraModel(ModelConfig(hidden_dim=128, num_layers=3), seed=0)
+
+    def forward() -> float:
+        with no_grad():
+            return float(model(batch)["energy"].numpy().sum())
+
+    value = benchmark(forward)
+    assert np.isfinite(value)

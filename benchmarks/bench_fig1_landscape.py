@@ -1,0 +1,13 @@
+"""FIG1 bench — regenerate the scale landscape incl. the foundation model."""
+
+from benchmarks._shared import write_result
+from repro.experiments.fig1_landscape import run_fig1
+
+
+def bench_fig1_landscape(benchmark):
+    result = benchmark.pedantic(run_fig1, rounds=1, iterations=1)
+    write_result("fig1", result.to_text())
+    # The foundation model dominates both axes, as in the paper's Fig. 1.
+    label, params, gigabytes = result.ours()
+    assert params >= 1.9e9
+    assert gigabytes >= 1000.0

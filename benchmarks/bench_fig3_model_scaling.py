@@ -1,0 +1,20 @@
+"""FIG3 bench — model scaling: test loss vs parameters per dataset size.
+
+Runs the full measured ladder (real training over a (width x fraction)
+grid), fits the joint scaling law, and regenerates the paper-scale Fig. 3
+series from the calibrated surface.
+"""
+
+from benchmarks._shared import shared_scaling_study, write_result
+from repro.experiments.model_scaling import Fig3Result
+
+
+def bench_fig3_model_scaling(benchmark):
+    study = benchmark.pedantic(shared_scaling_study, rounds=1, iterations=1)
+    result = Fig3Result(study)
+    write_result("fig3", result.to_text())
+    # The paper's Fig. 3 claims.
+    assert study.claim_model_scaling_helps()
+    assert study.claim_diminishing_returns()
+    # The measured fit must explain the ladder reasonably.
+    assert study.ladder.fit.r_squared > 0.5

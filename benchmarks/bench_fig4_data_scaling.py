@@ -1,0 +1,22 @@
+"""FIG4 bench — data scaling: test loss vs dataset size per model size.
+
+Shares the measured ladder with the Fig. 3 bench (cached per session)
+and regenerates the Fig. 4 series plus the 0.1 TB mismatch bump.
+"""
+
+from benchmarks._shared import shared_scaling_study, write_result
+from repro.experiments.data_scaling import Fig4Result
+
+
+def bench_fig4_data_scaling(benchmark):
+    study = benchmark.pedantic(shared_scaling_study, rounds=1, iterations=1)
+    result = Fig4Result(study)
+    write_result("fig4", result.to_text())
+    # The paper's Fig. 4 claims.
+    assert study.claim_data_scaling_helps()
+    assert study.claim_mismatch_bump()
+    # Measured tier: on the full corpus, more data beat the smallest subset
+    # for the largest trained width.
+    by_width = study.measured_fig4_series()
+    widest = by_width[max(by_width)]
+    assert widest[-1][1] < widest[0][1]

@@ -1,0 +1,20 @@
+"""FIG5 bench — depth vs width at 0.4 TB + over-smoothing diagnostic.
+
+Trains a real (depth x width) grid, measures the MAD over-smoothing
+signature, and regenerates the projected paper-scale heat map.
+"""
+
+from benchmarks._shared import shared_depth_width_grid, shared_scaling_study, write_result
+from repro.experiments.depth_width import run_fig5
+
+
+def bench_fig5_depth_width(benchmark):
+    measured = benchmark.pedantic(shared_depth_width_grid, rounds=1, iterations=1)
+    study = shared_scaling_study()
+    result = run_fig5(study.surface, measured=measured)
+    write_result("fig5", result.to_text())
+    # The paper's Sec. IV-C claims on the projected grid.
+    assert result.claim_width_helps()
+    assert result.claim_depth_hurts()
+    # The measured mechanism: message passing contracts node features.
+    assert result.claim_oversmoothing_measured()

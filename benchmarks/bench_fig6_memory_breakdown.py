@@ -1,0 +1,18 @@
+"""FIG6 bench — measured peak-memory breakdown, vanilla vs ckpt+ZeRO."""
+
+from benchmarks._shared import write_result
+from repro.experiments.memory_breakdown import run_fig6
+from repro.experiments.paperdata import FIG6_PAPER
+
+
+def bench_fig6_memory_breakdown(benchmark):
+    result = benchmark.pedantic(run_fig6, rounds=1, iterations=1)
+    write_result("fig6", result.to_text())
+    # (a): activations dominate, and land near the paper's 76.9 % share
+    # (the workload is calibrated to the same regime; see module docs).
+    assert result.claim_activations_dominate_vanilla()
+    assert abs(result.vanilla_breakdown["activations"] - FIG6_PAPER["vanilla"]["activations"]) < 12.0
+    # (b): the optimized setting stops activations from dominating as before
+    # and cuts the per-rank peak.
+    assert result.claim_activations_minor_after()
+    assert result.optimized_peak_bytes < result.vanilla_peak_bytes

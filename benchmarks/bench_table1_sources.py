@@ -1,0 +1,15 @@
+"""TAB1 bench — regenerate Table I (per-source corpus statistics)."""
+
+from benchmarks._shared import write_result
+from repro.experiments.table1_sources import run_table1
+
+
+def bench_table1_sources(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_table1(samples_per_source=32), rounds=1, iterations=1
+    )
+    write_result("table1", result.to_text())
+    # Shape requirement: scaled node counts within 2x of every paper row.
+    assert result.max_node_ratio_error() < 1.0
+    for row in result.rows:
+        assert 0.3 < row.scaled_edges / row.paper_edges < 3.0

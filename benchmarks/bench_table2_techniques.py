@@ -1,0 +1,17 @@
+"""TAB2 bench — relative peak memory / step time of training techniques."""
+
+from benchmarks._shared import write_result
+from repro.experiments.techniques import run_table2
+
+
+def bench_table2_techniques(benchmark):
+    result = benchmark.pedantic(run_table2, rounds=1, iterations=1)
+    write_result("table2", result.to_text())
+    # The paper's orderings: memory strictly improves with each technique,
+    # modeled step time strictly degrades.
+    assert result.claim_memory_ordering()
+    assert result.claim_time_ordering()
+    # Checkpointing alone must cut peak memory substantially (paper: 42 %).
+    relative = result.relative_memory()
+    assert relative["+activation_checkpointing"] < 85.0
+    assert relative["+zero_optimizer"] < relative["+activation_checkpointing"]

@@ -1,0 +1,78 @@
+"""Catalyst screening: rank candidate slab+adsorbate systems by energy.
+
+The paper motivates scaled GNNs with materials discovery: screening vast
+composition spaces orders of magnitude faster than first-principles
+calculations (Sec. VI).  This example does exactly that workflow on the
+OC20-analogue substrate:
+
+1. train a model on mixed catalyst data,
+2. generate a screening library of metal-slab + adsorbate candidates,
+3. predict per-atom energies for the whole library in a few batched
+   forward passes and rank the candidates,
+4. compare the ranking against the ground-truth potential (which a real
+   screening campaign would not have — here it grades the model).
+
+Run:  python examples/catalyst_screening.py
+"""
+
+import numpy as np
+
+from repro.data import Normalizer, generate_corpus
+from repro.data.sources import OC20Source
+from repro.graph.batch import batch_iterator
+from repro.models import HydraModel, ModelConfig
+from repro.tensor import no_grad
+from repro.train import Trainer, TrainerConfig
+
+
+def predict_energies(model, graphs, normalizer, batch_size: int = 16) -> np.ndarray:
+    """Normalized per-atom energy prediction for each graph."""
+    predictions = []
+    with no_grad():
+        for batch in batch_iterator(graphs, batch_size):
+            predictions.append(model(batch)["energy"].numpy().ravel())
+    return np.concatenate(predictions)
+
+
+def main() -> None:
+    # Train on the aggregated corpus (catalyst-heavy by construction).
+    corpus = generate_corpus(total_graphs=260, seed=10)
+    train_corpus, test_graphs = corpus.train_test_split(0.15, seed=11)
+    normalizer = Normalizer.fit(corpus.graphs)
+    model = HydraModel(ModelConfig(hidden_dim=32, num_layers=3), seed=10)
+    trainer = Trainer(
+        model,
+        normalizer,
+        TrainerConfig(epochs=5, batch_size=16, learning_rate=1e-3, grad_clip=1.0),
+    )
+    history = trainer.fit(train_corpus.graphs, test_graphs)
+    print(f"trained; held-out loss {history.final_test_loss:.4f}")
+
+    # Screening library: 60 fresh catalyst candidates.
+    library = OC20Source().sample(60, seed=99)
+    predicted = predict_energies(model, library, normalizer)
+
+    # Ground truth (normalized the same way) for grading the screen.
+    actual = np.array(
+        [(g.energy / g.n_atoms - normalizer.energy_mean_per_atom) / normalizer.energy_std_per_atom
+         for g in library]
+    )
+
+    order = np.argsort(predicted)
+    print("\ntop-5 most stable candidates by predicted per-atom energy:")
+    for rank, index in enumerate(order[:5], start=1):
+        graph = library[index]
+        metals = sorted({int(z) for z in graph.atomic_numbers if z > 10})
+        print(
+            f"  #{rank}: candidate {index:2d}  Z={metals}  "
+            f"predicted {predicted[index]:+.3f}  actual {actual[index]:+.3f}"
+        )
+
+    spearman = np.corrcoef(np.argsort(np.argsort(predicted)), np.argsort(np.argsort(actual)))[0, 1]
+    top10 = set(order[:10]) & set(np.argsort(actual)[:10])
+    print(f"\nranking quality: Spearman rho = {spearman:.3f}; "
+          f"{len(top10)}/10 of the true top-10 recovered")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Distributed data-parallel training on the simulated cluster.
+
+Demonstrates the paper's infrastructure stack end to end: an ADIOS-like
+shard store feeding a DDStore-style distributed in-memory cache, DDP
+across four simulated A100 ranks, ZeRO-1 optimizer sharding, and the
+modeled communication clock.
+
+Run:  python examples/distributed_training.py
+"""
+
+import tempfile
+
+import numpy as np
+
+from repro.data import AdiosShardStore, Normalizer, generate_corpus
+from repro.distributed import DataParallelEngine, SimCluster
+from repro.hpc import DDStore, PERLMUTTER
+from repro.models import ModelConfig
+
+
+def main() -> None:
+    # --- data path: generate -> shard store -> distributed cache --------
+    corpus = generate_corpus(200, seed=40)
+    with tempfile.TemporaryDirectory() as root:
+        manifest = AdiosShardStore(root).write(corpus.graphs, shard_size=64)
+        print(f"shard store: {len(manifest['shards'])} shards, "
+              f"{manifest['total_bytes'] / 1e6:.1f} MB, "
+              f"{manifest['num_graphs']} graphs")
+        graphs = AdiosShardStore(root).read()
+
+    cluster = SimCluster(4, spec=PERLMUTTER)
+    store = DDStore(cluster, graphs)
+    normalizer = Normalizer.fit(graphs)
+
+    # --- training: DDP + ZeRO on 4 ranks --------------------------------
+    engine = DataParallelEngine(
+        cluster,
+        ModelConfig(hidden_dim=32, num_layers=3, checkpoint_activations=True),
+        normalizer,
+        optimizer="zero",
+        learning_rate=1e-3,
+        seed=40,
+    )
+
+    rng = np.random.default_rng(0)
+    steps = 8
+    batch_size = 16
+    for step in range(steps):
+        indices = rng.choice(len(graphs), size=batch_size, replace=False)
+        # Each rank pulls its shard through the distributed store.
+        batch = []
+        for rank in range(cluster.num_ranks):
+            shard_idx = indices[rank::cluster.num_ranks]
+            batch.extend(store.get_batch(list(shard_idx), requesting_rank=rank))
+        loss = engine.train_step(batch)
+        print(f"step {step}: loss {loss:.4f}")
+
+    # --- what the simulation knows afterwards ---------------------------
+    print(f"\nreplicas in sync: {engine.replicas_in_sync()}")
+    print(f"DDStore locality: {100 * (1 - store.remote_fraction):.0f}% local hits, "
+          f"{store.bytes_transferred / 1e6:.2f} MB moved between ranks")
+    states = [t.snapshot().by_category['optimizer_states'] for t in cluster.trackers()]
+    print("per-rank Adam state (ZeRO-sharded): "
+          + ", ".join(f"{s / 1e3:.0f} KB" for s in states))
+    print(f"simulated clock: {cluster.max_clock():.3f} s total, of which "
+          f"{cluster.ranks[0].comm_time * 1e3:.2f} ms modeled NVLink communication")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Measure what activation checkpointing and ZeRO buy you (Sec. V).
+
+Profiles one real training step in three configurations on a 4-rank
+simulated cluster and prints the peak-memory breakdowns, reproducing the
+workflow behind the paper's Fig. 6 and Table II on any model you pick.
+
+Run:  python examples/memory_optimization.py
+"""
+
+from repro.data import Normalizer, generate_corpus
+from repro.distributed import DataParallelEngine, SimCluster
+from repro.memory import profile_training_step, to_paper_breakdown
+from repro.models import HydraModel, ModelConfig, count_parameters
+from repro.optim import Adam
+
+
+def show(title: str, breakdown: dict[str, float], peak_bytes: int) -> None:
+    print(f"\n{title}  (peak {peak_bytes / 1e6:.1f} MB)")
+    for category, share in breakdown.items():
+        bar = "#" * int(share / 2)
+        print(f"  {category:18s} {share:5.1f}% {bar}")
+
+
+def main() -> None:
+    corpus = generate_corpus(120, seed=30)
+    normalizer = Normalizer.fit(corpus.graphs)
+    molecules = [g for g in corpus.graphs if g.source in ("ani1x", "qm7x")]
+    config = ModelConfig(hidden_dim=256, num_layers=3)
+    print(f"model: {count_parameters(config):,} parameters; "
+          f"workload: {len(molecules[:32])} molecules across 4 ranks")
+
+    # (1) vanilla: single-rank profile, replicated Adam.
+    model = HydraModel(config, seed=30)
+    profile = profile_training_step(
+        model, molecules[:8], Adam(model.parameters(), lr=1e-3), normalizer
+    )
+    show("vanilla (per GPU)", profile.paper_breakdown(), profile.peak_bytes)
+
+    # (2) + activation checkpointing.
+    model_ckpt = HydraModel(config.with_checkpointing(True), seed=30)
+    profile_ckpt = profile_training_step(
+        model_ckpt, molecules[:8], Adam(model_ckpt.parameters(), lr=1e-3), normalizer
+    )
+    show("+ activation checkpointing", profile_ckpt.paper_breakdown(), profile_ckpt.peak_bytes)
+
+    # (3) + ZeRO-1 on a 4-rank cluster (per-rank breakdown of rank 0).
+    cluster = SimCluster(4)
+    engine = DataParallelEngine(
+        cluster, config.with_checkpointing(True), normalizer, optimizer="zero", seed=30
+    )
+    engine.train_step(molecules[:32])  # warm-up allocates sharded state
+    for rank in cluster.ranks:
+        rank.tracker.reset_peak()
+    engine.train_step(molecules[:32])
+    peak = cluster.ranks[0].tracker.peak()
+    show("+ ZeRO-1 (4 ranks, rank 0)", to_paper_breakdown(peak), peak.total)
+
+    saved = 100.0 * (1.0 - peak.total / profile.peak_bytes)
+    print(f"\ntotal per-rank peak saved vs vanilla: {saved:.0f}% "
+          f"(paper: 73% at its scale)")
+    print(f"modeled extra step time from the ZeRO all-gather on NVLink-3: "
+          f"{cluster.ranks[0].comm_time * 1e3:.2f} ms (simulated clock)")
+
+
+if __name__ == "__main__":
+    main()

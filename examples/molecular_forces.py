@@ -1,0 +1,85 @@
+"""Molecular force prediction and a short model-driven relaxation.
+
+Forces are the node-level task of the paper's multi-task setup.  This
+example trains on molecule-only data (the ANI1x / QM7-X analogues),
+verifies force equivariance numerically, and then uses the model as a
+drop-in surrogate for gradient descent on atomic positions — the
+geometry-relaxation workflow GNN potentials exist for.
+
+Run:  python examples/molecular_forces.py
+"""
+
+import numpy as np
+from scipy.spatial.transform import Rotation
+
+from repro.data import DEFAULT_POTENTIAL, Normalizer
+from repro.data.sources import ANI1xSource, QM7XSource
+from repro.graph.atoms import AtomGraph
+from repro.graph.batch import collate
+from repro.graph.radius import build_edges
+from repro.models import HydraModel, ModelConfig
+from repro.tensor import no_grad
+from repro.train import Trainer, TrainerConfig
+
+
+def predicted_forces(model, graph: AtomGraph, normalizer: Normalizer) -> np.ndarray:
+    with no_grad():
+        out = model(collate([graph]))["forces"].numpy()
+    return normalizer.denormalize_forces(out)
+
+
+def main() -> None:
+    ani1x, qm7x = ANI1xSource(), QM7XSource()
+    train_graphs = ani1x.sample(150, seed=20) + qm7x.sample(150, seed=21)
+    test_graphs = ani1x.sample(30, seed=22)
+    normalizer = Normalizer.fit(train_graphs)
+
+    model = HydraModel(ModelConfig(hidden_dim=48, num_layers=3), seed=20)
+    trainer = Trainer(
+        model,
+        normalizer,
+        TrainerConfig(epochs=6, batch_size=16, learning_rate=1e-3, grad_clip=1.0),
+    )
+    history = trainer.fit(train_graphs, test_graphs)
+    print(f"trained; force MAE (normalized) {history.final_metrics['force_mae']:.4f}")
+
+    # --- equivariance check on a held-out molecule -----------------------
+    graph = test_graphs[0]
+    rotation = Rotation.from_euler("xyz", [0.5, -0.3, 1.0]).as_matrix()
+    rotated = AtomGraph(
+        graph.atomic_numbers,
+        graph.positions @ rotation.T,
+        graph.edge_index,
+        graph.edge_shift @ rotation.T,
+    )
+    f_base = predicted_forces(model, graph, normalizer)
+    f_rotated = predicted_forces(model, rotated, normalizer)
+    error = np.abs(f_base @ rotation.T - f_rotated).max()
+    print(f"equivariance: max |R f(x) - f(R x)| = {error:.2e} (exact to float32)")
+
+    # --- relaxation: walk downhill along predicted forces ----------------
+    positions = graph.positions + np.random.default_rng(0).normal(0.12, size=graph.positions.shape)
+    source_cutoff = ani1x.cutoff
+
+    def true_energy(pos: np.ndarray) -> float:
+        edges, shifts = build_edges(pos, source_cutoff)
+        probe = AtomGraph(graph.atomic_numbers, pos, edges, shifts)
+        energy, _ = DEFAULT_POTENTIAL.energy_and_forces(probe)
+        return energy
+
+    print("\nmodel-driven relaxation (true energy should decrease):")
+    print(f"  step  0: E = {true_energy(positions):9.4f}")
+    step_size = 2e-3
+    for step in range(1, 16):
+        edges, shifts = build_edges(positions, source_cutoff)
+        current = AtomGraph(graph.atomic_numbers, positions, edges, shifts)
+        forces = predicted_forces(model, current, normalizer)
+        # Cap the displacement for stability, as real relaxers do.
+        forces = np.clip(forces, -25.0, 25.0)
+        positions = positions + step_size * forces
+        if step % 5 == 0:
+            print(f"  step {step:2d}: E = {true_energy(positions):9.4f}")
+
+
+if __name__ == "__main__":
+    main()

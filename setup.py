@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment is offline, so pip cannot fetch build-isolation
+dependencies (``wheel``); this shim lets ``pip install -e .`` use the
+classic ``setup.py develop`` path with the locally installed setuptools.
+All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

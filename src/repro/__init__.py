@@ -1,0 +1,28 @@
+"""repro: reproduction of "Scaling Laws of Graph Neural Networks for
+Atomistic Materials Modeling" (DAC 2025, arXiv:2504.08112).
+
+Subpackages
+-----------
+``repro.tensor``
+    Numpy autograd engine with byte-accurate memory accounting and
+    activation checkpointing (the PyTorch substitute).
+``repro.nn`` / ``repro.optim``
+    Neural-network modules and optimizers (Adam, SGD, schedules).
+``repro.graph`` / ``repro.data``
+    Atomistic graph structures, periodic neighbor search, and the five
+    synthetic data sources standing in for ANI1x / QM7-X / OC2020 / OC2022 /
+    MPTrj, labelled by an analytic potential with exact forces.
+``repro.models``
+    EGNN backbone, HydraGNN-style multi-task heads, and the width solver
+    used to hit parameter-count targets (0.1 M ... 2 B).
+``repro.train`` / ``repro.distributed`` / ``repro.memory``
+    Training loop; simulated multi-rank data parallelism, ZeRO-1 optimizer
+    sharding, communication cost model; measured + analytic memory models.
+``repro.scaling``
+    Power-law / Chinchilla fitting, the calibrated GNN loss surface, and
+    over-smoothing diagnostics.
+``repro.experiments``
+    One runner per paper table/figure (Table I, II; Fig. 1, 3, 4, 5, 6).
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,143 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``experiments``
+    List the registered paper artifacts and their bench targets.
+``run <id>``
+    Run one experiment (``table1``, ``fig1`` ... ``table2``) at a light
+    budget and print its regenerated artifact.
+``model <preset|params>``
+    Describe a model preset (``tiny`` ... ``foundation``) or solve the
+    width for a parameter target like ``50M`` / ``2B``.
+``corpus <graphs>``
+    Generate a corpus and print its source mixture and statistics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+
+def _parse_params(text: str) -> int:
+    """'50M' -> 50_000_000, '2B' -> 2_000_000_000, plain ints pass."""
+    suffixes = {"K": 1e3, "M": 1e6, "B": 1e9}
+    text = text.strip().upper()
+    if text and text[-1] in suffixes:
+        return int(float(text[:-1]) * suffixes[text[-1]])
+    return int(text)
+
+
+def _cmd_experiments(_args: argparse.Namespace) -> int:
+    from repro.experiments.report import ascii_table
+
+    rows = [
+        [spec.id, spec.paper_artifact, spec.description, spec.bench_target]
+        for spec in EXPERIMENTS.values()
+    ]
+    print(ascii_table(["id", "artifact", "description", "bench"], rows))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    kwargs = {}
+    if args.experiment in ("fig3", "fig4"):
+        from repro.scaling import LadderSpec
+
+        if args.fast:
+            kwargs["spec"] = LadderSpec(
+                corpus_graphs=160,
+                widths=(4, 8, 16),
+                dataset_fractions=(0.25, 1.0),
+                epochs=3,
+            )
+    result = run_experiment(args.experiment, **kwargs)
+    print(result.to_text())
+    return 0
+
+
+def _cmd_model(args: argparse.Namespace) -> int:
+    from repro.models import describe, get_preset, preset_names, solve_width
+
+    try:
+        config = get_preset(args.target)
+    except KeyError:
+        try:
+            config = solve_width(_parse_params(args.target), num_layers=args.depth)
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            print(f"known presets: {preset_names()}", file=sys.stderr)
+            return 2
+    print(describe(config))
+    return 0
+
+
+def _cmd_corpus(args: argparse.Namespace) -> int:
+    from repro.data import generate_corpus
+    from repro.experiments.report import ascii_table
+    from repro.graph.stats import corpus_stats
+
+    corpus = generate_corpus(args.graphs, seed=args.seed)
+    labels = corpus.source_labels()
+    rows = []
+    for source in corpus.source_order:
+        graphs = [g for g, label in zip(corpus.graphs, labels) if label == source]
+        stats = corpus_stats(graphs)
+        rows.append(
+            [
+                source,
+                str(stats.num_graphs),
+                f"{stats.nodes_per_graph:.1f}",
+                f"{stats.edges_per_graph:.1f}",
+                f"{stats.num_bytes / 1e6:.2f} MB",
+            ]
+        )
+    print(ascii_table(["source", "#graphs", "atoms/graph", "edges/graph", "bytes"], rows))
+    print(
+        f"total: {corpus.num_graphs} graphs, {corpus.total_bytes / 1e6:.1f} MB "
+        f"(represents {corpus.paper_tb():.2f} TB at paper scale)"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction toolkit for 'Scaling Laws of GNNs for "
+        "Atomistic Materials Modeling' (DAC 2025)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("experiments", help="list registered paper artifacts").set_defaults(
+        func=_cmd_experiments
+    )
+
+    run_parser = commands.add_parser("run", help="run one experiment and print its artifact")
+    run_parser.add_argument("experiment", choices=sorted(EXPERIMENTS))
+    run_parser.add_argument(
+        "--fast", action="store_true", help="reduced budget for the scaling studies"
+    )
+    run_parser.set_defaults(func=_cmd_run)
+
+    model_parser = commands.add_parser("model", help="describe a preset or parameter target")
+    model_parser.add_argument("target", help="preset name or target like 50M / 2B")
+    model_parser.add_argument("--depth", type=int, default=3)
+    model_parser.set_defaults(func=_cmd_model)
+
+    corpus_parser = commands.add_parser("corpus", help="generate and summarize a corpus")
+    corpus_parser.add_argument("graphs", type=int)
+    corpus_parser.add_argument("--seed", type=int, default=0)
+    corpus_parser.set_defaults(func=_cmd_corpus)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

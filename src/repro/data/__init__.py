@@ -1,0 +1,30 @@
+"""Synthetic data substrate: sources, aggregation, normalization, storage."""
+
+from repro.data.aggregate import (
+    PAPER_DATASET_SIZES_TB,
+    PAPER_TOTAL_TB,
+    Corpus,
+    generate_corpus,
+)
+from repro.data.elements import element
+from repro.data.normalize import Normalizer
+from repro.data.potential import DEFAULT_POTENTIAL, MorseParameters, MorsePotential
+from repro.data.splits import split_indices
+from repro.data.store import AdiosShardStore
+from repro.data.table1 import Table1Row, build_table1
+
+__all__ = [
+    "AdiosShardStore",
+    "Corpus",
+    "DEFAULT_POTENTIAL",
+    "MorseParameters",
+    "MorsePotential",
+    "Normalizer",
+    "PAPER_DATASET_SIZES_TB",
+    "PAPER_TOTAL_TB",
+    "Table1Row",
+    "build_table1",
+    "element",
+    "generate_corpus",
+    "split_indices",
+]

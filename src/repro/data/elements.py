@@ -1,0 +1,106 @@
+"""Element property tables used by the structure generators and potential.
+
+Values are standard tabulated chemistry data (covalent radii from Cordero
+et al. 2008, Pauling electronegativities, conventional lattice constants),
+restricted to the elements the five synthetic sources actually emit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Element:
+    symbol: str
+    z: int
+    covalent_radius: float  # angstrom
+    electronegativity: float  # Pauling scale
+    mass: float  # amu
+
+
+_ELEMENTS = [
+    Element("H", 1, 0.31, 2.20, 1.008),
+    Element("Li", 3, 1.28, 0.98, 6.94),
+    Element("C", 6, 0.76, 2.55, 12.011),
+    Element("N", 7, 0.71, 3.04, 14.007),
+    Element("O", 8, 0.66, 3.44, 15.999),
+    Element("Na", 11, 1.66, 0.93, 22.990),
+    Element("Mg", 12, 1.41, 1.31, 24.305),
+    Element("Al", 13, 1.21, 1.61, 26.982),
+    Element("Si", 14, 1.11, 1.90, 28.085),
+    Element("K", 19, 2.03, 0.82, 39.098),
+    Element("Ca", 20, 1.76, 1.00, 40.078),
+    Element("Ti", 22, 1.60, 1.54, 47.867),
+    Element("V", 23, 1.53, 1.63, 50.942),
+    Element("Cr", 24, 1.39, 1.66, 51.996),
+    Element("Mn", 25, 1.39, 1.55, 54.938),
+    Element("Fe", 26, 1.32, 1.83, 55.845),
+    Element("Co", 27, 1.26, 1.88, 58.933),
+    Element("Ni", 28, 1.24, 1.91, 58.693),
+    Element("Cu", 29, 1.32, 1.90, 63.546),
+    Element("Zn", 30, 1.22, 1.65, 65.38),
+    Element("Zr", 40, 1.75, 1.33, 91.224),
+    Element("Nb", 41, 1.64, 1.60, 92.906),
+    Element("Mo", 42, 1.54, 2.16, 95.95),
+    Element("Ru", 44, 1.46, 2.20, 101.07),
+    Element("Rh", 45, 1.42, 2.28, 102.906),
+    Element("Pd", 46, 1.39, 2.20, 106.42),
+    Element("Ag", 47, 1.45, 1.93, 107.868),
+    Element("Sn", 50, 1.39, 1.96, 118.71),
+    Element("Ba", 56, 2.15, 0.89, 137.327),
+    Element("W", 74, 1.62, 2.36, 183.84),
+    Element("Ir", 77, 1.41, 2.20, 192.217),
+    Element("Pt", 78, 1.36, 2.28, 195.084),
+    Element("Au", 79, 1.36, 2.54, 196.967),
+]
+
+BY_Z: dict[int, Element] = {e.z: e for e in _ELEMENTS}
+BY_SYMBOL: dict[str, Element] = {e.symbol: e for e in _ELEMENTS}
+
+# Conventional fcc lattice constants (angstrom) for slab generators.
+FCC_LATTICE_CONSTANTS: dict[str, float] = {
+    "Cu": 3.61,
+    "Ni": 3.52,
+    "Pd": 3.89,
+    "Ag": 4.09,
+    "Pt": 3.92,
+    "Au": 4.08,
+    "Al": 4.05,
+    "Rh": 3.80,
+    "Ir": 3.84,
+}
+
+# Rocksalt-type oxide lattice constants (angstrom) for the OC22 analogue.
+OXIDE_LATTICE_CONSTANTS: dict[str, float] = {
+    "Ti": 4.24,
+    "V": 4.09,
+    "Mn": 4.45,
+    "Fe": 4.33,
+    "Co": 4.26,
+    "Ni": 4.17,
+    "Zn": 4.28,
+    "Mg": 4.21,
+    "Ca": 4.81,
+}
+
+
+def element(z_or_symbol: int | str) -> Element:
+    """Look up an element by atomic number or symbol."""
+    if isinstance(z_or_symbol, str):
+        try:
+            return BY_SYMBOL[z_or_symbol]
+        except KeyError:
+            raise KeyError(f"unknown element symbol {z_or_symbol!r}") from None
+    try:
+        return BY_Z[int(z_or_symbol)]
+    except KeyError:
+        raise KeyError(f"unknown atomic number {z_or_symbol}") from None
+
+
+def covalent_radius(z: int) -> float:
+    return element(z).covalent_radius
+
+
+def electronegativity(z: int) -> float:
+    return element(z).electronegativity

@@ -1,0 +1,61 @@
+"""Target normalization.
+
+Energies are extensive (scale with atom count) and span several eV per
+atom across chemistries; forces span different ranges per source.  Like
+HydraGNN, we train on standardized targets: per-atom energy z-scored and
+force components scaled by their global standard deviation.  The paper's
+"test loss" is an MSE in these normalized units, which is what makes
+losses comparable across model/dataset scales.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.atoms import AtomGraph
+from repro.graph.batch import GraphBatch
+
+
+@dataclass(frozen=True)
+class Normalizer:
+    """Affine target transform fitted on a corpus."""
+
+    energy_mean_per_atom: float
+    energy_std_per_atom: float
+    force_std: float
+
+    @classmethod
+    def fit(cls, graphs: list[AtomGraph]) -> "Normalizer":
+        if not graphs:
+            raise ValueError("cannot fit a normalizer on an empty corpus")
+        per_atom = np.array([g.energy / max(g.n_atoms, 1) for g in graphs])
+        forces = np.concatenate([g.forces.ravel() for g in graphs])
+        return cls(
+            energy_mean_per_atom=float(per_atom.mean()),
+            energy_std_per_atom=float(max(per_atom.std(), 1e-8)),
+            force_std=float(max(forces.std(), 1e-8)),
+        )
+
+    # ------------------------------------------------------------------
+    # batch-level transforms
+    # ------------------------------------------------------------------
+    def normalized_energy(self, batch: GraphBatch) -> np.ndarray:
+        """Per-graph normalized energy targets, shape (G, 1)."""
+        atoms_per_graph = np.bincount(batch.node_graph, minlength=batch.num_graphs)
+        atoms_per_graph = np.maximum(atoms_per_graph, 1).reshape(-1, 1)
+        per_atom = batch.energies / atoms_per_graph
+        return ((per_atom - self.energy_mean_per_atom) / self.energy_std_per_atom).astype(
+            batch.energies.dtype
+        )
+
+    def normalized_forces(self, batch: GraphBatch) -> np.ndarray:
+        """Per-node normalized force targets, shape (N, 3)."""
+        return (batch.forces / self.force_std).astype(batch.forces.dtype)
+
+    def denormalize_energy_per_atom(self, value: np.ndarray) -> np.ndarray:
+        return value * self.energy_std_per_atom + self.energy_mean_per_atom
+
+    def denormalize_forces(self, value: np.ndarray) -> np.ndarray:
+        return value * self.force_std

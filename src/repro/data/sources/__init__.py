@@ -1,0 +1,30 @@
+"""The five synthetic data sources (one per Table I row)."""
+
+from repro.data.sources.ani1x import ANI1xSource
+from repro.data.sources.base import Geometry, PaperSourceSpec, SyntheticSource
+from repro.data.sources.mptrj import MPTrjSource
+from repro.data.sources.oc20 import OC20Source
+from repro.data.sources.oc22 import OC22Source
+from repro.data.sources.qm7x import QM7XSource
+
+#: Canonical Table I order (also the aggregation order the corpus uses).
+SOURCE_CLASSES = [ANI1xSource, QM7XSource, OC20Source, OC22Source, MPTrjSource]
+
+
+def default_sources(cutoff: float = 5.0) -> list[SyntheticSource]:
+    """Instantiate all five sources with a shared cutoff."""
+    return [cls(cutoff=cutoff) for cls in SOURCE_CLASSES]
+
+
+__all__ = [
+    "ANI1xSource",
+    "Geometry",
+    "MPTrjSource",
+    "OC20Source",
+    "OC22Source",
+    "PaperSourceSpec",
+    "QM7XSource",
+    "SOURCE_CLASSES",
+    "SyntheticSource",
+    "default_sources",
+]

@@ -1,0 +1,225 @@
+"""Geometry builders shared by the synthetic sources.
+
+These construct chemically plausible (not DFT-relaxed) structures:
+random-tree organic molecules with valence-completing hydrogens, fcc
+metal slabs with adsorbates, rocksalt oxide slabs, and bulk crystal
+prototypes.  Plausibility matters because the Morse labeling potential
+is only smooth and learnable when interatomic distances sit near the
+sum-of-covalent-radii scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.elements import (
+    FCC_LATTICE_CONSTANTS,
+    OXIDE_LATTICE_CONSTANTS,
+    element,
+)
+
+# Nominal valences used to decide how many hydrogens complete a heavy atom.
+_VALENCE = {6: 4, 7: 3, 8: 2}
+
+# Simple adsorbates for the catalyst sources: (symbols, relative positions).
+ADSORBATES: dict[str, tuple[list[str], np.ndarray]] = {
+    "O": (["O"], np.array([[0.0, 0.0, 0.0]])),
+    "CO": (["C", "O"], np.array([[0.0, 0.0, 0.0], [0.0, 0.0, 1.14]])),
+    "OH": (["O", "H"], np.array([[0.0, 0.0, 0.0], [0.0, 0.0, 0.97]])),
+    "N": (["N"], np.array([[0.0, 0.0, 0.0]])),
+    "NH": (["N", "H"], np.array([[0.0, 0.0, 0.0], [0.0, 0.0, 1.04]])),
+}
+
+
+def random_molecule(
+    rng: np.random.Generator,
+    heavy_elements: list[str],
+    num_heavy: int,
+    displacement: float = 0.05,
+    add_hydrogens: bool = True,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Grow a random tree-bonded molecule and decorate it with hydrogens.
+
+    Returns ``(atomic_numbers, positions)``.  ``displacement`` is the
+    sigma of Gaussian positional noise (angstrom); larger values emulate
+    the non-equilibrium conformations of ANI1x / QM7-X.
+    """
+    heavy_z = [element(symbol).z for symbol in heavy_elements]
+    numbers = [int(rng.choice(heavy_z)) for _ in range(num_heavy)]
+    positions = [np.zeros(3)]
+    tree_degree = np.zeros(num_heavy, dtype=np.int64)
+
+    for index in range(1, num_heavy):
+        parent = int(rng.integers(0, index))
+        bond = element(numbers[parent]).covalent_radius + element(numbers[index]).covalent_radius
+        placed = None
+        for _ in range(40):
+            direction = rng.normal(size=3)
+            direction /= np.linalg.norm(direction)
+            candidate = positions[parent] + bond * direction
+            distances = np.linalg.norm(np.asarray(positions) - candidate, axis=1)
+            if (distances > 0.75 * bond).all():
+                placed = candidate
+                break
+        if placed is None:  # crowded: accept the last candidate anyway
+            placed = candidate
+        positions.append(placed)
+        tree_degree[parent] += 1
+        tree_degree[index] += 1
+
+    if add_hydrogens:
+        h_radius = element("H").covalent_radius
+        for index in range(num_heavy):
+            free = _VALENCE.get(numbers[index], 0) - int(tree_degree[index])
+            for _ in range(max(free, 0)):
+                bond = element(numbers[index]).covalent_radius + h_radius
+                placed = None
+                for _ in range(40):
+                    direction = rng.normal(size=3)
+                    direction /= np.linalg.norm(direction)
+                    candidate = np.asarray(positions[index]) + bond * direction
+                    distances = np.linalg.norm(np.asarray(positions) - candidate, axis=1)
+                    if (distances > 0.8 * bond).all():
+                        placed = candidate
+                        break
+                if placed is None:
+                    continue  # crowded site: skip this hydrogen
+                positions.append(placed)
+                numbers.append(1)
+
+    coords = np.asarray(positions, dtype=np.float64)
+    coords += rng.normal(scale=displacement, size=coords.shape)
+    return np.asarray(numbers, dtype=np.int64), coords
+
+
+def fcc_slab(
+    rng: np.random.Generator,
+    metal: str,
+    size: tuple[int, int, int],
+    vacuum: float = 12.0,
+    jitter: float = 0.03,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Build an fcc(100) slab: ``size = (nx, ny, layers)``.
+
+    Returns ``(atomic_numbers, positions, cell)``; periodic in x/y only.
+    """
+    lattice = FCC_LATTICE_CONSTANTS[metal]
+    spacing = lattice / np.sqrt(2.0)  # in-plane nearest-neighbor distance
+    layer_height = lattice / 2.0
+    nx, ny, layers = size
+    coords = []
+    for layer in range(layers):
+        offset = 0.5 * spacing if layer % 2 else 0.0
+        for i in range(nx):
+            for j in range(ny):
+                coords.append(
+                    [i * spacing + offset, j * spacing + offset, layer * layer_height]
+                )
+    coords = np.asarray(coords, dtype=np.float64)
+    coords += rng.normal(scale=jitter, size=coords.shape)
+    numbers = np.full(len(coords), element(metal).z, dtype=np.int64)
+    cell = np.diag([nx * spacing, ny * spacing, layers * layer_height + vacuum])
+    return numbers, coords, cell
+
+
+def add_adsorbate(
+    rng: np.random.Generator,
+    numbers: np.ndarray,
+    positions: np.ndarray,
+    cell: np.ndarray,
+    name: str,
+    height: float = 2.0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Place an adsorbate above a random top-layer site of a slab."""
+    symbols, offsets = ADSORBATES[name]
+    top_z = positions[:, 2].max()
+    top_atoms = np.flatnonzero(positions[:, 2] > top_z - 0.5)
+    site = positions[int(rng.choice(top_atoms))]
+    anchor = np.array([site[0], site[1], top_z + height])
+    ads_positions = anchor + offsets + rng.normal(scale=0.05, size=offsets.shape)
+    ads_numbers = np.array([element(s).z for s in symbols], dtype=np.int64)
+    return (
+        np.concatenate([numbers, ads_numbers]),
+        np.concatenate([positions, ads_positions]),
+    )
+
+
+def rocksalt_slab(
+    rng: np.random.Generator,
+    metal: str,
+    size: tuple[int, int, int],
+    vacuum: float = 12.0,
+    jitter: float = 0.03,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Rocksalt-type oxide (100) slab: alternating metal/oxygen sites."""
+    lattice = OXIDE_LATTICE_CONSTANTS[metal]
+    spacing = lattice / 2.0
+    nx, ny, layers = size
+    numbers, coords = [], []
+    metal_z = element(metal).z
+    oxygen_z = element("O").z
+    for k in range(layers):
+        for i in range(nx):
+            for j in range(ny):
+                species = metal_z if (i + j + k) % 2 == 0 else oxygen_z
+                numbers.append(species)
+                coords.append([i * spacing, j * spacing, k * spacing])
+    coords = np.asarray(coords, dtype=np.float64)
+    coords += rng.normal(scale=jitter, size=coords.shape)
+    cell = np.diag([nx * spacing, ny * spacing, layers * spacing + vacuum])
+    return np.asarray(numbers, dtype=np.int64), coords, cell
+
+
+def bulk_crystal(
+    rng: np.random.Generator,
+    prototype: str,
+    species: list[str],
+    lattice: float,
+    repeat: tuple[int, int, int] = (2, 2, 2),
+    strain: float = 0.03,
+    jitter: float = 0.04,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Bulk crystal from a prototype: ``rocksalt``, ``cscl``, ``fcc``,
+    or ``perovskite`` (species = [A, B] / [A] / [A, B], oxygen implied).
+
+    Returns ``(atomic_numbers, positions, cell)``; fully periodic.
+    """
+    if prototype == "rocksalt":
+        basis = [(species[0], (0.0, 0.0, 0.0)), (species[1], (0.5, 0.5, 0.5))]
+        sublattice = [(0, 0, 0), (0.5, 0.5, 0), (0.5, 0, 0.5), (0, 0.5, 0.5)]
+        sites = [
+            (name, tuple(np.add(frac, shift) % 1.0))
+            for name, frac in basis
+            for shift in sublattice
+        ]
+    elif prototype == "cscl":
+        sites = [(species[0], (0.0, 0.0, 0.0)), (species[1], (0.5, 0.5, 0.5))]
+    elif prototype == "fcc":
+        sites = [
+            (species[0], frac)
+            for frac in [(0, 0, 0), (0.5, 0.5, 0), (0.5, 0, 0.5), (0, 0.5, 0.5)]
+        ]
+    elif prototype == "perovskite":
+        sites = [
+            (species[0], (0.0, 0.0, 0.0)),
+            (species[1], (0.5, 0.5, 0.5)),
+            ("O", (0.5, 0.5, 0.0)),
+            ("O", (0.5, 0.0, 0.5)),
+            ("O", (0.0, 0.5, 0.5)),
+        ]
+    else:
+        raise ValueError(f"unknown prototype {prototype!r}")
+
+    scale = lattice * (1.0 + rng.uniform(-strain, strain))
+    nx, ny, nz = repeat
+    numbers, coords = [], []
+    for i in range(nx):
+        for j in range(ny):
+            for k in range(nz):
+                for name, frac in sites:
+                    numbers.append(element(name).z)
+                    coords.append((np.asarray(frac) + [i, j, k]) * scale)
+    coords = np.asarray(coords, dtype=np.float64)
+    coords += rng.normal(scale=jitter, size=coords.shape)
+    cell = np.diag([nx * scale, ny * scale, nz * scale])
+    return np.asarray(numbers, dtype=np.int64), coords, cell

@@ -1,0 +1,45 @@
+"""OC2020-20M analogue: metal catalyst slabs with small adsorbates.
+
+The real OC20 (Chanussot et al. 2021) contains relaxations of adsorbates
+on catalyst surfaces.  The analogue builds fcc(100) metal slabs periodic
+in-plane with one adsorbate placed above the surface — the dominant
+(726 GB) component of the aggregated corpus, with ~73 atoms per graph.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.sources.base import Geometry, PaperSourceSpec, SyntheticSource
+from repro.data.sources.builders import ADSORBATES, add_adsorbate, fcc_slab
+
+SPEC = PaperSourceSpec(
+    name="oc20",
+    citation="Chanussot et al., ACS Catal. 2021 [4]",
+    num_nodes=1_538_055_547,
+    num_edges=33_734_466_610,
+    num_graphs=20_994_999,
+    size_gb=726.0,
+)
+
+
+class OC20Source(SyntheticSource):
+    """fcc metal slab + adsorbate, periodic in x/y."""
+
+    spec = SPEC
+    max_neighbors = 22  # matches Table I's ~21.9 edges/atom for OC20
+
+    def __init__(self, cutoff: float = 5.0, potential=None) -> None:
+        super().__init__(cutoff, potential)
+        self.metals = ["Cu", "Ni", "Pd", "Ag", "Pt", "Au"]
+        self.adsorbates = list(ADSORBATES)
+
+    def build_geometry(self, rng: np.random.Generator) -> Geometry:
+        metal = str(rng.choice(self.metals))
+        nx = int(rng.integers(4, 6))
+        ny = int(rng.integers(4, 6))
+        layers = int(rng.integers(3, 5))
+        numbers, positions, cell = fcc_slab(rng, metal, (nx, ny, layers))
+        adsorbate = str(rng.choice(self.adsorbates))
+        numbers, positions = add_adsorbate(rng, numbers, positions, cell, adsorbate)
+        return Geometry(numbers, positions, cell=cell, pbc=(True, True, False))

@@ -1,0 +1,35 @@
+"""Index-level dataset splitting."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor.rng import rng as make_rng
+
+
+def split_indices(
+    count: int,
+    fractions: dict[str, float],
+    seed: int = 0,
+) -> dict[str, np.ndarray]:
+    """Randomly partition ``range(count)`` into named fractions.
+
+    Fractions must sum to 1 (within rounding); every index is assigned to
+    exactly one split.
+    """
+    total = sum(fractions.values())
+    if abs(total - 1.0) > 1e-6:
+        raise ValueError(f"fractions must sum to 1, got {total}")
+    generator = make_rng(seed)
+    order = generator.permutation(count)
+    splits: dict[str, np.ndarray] = {}
+    start = 0
+    names = list(fractions)
+    for index, name in enumerate(names):
+        if index == len(names) - 1:
+            end = count  # absorb rounding remainder
+        else:
+            end = start + int(round(count * fractions[name]))
+        splits[name] = np.sort(order[start:end])
+        start = end
+    return splits

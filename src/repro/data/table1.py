@@ -1,0 +1,67 @@
+"""Table I reproduction: per-source corpus statistics.
+
+For each synthetic source we *measure* nodes/edges/bytes per graph over a
+sample, then scale by the paper's published graph count to obtain
+full-corpus totals comparable with Table I.  Both the paper's values and
+ours are returned so the bench can print them side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.sources import SyntheticSource, default_sources
+from repro.graph.stats import corpus_stats
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One data-source row: paper values and measured-scaled values."""
+
+    name: str
+    paper_nodes: int
+    paper_edges: int
+    paper_graphs: int
+    paper_gb: float
+    measured_nodes_per_graph: float
+    measured_edges_per_graph: float
+    measured_bytes_per_graph: float
+
+    @property
+    def scaled_nodes(self) -> int:
+        """Measured nodes/graph scaled to the paper's graph count."""
+        return int(self.measured_nodes_per_graph * self.paper_graphs)
+
+    @property
+    def scaled_edges(self) -> int:
+        return int(self.measured_edges_per_graph * self.paper_graphs)
+
+    @property
+    def scaled_gb(self) -> float:
+        return self.measured_bytes_per_graph * self.paper_graphs / 1e9
+
+
+def build_table1(
+    samples_per_source: int = 32,
+    seed: int = 7,
+    sources: list[SyntheticSource] | None = None,
+) -> list[Table1Row]:
+    """Measure all five sources and assemble Table I rows."""
+    sources = sources if sources is not None else default_sources()
+    rows = []
+    for index, source in enumerate(sources):
+        graphs = source.sample(samples_per_source, seed + index)
+        stats = corpus_stats(graphs)
+        rows.append(
+            Table1Row(
+                name=source.spec.name,
+                paper_nodes=source.spec.num_nodes,
+                paper_edges=source.spec.num_edges,
+                paper_graphs=source.spec.num_graphs,
+                paper_gb=source.spec.size_gb,
+                measured_nodes_per_graph=stats.nodes_per_graph,
+                measured_edges_per_graph=stats.edges_per_graph,
+                measured_bytes_per_graph=stats.bytes_per_graph,
+            )
+        )
+    return rows

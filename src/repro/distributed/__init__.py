@@ -1,0 +1,22 @@
+"""Simulated multi-rank training: DDP, ZeRO-1, and the comm cost model."""
+
+from repro.distributed.comm import RankContext, SimCluster
+from repro.distributed.cost_model import CommCostModel
+from repro.distributed.data_parallel import (
+    DataParallelEngine,
+    flatten_grads,
+    shard_round_robin,
+    unflatten_to_grads,
+)
+from repro.distributed.zero import ZeroAdam
+
+__all__ = [
+    "CommCostModel",
+    "DataParallelEngine",
+    "RankContext",
+    "SimCluster",
+    "ZeroAdam",
+    "flatten_grads",
+    "shard_round_robin",
+    "unflatten_to_grads",
+]

@@ -1,0 +1,115 @@
+"""In-process multi-rank simulation with exact collective semantics.
+
+Each simulated GPU is a :class:`RankContext` owning a memory tracker and
+a simulated clock.  Rank code executes sequentially in one process, but
+all data movement between ranks goes through the cluster's collectives,
+which (a) perform the *real* reduction/gather over numpy arrays — so
+distributed training is bitwise-testable against single-process training
+— and (b) advance every participant's clock by the modeled collective
+time from :class:`repro.distributed.cost_model.CommCostModel`.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+import numpy as np
+
+from repro.distributed.cost_model import CommCostModel
+from repro.hpc.perlmutter import PERLMUTTER, MachineSpec
+from repro.tensor.allocator import MemoryTracker, use_tracker
+
+
+class RankContext:
+    """State of one simulated GPU rank."""
+
+    def __init__(self, rank: int) -> None:
+        self.rank = rank
+        self.tracker = MemoryTracker(f"rank{rank}")
+        self.clock = 0.0  # simulated seconds
+        self.comm_time = 0.0  # portion of clock spent in collectives
+
+    def advance(self, seconds: float, communication: bool = False) -> None:
+        self.clock += seconds
+        if communication:
+            self.comm_time += seconds
+
+    @contextmanager
+    def activate(self):
+        """Charge memory allocated in this block to this rank."""
+        with use_tracker(self.tracker):
+            yield self
+
+
+class SimCluster:
+    """A set of simulated ranks plus their collectives."""
+
+    def __init__(self, num_ranks: int, spec: MachineSpec = PERLMUTTER) -> None:
+        if num_ranks < 1:
+            raise ValueError("need at least one rank")
+        self.ranks = [RankContext(r) for r in range(num_ranks)]
+        self.cost = CommCostModel(num_ranks, spec)
+
+    @property
+    def num_ranks(self) -> int:
+        return len(self.ranks)
+
+    # ------------------------------------------------------------------
+    # collectives (index-aligned lists: one array per rank)
+    # ------------------------------------------------------------------
+    def _charge(self, seconds: float) -> None:
+        for rank in self.ranks:
+            rank.advance(seconds, communication=True)
+
+    def all_reduce_mean(self, arrays: list[np.ndarray]) -> list[np.ndarray]:
+        """Average one array per rank; every rank receives the mean."""
+        self._check(arrays)
+        mean = np.mean(arrays, axis=0)
+        self._charge(self.cost.all_reduce(arrays[0].nbytes))
+        return [mean.copy() for _ in self.ranks]
+
+    def all_reduce_sum(self, arrays: list[np.ndarray]) -> list[np.ndarray]:
+        self._check(arrays)
+        total = np.sum(arrays, axis=0)
+        self._charge(self.cost.all_reduce(arrays[0].nbytes))
+        return [total.copy() for _ in self.ranks]
+
+    def reduce_scatter_mean(self, arrays: list[np.ndarray]) -> list[np.ndarray]:
+        """Each rank receives the mean of its 1/R slice (flat layout)."""
+        self._check(arrays)
+        flat = [a.reshape(-1) for a in arrays]
+        mean = np.mean(flat, axis=0)
+        shards = np.array_split(mean, self.num_ranks)
+        self._charge(self.cost.reduce_scatter(arrays[0].nbytes))
+        return [shard.copy() for shard in shards]
+
+    def all_gather(self, shards: list[np.ndarray]) -> list[np.ndarray]:
+        """Concatenate per-rank shards; every rank receives the whole."""
+        if len(shards) != self.num_ranks:
+            raise ValueError("one shard per rank required")
+        full = np.concatenate([s.reshape(-1) for s in shards])
+        self._charge(self.cost.all_gather(full.nbytes))
+        return [full.copy() for _ in self.ranks]
+
+    def broadcast(self, array: np.ndarray) -> list[np.ndarray]:
+        self._charge(self.cost.broadcast(array.nbytes))
+        return [array.copy() for _ in self.ranks]
+
+    def _check(self, arrays: list[np.ndarray]) -> None:
+        if len(arrays) != self.num_ranks:
+            raise ValueError(f"expected {self.num_ranks} arrays, got {len(arrays)}")
+        shapes = {a.shape for a in arrays}
+        if len(shapes) != 1:
+            raise ValueError(f"mismatched shapes across ranks: {shapes}")
+
+    # ------------------------------------------------------------------
+    # readout
+    # ------------------------------------------------------------------
+    def max_clock(self) -> float:
+        return max(rank.clock for rank in self.ranks)
+
+    def peak_memory_per_rank(self) -> list[int]:
+        return [rank.tracker.peak_total for rank in self.ranks]
+
+    def trackers(self) -> list[MemoryTracker]:
+        return [rank.tracker for rank in self.ranks]

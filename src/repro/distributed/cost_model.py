@@ -1,0 +1,58 @@
+"""Analytic communication-time model for simulated collectives.
+
+The simulator moves real bytes between in-process rank replicas, but the
+*clock* must be modeled (one CPU cannot time NVLink).  We use the
+standard ring-collective cost model — the same one DeepSpeed and NCCL
+tuning guides use for projections:
+
+    all-reduce(n bytes, R ranks)     = 2 (R-1)/R * n / BW + 2 (R-1) L
+    reduce-scatter / all-gather      = 1 (R-1)/R * n / BW + (R-1) L
+    broadcast                        = n / BW + L   (pipelined chain)
+
+with (BW, L) chosen from the machine spec according to whether the ring
+fits inside one NVLink-connected node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hpc.perlmutter import PERLMUTTER, MachineSpec, link_parameters
+
+
+@dataclass(frozen=True)
+class CommCostModel:
+    """Collective-time estimates for a ring of ``num_ranks`` GPUs."""
+
+    num_ranks: int
+    spec: MachineSpec = PERLMUTTER
+
+    def _link(self) -> tuple[float, float]:
+        return link_parameters(self.num_ranks, self.spec)
+
+    def all_reduce(self, nbytes: float) -> float:
+        if self.num_ranks <= 1:
+            return 0.0
+        bandwidth, latency = self._link()
+        ratio = (self.num_ranks - 1) / self.num_ranks
+        return 2.0 * ratio * nbytes / bandwidth + 2.0 * (self.num_ranks - 1) * latency
+
+    def reduce_scatter(self, nbytes: float) -> float:
+        if self.num_ranks <= 1:
+            return 0.0
+        bandwidth, latency = self._link()
+        ratio = (self.num_ranks - 1) / self.num_ranks
+        return ratio * nbytes / bandwidth + (self.num_ranks - 1) * latency
+
+    def all_gather(self, nbytes: float) -> float:
+        return self.reduce_scatter(nbytes)
+
+    def broadcast(self, nbytes: float) -> float:
+        if self.num_ranks <= 1:
+            return 0.0
+        bandwidth, latency = self._link()
+        return nbytes / bandwidth + latency
+
+    def point_to_point(self, nbytes: float) -> float:
+        bandwidth, latency = self._link()
+        return nbytes / bandwidth + latency

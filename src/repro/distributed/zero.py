@@ -1,0 +1,144 @@
+"""ZeRO stage-1: optimizer-state sharding (Rajbhandari et al., SC'20).
+
+This is the DeepSpeed technique the paper integrates into HydraGNN
+(Sec. V-C).  Adam's two moment vectors — 2x the model weights, the
+second-largest slice of Fig. 6(a) — are partitioned across ranks instead
+of replicated.  Each rank:
+
+1. receives the all-reduced (averaged) gradients, as in DDP;
+2. runs the Adam update *only for the parameters it owns*, using its
+   shard of the moments;
+3. participates in an all-gather that redistributes the updated weights
+   to every replica.
+
+Per-rank optimizer-state memory therefore shrinks by ~R; the price is the
+extra all-gather, which the paper measures as a 133 % step-time setting
+(vs. 110 % for checkpointing alone).  Update semantics are *identical* to
+vanilla Adam — the test suite asserts bitwise equality.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.distributed.comm import SimCluster
+from repro.nn.module import Parameter
+from repro.tensor.allocator import OPTIMIZER_STATES, OTHER, track_array
+
+
+class ZeroAdam:
+    """Sharded Adam over aligned per-rank parameter replicas."""
+
+    def __init__(
+        self,
+        cluster: SimCluster,
+        params_by_rank: list[list[Parameter]],
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        partition_copy: bool = True,
+    ) -> None:
+        if len(params_by_rank) != cluster.num_ranks:
+            raise ValueError("need one parameter list per rank")
+        lengths = {len(p) for p in params_by_rank}
+        if len(lengths) != 1:
+            raise ValueError("parameter lists must be index-aligned across ranks")
+        self.cluster = cluster
+        self.params_by_rank = params_by_rank
+        self.lr = float(lr)
+        self.beta1, self.beta2 = betas
+        self.eps = float(eps)
+        self.step_count = 0
+        self.owner = self._partition()
+        self._m: list[dict[int, np.ndarray]] = [{} for _ in cluster.ranks]
+        self._v: list[dict[int, np.ndarray]] = [{} for _ in cluster.ranks]
+        if partition_copy:
+            # DeepSpeed ZeRO keeps a persistent fp32 working copy of each
+            # rank's parameter partition (on top of the DDP-style flat
+            # gradient bucket the engine already owns).  It is real memory
+            # on real deployments — part of the paper's "others" slice in
+            # Fig. 6(b) — so the simulation allocates it per rank.
+            owned = [0] * cluster.num_ranks
+            for index, rank in enumerate(self.owner):
+                owned[rank] += params_by_rank[0][index].data.size
+            self._partition_copies: list[np.ndarray] = []
+            for rank, context in enumerate(cluster.ranks):
+                with context.activate():
+                    buffer = np.zeros(owned[rank], dtype=np.float32)
+                    track_array(buffer, OTHER)
+                self._partition_copies.append(buffer)
+
+    def _partition(self) -> list[int]:
+        """Greedy balanced assignment of parameters to owner ranks."""
+        sizes = [param.data.size for param in self.params_by_rank[0]]
+        load = [0] * self.cluster.num_ranks
+        owner = [0] * len(sizes)
+        # Assign largest first for balance.
+        for index in sorted(range(len(sizes)), key=lambda i: -sizes[i]):
+            rank = int(np.argmin(load))
+            owner[index] = rank
+            load[rank] += sizes[index]
+        return owner
+
+    def _ensure_state(self, rank: int, index: int, shape, dtype) -> None:
+        if index in self._m[rank]:
+            return
+        with self.cluster.ranks[rank].activate():
+            m = np.zeros(shape, dtype=dtype)
+            v = np.zeros(shape, dtype=dtype)
+            track_array(m, OPTIMIZER_STATES)
+            track_array(v, OPTIMIZER_STATES)
+        self._m[rank][index] = m
+        self._v[rank][index] = v
+
+    def step(self) -> None:
+        """Sharded update + weight redistribution.
+
+        Assumes gradients on every replica are already identical (the DDP
+        all-reduce ran).  Owner-rank update math matches
+        :class:`repro.optim.adam.Adam` exactly.
+        """
+        self.step_count += 1
+        t = self.step_count
+        bias1 = 1.0 - self.beta1**t
+        bias2 = 1.0 - self.beta2**t
+        updated_bytes = 0
+        for index, rank in enumerate(self.owner):
+            param = self.params_by_rank[rank][index]
+            if param.grad is None:
+                continue
+            self._ensure_state(rank, index, param.data.shape, param.data.dtype)
+            context = self.cluster.ranks[rank]
+            with context.activate():
+                start = time.perf_counter()
+                m = self._m[rank][index]
+                v = self._v[rank][index]
+                grad = param.grad
+                m *= self.beta1
+                m += (1.0 - self.beta1) * grad
+                v *= self.beta2
+                v += (1.0 - self.beta2) * (grad * grad)
+                m_hat = m / bias1
+                v_hat = v / bias2
+                param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+                context.advance(time.perf_counter() - start)
+            updated_bytes += param.data.nbytes
+        # Redistribute updated weights to the other replicas (all-gather).
+        for index, owner_rank in enumerate(self.owner):
+            source = self.params_by_rank[owner_rank][index].data
+            for rank, params in enumerate(self.params_by_rank):
+                if rank != owner_rank:
+                    params[index].data[...] = source
+        for context in self.cluster.ranks:
+            context.advance(self.cluster.cost.all_gather(updated_bytes), communication=True)
+
+    def state_nbytes_per_rank(self) -> list[int]:
+        """Optimizer-state bytes currently held by each rank."""
+        totals = []
+        for rank in range(self.cluster.num_ranks):
+            total = sum(m.nbytes for m in self._m[rank].values())
+            total += sum(v.nbytes for v in self._v[rank].values())
+            totals.append(total)
+        return totals

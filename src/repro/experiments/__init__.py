@@ -1,0 +1,5 @@
+"""Experiment runners: one per paper table/figure."""
+
+from repro.experiments.registry import EXPERIMENTS, ExperimentSpec, run_experiment
+
+__all__ = ["EXPERIMENTS", "ExperimentSpec", "run_experiment"]

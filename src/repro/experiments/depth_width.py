@@ -1,0 +1,111 @@
+"""FIG5 — depth vs width at fixed dataset size.
+
+Three tiers of evidence here, matching Sec. IV-C:
+
+1. measured loss grid over (depth, width) at sim scale;
+2. measured over-smoothing diagnostic (MAD slope per added layer) — the
+   mechanism the paper blames for depth hurting;
+3. projected paper-scale heat map: depth 3-6 x width 750-2500 at 0.4 TB
+   via the calibrated surface + over-smoothing penalty.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments import paperdata
+from repro.experiments.report import ascii_heatmap, ascii_table
+from repro.models.factory import PAPER_DEPTH_GRID, PAPER_WIDTH_GRID
+from repro.scaling.depth_width import (
+    DepthWidthResult,
+    DepthWidthSpec,
+    paper_grid,
+    run_measured_grid,
+)
+from repro.scaling.surrogate import GNNLossSurface
+
+
+@dataclass
+class Fig5Result:
+    measured: DepthWidthResult
+    projected: dict[tuple[int, int], float]
+
+    def to_text(self) -> str:
+        parts = []
+        spec = self.measured.spec
+        matrix = self.measured.loss_matrix()
+        parts.append(
+            ascii_heatmap(
+                matrix,
+                [f"depth {d}" for d in spec.depths],
+                [f"w{w}" for w in spec.widths],
+                title="Fig. 5 measured tier: test loss over (depth, width)",
+            )
+        )
+        mad_rows = [
+            [str(c.depth), str(c.width), f"{c.mad_slope:+.4f}"] for c in self.measured.cells
+        ]
+        parts.append(
+            ascii_table(
+                ["depth", "width", "MAD slope/layer"],
+                mad_rows,
+                title="Over-smoothing diagnostic (negative slope = feature collapse)",
+            )
+        )
+        proj = np.array(
+            [
+                [self.projected[(d, w)] for w in PAPER_WIDTH_GRID]
+                for d in PAPER_DEPTH_GRID
+            ]
+        )
+        parts.append(
+            ascii_heatmap(
+                proj,
+                [f"depth {d}" for d in PAPER_DEPTH_GRID],
+                [f"w{w}" for w in PAPER_WIDTH_GRID],
+                title="Fig. 5 projected at paper scale (0.4 TB)",
+            )
+        )
+        best = paperdata.FIG5_PAPER["best"]
+        worst = paperdata.FIG5_PAPER["worst"]
+        parts.append(
+            f"paper: best {best['loss']:.3f} at depth {best['depth']}/width {best['width']}, "
+            f"worst {worst['loss']:.3f} at depth {worst['depth']}/width {worst['width']}"
+        )
+        return "\n\n".join(parts)
+
+    # ------------------------------------------------------------------
+    # headline claims
+    # ------------------------------------------------------------------
+    def claim_width_helps(self) -> bool:
+        """Projected: at every depth, wider is never worse."""
+        for depth in PAPER_DEPTH_GRID:
+            losses = [self.projected[(depth, w)] for w in PAPER_WIDTH_GRID]
+            if not all(b <= a + 1e-12 for a, b in zip(losses, losses[1:])):
+                return False
+        return True
+
+    def claim_depth_hurts(self) -> bool:
+        """Projected: at every width, deeper than 3 is worse."""
+        for width in PAPER_WIDTH_GRID:
+            losses = [self.projected[(d, width)] for d in PAPER_DEPTH_GRID]
+            if not all(b >= a - 1e-12 for a, b in zip(losses, losses[1:])):
+                return False
+        return True
+
+    def claim_oversmoothing_measured(self) -> bool:
+        """Measured: average MAD slope is negative (features collapse)."""
+        slopes = [c.mad_slope for c in self.measured.cells if np.isfinite(c.mad_slope)]
+        return bool(slopes) and float(np.mean(slopes)) < 0.0
+
+
+def run_fig5(
+    surface: GNNLossSurface,
+    spec: DepthWidthSpec | None = None,
+    measured: DepthWidthResult | None = None,
+) -> Fig5Result:
+    measured = measured or run_measured_grid(spec)
+    projected = paper_grid(surface, dataset_tb=paperdata.FIG5_PAPER["dataset_tb"])
+    return Fig5Result(measured=measured, projected=projected)

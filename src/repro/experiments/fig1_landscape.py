@@ -1,0 +1,53 @@
+"""FIG1 — the model-size / dataset-size landscape.
+
+Fig. 1 situates the paper's foundation model (2 B params, 1.2 TB) against
+prior large-scale GNN efforts on OGB datasets.  The prior points are
+digitized constants; "ours" is computed from this repository's own
+foundation-model config and corpus definition, so the bench fails if the
+repo stops being able to express a 2 B-parameter model on a 1.2 TB-scale
+corpus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.aggregate import PAPER_TOTAL_TB
+from repro.experiments import paperdata
+from repro.experiments.report import ascii_line_chart, ascii_table, format_count
+from repro.models.factory import count_parameters
+from repro.models.registry import get_preset
+
+
+@dataclass
+class Fig1Result:
+    points: list[tuple[str, float, float]]  # (label, params, dataset GB)
+
+    def to_text(self) -> str:
+        headers = ["System", "#Params", "Dataset (GB)"]
+        rows = [
+            [label, format_count(params), f"{gigabytes:,.1f}"]
+            for label, params, gigabytes in self.points
+        ]
+        table = ascii_table(headers, rows, title="Fig. 1: scale landscape")
+        chart = ascii_line_chart(
+            {label: [(params, gigabytes)] for label, params, gigabytes in self.points},
+            log_x=True,
+            height=12,
+            title="Fig. 1 (log params vs dataset GB)",
+            x_label="parameters",
+            y_label="dataset GB",
+        )
+        return table + "\n\n" + chart
+
+    def ours(self) -> tuple[str, float, float]:
+        return next(p for p in self.points if p[0] == "ours")
+
+
+def run_fig1() -> Fig1Result:
+    points = [p for p in paperdata.FIG1_PAPER if p[0] != "ours"]
+    foundation = get_preset("foundation")
+    ours_params = float(count_parameters(foundation))
+    ours_gb = PAPER_TOTAL_TB * 1024.0  # 1.2 TB in GB (binary, as in Fig. 1)
+    points.append(("ours", ours_params, ours_gb))
+    return Fig1Result(points=points)

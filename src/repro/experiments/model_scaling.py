@@ -1,0 +1,58 @@
+"""FIG3 — model scaling: test loss vs parameter count per dataset size."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.report import ascii_line_chart, ascii_table, format_count
+from repro.experiments.scaling_study import ScalingStudy
+from repro.scaling.calibrate import LadderSpec
+
+
+@dataclass
+class Fig3Result:
+    study: ScalingStudy
+
+    def to_text(self) -> str:
+        parts = []
+        measured = self.study.measured_fig3_series()
+        rows = []
+        for tb, series in measured.items():
+            for params, loss in series:
+                rows.append([f"{tb:.3f}", format_count(params), f"{loss:.4f}"])
+        parts.append(
+            ascii_table(
+                ["sim TB", "params", "test loss"],
+                rows,
+                title="Fig. 3 measured tier (real sim-scale training runs)",
+            )
+        )
+        parts.append(f"measured Chinchilla fit: {self.study.ladder.fit}")
+        parts.append(f"paper-scale surface anchor RMS: {self.study.anchor_rms:.4f}")
+
+        projected = self.study.fig3_series()
+        chart = ascii_line_chart(
+            {f"{tb:.1f}TB": series for tb, series in projected.items()},
+            log_x=True,
+            title="Fig. 3 projected at paper scale: loss vs parameters",
+            x_label="parameters",
+            y_label="test loss",
+        )
+        parts.append(chart)
+
+        headers = ["params"] + [f"{tb:.1f}TB" for tb in projected]
+        grid_rows = []
+        num_points = len(next(iter(projected.values())))
+        for index in range(num_points):
+            params = projected[next(iter(projected))][index][0]
+            row = [format_count(params)]
+            for tb in projected:
+                row.append(f"{projected[tb][index][1]:.4f}")
+            grid_rows.append(row)
+        parts.append(ascii_table(headers, grid_rows, title="Fig. 3 projected grid"))
+        return "\n\n".join(parts)
+
+
+def run_fig3(spec: LadderSpec | None = None, study: ScalingStudy | None = None) -> Fig3Result:
+    study = study or ScalingStudy.run(spec)
+    return Fig3Result(study=study)

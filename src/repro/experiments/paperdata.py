@@ -1,0 +1,109 @@
+"""Digitized values from the paper's tables and figures.
+
+The paper publishes no numeric tables for its figures, so curve values
+are read off the plots (Figs. 3-5) to ~0.002 loss precision.  These
+anchors serve two purposes: (a) the paper-scale surrogate solves its
+linear coefficients against them, and (b) every bench prints them next
+to our measured/projected values so the comparison is explicit.
+
+Provenance of each block is noted inline.  Table I and Table II values
+are exact (printed in the paper).
+"""
+
+from __future__ import annotations
+
+# ----------------------------------------------------------------------
+# Table II (exact, Sec. V): relative peak memory and training time.
+# ----------------------------------------------------------------------
+TABLE2_PAPER = {
+    "vanilla": {"relative_peak_memory": 100.0, "relative_training_time": 100.0},
+    "+activation_checkpointing": {"relative_peak_memory": 42.0, "relative_training_time": 110.0},
+    "+zero_optimizer": {"relative_peak_memory": 27.0, "relative_training_time": 133.0},
+}
+
+# ----------------------------------------------------------------------
+# Fig. 6 (exact percentages printed on the pies).
+# (a) vanilla PyTorch HydraGNN; (b) + activation checkpointing + ZeRO.
+# ----------------------------------------------------------------------
+FIG6_PAPER = {
+    "vanilla": {
+        "activations": 76.90,
+        "optimizer_states": 11.55,
+        "weights": 5.78,
+        "others": 5.78,
+    },
+    "ckpt_zero": {
+        "others": 46.77,
+        "weights": 23.66,
+        "optimizer_states": 23.66,
+        "activations": 5.90,
+    },
+}
+
+# ----------------------------------------------------------------------
+# Figs. 3-4 anchors (digitized from the plots; eyeballed to ~0.002).
+# Entries: (num_parameters, dataset_TB, test_loss).
+# ----------------------------------------------------------------------
+FIG34_ANCHORS = [
+    (1e5, 0.1, 0.183),
+    (1e7, 0.1, 0.165),
+    (2e9, 0.1, 0.146),
+    (1e5, 0.2, 0.176),
+    (2e9, 0.2, 0.128),
+    (1e5, 0.4, 0.173),
+    (2e9, 0.4, 0.120),
+    (1e5, 0.6, 0.171),
+    (2e9, 0.6, 0.113),
+    (1e5, 0.8, 0.170),
+    (2e9, 0.8, 0.108),
+    (1e5, 1.0, 0.169),
+    (2e9, 1.0, 0.105),
+    (1e5, 1.2, 0.168),
+    (1e7, 1.2, 0.138),
+    (2e9, 1.2, 0.103),
+]
+
+# ----------------------------------------------------------------------
+# Fig. 5 (digitized): loss range of the depth/width map at 0.4 TB.
+# Best cell: depth 3, width 2500 (~0.110); worst: depth 6, width 750
+# (~0.130).  The per-extra-layer penalty below reproduces that spread.
+# ----------------------------------------------------------------------
+FIG5_PAPER = {
+    "dataset_tb": 0.4,
+    "best": {"depth": 3, "width": 2500, "loss": 0.110},
+    "worst": {"depth": 6, "width": 750, "loss": 0.130},
+    "loss_range": (0.110, 0.130),
+}
+
+#: Loss added per layer beyond 3, anchored to Fig. 5's spread: the
+#: depth-6/width-750 cell sits ~0.012 above what pure parameter count
+#: would predict; 0.012 / 3 extra layers = 0.004 per layer.
+FIG5_OVERSMOOTHING_PER_LAYER = 0.004
+
+# ----------------------------------------------------------------------
+# Fig. 1 landscape (digitized, order of magnitude): prior large-scale
+# GNN efforts on OGB datasets, as (label, num_parameters, dataset_GB).
+# "ours" is the paper's foundation model: 2 B params on 1.2 TB.
+# ----------------------------------------------------------------------
+FIG1_PAPER = [
+    ("GNNs on ogbg-molhiv", 3.3e6, 0.05),
+    ("GNNs on ogbn-proteins", 6.0e6, 0.25),
+    ("GNNs on ogbg-ppa", 3.4e6, 1.3),
+    ("GNNs on ogbg-molpcba", 5.6e6, 1.4),
+    ("GNNs on PCQM4Mv2", 6.7e7, 3.7),
+    ("ours", 2.0e9, 1228.8),
+]
+
+#: The paper's dataset-size grid (TB) and model-size grid (parameters),
+#: re-exported here so experiment runners need only one import.
+PAPER_DATASET_GRID_TB = (0.1, 0.2, 0.4, 0.6, 0.8, 1.0, 1.2)
+PAPER_MODEL_GRID = (1e5, 1e6, 1e7, 2e7, 5e7, 1e8, 2e8, 5e8, 1e9, 2e9)
+
+#: Fig. 3/4 summary losses for quick shape checks: loss at the four
+#: corners of the (N, D) rectangle.
+PAPER_CORNERS = {
+    ("min_n", "min_d"): 0.183,
+    ("min_n", "max_d"): 0.168,
+    ("max_n", "min_d"): 0.146,
+    ("max_n", "max_d"): 0.103,
+}

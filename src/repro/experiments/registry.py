@@ -1,0 +1,140 @@
+"""Experiment registry: one entry per paper table/figure (+ ablations)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A reproducible paper artifact."""
+
+    id: str
+    paper_artifact: str
+    description: str
+    bench_target: str
+    runner: Callable
+
+
+def _run_fig3(**kwargs):
+    from repro.experiments.model_scaling import run_fig3
+
+    return run_fig3(**kwargs)
+
+
+def _run_fig4(**kwargs):
+    from repro.experiments.data_scaling import run_fig4
+
+    return run_fig4(**kwargs)
+
+
+def _run_fig5(**kwargs):
+    from repro.experiments.depth_width import run_fig5
+    from repro.experiments.scaling_study import ScalingStudy
+
+    if "surface" not in kwargs:
+        from repro.experiments.paperdata import (
+            FIG5_OVERSMOOTHING_PER_LAYER,
+            FIG34_ANCHORS,
+        )
+        from repro.scaling.surrogate import solve_surface_from_anchors
+
+        kwargs["surface"] = solve_surface_from_anchors(
+            FIG34_ANCHORS,
+            alpha=0.35,
+            beta=0.17,
+            oversmoothing_per_layer=FIG5_OVERSMOOTHING_PER_LAYER,
+        )
+    return run_fig5(**kwargs)
+
+
+def _run_fig6(**kwargs):
+    from repro.experiments.memory_breakdown import run_fig6
+
+    return run_fig6(**kwargs)
+
+
+def _run_table1(**kwargs):
+    from repro.experiments.table1_sources import run_table1
+
+    return run_table1(**kwargs)
+
+
+def _run_table2(**kwargs):
+    from repro.experiments.techniques import run_table2
+
+    return run_table2(**kwargs)
+
+
+def _run_fig1(**kwargs):
+    from repro.experiments.fig1_landscape import run_fig1
+
+    return run_fig1(**kwargs)
+
+
+EXPERIMENTS: dict[str, ExperimentSpec] = {
+    spec.id: spec
+    for spec in [
+        ExperimentSpec(
+            "table1",
+            "Table I",
+            "Per-source corpus statistics (nodes, edges, graphs, GB)",
+            "benchmarks/bench_table1_sources.py",
+            _run_table1,
+        ),
+        ExperimentSpec(
+            "fig1",
+            "Fig. 1",
+            "Model-size / dataset-size landscape incl. the foundation model",
+            "benchmarks/bench_fig1_landscape.py",
+            _run_fig1,
+        ),
+        ExperimentSpec(
+            "fig3",
+            "Fig. 3",
+            "Test loss vs model size per dataset size (measured + projected)",
+            "benchmarks/bench_fig3_model_scaling.py",
+            _run_fig3,
+        ),
+        ExperimentSpec(
+            "fig4",
+            "Fig. 4",
+            "Test loss vs dataset size per model size (measured + projected)",
+            "benchmarks/bench_fig4_data_scaling.py",
+            _run_fig4,
+        ),
+        ExperimentSpec(
+            "fig5",
+            "Fig. 5",
+            "Depth vs width heat map at 0.4 TB + over-smoothing diagnostic",
+            "benchmarks/bench_fig5_depth_width.py",
+            _run_fig5,
+        ),
+        ExperimentSpec(
+            "fig6",
+            "Fig. 6",
+            "Peak-memory breakdown: vanilla vs checkpointing + ZeRO",
+            "benchmarks/bench_fig6_memory_breakdown.py",
+            _run_fig6,
+        ),
+        ExperimentSpec(
+            "table2",
+            "Table II",
+            "Relative peak memory / step time of the training techniques",
+            "benchmarks/bench_table2_techniques.py",
+            _run_table2,
+        ),
+    ]
+}
+
+
+def run_experiment(experiment_id: str, **kwargs):
+    """Run a registered experiment by id (``fig3``, ``table2``, ...)."""
+    try:
+        spec = EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known: {sorted(EXPERIMENTS)}"
+        ) from None
+    return spec.runner(**kwargs)

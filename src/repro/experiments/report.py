@@ -1,0 +1,115 @@
+"""Plain-text rendering of experiment results (tables and line charts).
+
+Every bench prints through these helpers so the regenerated "figures"
+are diffable text: an aligned table for each paper table, an ASCII line
+chart for each paper figure.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+
+def format_count(value: float) -> str:
+    """Human-scale integer formatting: 1.2K / 3.4M / 5.6B."""
+    value = float(value)
+    for threshold, suffix in ((1e9, "B"), (1e6, "M"), (1e3, "K")):
+        if abs(value) >= threshold:
+            return f"{value / threshold:.2f}{suffix}"
+    return f"{value:.0f}"
+
+
+def ascii_table(headers: list[str], rows: list[list[str]], title: str | None = None) -> str:
+    """Render an aligned monospace table."""
+    columns = len(headers)
+    widths = [len(h) for h in headers]
+    for row in rows:
+        if len(row) != columns:
+            raise ValueError("row width does not match headers")
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(str(cell)))
+    parts = []
+    if title:
+        parts.append(title)
+    header_line = " | ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    parts.append(header_line)
+    parts.append("-+-".join("-" * w for w in widths))
+    for row in rows:
+        parts.append(" | ".join(str(cell).ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(parts)
+
+
+def ascii_line_chart(
+    series: dict[str, list[tuple[float, float]]],
+    width: int = 72,
+    height: int = 18,
+    log_x: bool = False,
+    title: str | None = None,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render multiple (x, y) series as an ASCII chart.
+
+    Each series gets one glyph; overlapping points show the later glyph.
+    Good enough to eyeball the monotonicity/crossover shape of a figure.
+    """
+    glyphs = "ox+*#@%&$"
+    points = [(x, y) for values in series.values() for x, y in values]
+    if not points:
+        raise ValueError("no data to plot")
+    xs = np.array([p[0] for p in points], dtype=np.float64)
+    ys = np.array([p[1] for p in points], dtype=np.float64)
+    if log_x:
+        if (xs <= 0).any():
+            raise ValueError("log_x requires positive x values")
+        xs_t = np.log10(xs)
+    else:
+        xs_t = xs
+    x_min, x_max = float(xs_t.min()), float(xs_t.max())
+    y_min, y_max = float(ys.min()), float(ys.max())
+    x_span = x_max - x_min or 1.0
+    y_span = y_max - y_min or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for glyph, (label, values) in zip(glyphs, series.items()):
+        for x, y in values:
+            xt = math.log10(x) if log_x else x
+            col = int(round((xt - x_min) / x_span * (width - 1)))
+            row = int(round((y_max - y) / y_span * (height - 1)))
+            grid[row][col] = glyph
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = f"{y_max:.4g}"
+    bottom_label = f"{y_min:.4g}"
+    margin = max(len(top_label), len(bottom_label)) + 1
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            prefix = top_label.rjust(margin)
+        elif row_index == height - 1:
+            prefix = bottom_label.rjust(margin)
+        else:
+            prefix = " " * margin
+        lines.append(prefix + "|" + "".join(row))
+    lines.append(" " * margin + "+" + "-" * width)
+    x_left = f"{x_min:.4g}" if not log_x else f"1e{x_min:.1f}"
+    x_right = f"{x_max:.4g}" if not log_x else f"1e{x_max:.1f}"
+    lines.append(" " * margin + x_left + (" " * max(width - len(x_left) - len(x_right), 1)) + x_right)
+    legend = "   ".join(f"{glyph}={label}" for glyph, label in zip(glyphs, series))
+    lines.append(f"{x_label} ->   {legend}   (y: {y_label})")
+    return "\n".join(lines)
+
+
+def ascii_heatmap(
+    matrix: np.ndarray,
+    row_labels: list[str],
+    col_labels: list[str],
+    title: str | None = None,
+    fmt: str = "{:.4f}",
+) -> str:
+    """Render a small matrix with values (Fig. 5-style grid)."""
+    rows = [[label] + [fmt.format(v) for v in row] for label, row in zip(row_labels, matrix)]
+    return ascii_table([""] + list(col_labels), rows, title=title)

@@ -1,0 +1,113 @@
+"""The shared two-tier scaling study behind Figs. 3 and 4.
+
+One :class:`ScalingStudy` run produces everything both figures need:
+
+1. **measured tier** — the sim-scale training ladder
+   (:func:`repro.scaling.calibrate.run_ladder`) and its Chinchilla fit;
+2. **projected tier** — the paper-scale surface: measured exponents +
+   coefficients solved against the digitized Fig. 3/4 anchors.
+
+Fig. 3 reads the surface along N at each paper dataset size; Fig. 4
+reads it along D at each paper model size.  Both benches also print the
+measured tier so the real training data behind the projection is
+visible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments import paperdata
+from repro.scaling.calibrate import LadderResult, LadderSpec, measured_exponents, run_ladder
+from repro.scaling.surrogate import GNNLossSurface, anchor_fit_error, solve_surface_from_anchors
+
+
+@dataclass
+class ScalingStudy:
+    """Measured ladder + calibrated paper-scale surface."""
+
+    ladder: LadderResult
+    surface: GNNLossSurface
+    anchor_rms: float
+
+    @classmethod
+    def run(cls, spec: LadderSpec | None = None, verbose: bool = False) -> "ScalingStudy":
+        ladder = run_ladder(spec, verbose=verbose)
+        alpha, beta = measured_exponents(ladder)
+        surface = solve_surface_from_anchors(
+            paperdata.FIG34_ANCHORS,
+            alpha=alpha,
+            beta=beta,
+            mismatch_tau=0.1,
+            oversmoothing_per_layer=paperdata.FIG5_OVERSMOOTHING_PER_LAYER,
+        )
+        return cls(
+            ladder=ladder,
+            surface=surface,
+            anchor_rms=anchor_fit_error(surface, paperdata.FIG34_ANCHORS),
+        )
+
+    # ------------------------------------------------------------------
+    # figure series
+    # ------------------------------------------------------------------
+    def fig3_series(self) -> dict[float, list[tuple[float, float]]]:
+        """Paper-scale Fig. 3: {dataset_TB: [(params, loss), ...]}."""
+        return {
+            d: [(float(n), float(self.surface.loss(n, d))) for n in paperdata.PAPER_MODEL_GRID]
+            for d in paperdata.PAPER_DATASET_GRID_TB
+        }
+
+    def fig4_series(self) -> dict[float, list[tuple[float, float]]]:
+        """Paper-scale Fig. 4: {params: [(dataset_TB, loss), ...]}."""
+        return {
+            n: [
+                (float(d), float(self.surface.loss(n, d)))
+                for d in paperdata.PAPER_DATASET_GRID_TB
+            ]
+            for n in paperdata.PAPER_MODEL_GRID
+        }
+
+    def measured_fig3_series(self) -> dict[float, list[tuple[float, float]]]:
+        """Measured tier grouped like Fig. 3: {TB: [(params, loss)]}."""
+        return {
+            round(points[0].dataset_tb, 3): [(p.params, p.test_loss) for p in points]
+            for points in self.ladder.by_fraction().values()
+        }
+
+    def measured_fig4_series(self) -> dict[int, list[tuple[float, float]]]:
+        """Measured tier grouped like Fig. 4: {width: [(TB, loss)]}."""
+        return {
+            width: [(p.dataset_tb, p.test_loss) for p in points]
+            for width, points in self.ladder.by_width().items()
+        }
+
+    # ------------------------------------------------------------------
+    # headline claims (asserted by tests, printed by benches)
+    # ------------------------------------------------------------------
+    def claim_model_scaling_helps(self) -> bool:
+        """Fig. 3 claim: loss decreases with N at every dataset size."""
+        for series in self.fig3_series().values():
+            losses = [loss for _, loss in series]
+            if not all(b <= a + 1e-12 for a, b in zip(losses, losses[1:])):
+                return False
+        return True
+
+    def claim_diminishing_returns(self) -> bool:
+        """Fig. 3 claim: the loss drop per decade of N shrinks."""
+        series = self.fig3_series()[1.2]
+        drops = [a - b for (_, a), (_, b) in zip(series, series[1:])]
+        return drops[-1] < drops[0]
+
+    def claim_data_scaling_helps(self) -> bool:
+        """Fig. 4 claim: loss decreases with D at every model size."""
+        for series in self.fig4_series().values():
+            losses = [loss for _, loss in series]
+            if not all(b <= a + 1e-12 for a, b in zip(losses, losses[1:])):
+                return False
+        return True
+
+    def claim_mismatch_bump(self) -> bool:
+        """Fig. 4 claim: the 0.1->0.2 TB drop exceeds the 0.2->0.4 drop."""
+        series = self.fig4_series()[2e9]
+        losses = dict(series)
+        return (losses[0.1] - losses[0.2]) > (losses[0.2] - losses[0.4])

@@ -1,0 +1,192 @@
+"""TAB2 — memory/runtime cost of the two training techniques.
+
+Reproduces Table II's three rows — vanilla, + activation checkpointing,
++ ZeRO optimizer — in two tiers:
+
+- **measured tier**: all three settings run for real on a 4-rank
+  simulated cluster with the same global batch; peak memory is byte-
+  measured per rank; step time is this substrate's measured compute plus
+  modeled collective time.
+- **modeled tier**: the A100 step-time model evaluated at the paper's
+  scale (billion-parameter config, 32 nodes x 4 GPUs), where the ratio
+  between recompute, update, and communication phases is meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.aggregate import generate_corpus
+from repro.data.normalize import Normalizer
+from repro.distributed.comm import SimCluster
+from repro.distributed.data_parallel import DataParallelEngine
+from repro.distributed.step_time import StepTimeModel
+from repro.experiments import paperdata
+from repro.experiments.report import ascii_table
+from repro.hpc.perlmutter import PAPER_NUM_NODES, PERLMUTTER
+from repro.models.config import ModelConfig
+from repro.models.factory import solve_width
+
+
+@dataclass
+class Table2Setting:
+    name: str
+    peak_bytes: int
+    step_seconds: float
+
+
+@dataclass
+class Table2Result:
+    settings: list[Table2Setting]
+    modeled_times: dict[str, float]
+    config: ModelConfig
+    ranks: int
+
+    def relative_memory(self) -> dict[str, float]:
+        base = self.settings[0].peak_bytes
+        return {s.name: 100.0 * s.peak_bytes / base for s in self.settings}
+
+    def relative_time(self) -> dict[str, float]:
+        base = self.settings[0].step_seconds
+        return {s.name: 100.0 * s.step_seconds / base for s in self.settings}
+
+    def to_text(self) -> str:
+        memory = self.relative_memory()
+        times = self.relative_time()
+        rows = []
+        for setting in self.settings:
+            paper = paperdata.TABLE2_PAPER[setting.name]
+            rows.append(
+                [
+                    setting.name,
+                    f"{paper['relative_peak_memory']:.0f}%",
+                    f"{memory[setting.name]:.0f}%",
+                    f"{paper['relative_training_time']:.0f}%",
+                    f"{times[setting.name]:.0f}%",
+                    f"{self.modeled_times[setting.name]:.0f}%",
+                ]
+            )
+        table = ascii_table(
+            [
+                "Setting",
+                "paper mem",
+                "ours mem (measured)",
+                "paper time",
+                "ours time (substrate)",
+                "ours time (A100 model)",
+            ],
+            rows,
+            title="Table II: peak memory and step time of training techniques",
+        )
+        note = (
+            f"measured on {self.ranks} simulated ranks, width "
+            f"{self.config.hidden_dim}; A100 model at the paper's scale "
+            f"({PAPER_NUM_NODES * PERLMUTTER.gpus_per_node} GPUs)"
+        )
+        return table + "\n" + note
+
+    # ------------------------------------------------------------------
+    # headline claims
+    # ------------------------------------------------------------------
+    def claim_memory_ordering(self) -> bool:
+        """ckpt cuts peak memory; ZeRO cuts it further."""
+        memory = [s.peak_bytes for s in self.settings]
+        return memory[0] > memory[1] > memory[2]
+
+    def claim_time_ordering(self) -> bool:
+        """Each technique adds runtime overhead (paper-scale A100 model).
+
+        The substrate-measured column is not used here: CPU-measured
+        compute against NVLink-modeled communication mixes clocks with a
+        ~10^3 scale mismatch, which understates communication exactly
+        where ZeRO pays its cost.  The A100 model keeps both phases in
+        the same clock.
+        """
+        modeled = self.modeled_times
+        return (
+            modeled["vanilla"]
+            < modeled["+activation_checkpointing"]
+            < modeled["+zero_optimizer"]
+        )
+
+
+def _run_setting(
+    name: str,
+    config: ModelConfig,
+    normalizer: Normalizer,
+    graphs,
+    ranks: int,
+    optimizer: str,
+    steps: int,
+    seed: int,
+) -> Table2Setting:
+    cluster = SimCluster(ranks)
+    engine = DataParallelEngine(cluster, config, normalizer, optimizer=optimizer, seed=seed)
+    engine.train_step(graphs)  # warm-up allocates optimizer state
+    for rank in cluster.ranks:
+        rank.tracker.reset_peak()
+        rank.clock = 0.0
+        rank.comm_time = 0.0
+    for _ in range(steps):
+        engine.train_step(graphs)
+    peak = max(cluster.peak_memory_per_rank())
+    return Table2Setting(
+        name=name,
+        peak_bytes=peak,
+        step_seconds=cluster.max_clock() / steps,
+    )
+
+
+def run_table2(
+    width: int = 512,
+    depth: int = 3,
+    ranks: int = 4,
+    steps: int = 3,
+    batch_per_rank: int = 4,
+    seed: int = 13,
+) -> Table2Result:
+    """Measure all three Table II settings on one workload.
+
+    The workload balances activation and model-state memory so both
+    techniques have something to save: activations large enough that
+    checkpointing matters, parameters large enough that ZeRO's state
+    sharding is visible per rank.
+    """
+    config = ModelConfig(hidden_dim=width, num_layers=depth)
+    corpus = generate_corpus(160, seed=seed)
+    normalizer = Normalizer.fit(corpus.graphs)
+    molecules = [g for g in corpus.graphs if g.source in ("ani1x", "qm7x")]
+    need = ranks * batch_per_rank
+    graphs = (molecules * (need // len(molecules) + 1))[:need]
+
+    settings = [
+        _run_setting("vanilla", config, normalizer, graphs, ranks, "adam", steps, seed),
+        _run_setting(
+            "+activation_checkpointing",
+            config.with_checkpointing(True),
+            normalizer,
+            graphs,
+            ranks,
+            "adam",
+            steps,
+            seed,
+        ),
+        _run_setting(
+            "+zero_optimizer",
+            config.with_checkpointing(True),
+            normalizer,
+            graphs,
+            ranks,
+            "zero",
+            steps,
+            seed,
+        ),
+    ]
+
+    # Modeled tier at the paper's scale: a billion-parameter config on the
+    # full 128-GPU machine, OC20-like per-rank batch.
+    paper_config = solve_width(1_000_000_000, num_layers=3)
+    model = StepTimeModel(num_ranks=PAPER_NUM_NODES * PERLMUTTER.gpus_per_node)
+    modeled = model.relative_times(paper_config, num_nodes=292, num_edges=6400)
+
+    return Table2Result(settings=settings, modeled_times=modeled, config=config, ranks=ranks)

@@ -1,0 +1,23 @@
+"""Atomistic graph data structures and neighbor search."""
+
+from repro.graph.atoms import AtomGraph
+from repro.graph.batch import GraphBatch, batch_iterator, collate
+from repro.graph.features import SpeciesVocabulary, cosine_cutoff, gaussian_rbf
+from repro.graph.radius import build_edges, periodic_radius_graph, radius_graph
+from repro.graph.stats import CorpusStats, corpus_stats, degree_histogram
+
+__all__ = [
+    "AtomGraph",
+    "CorpusStats",
+    "GraphBatch",
+    "SpeciesVocabulary",
+    "batch_iterator",
+    "build_edges",
+    "collate",
+    "corpus_stats",
+    "cosine_cutoff",
+    "degree_histogram",
+    "gaussian_rbf",
+    "periodic_radius_graph",
+    "radius_graph",
+]

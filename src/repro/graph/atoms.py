@@ -1,0 +1,104 @@
+"""Atomistic structures as graphs.
+
+Atoms are nodes, interatomic neighbor relations (within a radial cutoff)
+are directed edges — the representation every source in the paper's
+Table I uses.  Periodic systems (the OC20/OC22/MPTrj analogues) carry a
+unit cell and per-edge integer image shifts so that edge vectors are
+well-defined across boundaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class AtomGraph:
+    """One atomistic structure with its labels.
+
+    Attributes
+    ----------
+    atomic_numbers:
+        ``(n,)`` int array of element numbers Z.
+    positions:
+        ``(n, 3)`` float array of Cartesian coordinates (angstrom).
+    edge_index:
+        ``(2, e)`` int array of directed edges ``src -> dst``; both
+        directions of each neighbor pair are present.
+    edge_shift:
+        ``(e, 3)`` float array: the Cartesian displacement added to the
+        source position to obtain the correct periodic image, i.e.
+        ``r_ij = positions[dst] - (positions[src] + edge_shift)``.
+        All zeros for molecules.
+    cell:
+        ``(3, 3)`` lattice vectors (rows) or ``None`` for molecules.
+    pbc:
+        Per-axis periodicity flags.
+    energy:
+        Total structure energy (graph-level label).
+    forces:
+        ``(n, 3)`` per-atom forces (node-level labels).
+    source:
+        Name of the generating data source (``ani1x`` etc.).
+    """
+
+    atomic_numbers: np.ndarray
+    positions: np.ndarray
+    edge_index: np.ndarray
+    edge_shift: np.ndarray
+    cell: np.ndarray | None = None
+    pbc: tuple[bool, bool, bool] = (False, False, False)
+    energy: float = 0.0
+    forces: np.ndarray = field(default_factory=lambda: np.zeros((0, 3)))
+    source: str = "unknown"
+
+    def __post_init__(self) -> None:
+        self.atomic_numbers = np.asarray(self.atomic_numbers, dtype=np.int64)
+        self.positions = np.asarray(self.positions, dtype=np.float64)
+        self.edge_index = np.asarray(self.edge_index, dtype=np.int64).reshape(2, -1)
+        self.edge_shift = np.asarray(self.edge_shift, dtype=np.float64).reshape(-1, 3)
+        if self.positions.shape != (self.n_atoms, 3):
+            raise ValueError(f"positions shape {self.positions.shape} != ({self.n_atoms}, 3)")
+        if self.edge_shift.shape[0] != self.n_edges:
+            raise ValueError("edge_shift rows must match edge count")
+        if self.forces.size == 0:
+            self.forces = np.zeros((self.n_atoms, 3))
+        self.forces = np.asarray(self.forces, dtype=np.float64)
+        if self.forces.shape != (self.n_atoms, 3):
+            raise ValueError(f"forces shape {self.forces.shape} != ({self.n_atoms}, 3)")
+        if self.edge_index.size and self.edge_index.max() >= self.n_atoms:
+            raise ValueError("edge index out of range")
+
+    @property
+    def n_atoms(self) -> int:
+        return int(self.atomic_numbers.shape[0])
+
+    @property
+    def n_edges(self) -> int:
+        return int(self.edge_index.shape[1])
+
+    def edge_vectors(self) -> np.ndarray:
+        """Return ``(e, 3)`` displacement vectors ``r_dst - (r_src + shift)``."""
+        src, dst = self.edge_index
+        return self.positions[dst] - (self.positions[src] + self.edge_shift)
+
+    def edge_distances(self) -> np.ndarray:
+        """Return ``(e,)`` interatomic distances along each edge."""
+        vectors = self.edge_vectors()
+        return np.sqrt((vectors * vectors).sum(axis=1))
+
+    def nbytes(self) -> int:
+        """Serialized size of this graph (positions, numbers, edges, labels).
+
+        This is the quantity the "Size" column of Table I measures and the
+        unit of the paper's terabyte axis, so it must be consistent across
+        sources: int64 ids, float64 geometry/labels, float64 shifts.
+        """
+        total = self.atomic_numbers.nbytes + self.positions.nbytes
+        total += self.edge_index.nbytes + self.edge_shift.nbytes
+        total += self.forces.nbytes + 8  # energy scalar
+        if self.cell is not None:
+            total += 72  # 3x3 float64
+        return total

@@ -1,0 +1,108 @@
+"""Batching: many :class:`AtomGraph` objects into one disjoint-union graph.
+
+This is the collation HydraGNN (via PyG) performs: node arrays are
+concatenated, edge indices are offset, and a ``node_graph`` vector maps
+each node back to its graph for graph-level pooling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.atoms import AtomGraph
+from repro.tensor.allocator import OTHER, track_array
+from repro.tensor.core import DEFAULT_DTYPE
+
+
+@dataclass
+class GraphBatch:
+    """A batch of graphs as one big graph (float32, engine-ready)."""
+
+    atomic_numbers: np.ndarray  # (N,) int64
+    positions: np.ndarray  # (N, 3) float32
+    edge_index: np.ndarray  # (2, E) int64
+    edge_shift: np.ndarray  # (E, 3) float32
+    node_graph: np.ndarray  # (N,) int64: graph id per node
+    energies: np.ndarray  # (G, 1) float32
+    forces: np.ndarray  # (N, 3) float32
+    num_graphs: int
+
+    @property
+    def num_nodes(self) -> int:
+        return int(self.atomic_numbers.shape[0])
+
+    @property
+    def num_edges(self) -> int:
+        return int(self.edge_index.shape[1])
+
+    def nbytes(self) -> int:
+        arrays = (
+            self.atomic_numbers,
+            self.positions,
+            self.edge_index,
+            self.edge_shift,
+            self.node_graph,
+            self.energies,
+            self.forces,
+        )
+        return sum(a.nbytes for a in arrays)
+
+
+def collate(graphs: list[AtomGraph]) -> GraphBatch:
+    """Merge graphs into a :class:`GraphBatch`.
+
+    Batch arrays are charged to the ``other`` memory category — they are
+    input data, not activations, matching the paper's Fig. 6 categories.
+    """
+    if not graphs:
+        raise ValueError("cannot collate an empty list of graphs")
+    numbers, positions, shifts, forces = [], [], [], []
+    edges = []
+    node_graph = []
+    energies = []
+    node_offset = 0
+    for graph_id, graph in enumerate(graphs):
+        numbers.append(graph.atomic_numbers)
+        positions.append(graph.positions)
+        shifts.append(graph.edge_shift)
+        forces.append(graph.forces)
+        edges.append(graph.edge_index + node_offset)
+        node_graph.append(np.full(graph.n_atoms, graph_id, dtype=np.int64))
+        energies.append(graph.energy)
+        node_offset += graph.n_atoms
+
+    batch = GraphBatch(
+        atomic_numbers=np.concatenate(numbers),
+        positions=np.concatenate(positions).astype(DEFAULT_DTYPE),
+        edge_index=np.concatenate(edges, axis=1),
+        edge_shift=np.concatenate(shifts).astype(DEFAULT_DTYPE),
+        node_graph=np.concatenate(node_graph),
+        energies=np.asarray(energies, dtype=DEFAULT_DTYPE).reshape(-1, 1),
+        forces=np.concatenate(forces).astype(DEFAULT_DTYPE),
+        num_graphs=len(graphs),
+    )
+    for array in (
+        batch.atomic_numbers,
+        batch.positions,
+        batch.edge_index,
+        batch.edge_shift,
+        batch.node_graph,
+        batch.energies,
+        batch.forces,
+    ):
+        track_array(array, OTHER)
+    return batch
+
+
+def batch_iterator(graphs: list[AtomGraph], batch_size: int, rng: np.random.Generator | None = None):
+    """Yield :class:`GraphBatch` chunks, optionally shuffled."""
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    order = np.arange(len(graphs))
+    if rng is not None:
+        rng.shuffle(order)
+    for start in range(0, len(order), batch_size):
+        chunk = [graphs[i] for i in order[start : start + batch_size]]
+        yield collate(chunk)

@@ -1,0 +1,159 @@
+"""Radial-cutoff neighbor search, with and without periodic boundaries.
+
+Molecular sources (ANI1x, QM7-X analogues) use the open-boundary path;
+slab and bulk sources (OC20/OC22/MPTrj analogues) use the periodic path,
+which enumerates the integer image shifts that can reach within the
+cutoff and queries a KD-tree over the replicated positions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+
+def radius_graph(positions: np.ndarray, cutoff: float) -> tuple[np.ndarray, np.ndarray]:
+    """Directed edges between atoms closer than ``cutoff`` (open boundaries).
+
+    Returns ``(edge_index, edge_shift)`` with all-zero shifts.
+    """
+    positions = np.asarray(positions, dtype=np.float64)
+    n = positions.shape[0]
+    if n == 0:
+        return np.zeros((2, 0), dtype=np.int64), np.zeros((0, 3))
+    tree = cKDTree(positions)
+    pairs = tree.query_pairs(r=cutoff, output_type="ndarray")
+    if pairs.size == 0:
+        return np.zeros((2, 0), dtype=np.int64), np.zeros((0, 3))
+    src = np.concatenate([pairs[:, 0], pairs[:, 1]])
+    dst = np.concatenate([pairs[:, 1], pairs[:, 0]])
+    edge_index = np.stack([src, dst]).astype(np.int64)
+    return edge_index, np.zeros((edge_index.shape[1], 3))
+
+
+def _shift_ranges(cell: np.ndarray, pbc: tuple[bool, bool, bool], cutoff: float) -> list[np.ndarray]:
+    """Integer image ranges per axis that can bring atoms within ``cutoff``.
+
+    Uses the perpendicular distance between opposite cell faces, which is
+    exact for arbitrary (including triclinic) cells.
+    """
+    ranges = []
+    # Face distances: volume / area of the face spanned by the other two vectors.
+    volume = abs(np.linalg.det(cell))
+    for axis in range(3):
+        if not pbc[axis]:
+            ranges.append(np.array([0]))
+            continue
+        others = [cell[(axis + 1) % 3], cell[(axis + 2) % 3]]
+        face_area = np.linalg.norm(np.cross(others[0], others[1]))
+        height = volume / face_area
+        reach = int(np.ceil(cutoff / height))
+        ranges.append(np.arange(-reach, reach + 1))
+    return ranges
+
+
+def periodic_radius_graph(
+    positions: np.ndarray,
+    cell: np.ndarray,
+    pbc: tuple[bool, bool, bool],
+    cutoff: float,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Directed edges under periodic boundary conditions.
+
+    Each atom is connected to every periodic image of every atom (including
+    its own images, but not itself at zero shift) within ``cutoff``.
+    Returns ``(edge_index, edge_shift)`` where ``edge_shift`` is the
+    Cartesian shift applied to the *source* atom.
+    """
+    positions = np.asarray(positions, dtype=np.float64)
+    cell = np.asarray(cell, dtype=np.float64).reshape(3, 3)
+    n = positions.shape[0]
+    if n == 0:
+        return np.zeros((2, 0), dtype=np.int64), np.zeros((0, 3))
+
+    ranges = _shift_ranges(cell, pbc, cutoff)
+    shifts_int = np.array(np.meshgrid(*ranges, indexing="ij")).reshape(3, -1).T
+    shifts_cart = shifts_int @ cell  # (s, 3)
+
+    # Replicate source atoms across the candidate images.
+    num_images = shifts_cart.shape[0]
+    replicated = (positions[None, :, :] + shifts_cart[:, None, :]).reshape(-1, 3)
+    source_atom = np.tile(np.arange(n), num_images)
+    source_shift = np.repeat(np.arange(num_images), n)
+
+    tree = cKDTree(replicated)
+    # For every destination atom, find replicated sources within the cutoff.
+    neighbor_lists = tree.query_ball_point(positions, r=cutoff)
+
+    src_list: list[np.ndarray] = []
+    dst_list: list[np.ndarray] = []
+    shift_list: list[np.ndarray] = []
+    zero_image = int(np.flatnonzero((shifts_int == 0).all(axis=1))[0])
+    for dst_atom, hits in enumerate(neighbor_lists):
+        hits = np.asarray(hits, dtype=np.int64)
+        if hits.size == 0:
+            continue
+        src_atoms = source_atom[hits]
+        images = source_shift[hits]
+        # Drop the self edge at zero shift (an atom is not its own neighbor).
+        keep = ~((src_atoms == dst_atom) & (images == zero_image))
+        src_atoms, images = src_atoms[keep], images[keep]
+        src_list.append(src_atoms)
+        dst_list.append(np.full(src_atoms.shape[0], dst_atom, dtype=np.int64))
+        shift_list.append(shifts_cart[images])
+    if not src_list:
+        return np.zeros((2, 0), dtype=np.int64), np.zeros((0, 3))
+    edge_index = np.stack([np.concatenate(src_list), np.concatenate(dst_list)])
+    return edge_index.astype(np.int64), np.concatenate(shift_list)
+
+
+def trim_max_neighbors(
+    positions: np.ndarray,
+    edge_index: np.ndarray,
+    edge_shift: np.ndarray,
+    max_neighbors: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Keep only the ``max_neighbors`` nearest sources per destination atom.
+
+    This is the standard OCP-style graph construction (radius cutoff plus
+    a per-atom neighbor cap) that keeps dense periodic structures from
+    exploding the edge count.  Trimming is by distance rank, ties broken
+    by original order.
+    """
+    if edge_index.shape[1] == 0:
+        return edge_index, edge_shift
+    src, dst = edge_index
+    vectors = positions[dst] - (positions[src] + edge_shift)
+    distances = np.sqrt((vectors * vectors).sum(axis=1))
+    order = np.lexsort((distances, dst))
+    sorted_dst = dst[order]
+    group_starts = np.flatnonzero(np.diff(sorted_dst, prepend=-1))
+    group_sizes = np.diff(np.append(group_starts, sorted_dst.shape[0]))
+    rank = np.arange(sorted_dst.shape[0]) - np.repeat(group_starts, group_sizes)
+    keep = np.sort(order[rank < max_neighbors])
+    return edge_index[:, keep], edge_shift[keep]
+
+
+def build_edges(
+    positions: np.ndarray,
+    cutoff: float,
+    cell: np.ndarray | None = None,
+    pbc: tuple[bool, bool, bool] = (False, False, False),
+    max_neighbors: int | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Dispatch to the open-boundary or periodic neighbor search.
+
+    ``max_neighbors`` optionally caps in-edges per atom (OCP convention);
+    note the capped graph is no longer direction-symmetric, which is fine
+    for model input but not for pair-potential evaluation.
+    """
+    if cell is None or not any(pbc):
+        edge_index, edge_shift = radius_graph(positions, cutoff)
+    else:
+        edge_index, edge_shift = periodic_radius_graph(positions, cell, pbc, cutoff)
+    if max_neighbors is not None:
+        positions = np.asarray(positions, dtype=np.float64)
+        edge_index, edge_shift = trim_max_neighbors(
+            positions, edge_index, edge_shift, max_neighbors
+        )
+    return edge_index, edge_shift

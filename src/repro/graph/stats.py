@@ -1,0 +1,51 @@
+"""Graph-corpus statistics (the quantities reported in Table I)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.atoms import AtomGraph
+
+
+@dataclass(frozen=True)
+class CorpusStats:
+    """Aggregate statistics of a list of graphs."""
+
+    num_graphs: int
+    num_nodes: int
+    num_edges: int
+    num_bytes: int
+
+    @property
+    def nodes_per_graph(self) -> float:
+        return self.num_nodes / max(self.num_graphs, 1)
+
+    @property
+    def edges_per_graph(self) -> float:
+        return self.num_edges / max(self.num_graphs, 1)
+
+    @property
+    def bytes_per_graph(self) -> float:
+        return self.num_bytes / max(self.num_graphs, 1)
+
+    @property
+    def mean_degree(self) -> float:
+        return self.num_edges / max(self.num_nodes, 1)
+
+
+def corpus_stats(graphs: list[AtomGraph]) -> CorpusStats:
+    """Measure node / edge / byte totals over ``graphs``."""
+    return CorpusStats(
+        num_graphs=len(graphs),
+        num_nodes=sum(g.n_atoms for g in graphs),
+        num_edges=sum(g.n_edges for g in graphs),
+        num_bytes=sum(g.nbytes() for g in graphs),
+    )
+
+
+def degree_histogram(graph: AtomGraph) -> np.ndarray:
+    """In-degree histogram of one graph (over-smoothing diagnostics)."""
+    degrees = np.bincount(graph.edge_index[1], minlength=graph.n_atoms)
+    return np.bincount(degrees)

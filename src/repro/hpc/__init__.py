@@ -1,0 +1,6 @@
+"""Machine specifications and HPC data services."""
+
+from repro.hpc.ddstore import DDStore
+from repro.hpc.perlmutter import PAPER_NUM_NODES, PERLMUTTER, MachineSpec, link_parameters
+
+__all__ = ["DDStore", "MachineSpec", "PAPER_NUM_NODES", "PERLMUTTER", "link_parameters"]

@@ -1,0 +1,63 @@
+"""DDStore analogue: a distributed in-memory sample store.
+
+DDStore (Choi et al., SC-W'23) keeps the training corpus resident in
+aggregate cluster memory and serves samples between processes instead of
+re-reading files.  The simulation partitions a corpus across ranks,
+serves ``get`` requests from the owning rank's memory, and charges the
+modeled NVLink/NIC transfer time for remote hits — enough to study
+locality/traffic trade-offs of distributed data loading.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.graph.atoms import AtomGraph
+
+if TYPE_CHECKING:  # avoid a circular import (cost model -> hpc -> ddstore)
+    from repro.distributed.comm import SimCluster
+
+
+class DDStore:
+    """Partitioned in-memory graph store over a simulated cluster."""
+
+    def __init__(self, cluster: SimCluster, graphs: list[AtomGraph]) -> None:
+        self.cluster = cluster
+        self.graphs = list(graphs)
+        # Contiguous block partition, like DDStore's default layout.
+        bounds = np.linspace(0, len(self.graphs), cluster.num_ranks + 1).astype(int)
+        self._owner = np.zeros(len(self.graphs), dtype=np.int64)
+        for rank in range(cluster.num_ranks):
+            self._owner[bounds[rank] : bounds[rank + 1]] = rank
+        self.local_hits = 0
+        self.remote_hits = 0
+        self.bytes_transferred = 0
+
+    def owner_of(self, index: int) -> int:
+        return int(self._owner[index])
+
+    def get(self, index: int, requesting_rank: int) -> AtomGraph:
+        """Fetch one sample; remote fetches cost modeled transfer time."""
+        graph = self.graphs[index]
+        owner = self.owner_of(index)
+        if owner == requesting_rank:
+            self.local_hits += 1
+            return graph
+        self.remote_hits += 1
+        nbytes = graph.nbytes()
+        self.bytes_transferred += nbytes
+        seconds = self.cluster.cost.point_to_point(nbytes)
+        self.cluster.ranks[requesting_rank].advance(seconds, communication=True)
+        return graph
+
+    def get_batch(self, indices: list[int], requesting_rank: int) -> list[AtomGraph]:
+        return [self.get(i, requesting_rank) for i in indices]
+
+    @property
+    def remote_fraction(self) -> float:
+        total = self.local_hits + self.remote_hits
+        if total == 0:
+            return 0.0
+        return self.remote_hits / total

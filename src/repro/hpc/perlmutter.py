@@ -1,0 +1,55 @@
+"""Published hardware parameters of the paper's testbed (Sec. III-D).
+
+Perlmutter GPU nodes: one AMD EPYC 7763, 256 GB DDR4, four NVIDIA A100
+(40 GB) GPUs linked with NVLink-3.  These constants parameterize the
+communication/compute cost models; they are cited numbers, not tuned
+values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """One accelerated node of the cluster."""
+
+    name: str
+    gpus_per_node: int
+    gpu_memory_bytes: float
+    host_memory_bytes: float
+    nvlink_bandwidth: float  # bytes/s per direction, GPU<->GPU effective
+    nvlink_latency: float  # seconds per hop
+    network_bandwidth: float  # bytes/s inter-node (Slingshot-11 NIC)
+    network_latency: float  # seconds
+    fp32_flops: float  # peak per GPU
+    hbm_bandwidth: float  # bytes/s per GPU
+
+
+PERLMUTTER = MachineSpec(
+    name="perlmutter",
+    gpus_per_node=4,
+    gpu_memory_bytes=40e9,  # A100 40 GB HBM2
+    host_memory_bytes=256e9,
+    nvlink_bandwidth=240e9,  # NVLink-3: 12 links x 25 GB/s, ~80% efficiency
+    nvlink_latency=5e-6,
+    network_bandwidth=25e9,  # Slingshot-11: 200 Gb/s NIC
+    network_latency=2e-6,
+    fp32_flops=19.5e12,  # A100 FP32 peak
+    hbm_bandwidth=1.55e12,  # A100 40GB HBM2
+)
+
+#: The paper trains on 32 nodes (Sec. III-D).
+PAPER_NUM_NODES = 32
+
+
+def link_parameters(num_ranks: int, spec: MachineSpec = PERLMUTTER) -> tuple[float, float]:
+    """Effective (bandwidth, latency) for a ring over ``num_ranks`` GPUs.
+
+    Rings within one node ride NVLink; larger rings are bottlenecked by
+    the inter-node NIC (the slowest link dominates ring throughput).
+    """
+    if num_ranks <= spec.gpus_per_node:
+        return spec.nvlink_bandwidth, spec.nvlink_latency
+    return spec.network_bandwidth, spec.network_latency

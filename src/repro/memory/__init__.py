@@ -1,0 +1,27 @@
+"""Measured and analytic memory models."""
+
+from repro.memory.analytic import (
+    ActivationInventory,
+    MemoryEstimate,
+    activation_bytes,
+    checkpointed_activation_bytes,
+    estimate_peak_memory,
+)
+from repro.memory.profiler import (
+    PAPER_CATEGORIES,
+    StepProfile,
+    profile_training_step,
+    to_paper_breakdown,
+)
+
+__all__ = [
+    "ActivationInventory",
+    "MemoryEstimate",
+    "PAPER_CATEGORIES",
+    "StepProfile",
+    "activation_bytes",
+    "checkpointed_activation_bytes",
+    "estimate_peak_memory",
+    "profile_training_step",
+    "to_paper_breakdown",
+]

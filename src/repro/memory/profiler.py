@@ -1,0 +1,120 @@
+"""Measured peak-memory profiling of training steps (Fig. 6, Sec. V-A).
+
+The profiler runs a real training step (forward, backward, optimizer
+update) under a fresh :class:`MemoryTracker` and reports the byte-exact
+peak breakdown.  The paper's Fig. 6 legend has four slices — activations,
+weights, optimizer states, others — so gradient buffers (which the paper
+does not break out) are folded into "others" when reporting in paper
+format.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.data.normalize import Normalizer
+from repro.graph.atoms import AtomGraph
+from repro.graph.batch import collate
+from repro.models.hydra import HydraModel
+from repro.optim.optimizer import Optimizer
+from repro.tensor.allocator import (
+    ACTIVATIONS,
+    GRADIENTS,
+    OPTIMIZER_STATES,
+    OTHER,
+    WEIGHTS,
+    MemorySnapshot,
+    MemoryTracker,
+    use_tracker,
+)
+
+#: Paper Fig. 6 legend order.
+PAPER_CATEGORIES = ("activations", "weights", "optimizer_states", "others")
+
+
+def to_paper_breakdown(snapshot: MemorySnapshot) -> dict[str, float]:
+    """Fold engine categories into the paper's four-slice legend (percent)."""
+    total = max(snapshot.total, 1)
+    others = snapshot.by_category.get(OTHER, 0) + snapshot.by_category.get(GRADIENTS, 0)
+    return {
+        "activations": 100.0 * snapshot.by_category.get(ACTIVATIONS, 0) / total,
+        "weights": 100.0 * snapshot.by_category.get(WEIGHTS, 0) / total,
+        "optimizer_states": 100.0 * snapshot.by_category.get(OPTIMIZER_STATES, 0) / total,
+        "others": 100.0 * others / total,
+    }
+
+
+@dataclass
+class StepProfile:
+    """Result of profiling one training step."""
+
+    peak: MemorySnapshot
+    forward_seconds: float
+    backward_seconds: float
+    optimizer_seconds: float
+
+    @property
+    def peak_bytes(self) -> int:
+        return self.peak.total
+
+    @property
+    def step_seconds(self) -> float:
+        return self.forward_seconds + self.backward_seconds + self.optimizer_seconds
+
+    def paper_breakdown(self) -> dict[str, float]:
+        return to_paper_breakdown(self.peak)
+
+
+def profile_training_step(
+    model: HydraModel,
+    graphs: list[AtomGraph],
+    optimizer: Optimizer,
+    normalizer: Normalizer,
+    tracker: MemoryTracker | None = None,
+    warmup_steps: int = 1,
+) -> StepProfile:
+    """Measure peak memory and phase times of one optimization step.
+
+    ``warmup_steps`` extra steps run first so optimizer state exists and
+    the measured step reflects steady-state training (the paper profiles
+    steady-state peaks, where Adam moments are resident).
+    """
+    tracker = tracker or MemoryTracker("profile")
+    # Adopt pre-existing model weights into this tracker so the breakdown
+    # includes them even when the model was built under another tracker.
+    for param in model.parameters():
+        tracker.register(param.data, WEIGHTS)
+    with use_tracker(tracker):
+        batch = collate(graphs)
+        energy_target = normalizer.normalized_energy(batch)
+        force_target = normalizer.normalized_forces(batch)
+
+        def one_step() -> tuple[float, float, float]:
+            model.zero_grad()
+            start = time.perf_counter()
+            predictions = model(batch)
+            loss = model.loss(predictions, energy_target, force_target)
+            after_forward = time.perf_counter()
+            loss.backward()
+            after_backward = time.perf_counter()
+            optimizer.step()
+            after_step = time.perf_counter()
+            # Drop graph references so activation buffers can be released.
+            del predictions, loss
+            return (
+                after_forward - start,
+                after_backward - after_forward,
+                after_step - after_backward,
+            )
+
+        for _ in range(warmup_steps):
+            one_step()
+        tracker.reset_peak()
+        forward_s, backward_s, optimizer_s = one_step()
+    return StepProfile(
+        peak=tracker.peak(),
+        forward_seconds=forward_s,
+        backward_seconds=backward_s,
+        optimizer_seconds=optimizer_s,
+    )

@@ -1,0 +1,52 @@
+"""The multi-task model: EGNN backbone + energy/force heads.
+
+This mirrors the HydraGNN architecture the paper trains (Sec. II-B,
+III-B): one shared message-passing trunk, one output head per task, and
+a combined multi-task objective.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.batch import GraphBatch
+from repro.models.config import ModelConfig
+from repro.models.egnn import EGNNBackbone
+from repro.models.heads import GraphEnergyHead, NodeForceHead
+from repro.nn.loss import mse_loss
+from repro.nn.module import Module
+from repro.tensor.core import Tensor
+from repro.tensor.rng import rng as make_rng, split_rng
+
+
+class HydraModel(Module):
+    """Foundation-model architecture for atomistic property prediction."""
+
+    def __init__(self, config: ModelConfig, seed: int | np.random.Generator = 0) -> None:
+        super().__init__()
+        self.config = config
+        generator = make_rng(seed)
+        backbone_rng, energy_rng, force_rng = split_rng(generator, 3)
+        self.backbone = EGNNBackbone(config, backbone_rng)
+        self.energy_head = GraphEnergyHead(config, energy_rng)
+        self.force_head = NodeForceHead(config, force_rng)
+
+    def forward(self, batch: GraphBatch) -> dict[str, Tensor]:
+        """Predict normalized per-atom energy (graph) and forces (node)."""
+        h, x, _ = self.backbone(batch)
+        energy = self.energy_head(h, batch.node_graph, batch.num_graphs)
+        forces = self.force_head(x)
+        return {"energy": energy, "forces": forces}
+
+    def loss(
+        self,
+        predictions: dict[str, Tensor],
+        energy_target: np.ndarray,
+        force_target: np.ndarray,
+        energy_weight: float = 1.0,
+        force_weight: float = 1.0,
+    ) -> Tensor:
+        """Multi-task MSE on normalized targets (the paper's test loss)."""
+        energy_term = mse_loss(predictions["energy"], Tensor(energy_target))
+        force_term = mse_loss(predictions["forces"], Tensor(force_target))
+        return energy_term * energy_weight + force_term * force_weight

@@ -1,0 +1,43 @@
+"""Named model presets.
+
+``foundation`` is the paper's headline model (the green star of Fig. 1):
+~2 B parameters at depth 3, trained on the full 1.2 TB corpus.  The sim-
+scale presets are the models the measured tier actually trains.
+"""
+
+from __future__ import annotations
+
+from repro.models.config import ModelConfig
+from repro.models.factory import count_parameters, solve_width
+
+_PRESETS: dict[str, ModelConfig] = {
+    "tiny": ModelConfig(hidden_dim=16, num_layers=3),
+    "small": ModelConfig(hidden_dim=32, num_layers=3),
+    "base": ModelConfig(hidden_dim=64, num_layers=3),
+    "large": ModelConfig(hidden_dim=128, num_layers=3),
+    "xl": ModelConfig(hidden_dim=256, num_layers=3),
+}
+
+
+def get_preset(name: str) -> ModelConfig:
+    """Look up a named preset (includes ``foundation`` at 2 B params)."""
+    if name == "foundation":
+        return solve_width(2_000_000_000, num_layers=3)
+    try:
+        return _PRESETS[name]
+    except KeyError:
+        known = sorted(_PRESETS) + ["foundation"]
+        raise KeyError(f"unknown preset {name!r}; known: {known}") from None
+
+
+def preset_names() -> list[str]:
+    return sorted(_PRESETS) + ["foundation"]
+
+
+def describe(config: ModelConfig) -> str:
+    """One-line human summary of a config."""
+    return (
+        f"EGNN width={config.hidden_dim} depth={config.num_layers} "
+        f"({count_parameters(config):,} params, "
+        f"ckpt={'on' if config.checkpoint_activations else 'off'})"
+    )

@@ -1,0 +1,45 @@
+"""Activation modules wrapping the functional primitives."""
+
+from __future__ import annotations
+
+from repro.nn.module import Module
+from repro.tensor import functional
+from repro.tensor.core import Tensor
+
+
+class SiLU(Module):
+    """SiLU (swish), the activation EGNN uses throughout."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return functional.silu(x)
+
+
+class Tanh(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.tanh()
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class Sigmoid(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.sigmoid()
+
+
+ACTIVATIONS = {
+    "silu": SiLU,
+    "tanh": Tanh,
+    "relu": ReLU,
+    "sigmoid": Sigmoid,
+}
+
+
+def make_activation(name: str) -> Module:
+    """Instantiate an activation module by name."""
+    try:
+        return ACTIVATIONS[name]()
+    except KeyError:
+        raise ValueError(f"unknown activation {name!r}; known: {sorted(ACTIVATIONS)}") from None

@@ -1,0 +1,35 @@
+"""Regression losses."""
+
+from __future__ import annotations
+
+from repro.tensor.core import Tensor
+
+
+def mse_loss(prediction: Tensor, target: Tensor) -> Tensor:
+    """Mean squared error over all elements."""
+    diff = prediction - target
+    return (diff * diff).mean()
+
+
+def mae_loss(prediction: Tensor, target: Tensor) -> Tensor:
+    """Mean absolute error over all elements."""
+    return (prediction - target).abs().mean()
+
+
+def energy_force_loss(
+    energy_pred: Tensor,
+    energy_true: Tensor,
+    force_pred: Tensor,
+    force_true: Tensor,
+    energy_weight: float = 1.0,
+    force_weight: float = 1.0,
+) -> Tensor:
+    """The paper's multi-task objective.
+
+    Graph-level energy and node-level forces are combined with scalar
+    weights, following the HydraGNN convention of equally weighted heads
+    unless stated otherwise.
+    """
+    energy_term = mse_loss(energy_pred, energy_true)
+    force_term = mse_loss(force_pred, force_true)
+    return energy_term * energy_weight + force_term * force_weight

@@ -1,0 +1,44 @@
+"""Multi-layer perceptron, the building block of EGNN's message/update nets."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.activations import make_activation
+from repro.nn.linear import Linear
+from repro.nn.module import Module, ModuleList
+from repro.tensor.core import Tensor
+
+
+class MLP(Module):
+    """Fully connected stack: ``sizes[0] -> sizes[1] -> ... -> sizes[-1]``.
+
+    An activation is applied between layers; ``final_activation`` controls
+    whether the last layer is also activated (EGNN's edge net is, its
+    output heads are not).
+    """
+
+    def __init__(
+        self,
+        sizes: list[int],
+        rng: np.random.Generator,
+        activation: str = "silu",
+        final_activation: bool = False,
+    ) -> None:
+        super().__init__()
+        if len(sizes) < 2:
+            raise ValueError("MLP needs at least an input and an output size")
+        self.sizes = list(sizes)
+        self.layers = ModuleList(
+            Linear(sizes[i], sizes[i + 1], rng) for i in range(len(sizes) - 1)
+        )
+        self.activation = make_activation(activation)
+        self.final_activation = final_activation
+
+    def forward(self, x: Tensor) -> Tensor:
+        last = len(self.layers) - 1
+        for index, layer in enumerate(self.layers):
+            x = layer(x)
+            if index < last or self.final_activation:
+                x = self.activation(x)
+        return x

@@ -1,0 +1,30 @@
+"""Normalization layers."""
+
+from __future__ import annotations
+
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+from repro.tensor.core import Tensor
+
+
+class LayerNorm(Module):
+    """Layer normalization over the last axis.
+
+    Deep GNNs are notoriously hard to train (the paper's Sec. IV-C); layer
+    norm on node features is the standard stabilizer HydraGNN applies, and
+    it matters for the depth sweep of Fig. 5 to train at all at depth 6.
+    """
+
+    def __init__(self, dim: int, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.dim = dim
+        self.eps = eps
+        self.gamma = Parameter(init.ones((dim,)))
+        self.beta = Parameter(init.zeros((dim,)))
+
+    def forward(self, x: Tensor) -> Tensor:
+        mean = x.mean(axis=-1, keepdims=True)
+        centered = x - mean
+        variance = (centered * centered).mean(axis=-1, keepdims=True)
+        normalized = centered / (variance + self.eps).sqrt()
+        return normalized * self.gamma + self.beta

@@ -1,0 +1,19 @@
+"""Optimizers, schedules, and gradient utilities."""
+
+from repro.optim.adam import Adam
+from repro.optim.clip import clip_grad_norm, grad_global_norm
+from repro.optim.lr_schedule import ConstantLR, CosineDecayLR, WarmupCosineLR, apply_lr
+from repro.optim.optimizer import Optimizer
+from repro.optim.sgd import SGD
+
+__all__ = [
+    "Adam",
+    "ConstantLR",
+    "CosineDecayLR",
+    "Optimizer",
+    "SGD",
+    "WarmupCosineLR",
+    "apply_lr",
+    "clip_grad_norm",
+    "grad_global_norm",
+]

@@ -1,0 +1,97 @@
+"""Adam optimizer (Kingma & Ba), the paper's training optimizer.
+
+Adam keeps two momentum vectors per parameter, i.e. optimizer state equal
+to **twice** the model weights — the exact fact the paper's Sec. V-A
+identifies as the second-largest contributor to peak memory, and the
+target of the ZeRO sharding in ``repro.distributed.zero``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.optim.optimizer import Optimizer
+from repro.tensor.allocator import OPTIMIZER_STATES, track_array
+
+
+class Adam(Optimizer):
+    def __init__(
+        self,
+        params,
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(params, lr)
+        self.beta1, self.beta2 = betas
+        self.eps = float(eps)
+        self.weight_decay = float(weight_decay)
+        self._m: list[np.ndarray] | None = None
+        self._v: list[np.ndarray] | None = None
+
+    def _allocate_state(self) -> None:
+        self._m, self._v = [], []
+        for param in self.params:
+            m = np.zeros_like(param.data)
+            v = np.zeros_like(param.data)
+            track_array(m, OPTIMIZER_STATES)
+            track_array(v, OPTIMIZER_STATES)
+            self._m.append(m)
+            self._v.append(v)
+
+    def step(self) -> None:
+        if self._m is None:
+            self._allocate_state()
+        self.step_count += 1
+        t = self.step_count
+        bias1 = 1.0 - self.beta1**t
+        bias2 = 1.0 - self.beta2**t
+        for index, param in enumerate(self.params):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            m, v = self._m[index], self._v[index]
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * (grad * grad)
+            m_hat = m / bias1
+            v_hat = v / bias2
+            param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def state_nbytes(self) -> int:
+        if self._m is None:
+            return 0
+        return sum(m.nbytes for m in self._m) + sum(v.nbytes for v in self._v)
+
+    # ------------------------------------------------------------------
+    # serialization (training-run checkpoints)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Copy of the optimizer state for checkpointing."""
+        return {
+            "step_count": self.step_count,
+            "lr": self.lr,
+            "m": [m.copy() for m in self._m] if self._m is not None else None,
+            "v": [v.copy() for v in self._v] if self._v is not None else None,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore state saved by :meth:`state_dict` (strict shapes)."""
+        self.step_count = int(state["step_count"])
+        self.lr = float(state["lr"])
+        if state["m"] is None:
+            self._m = self._v = None
+            return
+        if len(state["m"]) != len(self.params):
+            raise ValueError("optimizer state does not match parameter count")
+        self._allocate_state()
+        for slot, saved in zip(self._m, state["m"]):
+            if slot.shape != saved.shape:
+                raise ValueError(f"moment shape mismatch: {slot.shape} != {saved.shape}")
+            slot[...] = saved
+        for slot, saved in zip(self._v, state["v"]):
+            slot[...] = saved

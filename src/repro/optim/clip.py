@@ -1,0 +1,31 @@
+"""Gradient clipping utilities."""
+
+from __future__ import annotations
+
+import math
+
+from repro.nn.module import Parameter
+
+
+def grad_global_norm(params: list[Parameter]) -> float:
+    """L2 norm of all gradients concatenated."""
+    total = 0.0
+    for param in params:
+        if param.grad is not None:
+            total += float((param.grad * param.grad).sum())
+    return math.sqrt(total)
+
+
+def clip_grad_norm(params: list[Parameter], max_norm: float) -> float:
+    """Scale gradients so their global L2 norm is at most ``max_norm``.
+
+    Returns the pre-clip norm (useful for logging training stability,
+    which the depth sweep of Fig. 5 depends on).
+    """
+    norm = grad_global_norm(params)
+    if norm > max_norm and norm > 0.0:
+        scale = max_norm / norm
+        for param in params:
+            if param.grad is not None:
+                param.grad *= scale
+    return norm

@@ -1,0 +1,60 @@
+"""Learning-rate schedules.
+
+Each schedule is a callable ``step -> lr`` so the trainer can remain
+oblivious to the schedule's internals; ``apply`` mutates the optimizer.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.optim.optimizer import Optimizer
+
+
+class ConstantLR:
+    """Fixed learning rate."""
+
+    def __init__(self, lr: float) -> None:
+        self.lr = float(lr)
+
+    def __call__(self, step: int) -> float:
+        return self.lr
+
+
+class CosineDecayLR:
+    """Cosine decay from ``lr`` to ``min_lr`` over ``total_steps``."""
+
+    def __init__(self, lr: float, total_steps: int, min_lr: float = 0.0) -> None:
+        if total_steps <= 0:
+            raise ValueError("total_steps must be positive")
+        self.lr = float(lr)
+        self.min_lr = float(min_lr)
+        self.total_steps = int(total_steps)
+
+    def __call__(self, step: int) -> float:
+        progress = min(max(step, 0), self.total_steps) / self.total_steps
+        cosine = 0.5 * (1.0 + math.cos(math.pi * progress))
+        return self.min_lr + (self.lr - self.min_lr) * cosine
+
+
+class WarmupCosineLR:
+    """Linear warmup for ``warmup_steps`` then cosine decay (LLM default)."""
+
+    def __init__(self, lr: float, total_steps: int, warmup_steps: int, min_lr: float = 0.0) -> None:
+        if warmup_steps < 0 or warmup_steps >= total_steps:
+            raise ValueError("need 0 <= warmup_steps < total_steps")
+        self.lr = float(lr)
+        self.warmup_steps = int(warmup_steps)
+        self.decay = CosineDecayLR(lr, total_steps - warmup_steps, min_lr)
+
+    def __call__(self, step: int) -> float:
+        if step < self.warmup_steps:
+            return self.lr * (step + 1) / self.warmup_steps
+        return self.decay(step - self.warmup_steps)
+
+
+def apply_lr(optimizer: Optimizer, schedule, step: int) -> float:
+    """Set ``optimizer.lr`` from ``schedule`` at ``step`` and return it."""
+    lr = schedule(step)
+    optimizer.lr = lr
+    return lr

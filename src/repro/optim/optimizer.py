@@ -1,0 +1,33 @@
+"""Optimizer base class."""
+
+from __future__ import annotations
+
+from repro.nn.module import Parameter
+
+
+class Optimizer:
+    """Holds a parameter list and implements ``step``/``zero_grad``.
+
+    Subclasses allocate any per-parameter state lazily on first ``step`` —
+    the same behaviour as PyTorch optimizers, and the reason the paper's
+    peak-memory profile shifts to the weight-update phase once activation
+    checkpointing is enabled (Sec. V-B).
+    """
+
+    def __init__(self, params: list[Parameter], lr: float) -> None:
+        self.params = list(params)
+        if not self.params:
+            raise ValueError("optimizer received no parameters")
+        self.lr = float(lr)
+        self.step_count = 0
+
+    def zero_grad(self) -> None:
+        for param in self.params:
+            param.grad = None
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+    def state_nbytes(self) -> int:
+        """Bytes of optimizer state currently allocated (0 before first step)."""
+        return 0

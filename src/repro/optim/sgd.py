@@ -1,0 +1,43 @@
+"""Stochastic gradient descent with optional momentum."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.optim.optimizer import Optimizer
+from repro.tensor.allocator import OPTIMIZER_STATES, track_array
+
+
+class SGD(Optimizer):
+    """Plain / momentum SGD (baseline optimizer for ablations)."""
+
+    def __init__(self, params, lr: float = 1e-2, momentum: float = 0.0) -> None:
+        super().__init__(params, lr)
+        self.momentum = float(momentum)
+        self._velocity: list[np.ndarray] | None = None
+
+    def step(self) -> None:
+        self.step_count += 1
+        if self.momentum > 0.0 and self._velocity is None:
+            self._velocity = []
+            for param in self.params:
+                buf = np.zeros_like(param.data)
+                track_array(buf, OPTIMIZER_STATES)
+                self._velocity.append(buf)
+        for index, param in enumerate(self.params):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.momentum > 0.0:
+                velocity = self._velocity[index]
+                velocity *= self.momentum
+                velocity += grad
+                update = velocity
+            else:
+                update = grad
+            param.data -= self.lr * update
+
+    def state_nbytes(self) -> int:
+        if self._velocity is None:
+            return 0
+        return sum(v.nbytes for v in self._velocity)

@@ -1,0 +1,54 @@
+"""Scaling-law fitting, calibration, and the paper-scale surrogate."""
+
+from repro.scaling.calibrate import (
+    LadderPoint,
+    LadderResult,
+    LadderSpec,
+    measured_exponents,
+    run_ladder,
+)
+from repro.scaling.chinchilla import ChinchillaFit, fit_chinchilla
+from repro.scaling.depth_width import (
+    DepthWidthResult,
+    DepthWidthSpec,
+    GridCell,
+    paper_grid,
+    run_measured_grid,
+)
+from repro.scaling.oversmoothing import (
+    layerwise_features,
+    mad_profile,
+    mean_average_distance,
+    oversmoothing_slope,
+)
+from repro.scaling.powerlaw import PowerLawFit, bootstrap_exponent, fit_power_law
+from repro.scaling.surrogate import (
+    GNNLossSurface,
+    anchor_fit_error,
+    solve_surface_from_anchors,
+)
+
+__all__ = [
+    "ChinchillaFit",
+    "DepthWidthResult",
+    "DepthWidthSpec",
+    "GNNLossSurface",
+    "GridCell",
+    "LadderPoint",
+    "LadderResult",
+    "LadderSpec",
+    "PowerLawFit",
+    "anchor_fit_error",
+    "bootstrap_exponent",
+    "fit_chinchilla",
+    "fit_power_law",
+    "layerwise_features",
+    "mad_profile",
+    "mean_average_distance",
+    "measured_exponents",
+    "oversmoothing_slope",
+    "paper_grid",
+    "run_measured_grid",
+    "run_ladder",
+    "solve_surface_from_anchors",
+]

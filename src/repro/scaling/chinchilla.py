@@ -1,0 +1,111 @@
+"""Joint loss-surface fit: ``L(N, D) = E + A N^-alpha + B D^-beta``.
+
+The Chinchilla parametric form (Hoffmann et al. 2022), which the paper's
+Figs. 3-4 implicitly trace: one slice per dataset size in Fig. 3, one
+slice per model size in Fig. 4.  Fitting it to the *measured* sim-scale
+runs yields the exponents (alpha, beta) that the paper-scale projection
+reuses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import optimize
+
+
+@dataclass(frozen=True)
+class ChinchillaFit:
+    """Fitted parameters of the joint surface."""
+
+    E: float
+    A: float
+    alpha: float
+    B: float
+    beta: float
+    r_squared: float
+
+    def predict(self, n, d) -> np.ndarray:
+        n = np.asarray(n, dtype=np.float64)
+        d = np.asarray(d, dtype=np.float64)
+        return self.E + self.A * n**-self.alpha + self.B * d**-self.beta
+
+    def optimal_model_size(self, d: float, budget_ratio: float = 1.0) -> float:
+        """N that balances the two reducible terms at dataset size ``d``.
+
+        Setting ``A N^-alpha = budget_ratio * B d^-beta`` — the compute-
+        optimal frontier heuristic.
+        """
+        target = budget_ratio * self.B * float(d) ** -self.beta
+        return float((self.A / target) ** (1.0 / self.alpha))
+
+    def __str__(self) -> str:
+        return (
+            f"L(N,D) = {self.E:.4g} + {self.A:.4g} N^(-{self.alpha:.4f})"
+            f" + {self.B:.4g} D^(-{self.beta:.4f})  (R^2 = {self.r_squared:.4f})"
+        )
+
+
+def fit_chinchilla(points: list[tuple[float, float, float]]) -> ChinchillaFit:
+    """Fit the surface to ``(N, D, loss)`` observations.
+
+    Parameters are kept positive via exponential parameterization; a grid
+    of exponent restarts avoids the well-known local minima of this fit.
+    """
+    if len(points) < 5:
+        raise ValueError("need at least 5 (N, D, loss) points")
+    n = np.array([p[0] for p in points], dtype=np.float64)
+    d = np.array([p[1] for p in points], dtype=np.float64)
+    y = np.array([p[2] for p in points], dtype=np.float64)
+    if (n <= 0).any() or (d <= 0).any():
+        raise ValueError("N and D must be positive")
+
+    def surface(params: np.ndarray) -> np.ndarray:
+        log_e, log_a, alpha, log_b, beta = params
+        # Nelder-Mead may probe extreme exponents; overflow saturates to
+        # inf (and inf * 0 to nan), which the objective rejects below.
+        with np.errstate(over="ignore", invalid="ignore"):
+            return np.exp(log_e) + np.exp(log_a) * n**-alpha + np.exp(log_b) * d**-beta
+
+    def objective(params: np.ndarray) -> float:
+        residual = surface(params) - y
+        if not np.isfinite(residual).all():
+            return 1e30
+        return float((residual**2).sum())
+
+    spread = max(float(y.max() - y.min()), 1e-6)
+    floor = max(float(y.min()) * 0.8, 1e-9)
+    best = None
+    for alpha0 in (0.1, 0.3, 0.6):
+        for beta0 in (0.1, 0.3, 0.6):
+            start = np.array(
+                [
+                    np.log(floor),
+                    np.log(spread * float(np.median(n)) ** alpha0),
+                    alpha0,
+                    np.log(spread * float(np.median(d)) ** beta0),
+                    beta0,
+                ]
+            )
+            result = optimize.minimize(
+                objective,
+                start,
+                method="Nelder-Mead",
+                options={"maxiter": 8000, "xatol": 1e-10, "fatol": 1e-14},
+            )
+            if best is None or result.fun < best.fun:
+                best = result
+    log_e, log_a, alpha, log_b, beta = best.x
+    predicted = surface(best.x)
+    residual = float(((predicted - y) ** 2).sum())
+    total = float(((y - y.mean()) ** 2).sum())
+    r2 = 1.0 - residual / total if total > 0 else 1.0
+    return ChinchillaFit(
+        E=float(np.exp(log_e)),
+        A=float(np.exp(log_a)),
+        alpha=float(alpha),
+        B=float(np.exp(log_b)),
+        beta=float(beta),
+        r_squared=float(r2),
+    )

@@ -1,0 +1,126 @@
+"""Depth-vs-width analysis (Fig. 5 machinery).
+
+Two tiers again: a *measured* grid of small models trained at a fixed
+dataset fraction, and a *projected* paper-scale grid (depth 3-6, width
+750-2500 at 0.4 TB) evaluated on the calibrated surface with its
+over-smoothing penalty.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.aggregate import Corpus, generate_corpus
+from repro.data.normalize import Normalizer
+from repro.graph.batch import collate
+from repro.models.config import ModelConfig
+from repro.models.factory import PAPER_DEPTH_GRID, PAPER_WIDTH_GRID, count_parameters
+from repro.models.hydra import HydraModel
+from repro.scaling.oversmoothing import mad_profile, oversmoothing_slope
+from repro.scaling.surrogate import GNNLossSurface
+from repro.train.trainer import Trainer, TrainerConfig
+
+
+@dataclass(frozen=True)
+class DepthWidthSpec:
+    """Measured-grid budget."""
+
+    corpus_graphs: int = 300
+    test_fraction: float = 0.15
+    widths: tuple[int, ...] = (8, 16, 32)
+    depths: tuple[int, ...] = (2, 3, 4, 5)
+    epochs: int = 3
+    batch_size: int = 16
+    learning_rate: float = 2e-3
+    seed: int = 0
+
+
+@dataclass
+class GridCell:
+    width: int
+    depth: int
+    params: int
+    test_loss: float
+    mad_slope: float  # negative = over-smoothing
+
+
+@dataclass
+class DepthWidthResult:
+    spec: DepthWidthSpec
+    cells: list[GridCell] = field(default_factory=list)
+
+    def cell(self, width: int, depth: int) -> GridCell:
+        for candidate in self.cells:
+            if candidate.width == width and candidate.depth == depth:
+                return candidate
+        raise KeyError(f"no cell for width={width}, depth={depth}")
+
+    def loss_matrix(self) -> np.ndarray:
+        """Rows = depths, columns = widths (Fig. 5 layout)."""
+        matrix = np.zeros((len(self.spec.depths), len(self.spec.widths)))
+        for i, depth in enumerate(self.spec.depths):
+            for j, width in enumerate(self.spec.widths):
+                matrix[i, j] = self.cell(width, depth).test_loss
+        return matrix
+
+
+def run_measured_grid(
+    spec: DepthWidthSpec | None = None,
+    corpus: Corpus | None = None,
+    verbose: bool = False,
+) -> DepthWidthResult:
+    """Train the (depth x width) grid on one shared corpus/test split."""
+    spec = spec or DepthWidthSpec()
+    corpus = corpus or generate_corpus(spec.corpus_graphs, seed=spec.seed)
+    normalizer = Normalizer.fit(corpus.graphs)
+    train_corpus, test_graphs = corpus.train_test_split(spec.test_fraction, seed=spec.seed + 1)
+    probe_batch = collate(test_graphs[: min(len(test_graphs), 16)])
+
+    result = DepthWidthResult(spec=spec)
+    for depth in spec.depths:
+        for width in spec.widths:
+            config = ModelConfig(hidden_dim=width, num_layers=depth)
+            model = HydraModel(config, seed=spec.seed)
+            trainer = Trainer(
+                model,
+                normalizer,
+                TrainerConfig(
+                    epochs=spec.epochs,
+                    batch_size=spec.batch_size,
+                    learning_rate=spec.learning_rate,
+                    shuffle_seed=spec.seed,
+                ),
+            )
+            history = trainer.fit(train_corpus.graphs, test_graphs)
+            mad = mad_profile(model.backbone, probe_batch)
+            cell = GridCell(
+                width=width,
+                depth=depth,
+                params=count_parameters(config),
+                test_loss=history.final_test_loss,
+                mad_slope=oversmoothing_slope(mad),
+            )
+            result.cells.append(cell)
+            if verbose:
+                print(
+                    f"depth {depth} width {width:4d}: loss {cell.test_loss:.4f} "
+                    f"MAD slope {cell.mad_slope:+.4f}"
+                )
+    return result
+
+
+def paper_grid(
+    surface: GNNLossSurface,
+    dataset_tb: float = 0.4,
+    depths: tuple[int, ...] = PAPER_DEPTH_GRID,
+    widths: tuple[int, ...] = PAPER_WIDTH_GRID,
+) -> dict[tuple[int, int], float]:
+    """Projected Fig. 5 heat map: (depth, width) -> loss at 0.4 TB."""
+    grid = {}
+    for depth in depths:
+        for width in widths:
+            params = count_parameters(ModelConfig(hidden_dim=width, num_layers=depth))
+            grid[(depth, width)] = float(surface.loss(params, dataset_tb, depth=depth))
+    return grid

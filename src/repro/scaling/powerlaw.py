@@ -1,0 +1,107 @@
+"""Saturating power-law fits: ``L(x) = a * x**(-alpha) + c``.
+
+The workhorse of scaling-law analysis (Kaplan et al. 2020).  The additive
+floor ``c`` is what produces the "diminishing returns" the paper observes
+for GNN model scaling: once ``a x^-alpha`` falls below ``c`` the curve
+flattens on a log axis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import optimize
+
+from repro.tensor.rng import rng as make_rng
+
+
+@dataclass(frozen=True)
+class PowerLawFit:
+    """Fitted parameters of ``L(x) = a x^-alpha + c``."""
+
+    a: float
+    alpha: float
+    c: float
+    r_squared: float
+
+    def predict(self, x) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        return self.a * x**-self.alpha + self.c
+
+    def __str__(self) -> str:
+        return (
+            f"L(x) = {self.a:.4g} * x^(-{self.alpha:.4f}) + {self.c:.4g}"
+            f"  (R^2 = {self.r_squared:.4f})"
+        )
+
+
+def _r_squared(y: np.ndarray, predicted: np.ndarray) -> float:
+    residual = float(((y - predicted) ** 2).sum())
+    total = float(((y - y.mean()) ** 2).sum())
+    if total == 0.0:
+        return 1.0 if residual == 0.0 else 0.0
+    return 1.0 - residual / total
+
+
+def fit_power_law(x, y, floor: bool = True) -> PowerLawFit:
+    """Least-squares fit of a (floored) power law.
+
+    Positivity of ``a`` and ``c`` is enforced through an exp/softplus
+    parameterization; several restarts guard against local minima (the
+    loss surface in (alpha, log a) is mildly multimodal).
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.shape != y.shape or x.ndim != 1:
+        raise ValueError("x and y must be 1-D arrays of equal length")
+    if x.size < 3:
+        raise ValueError("need at least 3 points to fit a power law")
+    if (x <= 0).any():
+        raise ValueError("x must be positive")
+
+    c_floor = float(max(y.min() * 0.5, 1e-12)) if floor else 0.0
+
+    def model(params: np.ndarray) -> np.ndarray:
+        log_a, alpha, raw_c = params
+        c = c_floor * (1.0 / (1.0 + np.exp(-raw_c))) * 2.0 if floor else 0.0
+        return np.exp(log_a) * x**-alpha + c
+
+    def objective(params: np.ndarray) -> float:
+        return float(((model(params) - y) ** 2).sum())
+
+    best = None
+    spread = float(y.max() - y.min())
+    for alpha0 in (0.05, 0.1, 0.3, 0.6):
+        start = np.array([np.log(max(spread, 1e-6) * x.min() ** alpha0), alpha0, 0.0])
+        result = optimize.minimize(objective, start, method="Nelder-Mead",
+                                   options={"maxiter": 4000, "xatol": 1e-10, "fatol": 1e-14})
+        if best is None or result.fun < best.fun:
+            best = result
+    log_a, alpha, raw_c = best.x
+    c = c_floor * (1.0 / (1.0 + np.exp(-raw_c))) * 2.0 if floor else 0.0
+    fit = PowerLawFit(float(np.exp(log_a)), float(alpha), float(c), 0.0)
+    predicted = fit.predict(x)
+    return PowerLawFit(fit.a, fit.alpha, fit.c, _r_squared(y, predicted))
+
+
+def bootstrap_exponent(
+    x, y, num_resamples: int = 200, seed: int = 0, floor: bool = True
+) -> tuple[float, float]:
+    """Bootstrap (2.5 %, 97.5 %) confidence interval on the exponent."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    generator = make_rng(seed)
+    exponents = []
+    for _ in range(num_resamples):
+        idx = generator.integers(0, x.size, size=x.size)
+        if np.unique(x[idx]).size < 3:
+            continue
+        try:
+            exponents.append(fit_power_law(x[idx], y[idx], floor=floor).alpha)
+        except ValueError:
+            continue
+    if not exponents:
+        return float("nan"), float("nan")
+    low, high = np.percentile(exponents, [2.5, 97.5])
+    return float(low), float(high)

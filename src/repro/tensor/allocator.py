@@ -1,0 +1,229 @@
+"""Byte-accurate memory accounting for the numpy tensor engine.
+
+The paper's Fig. 6 and Table II are statements about *peak device memory*
+broken down by category (activations, weights, optimizer states, others).
+To reproduce them without CUDA we track every live numpy buffer owned by
+the engine and attribute it to a category at allocation time.
+
+Design:
+
+- A :class:`MemoryTracker` keeps a registry of live buffers keyed by
+  ``id(array)``.  Buffers are removed automatically when the array is
+  garbage collected (via :func:`weakref.finalize`), which on CPython means
+  immediately after the last reference dies -- the same lifetime rule CUDA
+  caching allocators observe for framework tensors.
+- The category of a new buffer comes from the innermost
+  :meth:`MemoryTracker.category` context.  Model parameters are created
+  under ``weights``, optimizer state under ``optimizer_states``, input
+  batches under ``other``; everything else defaults to ``activations``.
+- Gradients produced during backward are registered under ``gradients``.
+- On every registration the tracker updates the running total; when a new
+  peak is reached it snapshots the full per-category breakdown.  That
+  snapshot is exactly what Fig. 6's pie charts show.
+
+Only *base-owning* arrays (``array.base is None``) are registered, so numpy
+views (slices, reshapes that alias) are never double counted.
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+import numpy as np
+
+# Canonical category names, mirroring the paper's Fig. 6 legend.
+WEIGHTS = "weights"
+GRADIENTS = "gradients"
+ACTIVATIONS = "activations"
+OPTIMIZER_STATES = "optimizer_states"
+OTHER = "other"
+
+CATEGORIES = (WEIGHTS, GRADIENTS, ACTIVATIONS, OPTIMIZER_STATES, OTHER)
+
+
+@dataclass(frozen=True)
+class MemorySnapshot:
+    """Immutable view of memory usage at one instant, in bytes."""
+
+    by_category: dict[str, int]
+    total: int
+
+    def fraction(self, category: str) -> float:
+        """Return the share of ``category`` in the total (0.0 if empty)."""
+        if self.total == 0:
+            return 0.0
+        return self.by_category.get(category, 0) / self.total
+
+    def as_percentages(self) -> dict[str, float]:
+        """Return the breakdown as percentages summing to ~100."""
+        return {name: 100.0 * self.fraction(name) for name in CATEGORIES}
+
+
+@dataclass
+class _LiveBuffer:
+    nbytes: int
+    category: str
+
+
+class MemoryTracker:
+    """Tracks live buffer bytes per category and the peak breakdown.
+
+    Instances are cheap; the distributed simulator creates one tracker per
+    simulated rank so that per-GPU peaks can be compared (ZeRO shrinks the
+    per-rank optimizer-state share, which only a per-rank view can show).
+    """
+
+    def __init__(self, name: str = "default") -> None:
+        self.name = name
+        self._live: dict[int, _LiveBuffer] = {}
+        self._current: dict[str, int] = {name: 0 for name in CATEGORIES}
+        self._total = 0
+        self._peak_total = 0
+        self._peak_breakdown: dict[str, int] = dict(self._current)
+        self._category_stack: list[str] = []
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # category context
+    # ------------------------------------------------------------------
+    @property
+    def active_category(self) -> str:
+        if self._category_stack:
+            return self._category_stack[-1]
+        return ACTIVATIONS
+
+    @contextmanager
+    def category(self, name: str):
+        """Attribute buffers allocated inside the block to ``name``."""
+        if name not in CATEGORIES:
+            raise ValueError(f"unknown memory category: {name!r}")
+        self._category_stack.append(name)
+        try:
+            yield self
+        finally:
+            self._category_stack.pop()
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def register(self, array: np.ndarray, category: str | None = None) -> None:
+        """Register a base-owning array as live under ``category``.
+
+        Views and already-registered buffers are ignored, so calling this
+        twice on aliases of the same storage cannot double count.  Numpy
+        scalars (e.g. the result of adding two 0-d arrays) carry no
+        trackable buffer and are skipped.
+        """
+        if not isinstance(array, np.ndarray) or array.base is not None:
+            return
+        key = id(array)
+        cat = category if category is not None else self.active_category
+        if cat not in CATEGORIES:
+            raise ValueError(f"unknown memory category: {cat!r}")
+        with self._lock:
+            if key in self._live:
+                return
+            nbytes = int(array.nbytes)
+            self._live[key] = _LiveBuffer(nbytes, cat)
+            self._current[cat] += nbytes
+            self._total += nbytes
+            if self._total > self._peak_total:
+                self._peak_total = self._total
+                self._peak_breakdown = dict(self._current)
+        weakref.finalize(array, self._release, key)
+
+    def _release(self, key: int) -> None:
+        with self._lock:
+            buf = self._live.pop(key, None)
+            if buf is None:
+                return
+            self._current[buf.category] -= buf.nbytes
+            self._total -= buf.nbytes
+
+    def recategorize(self, array: np.ndarray, category: str) -> None:
+        """Move an already-registered buffer to a different category."""
+        if category not in CATEGORIES:
+            raise ValueError(f"unknown memory category: {category!r}")
+        key = id(array)
+        with self._lock:
+            buf = self._live.get(key)
+            if buf is None or buf.category == category:
+                return
+            self._current[buf.category] -= buf.nbytes
+            self._current[category] += buf.nbytes
+            buf.category = category
+
+    # ------------------------------------------------------------------
+    # readout
+    # ------------------------------------------------------------------
+    def snapshot(self) -> MemorySnapshot:
+        """Current live bytes per category."""
+        with self._lock:
+            return MemorySnapshot(dict(self._current), self._total)
+
+    def peak(self) -> MemorySnapshot:
+        """Breakdown captured at the moment of highest total usage."""
+        with self._lock:
+            return MemorySnapshot(dict(self._peak_breakdown), self._peak_total)
+
+    def reset_peak(self) -> None:
+        """Forget the recorded peak; current live buffers seed the new one."""
+        with self._lock:
+            self._peak_total = self._total
+            self._peak_breakdown = dict(self._current)
+
+    @property
+    def current_total(self) -> int:
+        return self._total
+
+    @property
+    def peak_total(self) -> int:
+        return self._peak_total
+
+
+# ----------------------------------------------------------------------
+# Active-tracker stack.
+#
+# The engine always registers buffers with the *active* tracker, which by
+# default is a process-global one.  The distributed launcher pushes the
+# per-rank tracker while executing that rank's share of a step.
+# ----------------------------------------------------------------------
+_GLOBAL_TRACKER = MemoryTracker("global")
+_tracker_stack: list[MemoryTracker] = []
+
+
+def active_tracker() -> MemoryTracker:
+    """Return the tracker new buffers will be charged to."""
+    if _tracker_stack:
+        return _tracker_stack[-1]
+    return _GLOBAL_TRACKER
+
+
+def global_tracker() -> MemoryTracker:
+    return _GLOBAL_TRACKER
+
+
+@contextmanager
+def use_tracker(tracker: MemoryTracker):
+    """Charge buffers allocated inside the block to ``tracker``."""
+    _tracker_stack.append(tracker)
+    try:
+        yield tracker
+    finally:
+        _tracker_stack.pop()
+
+
+def track_array(array: np.ndarray, category: str | None = None) -> np.ndarray:
+    """Register ``array`` with the active tracker and return it."""
+    active_tracker().register(array, category)
+    return array
+
+
+@contextmanager
+def track_as(category: str):
+    """Shorthand for ``active_tracker().category(category)``."""
+    with active_tracker().category(category):
+        yield

@@ -1,0 +1,19 @@
+"""Training loop, metrics, run history, and checkpoint I/O."""
+
+from repro.train.checkpoint_io import load_checkpoint, resume, save_checkpoint
+from repro.train.history import EpochRecord, TrainingHistory
+from repro.train.metrics import RunningMean, evaluate
+from repro.train.trainer import Trainer, TrainerConfig, quick_train
+
+__all__ = [
+    "EpochRecord",
+    "RunningMean",
+    "Trainer",
+    "TrainerConfig",
+    "TrainingHistory",
+    "evaluate",
+    "load_checkpoint",
+    "quick_train",
+    "resume",
+    "save_checkpoint",
+]

@@ -1,0 +1,112 @@
+"""Training-run checkpoints: save/restore model + optimizer + progress.
+
+Ten-epoch runs over terabyte corpora are interrupted in practice; the
+paper's HydraGNN stack checkpoints to disk and resumes.  This module
+provides the same capability: one ``.npz`` file holds the model's
+parameters, the Adam moments, the global step, and the config needed to
+rebuild the model — and ``resume`` verifies the config matches.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.models.config import ModelConfig
+from repro.models.hydra import HydraModel
+from repro.optim.adam import Adam
+
+_FORMAT = "repro-checkpoint-v1"
+
+
+def save_checkpoint(
+    path: str | Path,
+    model: HydraModel,
+    optimizer: Adam | None = None,
+    global_step: int = 0,
+    extra: dict | None = None,
+) -> Path:
+    """Write a restorable training checkpoint to ``path`` (.npz)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload: dict[str, np.ndarray] = {}
+    for name, array in model.state_dict().items():
+        payload[f"param/{name}"] = array
+    if optimizer is not None:
+        state = optimizer.state_dict()
+        if state["m"] is not None:
+            for index, (m, v) in enumerate(zip(state["m"], state["v"])):
+                payload[f"adam_m/{index}"] = m
+                payload[f"adam_v/{index}"] = v
+        payload["adam/step_count"] = np.array(state["step_count"])
+        payload["adam/lr"] = np.array(state["lr"])
+    metadata = {
+        "format": _FORMAT,
+        "global_step": int(global_step),
+        "config": dataclasses.asdict(model.config),
+        "extra": extra or {},
+    }
+    payload["metadata"] = np.frombuffer(json.dumps(metadata).encode(), dtype=np.uint8)
+    np.savez_compressed(path, **payload)
+    return path
+
+
+def _read_metadata(data: np.lib.npyio.NpzFile) -> dict:
+    metadata = json.loads(bytes(data["metadata"].tobytes()).decode())
+    if metadata.get("format") != _FORMAT:
+        raise ValueError(f"not a repro checkpoint (format={metadata.get('format')!r})")
+    return metadata
+
+
+def load_checkpoint(path: str | Path) -> tuple[HydraModel, dict]:
+    """Rebuild the model from a checkpoint; returns ``(model, metadata)``."""
+    with np.load(Path(path), allow_pickle=False) as data:
+        metadata = _read_metadata(data)
+        config = ModelConfig(**metadata["config"])
+        model = HydraModel(config, seed=0)
+        state = {
+            key[len("param/") :]: data[key] for key in data.files if key.startswith("param/")
+        }
+        model.load_state_dict(state)
+    return model, metadata
+
+
+def resume(
+    path: str | Path,
+    model: HydraModel,
+    optimizer: Adam,
+) -> int:
+    """Restore ``model``/``optimizer`` in place; returns the global step.
+
+    The checkpoint's config must match the live model's config exactly —
+    resuming a width-64 run into a width-128 model is a silent-corruption
+    hazard this check turns into an error.
+    """
+    with np.load(Path(path), allow_pickle=False) as data:
+        metadata = _read_metadata(data)
+        saved_config = ModelConfig(**metadata["config"])
+        if saved_config != model.config:
+            raise ValueError(
+                f"config mismatch: checkpoint {saved_config} vs model {model.config}"
+            )
+        state = {
+            key[len("param/") :]: data[key] for key in data.files if key.startswith("param/")
+        }
+        model.load_state_dict(state)
+        moment_keys = sorted(
+            (key for key in data.files if key.startswith("adam_m/")),
+            key=lambda k: int(k.split("/")[1]),
+        )
+        if moment_keys:
+            optimizer.load_state_dict(
+                {
+                    "step_count": int(data["adam/step_count"]),
+                    "lr": float(data["adam/lr"]),
+                    "m": [data[key] for key in moment_keys],
+                    "v": [data[key.replace("adam_m/", "adam_v/")] for key in moment_keys],
+                }
+            )
+    return int(metadata["global_step"])

@@ -1,0 +1,44 @@
+"""Training-run records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class EpochRecord:
+    epoch: int
+    train_loss: float
+    test_loss: float
+    learning_rate: float
+    grad_norm: float
+    seconds: float
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch log of one training run plus its final metrics."""
+
+    epochs: list[EpochRecord] = field(default_factory=list)
+    final_metrics: dict[str, float] = field(default_factory=dict)
+
+    def append(self, record: EpochRecord) -> None:
+        self.epochs.append(record)
+
+    @property
+    def final_test_loss(self) -> float:
+        if self.final_metrics:
+            return self.final_metrics["test_loss"]
+        if self.epochs:
+            return self.epochs[-1].test_loss
+        return float("nan")
+
+    @property
+    def best_test_loss(self) -> float:
+        if not self.epochs:
+            return float("nan")
+        return min(record.test_loss for record in self.epochs)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(record.seconds for record in self.epochs)

@@ -1,0 +1,148 @@
+"""Corpus aggregation, subsetting, splits, normalization, storage."""
+
+import numpy as np
+import pytest
+
+from repro.data import AdiosShardStore, Corpus, Normalizer, generate_corpus, split_indices
+from repro.data.aggregate import PAPER_TOTAL_TB
+from repro.graph.batch import collate
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_corpus(100, seed=21)
+
+
+class TestGenerateCorpus:
+    def test_all_sources_present(self, corpus):
+        assert set(corpus.source_labels()) == {"ani1x", "qm7x", "oc20", "oc22", "mptrj"}
+
+    def test_byte_mixture_tracks_paper_shares(self, corpus):
+        """OC20 must dominate by bytes, as in Table I (726/1188 GB)."""
+        labels = corpus.source_labels()
+        bytes_by_source = {}
+        for graph, label in zip(corpus.graphs, labels):
+            bytes_by_source[label] = bytes_by_source.get(label, 0) + graph.nbytes()
+        shares = {k: v / corpus.total_bytes for k, v in bytes_by_source.items()}
+        assert shares["oc20"] > 0.4
+        assert shares["oc20"] > shares["oc22"] > shares["ani1x"]
+
+    def test_deterministic(self):
+        a = generate_corpus(30, seed=3)
+        b = generate_corpus(30, seed=3)
+        assert a.num_graphs == b.num_graphs
+        assert np.array_equal(a.graphs[0].positions, b.graphs[0].positions)
+
+    def test_equal_mixture(self):
+        corpus = generate_corpus(25, seed=4, mixture="equal")
+        labels, counts = np.unique(corpus.source_labels(), return_counts=True)
+        assert counts.max() - counts.min() <= 1
+
+    def test_unknown_mixture_rejected(self):
+        with pytest.raises(ValueError):
+            generate_corpus(10, mixture="bogus")
+
+
+class TestSubsetting:
+    def test_prefix_subset_undersamples_late_sources(self, corpus):
+        """The paper's 0.1 TB mismatch mechanism: prefix misses sources."""
+        small = corpus.subset(0.08, strategy="prefix")
+        present = {g.source for g in small}
+        assert "mptrj" not in present  # last source in aggregation order
+        assert "ani1x" in present
+
+    def test_uniform_subset_covers_sources(self, corpus):
+        small = corpus.subset(0.5, strategy="uniform", seed=1)
+        assert len({g.source for g in small}) >= 4
+
+    def test_subset_byte_budget(self, corpus):
+        for fraction in (0.25, 0.5, 1.0):
+            subset = corpus.subset(fraction, strategy="prefix")
+            subset_bytes = sum(g.nbytes() for g in subset)
+            assert subset_bytes <= fraction * corpus.total_bytes * 1.1
+
+    def test_full_fraction_is_everything(self, corpus):
+        assert len(corpus.subset(1.0, strategy="prefix")) == corpus.num_graphs
+
+    def test_bad_fraction_rejected(self, corpus):
+        with pytest.raises(ValueError):
+            corpus.subset(0.0)
+        with pytest.raises(ValueError):
+            corpus.subset(1.5)
+
+    def test_paper_tb_mapping(self, corpus):
+        assert corpus.paper_tb() == pytest.approx(PAPER_TOTAL_TB)
+        half = corpus.subset(0.5, strategy="prefix")
+        assert corpus.paper_tb(half) == pytest.approx(0.6, abs=0.08)
+
+
+class TestSplit:
+    def test_train_test_disjoint_and_complete(self, corpus):
+        train, test = corpus.train_test_split(0.2, seed=5)
+        assert train.num_graphs + len(test) == corpus.num_graphs
+        assert len(test) == round(0.2 * corpus.num_graphs)
+
+    def test_test_set_spans_sources(self, corpus):
+        """The held-out set is uniform over the full corpus (Sec. IV)."""
+        _, test = corpus.train_test_split(0.2, seed=6)
+        assert len({g.source for g in test}) >= 3
+
+    def test_split_indices_partition(self):
+        splits = split_indices(100, {"train": 0.7, "val": 0.1, "test": 0.2}, seed=0)
+        merged = np.concatenate(list(splits.values()))
+        assert sorted(merged) == list(range(100))
+
+    def test_split_indices_validation(self):
+        with pytest.raises(ValueError):
+            split_indices(10, {"a": 0.5, "b": 0.2})
+
+
+class TestNormalizer:
+    def test_normalized_energy_standardized(self, corpus):
+        normalizer = Normalizer.fit(corpus.graphs)
+        batch = collate(corpus.graphs)
+        normalized = normalizer.normalized_energy(batch)
+        assert abs(float(normalized.mean())) < 0.2
+        assert 0.5 < float(normalized.std()) < 2.0
+
+    def test_roundtrip(self, corpus):
+        normalizer = Normalizer.fit(corpus.graphs)
+        batch = collate(corpus.graphs[:10])
+        forward = normalizer.normalized_forces(batch)
+        back = normalizer.denormalize_forces(forward)
+        assert np.allclose(back, batch.forces, rtol=1e-5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Normalizer.fit([])
+
+
+class TestStore:
+    def test_roundtrip_preserves_everything(self, corpus, tmp_path):
+        store = AdiosShardStore(tmp_path / "corpus")
+        manifest = store.write(corpus.graphs[:40], shard_size=16)
+        assert manifest["num_graphs"] == 40
+        assert len(manifest["shards"]) == 3
+        loaded = store.read()
+        assert len(loaded) == 40
+        for original, restored in zip(corpus.graphs[:40], loaded):
+            assert np.array_equal(original.atomic_numbers, restored.atomic_numbers)
+            assert np.allclose(original.positions, restored.positions)
+            assert np.array_equal(original.edge_index, restored.edge_index)
+            assert original.energy == pytest.approx(restored.energy)
+            assert original.source == restored.source
+            assert original.pbc == restored.pbc
+            if original.cell is None:
+                assert restored.cell is None
+            else:
+                assert np.allclose(original.cell, restored.cell)
+
+    def test_manifest_source_counts(self, corpus, tmp_path):
+        store = AdiosShardStore(tmp_path / "c2")
+        manifest = store.write(corpus.graphs[:30], shard_size=50)
+        assert sum(manifest["graphs_per_source"].values()) == 30
+
+    def test_invalid_shard_size(self, corpus, tmp_path):
+        store = AdiosShardStore(tmp_path / "c3")
+        with pytest.raises(ValueError):
+            store.write(corpus.graphs[:5], shard_size=0)

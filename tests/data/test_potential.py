@@ -1,0 +1,156 @@
+"""Ground-truth potential: force consistency, invariances, parameters."""
+
+import numpy as np
+import pytest
+
+from repro.data.potential import DEFAULT_POTENTIAL, MorseParameters, MorsePotential
+from repro.data.sources import ANI1xSource, MPTrjSource, OC20Source
+from repro.graph.atoms import AtomGraph
+from repro.graph.radius import build_edges
+
+
+def _finite_difference_forces(graph: AtomGraph, cutoff: float, atoms: int = 3) -> float:
+    """Max |analytic - central-difference| force error over a few atoms."""
+
+    def energy_of(positions: np.ndarray) -> float:
+        edges, shifts = build_edges(positions, cutoff, graph.cell, graph.pbc)
+        probe = AtomGraph(graph.atomic_numbers, positions, edges, shifts,
+                          cell=graph.cell, pbc=graph.pbc)
+        energy, _ = DEFAULT_POTENTIAL.energy_and_forces(probe)
+        return energy
+
+    eps = 1e-6
+    worst = 0.0
+    for atom in range(min(graph.n_atoms, atoms)):
+        for axis in range(3):
+            plus = graph.positions.copy()
+            minus = graph.positions.copy()
+            plus[atom, axis] += eps
+            minus[atom, axis] -= eps
+            numeric = -(energy_of(plus) - energy_of(minus)) / (2 * eps)
+            worst = max(worst, abs(numeric - graph.forces[atom, axis]))
+    return worst
+
+
+class TestForceConsistency:
+    def test_molecular_forces_match_gradient(self):
+        source = ANI1xSource()
+        graph = source.sample(1, 5)[0]
+        assert _finite_difference_forces(graph, source.cutoff) < 1e-5
+
+    def test_periodic_forces_match_gradient(self):
+        source = MPTrjSource()
+        source.max_neighbors = None  # label graph must keep the full edge set
+        graph = source.sample(1, 6)[0]
+        assert _finite_difference_forces(graph, source.cutoff) < 1e-5
+
+    def test_slab_forces_match_gradient(self):
+        source = OC20Source()
+        source.max_neighbors = None
+        graph = source.sample(1, 7)[0]
+        assert _finite_difference_forces(graph, source.cutoff, atoms=2) < 1e-5
+
+    def test_forces_sum_to_zero_for_molecules(self):
+        """Newton's third law: isolated system has zero net force."""
+        graph = ANI1xSource().sample(1, 8)[0]
+        assert np.allclose(graph.forces.sum(axis=0), 0.0, atol=1e-9)
+
+
+class TestInvariances:
+    def test_translation_invariance(self):
+        source = ANI1xSource()
+        graph = source.sample(1, 9)[0]
+        moved = AtomGraph(
+            graph.atomic_numbers,
+            graph.positions + np.array([3.0, -1.0, 2.0]),
+            graph.edge_index,
+            graph.edge_shift,
+        )
+        e0, f0 = DEFAULT_POTENTIAL.energy_and_forces(graph)
+        e1, f1 = DEFAULT_POTENTIAL.energy_and_forces(moved)
+        assert e0 == pytest.approx(e1, rel=1e-12)
+        assert np.allclose(f0, f1)
+
+    def test_rotation_equivariance(self):
+        from scipy.spatial.transform import Rotation
+
+        source = ANI1xSource()
+        graph = source.sample(1, 10)[0]
+        rotation = Rotation.from_euler("xyz", [0.4, -0.7, 1.2]).as_matrix()
+        rotated = AtomGraph(
+            graph.atomic_numbers,
+            graph.positions @ rotation.T,
+            graph.edge_index,
+            graph.edge_shift @ rotation.T,
+        )
+        e0, f0 = DEFAULT_POTENTIAL.energy_and_forces(graph)
+        e1, f1 = DEFAULT_POTENTIAL.energy_and_forces(rotated)
+        assert e0 == pytest.approx(e1, rel=1e-10)
+        assert np.allclose(f0 @ rotation.T, f1, atol=1e-9)
+
+    def test_permutation_invariance(self):
+        source = ANI1xSource()
+        graph = source.sample(1, 11)[0]
+        perm = np.random.default_rng(0).permutation(graph.n_atoms)
+        inverse = np.argsort(perm)
+        permuted = AtomGraph(
+            graph.atomic_numbers[perm],
+            graph.positions[perm],
+            inverse[graph.edge_index],
+            graph.edge_shift,
+        )
+        e0, f0 = DEFAULT_POTENTIAL.energy_and_forces(graph)
+        e1, f1 = DEFAULT_POTENTIAL.energy_and_forces(permuted)
+        assert e0 == pytest.approx(e1, rel=1e-10)
+        assert np.allclose(f0[perm], f1, atol=1e-9)
+
+
+class TestPotentialStructure:
+    def test_reference_energy_additive(self):
+        graph = ANI1xSource().sample(1, 12)[0]
+        isolated = AtomGraph(
+            graph.atomic_numbers,
+            graph.positions * 100.0,  # far apart: pair terms vanish
+            np.zeros((2, 0), dtype=np.int64),
+            np.zeros((0, 3)),
+        )
+        energy, forces = DEFAULT_POTENTIAL.energy_and_forces(isolated)
+        expected = DEFAULT_POTENTIAL.reference_energy(graph.atomic_numbers).sum()
+        assert energy == pytest.approx(float(expected))
+        assert np.allclose(forces, 0.0)
+
+    def test_binding_lowers_energy_at_equilibrium(self):
+        """A pair at the Morse minimum is below two isolated atoms."""
+        z = np.array([6, 8])
+        potential = MorsePotential()
+        r0 = potential.pair_r0(z[:1], z[1:])[0]
+        positions = np.array([[0.0, 0.0, 0.0], [r0, 0.0, 0.0]])
+        edges, shifts = build_edges(positions, 5.0)
+        pair = AtomGraph(z, positions, edges, shifts)
+        bound, forces = potential.energy_and_forces(pair)
+        isolated = float(potential.reference_energy(z).sum())
+        assert bound < isolated
+        # Small force at the equilibrium distance (the cutoff envelope
+        # shifts the minimum slightly inward of the bare-Morse r0).
+        assert np.abs(forces).max() < 0.35
+
+    def test_repulsive_at_short_range(self):
+        z = np.array([6, 6])
+        positions = np.array([[0.0, 0.0, 0.0], [0.5, 0.0, 0.0]])
+        edges, shifts = build_edges(positions, 5.0)
+        graph = AtomGraph(z, positions, edges, shifts)
+        _, forces = DEFAULT_POTENTIAL.energy_and_forces(graph)
+        # Atoms push apart: force on atom 0 points in -x.
+        assert forces[0, 0] < 0 < forces[1, 0]
+
+    def test_electronegativity_deepens_heteronuclear_bond(self):
+        potential = MorsePotential(MorseParameters(electronegativity_gain=0.5))
+        homo = potential.pair_depth(np.array([6]), np.array([6]))[0]
+        hetero = potential.pair_depth(np.array([6]), np.array([8]))[0]
+        assert hetero > homo
+
+    def test_label_writes_onto_graph(self):
+        source = ANI1xSource()
+        graph = source.sample(1, 13)[0]
+        assert graph.energy != 0.0
+        assert graph.forces.shape == (graph.n_atoms, 3)

@@ -1,0 +1,104 @@
+"""The five synthetic sources: validity, statistics, determinism."""
+
+import numpy as np
+import pytest
+
+from repro.data.sources import (
+    SOURCE_CLASSES,
+    ANI1xSource,
+    MPTrjSource,
+    OC20Source,
+    OC22Source,
+    QM7XSource,
+    default_sources,
+)
+
+
+@pytest.fixture(scope="module")
+def samples():
+    """A small cached sample per source (generation is the slow part)."""
+    return {type(s).__name__: (s, s.sample(6, 42)) for s in default_sources()}
+
+
+class TestAllSources:
+    def test_five_sources_registered(self):
+        assert len(SOURCE_CLASSES) == 5
+        names = [cls.spec.name for cls in SOURCE_CLASSES]
+        assert names == ["ani1x", "qm7x", "oc20", "oc22", "mptrj"]
+
+    def test_graphs_are_valid(self, samples):
+        for name, (source, graphs) in samples.items():
+            for graph in graphs:
+                assert graph.n_atoms > 0, name
+                assert graph.n_edges > 0, name
+                assert graph.source == source.spec.name
+                assert np.isfinite(graph.positions).all()
+                assert np.isfinite(graph.energy)
+                assert np.isfinite(graph.forces).all()
+
+    def test_edges_within_cutoff(self, samples):
+        for name, (source, graphs) in samples.items():
+            for graph in graphs:
+                assert graph.edge_distances().max() < source.cutoff + 1e-9, name
+
+    def test_no_atom_overlaps(self, samples):
+        for name, (_, graphs) in samples.items():
+            for graph in graphs:
+                assert graph.edge_distances().min() > 0.35, name
+
+    def test_determinism(self):
+        for source_cls in SOURCE_CLASSES:
+            a = source_cls().sample(2, 7)
+            b = source_cls().sample(2, 7)
+            for ga, gb in zip(a, b):
+                assert np.array_equal(ga.positions, gb.positions)
+                assert ga.energy == gb.energy
+
+    def test_nodes_per_graph_near_paper(self, samples):
+        """Within 2x of each Table I nodes/graph ratio."""
+        for name, (source, graphs) in samples.items():
+            measured = np.mean([g.n_atoms for g in graphs])
+            paper = source.spec.nodes_per_graph
+            assert 0.5 < measured / paper < 2.0, (name, measured, paper)
+
+    def test_degree_near_paper(self, samples):
+        """Within 2x of each Table I edges/node ratio."""
+        for name, (source, graphs) in samples.items():
+            measured = np.mean([g.n_edges / g.n_atoms for g in graphs])
+            paper = source.spec.num_edges / source.spec.num_nodes
+            assert 0.4 < measured / paper < 2.5, (name, measured, paper)
+
+
+class TestSourceChemistry:
+    def test_ani1x_is_chno(self):
+        for graph in ANI1xSource().sample(4, 0):
+            assert set(graph.atomic_numbers).issubset({1, 6, 7, 8})
+
+    def test_qm7x_heavy_atom_limit(self):
+        for graph in QM7XSource().sample(6, 1):
+            heavy = (graph.atomic_numbers > 1).sum()
+            assert heavy <= 7
+
+    def test_oc20_has_slab_and_pbc(self):
+        graph = OC20Source().sample(1, 2)[0]
+        assert graph.pbc == (True, True, False)
+        assert graph.cell is not None
+        # Mostly metal atoms plus a small adsorbate.
+        metals = (graph.atomic_numbers > 10).sum()
+        assert metals > graph.n_atoms * 0.8
+
+    def test_oc22_contains_oxygen_lattice(self):
+        graph = OC22Source().sample(1, 3)[0]
+        oxygen_fraction = (graph.atomic_numbers == 8).mean()
+        assert oxygen_fraction > 0.3
+
+    def test_mptrj_fully_periodic(self):
+        graph = MPTrjSource().sample(1, 4)[0]
+        assert graph.pbc == (True, True, True)
+        assert graph.cell is not None
+
+    def test_max_neighbor_caps(self):
+        for source in (OC20Source(), OC22Source(), MPTrjSource()):
+            graph = source.sample(1, 5)[0]
+            degrees = np.bincount(graph.edge_index[1], minlength=graph.n_atoms)
+            assert degrees.max() <= source.max_neighbors

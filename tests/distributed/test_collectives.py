@@ -1,0 +1,99 @@
+"""Simulated cluster collectives: semantics and modeled cost."""
+
+import numpy as np
+import pytest
+
+from repro.distributed import CommCostModel, SimCluster
+from repro.hpc.perlmutter import PERLMUTTER
+
+
+class TestCollectives:
+    def test_all_reduce_mean(self):
+        cluster = SimCluster(4)
+        arrays = [np.full(8, float(r)) for r in range(4)]
+        out = cluster.all_reduce_mean(arrays)
+        for result in out:
+            assert np.allclose(result, 1.5)
+
+    def test_all_reduce_sum(self):
+        cluster = SimCluster(3)
+        out = cluster.all_reduce_sum([np.ones(4) for _ in range(3)])
+        assert np.allclose(out[0], 3.0)
+
+    def test_reduce_scatter_shards(self):
+        cluster = SimCluster(2)
+        arrays = [np.arange(8.0), np.arange(8.0)]
+        shards = cluster.reduce_scatter_mean(arrays)
+        assert np.allclose(shards[0], np.arange(4.0))
+        assert np.allclose(shards[1], np.arange(4.0, 8.0))
+
+    def test_all_gather_concatenates(self):
+        cluster = SimCluster(2)
+        out = cluster.all_gather([np.array([1.0]), np.array([2.0, 3.0])])
+        for result in out:
+            assert np.allclose(result, [1.0, 2.0, 3.0])
+
+    def test_broadcast(self):
+        cluster = SimCluster(3)
+        out = cluster.broadcast(np.array([7.0]))
+        assert len(out) == 3
+        assert all(np.allclose(o, 7.0) for o in out)
+
+    def test_broadcast_copies(self):
+        cluster = SimCluster(2)
+        source = np.array([1.0])
+        out = cluster.broadcast(source)
+        out[0][0] = 99.0
+        assert source[0] == 1.0
+
+    def test_shape_mismatch_rejected(self):
+        cluster = SimCluster(2)
+        with pytest.raises(ValueError):
+            cluster.all_reduce_mean([np.ones(3), np.ones(4)])
+
+    def test_wrong_rank_count_rejected(self):
+        cluster = SimCluster(2)
+        with pytest.raises(ValueError):
+            cluster.all_reduce_mean([np.ones(3)])
+
+    def test_collectives_advance_all_clocks(self):
+        cluster = SimCluster(4)
+        cluster.all_reduce_mean([np.ones(1000) for _ in range(4)])
+        assert all(rank.clock > 0 for rank in cluster.ranks)
+        assert all(rank.comm_time == rank.clock for rank in cluster.ranks)
+
+    def test_single_rank_cluster(self):
+        cluster = SimCluster(1)
+        out = cluster.all_reduce_mean([np.ones(4)])
+        assert np.allclose(out[0], 1.0)
+        assert cluster.ranks[0].clock == 0.0  # no communication needed
+
+
+class TestCostModel:
+    def test_allreduce_scales_with_bytes(self):
+        cost = CommCostModel(4)
+        assert cost.all_reduce(1e9) > cost.all_reduce(1e6)
+
+    def test_single_rank_is_free(self):
+        cost = CommCostModel(1)
+        assert cost.all_reduce(1e9) == 0.0
+        assert cost.all_gather(1e9) == 0.0
+
+    def test_allreduce_is_two_phase(self):
+        cost = CommCostModel(4)
+        n = 1e8
+        assert cost.all_reduce(n) == pytest.approx(
+            cost.reduce_scatter(n) + cost.all_gather(n)
+        )
+
+    def test_inter_node_slower_than_intra(self):
+        """Rings beyond one node ride the NIC, not NVLink."""
+        intra = CommCostModel(4).all_reduce(1e9)
+        inter = CommCostModel(8).all_reduce(1e9)
+        assert inter > intra * 2
+
+    def test_known_bandwidth_formula(self):
+        cost = CommCostModel(4)
+        n = 1e9
+        expected = 2 * (3 / 4) * n / PERLMUTTER.nvlink_bandwidth + 2 * 3 * PERLMUTTER.nvlink_latency
+        assert cost.all_reduce(n) == pytest.approx(expected)

@@ -1,0 +1,98 @@
+"""Fig. 6 / Table II runners on reduced workloads + step-time model."""
+
+import pytest
+
+from repro.distributed.step_time import StepTimeModel, egnn_forward_flops
+from repro.experiments.memory_breakdown import run_fig6, suggest_batch_count
+from repro.experiments.techniques import run_table2
+from repro.models import ModelConfig, solve_width
+
+
+@pytest.fixture(scope="module")
+def fig6_result():
+    return run_fig6(width=96, depth=3, ranks=2, batch_graphs=6)
+
+
+@pytest.fixture(scope="module")
+def table2_result():
+    return run_table2(width=96, depth=3, ranks=2, steps=1, batch_per_rank=4)
+
+
+class TestFig6:
+    def test_activations_dominate_vanilla(self, fig6_result):
+        assert fig6_result.claim_activations_dominate_vanilla()
+
+    def test_optimized_shrinks_activation_share(self, fig6_result):
+        assert fig6_result.claim_activations_minor_after()
+
+    def test_optimized_peak_lower(self, fig6_result):
+        assert fig6_result.optimized_peak_bytes < fig6_result.vanilla_peak_bytes
+
+    def test_breakdowns_sum_to_100(self, fig6_result):
+        assert sum(fig6_result.vanilla_breakdown.values()) == pytest.approx(100.0, abs=0.1)
+        assert sum(fig6_result.optimized_breakdown.values()) == pytest.approx(100.0, abs=0.1)
+
+    def test_render_includes_paper_columns(self, fig6_result):
+        text = fig6_result.to_text()
+        assert "76.90%" in text and "46.77%" in text
+
+    def test_suggest_batch_count_targets_share(self):
+        config = ModelConfig(hidden_dim=256, num_layers=3)
+        low = suggest_batch_count(config, 15, 220, target_activation_share=0.5)
+        high = suggest_batch_count(config, 15, 220, target_activation_share=0.9)
+        assert high > low >= 1
+
+
+class TestTable2:
+    def test_memory_ordering(self, table2_result):
+        assert table2_result.claim_memory_ordering()
+
+    def test_time_ordering_modeled(self, table2_result):
+        assert table2_result.claim_time_ordering()
+
+    def test_relative_memory_baseline_100(self, table2_result):
+        relative = table2_result.relative_memory()
+        assert relative["vanilla"] == pytest.approx(100.0)
+        assert relative["+zero_optimizer"] < relative["+activation_checkpointing"]
+
+    def test_render(self, table2_result):
+        text = table2_result.to_text()
+        assert "Table II" in text
+        assert "42%" in text  # paper column present
+
+
+class TestStepTimeModel:
+    def test_flops_scale_with_width_squared(self):
+        narrow = egnn_forward_flops(ModelConfig(hidden_dim=100), 100, 2000)
+        wide = egnn_forward_flops(ModelConfig(hidden_dim=200), 100, 2000)
+        assert 3.0 < wide / narrow < 4.5
+
+    def test_checkpointing_adds_one_forward(self):
+        model = StepTimeModel(num_ranks=4)
+        config = ModelConfig(hidden_dim=512, num_layers=3)
+        plain = model.breakdown(config, 150, 3200)
+        ckpt = model.breakdown(config, 150, 3200, checkpointing=True)
+        assert ckpt["recompute"] == pytest.approx(plain["forward"])
+        assert plain["recompute"] == 0.0
+
+    def test_zero_adds_allgather(self):
+        model = StepTimeModel(num_ranks=4)
+        config = ModelConfig(hidden_dim=512, num_layers=3)
+        plain = model.breakdown(config, 150, 3200, checkpointing=True)
+        zero = model.breakdown(config, 150, 3200, checkpointing=True, zero=True)
+        assert zero["communication"] > plain["communication"]
+
+    def test_paper_scale_relative_times_ordered(self):
+        """At 128 GPUs and 1B params the Table II ordering must hold."""
+        model = StepTimeModel(num_ranks=128)
+        config = solve_width(1_000_000_000, num_layers=3)
+        relative = model.relative_times(config, 292, 6400)
+        assert relative["vanilla"] == 100.0
+        assert 100.0 < relative["+activation_checkpointing"] < 160.0
+        assert relative["+activation_checkpointing"] < relative["+zero_optimizer"] < 180.0
+
+    def test_backward_twice_forward(self):
+        model = StepTimeModel(num_ranks=1)
+        breakdown = model.breakdown(ModelConfig(hidden_dim=64), 50, 500)
+        assert breakdown["backward"] == pytest.approx(2 * breakdown["forward"])
+        assert breakdown["communication"] == 0.0

@@ -1,0 +1,137 @@
+"""Experiment runners: registry completeness and light-budget smoke runs.
+
+The heavyweight versions live in benchmarks/; these tests run the same
+code with minimal budgets to lock in interfaces and headline claims.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import EXPERIMENTS, run_experiment
+from repro.experiments.fig1_landscape import run_fig1
+from repro.experiments.report import ascii_heatmap, ascii_line_chart, ascii_table, format_count
+from repro.experiments.table1_sources import run_table1
+
+
+class TestRegistry:
+    def test_every_paper_artifact_registered(self):
+        expected = {"table1", "table2", "fig1", "fig3", "fig4", "fig5", "fig6"}
+        assert expected == set(EXPERIMENTS)
+
+    def test_specs_point_to_bench_files(self):
+        import pathlib
+
+        root = pathlib.Path(__file__).resolve().parents[2]
+        for spec in EXPERIMENTS.values():
+            assert (root / spec.bench_target).exists(), spec.bench_target
+
+    def test_unknown_id_rejected(self):
+        with pytest.raises(KeyError):
+            run_experiment("fig99")
+
+
+class TestTable1:
+    def test_rows_cover_sources(self):
+        result = run_table1(samples_per_source=6)
+        assert [row.name for row in result.rows] == ["ani1x", "qm7x", "oc20", "oc22", "mptrj"]
+
+    def test_scaled_counts_within_2x_of_paper(self):
+        result = run_table1(samples_per_source=8)
+        assert result.max_node_ratio_error() < 1.0  # within 2x
+        for row in result.rows:
+            assert 0.3 < row.scaled_edges / row.paper_edges < 3.0
+
+    def test_text_render(self):
+        text = run_table1(samples_per_source=4).to_text()
+        assert "Table I" in text and "oc20" in text
+
+
+class TestFig1:
+    def test_ours_is_the_largest_model(self):
+        result = run_fig1()
+        label, params, gigabytes = result.ours()
+        others = [p for p in result.points if p[0] != "ours"]
+        assert params > max(p[1] for p in others) * 10
+        assert gigabytes > max(p[2] for p in others) * 100
+
+    def test_render(self):
+        assert "ours" in run_fig1().to_text()
+
+
+class TestReportHelpers:
+    def test_format_count(self):
+        assert format_count(1234) == "1.23K"
+        assert format_count(2.5e6) == "2.50M"
+        assert format_count(2e9) == "2.00B"
+        assert format_count(12) == "12"
+
+    def test_ascii_table_alignment(self):
+        text = ascii_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert len({len(line) for line in lines}) == 1  # rectangular
+
+    def test_ascii_table_row_mismatch(self):
+        with pytest.raises(ValueError):
+            ascii_table(["a"], [["1", "2"]])
+
+    def test_line_chart_contains_series_glyphs(self):
+        chart = ascii_line_chart(
+            {"a": [(1.0, 1.0), (10.0, 0.5)], "b": [(1.0, 0.8), (10.0, 0.6)]},
+            log_x=True,
+        )
+        assert "o=a" in chart and "x=b" in chart
+
+    def test_line_chart_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_line_chart({})
+
+    def test_heatmap_renders_values(self):
+        text = ascii_heatmap(np.array([[0.1, 0.2]]), ["row"], ["c1", "c2"])
+        assert "0.1000" in text
+
+
+class TestScalingStudySmoke:
+    @pytest.fixture(scope="class")
+    def study(self):
+        from repro.experiments.scaling_study import ScalingStudy
+        from repro.scaling import LadderSpec
+
+        spec = LadderSpec(
+            corpus_graphs=90,
+            widths=(4, 8, 16),
+            dataset_fractions=(0.25, 1.0),
+            epochs=2,
+        )
+        return ScalingStudy.run(spec)
+
+    def test_measured_points_complete(self, study):
+        assert len(study.ladder.points) == 6
+        assert all(np.isfinite(p.test_loss) for p in study.ladder.points)
+
+    def test_projected_claims_hold(self, study):
+        """The paper's four headline claims on the projected tier."""
+        assert study.claim_model_scaling_helps()
+        assert study.claim_data_scaling_helps()
+        assert study.claim_diminishing_returns()
+        assert study.claim_mismatch_bump()
+
+    def test_series_grids_cover_paper_axes(self, study):
+        fig3 = study.fig3_series()
+        assert len(fig3) == 7  # dataset sizes
+        assert all(len(series) == 10 for series in fig3.values())  # model sizes
+        fig4 = study.fig4_series()
+        assert len(fig4) == 10
+        assert all(len(series) == 7 for series in fig4.values())
+
+    def test_measured_series_grouping(self, study):
+        by_fraction = study.measured_fig3_series()
+        assert len(by_fraction) == 2
+        by_width = study.measured_fig4_series()
+        assert set(by_width) == {4, 8, 16}
+
+    def test_figure_renderers(self, study):
+        from repro.experiments.data_scaling import Fig4Result
+        from repro.experiments.model_scaling import Fig3Result
+
+        assert "Fig. 3" in Fig3Result(study).to_text()
+        assert "Fig. 4" in Fig4Result(study).to_text()

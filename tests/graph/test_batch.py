@@ -1,0 +1,74 @@
+"""Graph batching (collation) semantics."""
+
+import numpy as np
+import pytest
+
+from repro.graph.batch import batch_iterator, collate
+from tests.helpers import make_molecule_graphs, make_periodic_graphs
+
+
+class TestCollate:
+    def test_counts_add_up(self):
+        graphs = make_molecule_graphs(5)
+        batch = collate(graphs)
+        assert batch.num_graphs == 5
+        assert batch.num_nodes == sum(g.n_atoms for g in graphs)
+        assert batch.num_edges == sum(g.n_edges for g in graphs)
+
+    def test_edge_offsets(self):
+        graphs = make_molecule_graphs(3)
+        batch = collate(graphs)
+        offset = graphs[0].n_atoms
+        second_graph_edges = batch.edge_index[:, graphs[0].n_edges : graphs[0].n_edges + graphs[1].n_edges]
+        assert np.array_equal(second_graph_edges - offset, graphs[1].edge_index)
+
+    def test_node_graph_vector(self):
+        graphs = make_molecule_graphs(3)
+        batch = collate(graphs)
+        counts = np.bincount(batch.node_graph)
+        assert list(counts) == [g.n_atoms for g in graphs]
+
+    def test_energies_column_vector(self):
+        graphs = make_molecule_graphs(4)
+        batch = collate(graphs)
+        assert batch.energies.shape == (4, 1)
+        assert np.allclose(batch.energies.ravel(), [g.energy for g in graphs], rtol=1e-6)
+
+    def test_mixed_periodic_and_molecular(self):
+        graphs = make_molecule_graphs(2) + make_periodic_graphs(2)
+        batch = collate(graphs)
+        assert batch.num_graphs == 4
+        # Periodic graphs contribute nonzero shifts; molecular all-zero.
+        assert np.abs(batch.edge_shift).max() > 0
+
+    def test_float32_output(self):
+        batch = collate(make_molecule_graphs(2))
+        assert batch.positions.dtype == np.float32
+        assert batch.forces.dtype == np.float32
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            collate([])
+
+    def test_nbytes_positive(self):
+        assert collate(make_molecule_graphs(2)).nbytes() > 0
+
+
+class TestBatchIterator:
+    def test_covers_all_graphs(self):
+        graphs = make_molecule_graphs(10)
+        batches = list(batch_iterator(graphs, batch_size=3))
+        assert [b.num_graphs for b in batches] == [3, 3, 3, 1]
+
+    def test_shuffle_changes_order_not_content(self):
+        graphs = make_molecule_graphs(8)
+        rng = np.random.default_rng(0)
+        shuffled = list(batch_iterator(graphs, 8, rng))[0]
+        plain = list(batch_iterator(graphs, 8))[0]
+        assert sorted(shuffled.energies.ravel()) == pytest.approx(
+            sorted(plain.energies.ravel())
+        )
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            list(batch_iterator(make_molecule_graphs(2), 0))

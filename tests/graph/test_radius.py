@@ -1,0 +1,141 @@
+"""Neighbor-search correctness, including periodic boundaries."""
+
+import numpy as np
+import pytest
+
+from repro.graph.radius import (
+    build_edges,
+    periodic_radius_graph,
+    radius_graph,
+    trim_max_neighbors,
+)
+
+
+class TestOpenBoundary:
+    def test_pair_within_cutoff(self):
+        positions = np.array([[0.0, 0.0, 0.0], [1.0, 0.0, 0.0]])
+        edges, shifts = radius_graph(positions, cutoff=1.5)
+        assert edges.shape == (2, 2)  # both directions
+        assert np.allclose(shifts, 0.0)
+
+    def test_pair_outside_cutoff(self):
+        positions = np.array([[0.0, 0.0, 0.0], [2.0, 0.0, 0.0]])
+        edges, _ = radius_graph(positions, cutoff=1.5)
+        assert edges.shape[1] == 0
+
+    def test_directed_symmetry(self):
+        rng = np.random.default_rng(0)
+        positions = rng.uniform(0, 5, size=(20, 3))
+        edges, _ = radius_graph(positions, cutoff=2.0)
+        pairs = {(int(s), int(d)) for s, d in edges.T}
+        assert all((d, s) in pairs for s, d in pairs)
+
+    def test_no_self_edges(self):
+        rng = np.random.default_rng(1)
+        positions = rng.uniform(0, 3, size=(10, 3))
+        edges, _ = radius_graph(positions, cutoff=2.5)
+        assert (edges[0] != edges[1]).all()
+
+    def test_empty_input(self):
+        edges, shifts = radius_graph(np.zeros((0, 3)), cutoff=1.0)
+        assert edges.shape == (2, 0)
+        assert shifts.shape == (0, 3)
+
+    def test_matches_brute_force(self):
+        rng = np.random.default_rng(2)
+        positions = rng.uniform(0, 4, size=(15, 3))
+        cutoff = 1.8
+        edges, _ = radius_graph(positions, cutoff)
+        found = {(int(s), int(d)) for s, d in edges.T}
+        expected = set()
+        for i in range(15):
+            for j in range(15):
+                if i != j and np.linalg.norm(positions[i] - positions[j]) < cutoff:
+                    expected.add((i, j))
+        assert found == expected
+
+
+class TestPeriodic:
+    def test_neighbor_across_boundary(self):
+        # Two atoms 0.6 apart through the x boundary of a 4-angstrom box.
+        cell = np.diag([4.0, 4.0, 4.0])
+        positions = np.array([[0.2, 2.0, 2.0], [3.8, 2.0, 2.0]])
+        edges, shifts = periodic_radius_graph(positions, cell, (True, True, True), cutoff=1.0)
+        assert edges.shape[1] == 2
+        vectors = positions[edges[1]] - (positions[edges[0]] + shifts)
+        distances = np.linalg.norm(vectors, axis=1)
+        assert np.allclose(distances, 0.4, atol=1e-12)
+
+    def test_self_image_edges_in_small_cell(self):
+        # One atom in a cell smaller than the cutoff sees its own images.
+        cell = np.diag([2.0, 10.0, 10.0])
+        positions = np.array([[1.0, 5.0, 5.0]])
+        edges, shifts = periodic_radius_graph(positions, cell, (True, False, False), cutoff=3.0)
+        assert edges.shape[1] == 2  # +x and -x images
+        assert set(np.round(shifts[:, 0])) == {-2.0, 2.0}
+
+    def test_pbc_flags_respected(self):
+        cell = np.diag([4.0, 4.0, 20.0])
+        positions = np.array([[2.0, 2.0, 0.2], [2.0, 2.0, 19.8]])
+        edges, _ = periodic_radius_graph(positions, cell, (True, True, False), cutoff=1.0)
+        assert edges.shape[1] == 0  # z is not periodic
+
+    def test_periodic_edge_count_vs_brute_force(self):
+        rng = np.random.default_rng(3)
+        cell = np.diag([5.0, 5.0, 5.0])
+        positions = rng.uniform(0, 5, size=(8, 3))
+        cutoff = 2.0
+        edges, shifts = periodic_radius_graph(positions, cell, (True, True, True), cutoff)
+        # Brute force over 3^3 images.
+        count = 0
+        for i in range(8):
+            for j in range(8):
+                for sx in (-1, 0, 1):
+                    for sy in (-1, 0, 1):
+                        for sz in (-1, 0, 1):
+                            if i == j and sx == sy == sz == 0:
+                                continue
+                            shift = np.array([sx, sy, sz]) @ cell
+                            if np.linalg.norm(positions[j] - positions[i] - shift) < cutoff:
+                                count += 1
+        assert edges.shape[1] == count
+
+    def test_distances_all_within_cutoff(self):
+        rng = np.random.default_rng(4)
+        cell = np.diag([6.0, 6.0, 6.0])
+        positions = rng.uniform(0, 6, size=(12, 3))
+        edges, shifts = periodic_radius_graph(positions, cell, (True, True, True), 2.5)
+        vectors = positions[edges[1]] - (positions[edges[0]] + shifts)
+        assert (np.linalg.norm(vectors, axis=1) < 2.5).all()
+
+
+class TestMaxNeighbors:
+    def test_cap_applies_per_destination(self):
+        # A dense cluster: every atom sees all others without the cap.
+        rng = np.random.default_rng(5)
+        positions = rng.uniform(0, 1.0, size=(10, 3))
+        edges, shifts = build_edges(positions, cutoff=5.0, max_neighbors=3)
+        degrees = np.bincount(edges[1], minlength=10)
+        assert (degrees == 3).all()
+
+    def test_cap_keeps_nearest(self):
+        positions = np.array(
+            [[0.0, 0.0, 0.0], [1.0, 0.0, 0.0], [2.0, 0.0, 0.0], [3.0, 0.0, 0.0]]
+        )
+        edges, shifts = build_edges(positions, cutoff=10.0, max_neighbors=1)
+        kept = {(int(s), int(d)) for s, d in edges.T}
+        # Each atom keeps only its nearest neighbor as in-edge.
+        assert (1, 0) in kept and (2, 3) in kept
+
+    def test_no_cap_is_identity(self):
+        rng = np.random.default_rng(6)
+        positions = rng.uniform(0, 3, size=(8, 3))
+        edges_a, _ = build_edges(positions, cutoff=2.0)
+        edges_b, _ = trim_max_neighbors(positions, edges_a, np.zeros((edges_a.shape[1], 3)), 10**6)
+        assert np.array_equal(np.sort(edges_a.T, axis=0), np.sort(edges_b.T, axis=0))
+
+    def test_empty_edges(self):
+        edges, shifts = trim_max_neighbors(
+            np.zeros((3, 3)), np.zeros((2, 0), dtype=np.int64), np.zeros((0, 3)), 5
+        )
+        assert edges.shape == (2, 0)

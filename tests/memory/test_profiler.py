@@ -1,0 +1,143 @@
+"""Measured profiler and its agreement with the analytic byte model."""
+
+import numpy as np
+import pytest
+
+from repro.data import Normalizer, generate_corpus
+from repro.graph.batch import collate
+from repro.memory import (
+    estimate_peak_memory,
+    profile_training_step,
+    to_paper_breakdown,
+)
+from repro.memory.analytic import activation_bytes, checkpointed_activation_bytes
+from repro.models import HydraModel, ModelConfig, count_parameters
+from repro.optim import SGD, Adam
+
+
+@pytest.fixture(scope="module")
+def workload():
+    corpus = generate_corpus(60, seed=51)
+    normalizer = Normalizer.fit(corpus.graphs)
+    return corpus.graphs[:12], normalizer
+
+
+class TestProfiler:
+    def test_breakdown_sums_to_100(self, workload):
+        graphs, normalizer = workload
+        model = HydraModel(ModelConfig(hidden_dim=32, num_layers=2), seed=0)
+        profile = profile_training_step(model, graphs, Adam(model.parameters()), normalizer)
+        assert sum(profile.paper_breakdown().values()) == pytest.approx(100.0, abs=1e-6)
+
+    def test_activations_dominate_large_batch(self, workload):
+        """The Sec. V-A observation on a small-model/large-batch regime."""
+        graphs, normalizer = workload
+        model = HydraModel(ModelConfig(hidden_dim=64, num_layers=3), seed=0)
+        profile = profile_training_step(model, graphs, Adam(model.parameters()), normalizer)
+        breakdown = profile.paper_breakdown()
+        assert breakdown["activations"] > 50.0
+
+    def test_optimizer_states_twice_weights_with_adam(self, workload):
+        graphs, normalizer = workload
+        model = HydraModel(ModelConfig(hidden_dim=48, num_layers=3), seed=0)
+        profile = profile_training_step(model, graphs, Adam(model.parameters()), normalizer)
+        weights = profile.peak.by_category["weights"]
+        states = profile.peak.by_category["optimizer_states"]
+        assert states == pytest.approx(2 * weights, rel=0.01)
+
+    def test_sgd_has_no_optimizer_state(self, workload):
+        graphs, normalizer = workload
+        model = HydraModel(ModelConfig(hidden_dim=32, num_layers=2), seed=0)
+        profile = profile_training_step(
+            model, graphs, SGD(model.parameters(), lr=1e-3), normalizer
+        )
+        assert profile.peak.by_category["optimizer_states"] == 0
+
+    def test_checkpointing_reduces_peak(self, workload):
+        graphs, normalizer = workload
+        config = ModelConfig(hidden_dim=64, num_layers=3)
+        plain = HydraModel(config, seed=0)
+        ckpt = HydraModel(config.with_checkpointing(True), seed=0)
+        peak_plain = profile_training_step(
+            plain, graphs, Adam(plain.parameters()), normalizer
+        ).peak_bytes
+        peak_ckpt = profile_training_step(
+            ckpt, graphs, Adam(ckpt.parameters()), normalizer
+        ).peak_bytes
+        assert peak_ckpt < 0.7 * peak_plain
+
+    def test_phase_times_positive(self, workload):
+        graphs, normalizer = workload
+        model = HydraModel(ModelConfig(hidden_dim=16, num_layers=2), seed=0)
+        profile = profile_training_step(model, graphs, Adam(model.parameters()), normalizer)
+        assert profile.forward_seconds > 0
+        assert profile.backward_seconds > 0
+        assert profile.step_seconds > profile.forward_seconds
+
+    def test_paper_breakdown_folds_gradients_into_others(self):
+        from repro.tensor.allocator import MemorySnapshot
+
+        snapshot = MemorySnapshot(
+            {"weights": 10, "gradients": 30, "activations": 40, "optimizer_states": 10, "other": 10},
+            100,
+        )
+        folded = to_paper_breakdown(snapshot)
+        assert folded["others"] == pytest.approx(40.0)
+
+
+class TestAnalyticModel:
+    def test_matches_measured_activations(self, workload):
+        """The inventory-based formula must track real allocations."""
+        graphs, normalizer = workload
+        config = ModelConfig(hidden_dim=64, num_layers=3)
+        model = HydraModel(config, seed=0)
+        profile = profile_training_step(model, graphs, Adam(model.parameters()), normalizer)
+        batch = collate(graphs)
+        predicted = activation_bytes(config, batch.num_nodes, batch.num_edges)
+        measured = profile.peak.by_category["activations"]
+        assert predicted == pytest.approx(measured, rel=0.25)
+
+    def test_total_estimate_tracks_measurement(self, workload):
+        graphs, normalizer = workload
+        config = ModelConfig(hidden_dim=48, num_layers=2)
+        model = HydraModel(config, seed=0)
+        profile = profile_training_step(model, graphs, Adam(model.parameters()), normalizer)
+        batch = collate(graphs)
+        estimate = estimate_peak_memory(config, batch.num_nodes, batch.num_edges, batch.num_graphs)
+        assert estimate.total == pytest.approx(profile.peak_bytes, rel=0.35)
+
+    def test_checkpointed_less_than_full(self):
+        config = ModelConfig(hidden_dim=128, num_layers=4)
+        full = activation_bytes(config, 1000, 20000)
+        ckpt = checkpointed_activation_bytes(config, 1000, 20000)
+        assert ckpt < full / 2
+
+    def test_zero_ranks_shard_states(self):
+        config = ModelConfig(hidden_dim=128, num_layers=3)
+        single = estimate_peak_memory(config, 500, 8000, zero_ranks=1)
+        sharded = estimate_peak_memory(config, 500, 8000, zero_ranks=4)
+        assert sharded.optimizer_states == single.optimizer_states // 4
+        assert sharded.weights == single.weights
+
+    def test_paper_scale_estimate_fits_a100(self):
+        """A 2B-param model without techniques cannot fit one A100; the
+        paper's motivation for Sec. V."""
+        from repro.hpc.perlmutter import PERLMUTTER
+        from repro.models import solve_width
+
+        config = solve_width(2_000_000_000, num_layers=3)
+        # Modest per-GPU batch: four OC20-like graphs.
+        estimate = estimate_peak_memory(config, 300, 12800)
+        assert estimate.total > PERLMUTTER.gpu_memory_bytes
+        params = count_parameters(config)
+        assert estimate.weights == 4 * params
+        assert estimate.optimizer_states == 8 * params
+
+    def test_sgd_option(self):
+        config = ModelConfig(hidden_dim=32, num_layers=2)
+        estimate = estimate_peak_memory(config, 100, 1000, optimizer="sgd")
+        assert estimate.optimizer_states == 0
+
+    def test_unknown_optimizer_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_peak_memory(ModelConfig(), 10, 10, optimizer="lamb")

@@ -1,0 +1,113 @@
+"""The EGNN attention-gating variant (Satorras et al., Sec. 3)."""
+
+import copy
+
+import numpy as np
+import pytest
+from scipy.spatial.transform import Rotation
+
+from repro.graph.batch import collate
+from repro.models import HydraModel, ModelConfig, count_parameters
+from repro.tensor import no_grad
+from tests.helpers import make_molecule_graphs
+
+BASE = ModelConfig(hidden_dim=16, num_layers=2)
+ATTN = ModelConfig(hidden_dim=16, num_layers=2, attention=True)
+
+
+class TestAttentionVariant:
+    def test_parameter_count_closed_form(self):
+        model = HydraModel(ATTN, seed=0)
+        assert model.num_parameters() == count_parameters(ATTN)
+
+    def test_attention_adds_parameters(self):
+        assert count_parameters(ATTN) == count_parameters(BASE) + 2 * (16 + 1)
+
+    def test_changes_predictions(self):
+        batch = collate(make_molecule_graphs(3, seed=30))
+        with no_grad():
+            base = HydraModel(BASE, seed=0)(batch)
+            attn = HydraModel(ATTN, seed=0)(batch)
+        assert not np.allclose(base["energy"].numpy(), attn["energy"].numpy())
+
+    def test_equivariance_preserved(self):
+        """The gate is an invariant function of the message, so the model
+        stays exactly E(3)-equivariant."""
+        graphs = make_molecule_graphs(3, seed=31)
+        rotation = Rotation.from_euler("xyz", [1.0, -0.4, 0.7]).as_matrix()
+        moved = []
+        for graph in graphs:
+            clone = copy.deepcopy(graph)
+            clone.positions = graph.positions @ rotation.T
+            clone.edge_shift = graph.edge_shift @ rotation.T
+            moved.append(clone)
+        model = HydraModel(ATTN, seed=1)
+        with no_grad():
+            base = model(collate(graphs))
+            rotated = model(collate(moved))
+        assert np.allclose(base["energy"].numpy(), rotated["energy"].numpy(), atol=1e-5)
+        assert np.allclose(
+            base["forces"].numpy() @ rotation.T, rotated["forces"].numpy(), atol=1e-5
+        )
+
+    def test_gradients_flow_through_gate(self):
+        batch = collate(make_molecule_graphs(3, seed=32))
+        model = HydraModel(ATTN, seed=2)
+        target_e = np.zeros((batch.num_graphs, 1), dtype=np.float32)
+        target_f = np.zeros((batch.num_nodes, 3), dtype=np.float32)
+        model.loss(model(batch), target_e, target_f).backward()
+        gate_params = [
+            param
+            for name, param in model.named_parameters()
+            if "attention_mlp" in name
+        ]
+        assert gate_params
+        assert all(param.grad is not None for param in gate_params)
+
+    def test_checkpointing_compatible(self):
+        batch = collate(make_molecule_graphs(3, seed=33))
+        plain = HydraModel(ATTN, seed=3)
+        ckpt = HydraModel(ATTN.with_checkpointing(True), seed=3)
+        with no_grad():
+            a = plain(batch)
+            b = ckpt(batch)
+        assert np.allclose(a["forces"].numpy(), b["forces"].numpy(), atol=1e-6)
+
+
+class TestCLI:
+    def test_experiments_listing(self, capsys):
+        from repro.cli import main
+
+        assert main(["experiments"]) == 0
+        out = capsys.readouterr().out
+        assert "fig3" in out and "table2" in out
+
+    def test_model_preset(self, capsys):
+        from repro.cli import main
+
+        assert main(["model", "small"]) == 0
+        assert "width=32" in capsys.readouterr().out
+
+    def test_model_param_target(self, capsys):
+        from repro.cli import main
+
+        assert main(["model", "1M"]) == 0
+        assert "params" in capsys.readouterr().out
+
+    def test_model_bad_target(self, capsys):
+        from repro.cli import main
+
+        assert main(["model", "1"]) == 2
+
+    def test_corpus_summary(self, capsys):
+        from repro.cli import main
+
+        assert main(["corpus", "20", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "oc20" in out and "TB at paper scale" in out
+
+    def test_run_table1(self, capsys):
+        from repro.cli import main
+
+        assert main(["run", "table1"]) == 0
+        assert "Table I" in capsys.readouterr().out

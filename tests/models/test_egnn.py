@@ -1,0 +1,175 @@
+"""EGNN backbone: shapes, equivariance, checkpointing parity."""
+
+import copy
+
+import numpy as np
+import pytest
+from scipy.spatial.transform import Rotation
+
+from repro.graph.batch import collate
+from repro.models import EGNNBackbone, HydraModel, ModelConfig
+from repro.tensor import no_grad
+from tests.helpers import make_molecule_graphs, make_periodic_graphs
+
+
+@pytest.fixture(scope="module")
+def batch():
+    return collate(make_molecule_graphs(4, seed=3))
+
+
+@pytest.fixture(scope="module")
+def config():
+    return ModelConfig(hidden_dim=16, num_layers=2)
+
+
+class TestShapes:
+    def test_backbone_outputs(self, batch, config):
+        backbone = EGNNBackbone(config, seed=0)
+        h, x, geometry = backbone(batch)
+        assert h.shape == (batch.num_nodes, 16)
+        assert x.shape == (batch.num_nodes, 3)
+        assert geometry.rbf.shape == (batch.num_edges, config.num_rbf)
+
+    def test_model_outputs(self, batch, config):
+        model = HydraModel(config, seed=0)
+        predictions = model(batch)
+        assert predictions["energy"].shape == (batch.num_graphs, 1)
+        assert predictions["forces"].shape == (batch.num_nodes, 3)
+
+    def test_periodic_batch(self, config):
+        batch = collate(make_periodic_graphs(2, seed=4))
+        predictions = HydraModel(config, seed=0)(batch)
+        assert np.isfinite(predictions["energy"].numpy()).all()
+        assert np.isfinite(predictions["forces"].numpy()).all()
+
+    def test_deterministic_construction(self, batch, config):
+        a = HydraModel(config, seed=5)
+        b = HydraModel(config, seed=5)
+        for (_, pa), (_, pb) in zip(a.named_parameters(), b.named_parameters()):
+            assert np.array_equal(pa.data, pb.data)
+
+    def test_different_seeds_differ(self, config):
+        a = HydraModel(config, seed=1)
+        b = HydraModel(config, seed=2)
+        assert not np.array_equal(a.backbone.embedding.weight.data, b.backbone.embedding.weight.data)
+
+
+def _transformed_batch(graphs, rotation: np.ndarray, translation: np.ndarray):
+    moved = []
+    for graph in graphs:
+        clone = copy.deepcopy(graph)
+        clone.positions = graph.positions @ rotation.T + translation
+        clone.edge_shift = graph.edge_shift @ rotation.T
+        moved.append(clone)
+    return collate(moved)
+
+
+class TestEquivariance:
+    """The paper's stated reason for choosing EGNN (Sec. III-B)."""
+
+    @pytest.fixture(scope="class")
+    def model(self):
+        return HydraModel(ModelConfig(hidden_dim=24, num_layers=3), seed=7)
+
+    def test_rotation(self, model):
+        graphs = make_molecule_graphs(3, seed=8)
+        rotation = Rotation.from_euler("zyx", [0.3, -1.1, 0.6]).as_matrix()
+        with no_grad():
+            base = model(collate(graphs))
+            rotated = model(_transformed_batch(graphs, rotation, np.zeros(3)))
+        assert np.allclose(base["energy"].numpy(), rotated["energy"].numpy(), atol=1e-5)
+        assert np.allclose(
+            base["forces"].numpy() @ rotation.T, rotated["forces"].numpy(), atol=1e-5
+        )
+
+    def test_translation(self, model):
+        graphs = make_molecule_graphs(3, seed=9)
+        with no_grad():
+            base = model(collate(graphs))
+            moved = model(_transformed_batch(graphs, np.eye(3), np.array([5.0, -3.0, 1.0])))
+        assert np.allclose(base["energy"].numpy(), moved["energy"].numpy(), atol=1e-5)
+        assert np.allclose(base["forces"].numpy(), moved["forces"].numpy(), atol=1e-5)
+
+    def test_reflection(self, model):
+        graphs = make_molecule_graphs(3, seed=10)
+        mirror = np.diag([-1.0, 1.0, 1.0])
+        with no_grad():
+            base = model(collate(graphs))
+            mirrored = model(_transformed_batch(graphs, mirror, np.zeros(3)))
+        assert np.allclose(base["energy"].numpy(), mirrored["energy"].numpy(), atol=1e-5)
+        assert np.allclose(
+            base["forces"].numpy() @ mirror.T, mirrored["forces"].numpy(), atol=1e-5
+        )
+
+    def test_permutation(self, model):
+        graph = make_molecule_graphs(1, seed=11)[0]
+        perm = np.random.default_rng(1).permutation(graph.n_atoms)
+        inverse = np.argsort(perm)
+        permuted = copy.deepcopy(graph)
+        permuted.atomic_numbers = graph.atomic_numbers[perm]
+        permuted.positions = graph.positions[perm]
+        permuted.forces = graph.forces[perm]
+        permuted.edge_index = inverse[graph.edge_index]
+        with no_grad():
+            base = model(collate([graph]))
+            shuffled = model(collate([permuted]))
+        assert np.allclose(base["energy"].numpy(), shuffled["energy"].numpy(), atol=1e-5)
+        assert np.allclose(base["forces"].numpy()[perm], shuffled["forces"].numpy(), atol=1e-5)
+
+    def test_graph_batch_independence(self, model):
+        """Predictions for a graph are unchanged by its batch neighbors."""
+        graphs = make_molecule_graphs(3, seed=12)
+        with no_grad():
+            alone = model(collate([graphs[0]]))
+            together = model(collate(graphs))
+        n0 = graphs[0].n_atoms
+        assert np.allclose(
+            alone["energy"].numpy()[0], together["energy"].numpy()[0], atol=1e-5
+        )
+        assert np.allclose(
+            alone["forces"].numpy(), together["forces"].numpy()[:n0], atol=1e-5
+        )
+
+
+class TestCheckpointingParity:
+    def test_forward_identical(self, batch):
+        config = ModelConfig(hidden_dim=16, num_layers=3)
+        plain = HydraModel(config, seed=3)
+        ckpt = HydraModel(config.with_checkpointing(True), seed=3)
+        with no_grad():
+            a = plain(batch)
+            b = ckpt(batch)
+        assert np.allclose(a["energy"].numpy(), b["energy"].numpy(), atol=1e-6)
+        assert np.allclose(a["forces"].numpy(), b["forces"].numpy(), atol=1e-6)
+
+    def test_gradients_identical(self, batch):
+        config = ModelConfig(hidden_dim=16, num_layers=3)
+        plain = HydraModel(config, seed=3)
+        ckpt = HydraModel(config.with_checkpointing(True), seed=3)
+        target_e = np.zeros((batch.num_graphs, 1), dtype=np.float32)
+        target_f = np.zeros((batch.num_nodes, 3), dtype=np.float32)
+        for model in (plain, ckpt):
+            model.zero_grad()
+            model.loss(model(batch), target_e, target_f).backward()
+        for (name, pa), (_, pb) in zip(plain.named_parameters(), ckpt.named_parameters()):
+            assert pa.grad is not None and pb.grad is not None, name
+            assert np.allclose(pa.grad, pb.grad, atol=1e-5), name
+
+    def test_training_reduces_loss(self, batch):
+        """Adam steps on one batch with real targets must reduce the loss."""
+        from repro.optim import Adam
+
+        rng = np.random.default_rng(0)
+        config = ModelConfig(hidden_dim=16, num_layers=2)
+        model = HydraModel(config, seed=4)
+        optimizer = Adam(model.parameters(), lr=2e-3)
+        target_e = rng.normal(size=(batch.num_graphs, 1)).astype(np.float32)
+        target_f = rng.normal(size=(batch.num_nodes, 3)).astype(np.float32)
+        losses = []
+        for _ in range(12):
+            model.zero_grad()
+            loss = model.loss(model(batch), target_e, target_f)
+            loss.backward()
+            optimizer.step()
+            losses.append(loss.item())
+        assert min(losses[6:]) < losses[0]

@@ -1,0 +1,174 @@
+"""Module registration, traversal, and state-dict semantics."""
+
+import numpy as np
+import pytest
+
+from repro.nn import MLP, Embedding, LayerNorm, Linear, Module, ModuleList, Parameter, Sequential
+from repro.tensor import Tensor
+from repro.tensor.rng import rng as make_rng
+
+
+class _Net(Module):
+    def __init__(self) -> None:
+        super().__init__()
+        generator = make_rng(0)
+        self.first = Linear(4, 8, generator)
+        self.second = Linear(8, 2, generator)
+        self.scale = Parameter(np.ones((1,), dtype=np.float32))
+
+    def forward(self, x):
+        return self.second(self.first(x).tanh()) * self.scale
+
+
+class TestModuleRegistration:
+    def test_named_parameters_paths(self):
+        names = [name for name, _ in _Net().named_parameters()]
+        assert "first.weight" in names
+        assert "second.bias" in names
+        assert "scale" in names
+
+    def test_num_parameters(self):
+        net = _Net()
+        assert net.num_parameters() == 4 * 8 + 8 + 8 * 2 + 2 + 1
+
+    def test_zero_grad_clears_all(self):
+        net = _Net()
+        out = net(Tensor(np.ones((3, 4), dtype=np.float32)))
+        out.sum().backward()
+        assert any(p.grad is not None for p in net.parameters())
+        net.zero_grad()
+        assert all(p.grad is None for p in net.parameters())
+
+    def test_train_eval_propagates(self):
+        net = _Net()
+        net.eval()
+        assert not net.first.training
+        net.train()
+        assert net.second.training
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        net_a, net_b = _Net(), _Net()
+        net_b.first.weight.data += 1.0
+        net_b.load_state_dict(net_a.state_dict())
+        for (_, pa), (_, pb) in zip(net_a.named_parameters(), net_b.named_parameters()):
+            assert np.array_equal(pa.data, pb.data)
+
+    def test_state_dict_is_a_copy(self):
+        net = _Net()
+        state = net.state_dict()
+        state["scale"][...] = 42.0
+        assert net.scale.data[0] == 1.0
+
+    def test_missing_key_rejected(self):
+        net = _Net()
+        state = net.state_dict()
+        del state["scale"]
+        with pytest.raises(KeyError):
+            net.load_state_dict(state)
+
+    def test_shape_mismatch_rejected(self):
+        net = _Net()
+        state = net.state_dict()
+        state["scale"] = np.ones(3)
+        with pytest.raises(ValueError):
+            net.load_state_dict(state)
+
+
+class TestContainers:
+    def test_module_list_registration(self):
+        generator = make_rng(0)
+        layers = ModuleList(Linear(2, 2, generator) for _ in range(3))
+        assert len(layers) == 3
+        assert len(list(layers[0].named_parameters())) == 2
+        parent = Module()
+        parent.stack = layers
+        assert len(list(parent.named_parameters())) == 6
+
+    def test_sequential_forward(self):
+        generator = make_rng(0)
+        net = Sequential(Linear(3, 5, generator), Linear(5, 2, generator))
+        out = net(Tensor(np.ones((4, 3), dtype=np.float32)))
+        assert out.shape == (4, 2)
+        assert len(net) == 2
+
+
+class TestLayers:
+    def test_linear_shapes_and_bias(self):
+        layer = Linear(3, 7, make_rng(1))
+        out = layer(Tensor(np.zeros((2, 3), dtype=np.float32)))
+        assert out.shape == (2, 7)
+        assert np.array_equal(out.numpy(), np.zeros((2, 7)))  # zero in, bias=0
+
+    def test_linear_no_bias(self):
+        layer = Linear(3, 7, make_rng(1), bias=False)
+        assert layer.bias is None
+        assert layer.num_parameters() == 21
+
+    def test_mlp_depth_and_activation(self):
+        mlp = MLP([4, 8, 8, 2], make_rng(2))
+        assert len(mlp.layers) == 3
+        out = mlp(Tensor(np.ones((5, 4), dtype=np.float32)))
+        assert out.shape == (5, 2)
+
+    def test_mlp_rejects_single_size(self):
+        with pytest.raises(ValueError):
+            MLP([4], make_rng(0))
+
+    def test_layernorm_normalizes(self):
+        norm = LayerNorm(16)
+        x = Tensor((np.arange(32.0).reshape(2, 16) * 3.0 + 5.0).astype(np.float32))
+        out = norm(x).numpy()
+        assert np.allclose(out.mean(axis=-1), 0.0, atol=1e-5)
+        assert np.allclose(out.std(axis=-1), 1.0, atol=1e-2)
+
+    def test_layernorm_gradients_flow(self):
+        norm = LayerNorm(8)
+        x = Tensor(np.random.default_rng(0).normal(size=(4, 8)).astype(np.float32), requires_grad=True)
+        (norm(x) ** 2).sum().backward()
+        assert norm.gamma.grad is not None
+        assert norm.beta.grad is not None
+        assert x.grad is not None
+
+    def test_embedding_lookup(self):
+        table = Embedding(10, 4, make_rng(3))
+        out = table(np.array([1, 1, 7]))
+        assert out.shape == (3, 4)
+        assert np.array_equal(out.numpy()[0], out.numpy()[1])
+
+    def test_embedding_out_of_range(self):
+        table = Embedding(10, 4, make_rng(3))
+        with pytest.raises(IndexError):
+            table(np.array([10]))
+
+    def test_embedding_gradient_accumulates_duplicates(self):
+        table = Embedding(5, 2, make_rng(4))
+        out = table(np.array([2, 2, 2]))
+        out.sum().backward()
+        assert np.allclose(table.weight.grad[2], [3.0, 3.0])
+        assert np.allclose(table.weight.grad[0], 0.0)
+
+
+class TestLosses:
+    def test_mse_value(self):
+        from repro.nn import mse_loss
+
+        a = Tensor(np.array([1.0, 2.0]))
+        b = Tensor(np.array([3.0, 2.0]))
+        assert mse_loss(a, b).item() == pytest.approx(2.0)
+
+    def test_mae_value(self):
+        from repro.nn import mae_loss
+
+        a = Tensor(np.array([1.0, 2.0]))
+        b = Tensor(np.array([3.0, 1.0]))
+        assert mae_loss(a, b).item() == pytest.approx(1.5)
+
+    def test_energy_force_weighting(self):
+        from repro.nn import energy_force_loss
+
+        e = Tensor(np.array([[1.0]]))
+        f = Tensor(np.zeros((2, 3), dtype=np.float32))
+        loss = energy_force_loss(e, e * 0.0, f, f + 1.0, energy_weight=2.0, force_weight=0.5)
+        assert loss.item() == pytest.approx(2.0 * 1.0 + 0.5 * 1.0)

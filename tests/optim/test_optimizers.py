@@ -1,0 +1,161 @@
+"""Optimizer correctness: convergence, state accounting, schedules, clipping."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Parameter
+from repro.optim import (
+    SGD,
+    Adam,
+    ConstantLR,
+    CosineDecayLR,
+    WarmupCosineLR,
+    apply_lr,
+    clip_grad_norm,
+    grad_global_norm,
+)
+from repro.tensor import Tensor
+
+
+def _quadratic_step(param: Parameter, target: np.ndarray) -> float:
+    """Gradient of 0.5 ||p - target||^2; returns loss."""
+    diff = param.data - target
+    param.grad = diff.astype(param.data.dtype)
+    return float(0.5 * (diff**2).sum())
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        param = Parameter(np.zeros(4, dtype=np.float32))
+        target = np.array([1.0, -2.0, 3.0, 0.5], dtype=np.float32)
+        optimizer = SGD([param], lr=0.2)
+        for _ in range(100):
+            _quadratic_step(param, target)
+            optimizer.step()
+        assert np.allclose(param.data, target, atol=1e-3)
+
+    def test_momentum_accelerates(self):
+        def loss_after(momentum: float, steps: int = 25) -> float:
+            param = Parameter(np.zeros(4, dtype=np.float32))
+            target = np.full(4, 3.0, dtype=np.float32)
+            optimizer = SGD([param], lr=0.05, momentum=momentum)
+            value = 0.0
+            for _ in range(steps):
+                value = _quadratic_step(param, target)
+                optimizer.step()
+            return value
+
+        assert loss_after(0.9) < loss_after(0.0)
+
+    def test_no_state_without_momentum(self):
+        param = Parameter(np.zeros(4, dtype=np.float32))
+        optimizer = SGD([param], lr=0.1)
+        _quadratic_step(param, np.ones(4, dtype=np.float32))
+        optimizer.step()
+        assert optimizer.state_nbytes() == 0
+
+    def test_empty_params_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        param = Parameter(np.zeros(4, dtype=np.float32))
+        target = np.array([1.0, -2.0, 3.0, 0.5], dtype=np.float32)
+        optimizer = Adam([param], lr=0.1)
+        for _ in range(300):
+            _quadratic_step(param, target)
+            optimizer.step()
+        assert np.allclose(param.data, target, atol=1e-2)
+
+    def test_state_is_twice_weights(self):
+        """The Sec. V-A observation Adam's moments are 2x the weights."""
+        param = Parameter(np.zeros((50, 50), dtype=np.float32))
+        optimizer = Adam([param], lr=0.1)
+        assert optimizer.state_nbytes() == 0  # lazy until first step
+        _quadratic_step(param, np.ones((50, 50), dtype=np.float32))
+        optimizer.step()
+        assert optimizer.state_nbytes() == 2 * param.data.nbytes
+
+    def test_skips_params_without_grad(self):
+        used = Parameter(np.zeros(2, dtype=np.float32))
+        unused = Parameter(np.ones(2, dtype=np.float32))
+        optimizer = Adam([used, unused], lr=0.5)
+        _quadratic_step(used, np.ones(2, dtype=np.float32))
+        optimizer.step()
+        assert np.array_equal(unused.data, [1.0, 1.0])
+
+    def test_weight_decay_shrinks_weights(self):
+        param = Parameter(np.full(4, 5.0, dtype=np.float32))
+        optimizer = Adam([param], lr=0.1, weight_decay=1.0)
+        for _ in range(50):
+            param.grad = np.zeros(4, dtype=np.float32)
+            optimizer.step()
+        assert np.all(np.abs(param.data) < 5.0)
+
+    def test_bias_correction_first_step_magnitude(self):
+        # With bias correction, the first Adam step has magnitude ~lr.
+        param = Parameter(np.zeros(1, dtype=np.float32))
+        optimizer = Adam([param], lr=0.1)
+        param.grad = np.array([1.0], dtype=np.float32)
+        optimizer.step()
+        assert abs(param.data[0]) == pytest.approx(0.1, rel=1e-4)
+
+
+class TestSchedules:
+    def test_constant(self):
+        schedule = ConstantLR(0.01)
+        assert schedule(0) == schedule(1000) == 0.01
+
+    def test_cosine_endpoints(self):
+        schedule = CosineDecayLR(1.0, total_steps=100, min_lr=0.1)
+        assert schedule(0) == pytest.approx(1.0)
+        assert schedule(100) == pytest.approx(0.1)
+        assert schedule(50) == pytest.approx(0.55)
+
+    def test_cosine_clamps_beyond_total(self):
+        schedule = CosineDecayLR(1.0, total_steps=10)
+        assert schedule(1000) == pytest.approx(0.0)
+
+    def test_warmup_ramps_then_decays(self):
+        schedule = WarmupCosineLR(1.0, total_steps=110, warmup_steps=10)
+        assert schedule(0) == pytest.approx(0.1)
+        assert schedule(9) == pytest.approx(1.0)
+        assert schedule(109) < 0.01
+
+    def test_warmup_validation(self):
+        with pytest.raises(ValueError):
+            WarmupCosineLR(1.0, total_steps=10, warmup_steps=10)
+
+    def test_apply_lr_mutates_optimizer(self):
+        param = Parameter(np.zeros(1, dtype=np.float32))
+        optimizer = Adam([param], lr=1.0)
+        value = apply_lr(optimizer, CosineDecayLR(1.0, 10), 5)
+        assert optimizer.lr == value < 1.0
+
+
+class TestClipping:
+    def test_global_norm(self):
+        a = Parameter(np.zeros(3, dtype=np.float32))
+        b = Parameter(np.zeros(4, dtype=np.float32))
+        a.grad = np.full(3, 2.0, dtype=np.float32)
+        b.grad = np.full(4, 1.0, dtype=np.float32)
+        assert grad_global_norm([a, b]) == pytest.approx(4.0)
+
+    def test_clip_scales_down(self):
+        a = Parameter(np.zeros(4, dtype=np.float32))
+        a.grad = np.full(4, 3.0, dtype=np.float32)
+        returned = clip_grad_norm([a], max_norm=1.0)
+        assert returned == pytest.approx(6.0)
+        assert grad_global_norm([a]) == pytest.approx(1.0, rel=1e-5)
+
+    def test_clip_leaves_small_grads(self):
+        a = Parameter(np.zeros(4, dtype=np.float32))
+        a.grad = np.full(4, 0.1, dtype=np.float32)
+        clip_grad_norm([a], max_norm=10.0)
+        assert np.allclose(a.grad, 0.1)
+
+    def test_clip_ignores_missing_grads(self):
+        a = Parameter(np.zeros(4, dtype=np.float32))
+        assert clip_grad_norm([a], max_norm=1.0) == 0.0

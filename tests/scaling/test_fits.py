@@ -1,0 +1,109 @@
+"""Power-law / Chinchilla fitting: parameter recovery on synthetic data."""
+
+import numpy as np
+import pytest
+
+from repro.scaling import (
+    bootstrap_exponent,
+    fit_chinchilla,
+    fit_power_law,
+)
+
+
+class TestPowerLaw:
+    def test_recovers_known_exponent(self):
+        x = np.logspace(3, 8, 12)
+        y = 5.0 * x**-0.35 + 0.1
+        fit = fit_power_law(x, y)
+        assert fit.alpha == pytest.approx(0.35, abs=0.02)
+        assert fit.c == pytest.approx(0.1, abs=0.02)
+        assert fit.r_squared > 0.999
+
+    def test_robust_to_noise(self):
+        rng = np.random.default_rng(0)
+        x = np.logspace(3, 8, 30)
+        y = 5.0 * x**-0.35 + 0.1 + rng.normal(0, 0.002, size=30)
+        fit = fit_power_law(x, y)
+        assert fit.alpha == pytest.approx(0.35, abs=0.1)
+
+    def test_predict_interpolates(self):
+        x = np.logspace(2, 6, 10)
+        y = 2.0 * x**-0.5 + 0.05
+        fit = fit_power_law(x, y)
+        assert fit.predict(1e4) == pytest.approx(2.0 * 1e4**-0.5 + 0.05, rel=0.05)
+
+    def test_floorless_variant(self):
+        x = np.logspace(2, 6, 10)
+        y = 2.0 * x**-0.5
+        fit = fit_power_law(x, y, floor=False)
+        assert fit.c == 0.0
+        assert fit.alpha == pytest.approx(0.5, abs=0.02)
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1.0, 2.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            fit_power_law([0.0, 1.0, 2.0], [1.0, 2.0, 3.0])
+        with pytest.raises(ValueError):
+            fit_power_law(np.ones((2, 2)), np.ones((2, 2)))
+
+    def test_str_mentions_parameters(self):
+        x = np.logspace(2, 6, 10)
+        fit = fit_power_law(x, 2.0 * x**-0.5 + 0.05)
+        assert "R^2" in str(fit)
+
+    def test_bootstrap_interval_contains_truth(self):
+        x = np.logspace(3, 7, 20)
+        y = 3.0 * x**-0.3 + 0.05
+        low, high = bootstrap_exponent(x, y, num_resamples=50, seed=1)
+        assert low <= 0.3 + 0.05 and high >= 0.3 - 0.05
+
+
+class TestChinchilla:
+    def test_recovers_known_surface(self):
+        rng = np.random.default_rng(2)
+        points = []
+        for _ in range(40):
+            n = float(10 ** rng.uniform(4, 9))
+            d = float(10 ** rng.uniform(6, 10))
+            loss = 0.08 + 12.0 * n**-0.32 + 40.0 * d**-0.28
+            points.append((n, d, loss))
+        fit = fit_chinchilla(points)
+        assert fit.alpha == pytest.approx(0.32, abs=0.06)
+        assert fit.beta == pytest.approx(0.28, abs=0.06)
+        assert fit.r_squared > 0.99
+
+    def test_predict_matches_training_points(self):
+        points = [
+            (1e5, 1e7, 0.5),
+            (1e6, 1e7, 0.4),
+            (1e7, 1e7, 0.35),
+            (1e5, 1e8, 0.45),
+            (1e6, 1e8, 0.35),
+            (1e7, 1e8, 0.3),
+            (1e5, 1e9, 0.42),
+            (1e7, 1e9, 0.27),
+        ]
+        fit = fit_chinchilla(points)
+        predictions = fit.predict([p[0] for p in points], [p[1] for p in points])
+        assert np.abs(predictions - [p[2] for p in points]).max() < 0.05
+
+    def test_optimal_model_size_grows_with_data(self):
+        points = []
+        rng = np.random.default_rng(3)
+        for _ in range(30):
+            n = float(10 ** rng.uniform(4, 9))
+            d = float(10 ** rng.uniform(6, 10))
+            points.append((n, d, 0.1 + 5.0 * n**-0.3 + 20.0 * d**-0.3))
+        fit = fit_chinchilla(points)
+        assert fit.optimal_model_size(1e10) > fit.optimal_model_size(1e8)
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(ValueError):
+            fit_chinchilla([(1e5, 1e7, 0.5)] * 4)
+
+    def test_nonpositive_rejected(self):
+        points = [(1e5, 1e7, 0.5)] * 5
+        points[0] = (-1.0, 1e7, 0.5)
+        with pytest.raises(ValueError):
+            fit_chinchilla(points)

@@ -1,0 +1,101 @@
+"""Paper-scale surface: anchor solving and the paper's qualitative claims."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.paperdata import (
+    FIG5_OVERSMOOTHING_PER_LAYER,
+    FIG34_ANCHORS,
+    PAPER_DATASET_GRID_TB,
+    PAPER_MODEL_GRID,
+)
+from repro.scaling import GNNLossSurface, anchor_fit_error, solve_surface_from_anchors
+
+
+@pytest.fixture(scope="module")
+def surface() -> GNNLossSurface:
+    return solve_surface_from_anchors(
+        FIG34_ANCHORS,
+        alpha=0.35,
+        beta=0.17,
+        oversmoothing_per_layer=FIG5_OVERSMOOTHING_PER_LAYER,
+    )
+
+
+class TestAnchorSolving:
+    def test_anchor_rms_small(self, surface):
+        """Within ~0.01 loss of every digitized paper point."""
+        assert anchor_fit_error(surface, FIG34_ANCHORS) < 0.012
+
+    def test_coefficients_nonnegative(self, surface):
+        assert surface.E >= 0
+        assert surface.A >= 0
+        assert surface.B >= 0
+        assert surface.mismatch_scale >= 0
+
+    def test_too_few_anchors_rejected(self):
+        with pytest.raises(ValueError):
+            solve_surface_from_anchors(FIG34_ANCHORS[:3], alpha=0.3, beta=0.2)
+
+    def test_losses_in_paper_range(self, surface):
+        """All grid losses fall in Fig. 3/4's axis range (0.09-0.21)."""
+        for n in PAPER_MODEL_GRID:
+            for d in PAPER_DATASET_GRID_TB:
+                loss = float(surface.loss(n, d))
+                assert 0.09 < loss < 0.21, (n, d, loss)
+
+
+class TestPaperClaims:
+    def test_model_scaling_monotone(self, surface):
+        """Fig. 3: more parameters never hurt."""
+        for d in PAPER_DATASET_GRID_TB:
+            losses = [float(surface.loss(n, d)) for n in PAPER_MODEL_GRID]
+            assert all(b <= a + 1e-12 for a, b in zip(losses, losses[1:])), d
+
+    def test_data_scaling_monotone(self, surface):
+        """Fig. 4: more data never hurts."""
+        for n in PAPER_MODEL_GRID:
+            losses = [float(surface.loss(n, d)) for d in PAPER_DATASET_GRID_TB]
+            assert all(b <= a + 1e-12 for a, b in zip(losses, losses[1:])), n
+
+    def test_diminishing_returns_in_model_size(self, surface):
+        """Fig. 3: the per-decade gain shrinks at large N."""
+        losses = [float(surface.loss(n, 1.2)) for n in (1e5, 1e6, 1e7, 1e8, 1e9)]
+        drops = [a - b for a, b in zip(losses, losses[1:])]
+        assert drops[-1] < drops[0]
+
+    def test_mismatch_bump_shape(self, surface):
+        """Fig. 4: 0.1->0.2 TB drop larger than 0.2->0.4 TB drop."""
+        losses = {d: float(surface.loss(2e9, d)) for d in (0.1, 0.2, 0.4)}
+        assert losses[0.1] - losses[0.2] > losses[0.2] - losses[0.4]
+
+    def test_bump_vanishes_at_large_data(self, surface):
+        assert surface.mismatch_bump(1.2) < surface.mismatch_bump(0.1) * 0.01
+
+    def test_data_beats_model_at_scale(self, surface):
+        """Sec. IV-B: at large scales, adding data helps more than adding
+        parameters (the paper's bolded conclusion)."""
+        # From (200M params, 0.6TB): double params vs double data.
+        base = float(surface.loss(2e8, 0.6))
+        more_params = float(surface.loss(4e8, 0.6))
+        more_data = float(surface.loss(2e8, 1.2))
+        assert (base - more_data) > (base - more_params)
+
+    def test_depth_penalty_applies_beyond_reference(self, surface):
+        at_3 = float(surface.loss(5e7, 0.4, depth=3))
+        at_6 = float(surface.loss(5e7, 0.4, depth=6))
+        assert at_6 == pytest.approx(at_3 + 3 * FIG5_OVERSMOOTHING_PER_LAYER)
+
+    def test_depth_below_reference_free(self, surface):
+        assert float(surface.loss(5e7, 0.4, depth=2)) == float(surface.loss(5e7, 0.4, depth=3))
+
+    def test_corner_losses_near_paper(self, surface):
+        """The four (N, D) rectangle corners within 0.02 of the paper."""
+        corners = {
+            (1e5, 0.1): 0.183,
+            (1e5, 1.2): 0.168,
+            (2e9, 0.1): 0.146,
+            (2e9, 1.2): 0.103,
+        }
+        for (n, d), expected in corners.items():
+            assert float(surface.loss(n, d)) == pytest.approx(expected, abs=0.02)

@@ -1,0 +1,149 @@
+"""Memory tracker semantics: categories, lifetimes, peaks, view handling."""
+
+import gc
+
+import numpy as np
+
+from repro.tensor import (
+    ACTIVATIONS,
+    GRADIENTS,
+    OTHER,
+    WEIGHTS,
+    MemoryTracker,
+    Tensor,
+    track_array,
+    use_tracker,
+)
+
+
+class TestRegistration:
+    def test_tensor_registers_bytes(self):
+        tracker = MemoryTracker("t")
+        with use_tracker(tracker):
+            t = Tensor(np.zeros((10, 10), dtype=np.float32))
+        assert tracker.current_total == 400
+        del t
+        gc.collect()
+        assert tracker.current_total == 0
+
+    def test_views_not_double_counted(self):
+        tracker = MemoryTracker("t")
+        base = np.zeros(100, dtype=np.float32)
+        with use_tracker(tracker):
+            track_array(base)
+            track_array(base[10:50])  # view: must be ignored
+            track_array(base)  # duplicate: must be ignored
+        assert tracker.current_total == 400
+
+    def test_category_context(self):
+        tracker = MemoryTracker("t")
+        with use_tracker(tracker):
+            with tracker.category(WEIGHTS):
+                keep = Tensor(np.zeros(10, dtype=np.float32))
+            snapshot = tracker.snapshot()
+        assert snapshot.by_category[WEIGHTS] == 40
+        del keep
+
+    def test_default_category_is_activations(self):
+        tracker = MemoryTracker("t")
+        with use_tracker(tracker):
+            keep = Tensor(np.zeros(10, dtype=np.float32))
+            assert tracker.snapshot().by_category[ACTIVATIONS] == 40
+        del keep
+
+    def test_recategorize_moves_bytes(self):
+        tracker = MemoryTracker("t")
+        array = np.zeros(10, dtype=np.float32)
+        tracker.register(array, ACTIVATIONS)
+        tracker.recategorize(array, WEIGHTS)
+        snapshot = tracker.snapshot()
+        assert snapshot.by_category[ACTIVATIONS] == 0
+        assert snapshot.by_category[WEIGHTS] == 40
+
+    def test_unknown_category_rejected(self):
+        tracker = MemoryTracker("t")
+        try:
+            tracker.register(np.zeros(4), "gpu_cache")
+        except ValueError as error:
+            assert "gpu_cache" in str(error)
+        else:
+            raise AssertionError("expected ValueError")
+
+
+class TestPeaks:
+    def test_peak_exceeds_current_after_free(self):
+        tracker = MemoryTracker("t")
+        with use_tracker(tracker):
+            big = Tensor(np.zeros(1000, dtype=np.float32))
+            del big
+            gc.collect()
+            small = Tensor(np.zeros(10, dtype=np.float32))
+        assert tracker.peak_total == 4000
+        assert tracker.current_total == 40
+        del small
+
+    def test_peak_breakdown_snapshot(self):
+        tracker = MemoryTracker("t")
+        with use_tracker(tracker):
+            with tracker.category(WEIGHTS):
+                w = Tensor(np.zeros(100, dtype=np.float32))
+            a = Tensor(np.zeros(300, dtype=np.float32))
+        peak = tracker.peak()
+        assert peak.by_category[WEIGHTS] == 400
+        assert peak.by_category[ACTIVATIONS] == 1200
+        assert peak.fraction(ACTIVATIONS) == 0.75
+        del w, a
+
+    def test_reset_peak_reseeds_from_current(self):
+        tracker = MemoryTracker("t")
+        with use_tracker(tracker):
+            big = Tensor(np.zeros(1000, dtype=np.float32))
+            del big
+            gc.collect()
+            keep = Tensor(np.zeros(10, dtype=np.float32))
+            tracker.reset_peak()
+        assert tracker.peak_total == 40
+        del keep
+
+    def test_percentages_sum_to_100(self):
+        tracker = MemoryTracker("t")
+        with use_tracker(tracker):
+            with tracker.category(OTHER):
+                keep = Tensor(np.zeros(7, dtype=np.float32))
+            percentages = tracker.snapshot().as_percentages()
+        assert abs(sum(percentages.values()) - 100.0) < 1e-9
+        del keep
+
+
+class TestTrainingLifecycle:
+    def test_backward_registers_gradient_bytes(self):
+        tracker = MemoryTracker("t")
+        with use_tracker(tracker):
+            t = Tensor(np.ones((50, 50), dtype=np.float32), requires_grad=True)
+            (t * t).sum().backward()
+            snapshot = tracker.snapshot()
+        assert snapshot.by_category[GRADIENTS] >= t.grad.nbytes
+
+    def test_activations_peak_then_release(self):
+        tracker = MemoryTracker("t")
+        with use_tracker(tracker):
+            t = Tensor(np.ones((100, 100), dtype=np.float32), requires_grad=True)
+            out = (t.tanh() * t.sigmoid()).sum()
+            live_at_forward_end = tracker.snapshot().by_category[ACTIVATIONS]
+            out.backward()
+            gc.collect()
+            live_after_backward = tracker.snapshot().by_category[ACTIVATIONS]
+        # tanh + sigmoid + product + sum outputs were alive pre-backward.
+        assert live_at_forward_end > t.data.nbytes * 2
+        # The consumed graph must have released the intermediates.
+        assert live_after_backward < live_at_forward_end
+
+    def test_per_rank_trackers_are_independent(self):
+        rank0, rank1 = MemoryTracker("r0"), MemoryTracker("r1")
+        with use_tracker(rank0):
+            a = Tensor(np.zeros(100, dtype=np.float32))
+        with use_tracker(rank1):
+            b = Tensor(np.zeros(200, dtype=np.float32))
+        assert rank0.current_total == 400
+        assert rank1.current_total == 800
+        del a, b

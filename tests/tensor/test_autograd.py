@@ -1,0 +1,134 @@
+"""Autograd graph mechanics: accumulation, reuse, no_grad, lifetimes."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, enable_grad, grad_enabled, no_grad
+
+
+class TestBackwardBasics:
+    def test_scalar_backward_default_grad(self):
+        t = Tensor(np.array(3.0), requires_grad=True, dtype=np.float64)
+        (t * t).backward()
+        assert t.grad == pytest.approx(6.0)
+
+    def test_nonscalar_backward_requires_grad_argument(self):
+        t = Tensor(np.ones(3), requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (t * 2.0).backward()
+
+    def test_backward_with_explicit_grad(self):
+        t = Tensor(np.ones(3), requires_grad=True, dtype=np.float64)
+        (t * 2.0).backward(np.array([1.0, 2.0, 3.0]))
+        assert np.array_equal(t.grad, [2.0, 4.0, 6.0])
+
+    def test_backward_grad_shape_mismatch(self):
+        t = Tensor(np.ones(3), requires_grad=True)
+        out = t * 2.0
+        with pytest.raises(ValueError):
+            out.backward(np.ones(4))
+
+    def test_backward_on_no_grad_tensor_raises(self):
+        t = Tensor(np.ones(3))
+        with pytest.raises(RuntimeError):
+            (t * 2.0).backward(np.ones(3))
+
+    def test_grad_accumulates_across_backwards(self):
+        t = Tensor(np.array(2.0), requires_grad=True, dtype=np.float64)
+        (t * t).backward()
+        (t * t).backward()
+        assert t.grad == pytest.approx(8.0)
+
+    def test_diamond_graph_accumulation(self):
+        # y = f(x) used twice: gradient must sum both paths.
+        x = Tensor(np.array(0.5), requires_grad=True, dtype=np.float64)
+        y = x.tanh()
+        out = y * y + y * 3.0
+        out.backward()
+        expected = (2.0 * np.tanh(0.5) + 3.0) * (1.0 - np.tanh(0.5) ** 2)
+        assert x.grad == pytest.approx(expected, rel=1e-10)
+
+    def test_retain_grad_on_intermediate(self):
+        x = Tensor(np.array(2.0), requires_grad=True, dtype=np.float64)
+        y = (x * 3.0).retain_grad()
+        (y * y).backward()
+        assert y.grad == pytest.approx(12.0)
+
+    def test_intermediate_grad_not_kept_by_default(self):
+        x = Tensor(np.array(2.0), requires_grad=True, dtype=np.float64)
+        y = x * 3.0
+        (y * y).backward()
+        assert y.grad is None
+
+    def test_graph_freed_after_backward(self):
+        x = Tensor(np.array(2.0), requires_grad=True, dtype=np.float64)
+        y = x * 3.0
+        out = y * y
+        out.backward()
+        assert out._ctx is None  # graph consumed
+
+
+class TestGradMode:
+    def test_no_grad_blocks_graph(self):
+        x = Tensor(np.ones(2), requires_grad=True)
+        with no_grad():
+            y = x * 2.0
+        assert not y.requires_grad
+        assert y._ctx is None
+
+    def test_no_grad_restores_state(self):
+        assert grad_enabled()
+        with no_grad():
+            assert not grad_enabled()
+            with enable_grad():
+                assert grad_enabled()
+            assert not grad_enabled()
+        assert grad_enabled()
+
+    def test_no_grad_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with no_grad():
+                raise RuntimeError("boom")
+        assert grad_enabled()
+
+    def test_detach_cuts_graph(self):
+        x = Tensor(np.ones(2), requires_grad=True, dtype=np.float64)
+        y = (x * 2.0).detach()
+        assert not y.requires_grad
+        z = Tensor(np.ones(2), requires_grad=True, dtype=np.float64)
+        (y * z).sum().backward()
+        assert x.grad is None
+        assert np.array_equal(z.grad, [2.0, 2.0])
+
+    def test_detach_shares_storage(self):
+        x = Tensor(np.ones(2))
+        y = x.detach()
+        assert y.numpy() is x.numpy()
+
+
+class TestDtypes:
+    def test_float64_preserved_through_ops(self):
+        t = Tensor(np.ones(3), dtype=np.float64)
+        assert (t * t).sum().dtype == np.float64
+
+    def test_default_dtype_for_lists(self):
+        assert Tensor([1.0, 2.0]).dtype == np.float32
+
+    def test_int_input_cast_to_default(self):
+        assert Tensor(np.arange(3)).dtype == np.float32
+
+    def test_scalar_coercion_matches_dtype(self):
+        t = Tensor(np.ones(3), dtype=np.float64)
+        assert (t + 1.0).dtype == np.float64
+
+
+class TestRepr:
+    def test_repr_mentions_grad(self):
+        assert "requires_grad" in repr(Tensor(np.ones(2), requires_grad=True))
+        assert "shape=(2,)" in repr(Tensor(np.ones(2)))
+
+    def test_len_and_size(self):
+        t = Tensor(np.ones((4, 2)))
+        assert len(t) == 4
+        assert t.size == 8
+        assert t.ndim == 2

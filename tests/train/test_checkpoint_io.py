@@ -1,0 +1,140 @@
+"""Training-checkpoint save / load / resume semantics."""
+
+import numpy as np
+import pytest
+
+from repro.data import Normalizer, generate_corpus
+from repro.models import HydraModel, ModelConfig
+from repro.optim import Adam
+from repro.train import Trainer, TrainerConfig, load_checkpoint, resume, save_checkpoint
+
+
+@pytest.fixture(scope="module")
+def workload():
+    corpus = generate_corpus(40, seed=81)
+    normalizer = Normalizer.fit(corpus.graphs)
+    return corpus.graphs, normalizer
+
+
+CONFIG = ModelConfig(hidden_dim=12, num_layers=2)
+
+
+class TestSaveLoad:
+    def test_roundtrip_parameters(self, tmp_path, workload):
+        model = HydraModel(CONFIG, seed=0)
+        path = save_checkpoint(tmp_path / "ckpt.npz", model, global_step=7)
+        restored, metadata = load_checkpoint(path)
+        assert metadata["global_step"] == 7
+        for key, value in model.state_dict().items():
+            assert np.array_equal(value, restored.state_dict()[key]), key
+
+    def test_config_restored(self, tmp_path):
+        config = ModelConfig(hidden_dim=24, num_layers=4, attention=True)
+        model = HydraModel(config, seed=0)
+        path = save_checkpoint(tmp_path / "ckpt.npz", model)
+        restored, _ = load_checkpoint(path)
+        assert restored.config == config
+
+    def test_extra_metadata(self, tmp_path):
+        model = HydraModel(CONFIG, seed=0)
+        path = save_checkpoint(tmp_path / "ckpt.npz", model, extra={"epoch": 3})
+        _, metadata = load_checkpoint(path)
+        assert metadata["extra"]["epoch"] == 3
+
+    def test_rejects_foreign_file(self, tmp_path):
+        bogus = tmp_path / "bogus.npz"
+        np.savez(bogus, metadata=np.frombuffer(b'{"format": "other"}', dtype=np.uint8))
+        with pytest.raises(ValueError):
+            load_checkpoint(bogus)
+
+
+class TestResume:
+    def test_resumed_run_matches_uninterrupted(self, tmp_path, workload):
+        """Save mid-training, resume into fresh objects, and verify the
+        continued trajectory is bitwise identical to never stopping."""
+        graphs, normalizer = workload
+        train, test = graphs[:32], graphs[32:]
+
+        def make_trainer(model):
+            return Trainer(
+                model,
+                normalizer,
+                TrainerConfig(epochs=1, batch_size=16, learning_rate=1e-3, shuffle_seed=9),
+            )
+
+        # Uninterrupted: two epochs.
+        reference = HydraModel(CONFIG, seed=1)
+        trainer_ref = make_trainer(reference)
+        trainer_ref.fit(train, test)
+        trainer_ref.config = TrainerConfig(
+            epochs=1, batch_size=16, learning_rate=1e-3, shuffle_seed=10
+        )
+        trainer_ref.fit(train, test)
+
+        # Interrupted: one epoch, checkpoint, fresh process, one more.
+        first = HydraModel(CONFIG, seed=1)
+        trainer_a = make_trainer(first)
+        trainer_a.fit(train, test)
+        path = save_checkpoint(
+            tmp_path / "mid.npz", first, trainer_a.optimizer, trainer_a.global_step
+        )
+
+        second = HydraModel(CONFIG, seed=999)  # wrong seed: must be overwritten
+        optimizer = Adam(second.parameters(), lr=123.0)
+        trainer_b = Trainer(
+            second,
+            normalizer,
+            TrainerConfig(epochs=1, batch_size=16, learning_rate=1e-3, shuffle_seed=10),
+        )
+        trainer_b.optimizer = optimizer
+        trainer_b.global_step = resume(path, second, optimizer)
+        assert trainer_b.global_step == trainer_a.global_step
+        trainer_b.fit(train, test)
+
+        for key, value in trainer_ref.model.state_dict().items():
+            assert np.array_equal(value, second.state_dict()[key]), key
+
+    def test_resume_rejects_config_mismatch(self, tmp_path):
+        model = HydraModel(CONFIG, seed=0)
+        path = save_checkpoint(tmp_path / "ckpt.npz", model, Adam(model.parameters()))
+        other = HydraModel(ModelConfig(hidden_dim=16, num_layers=2), seed=0)
+        with pytest.raises(ValueError):
+            resume(path, other, Adam(other.parameters()))
+
+    def test_resume_without_optimizer_state(self, tmp_path):
+        """A checkpoint saved before the first step has no Adam moments."""
+        model = HydraModel(CONFIG, seed=2)
+        optimizer = Adam(model.parameters())
+        path = save_checkpoint(tmp_path / "fresh.npz", model, optimizer)
+        target = HydraModel(CONFIG, seed=3)
+        target_opt = Adam(target.parameters())
+        step = resume(path, target, target_opt)
+        assert step == 0
+        assert target_opt.state_nbytes() == 0
+
+
+class TestAdamStateDict:
+    def test_roundtrip(self, workload):
+        graphs, normalizer = workload
+        model = HydraModel(CONFIG, seed=5)
+        optimizer = Adam(model.parameters(), lr=2e-3)
+        trainer = Trainer(model, normalizer, TrainerConfig(epochs=1, batch_size=16))
+        trainer.optimizer = optimizer
+        trainer.fit(graphs[:16], graphs[16:24])
+        state = optimizer.state_dict()
+        fresh = Adam(model.parameters(), lr=1.0)
+        fresh.load_state_dict(state)
+        assert fresh.step_count == optimizer.step_count
+        assert fresh.lr == optimizer.lr
+        for a, b in zip(fresh._m, optimizer._m):
+            assert np.array_equal(a, b)
+
+    def test_length_mismatch_rejected(self):
+        model_a = HydraModel(CONFIG, seed=0)
+        model_b = HydraModel(ModelConfig(hidden_dim=12, num_layers=3), seed=0)
+        opt_a = Adam(model_a.parameters())
+        model_a.parameters()[0].grad = np.zeros_like(model_a.parameters()[0].data)
+        opt_a.step()
+        opt_b = Adam(model_b.parameters())
+        with pytest.raises(ValueError):
+            opt_b.load_state_dict(opt_a.state_dict())

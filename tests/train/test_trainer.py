@@ -1,0 +1,111 @@
+"""Training loop: learning happens, metrics/history semantics."""
+
+import numpy as np
+import pytest
+
+from repro.data import Normalizer, generate_corpus
+from repro.models import HydraModel, ModelConfig
+from repro.train import Trainer, TrainerConfig, evaluate, quick_train
+from repro.train.metrics import RunningMean
+
+
+@pytest.fixture(scope="module")
+def small_corpus():
+    corpus = generate_corpus(60, seed=31)
+    train, test = corpus.train_test_split(0.2, seed=32)
+    normalizer = Normalizer.fit(corpus.graphs)
+    return train.graphs, test, normalizer
+
+
+class TestTrainer:
+    def test_loss_decreases_over_epochs(self, small_corpus):
+        train, test, normalizer = small_corpus
+        model = HydraModel(ModelConfig(hidden_dim=16, num_layers=2), seed=0)
+        trainer = Trainer(model, normalizer, TrainerConfig(epochs=4, batch_size=16, learning_rate=2e-3))
+        history = trainer.fit(train, test)
+        assert len(history.epochs) == 4
+        assert history.epochs[-1].train_loss < history.epochs[0].train_loss
+
+    def test_final_metrics_populated(self, small_corpus):
+        train, test, normalizer = small_corpus
+        model = HydraModel(ModelConfig(hidden_dim=8, num_layers=2), seed=0)
+        trainer = Trainer(model, normalizer, TrainerConfig(epochs=1, batch_size=16))
+        history = trainer.fit(train, test)
+        for key in ("test_loss", "energy_mae", "force_mae", "energy_mse", "force_mse"):
+            assert np.isfinite(history.final_metrics[key]), key
+        assert history.final_test_loss == history.final_metrics["test_loss"]
+
+    def test_best_loss_no_worse_than_final(self, small_corpus):
+        train, test, normalizer = small_corpus
+        model = HydraModel(ModelConfig(hidden_dim=8, num_layers=2), seed=1)
+        trainer = Trainer(model, normalizer, TrainerConfig(epochs=3, batch_size=16))
+        history = trainer.fit(train, test)
+        assert history.best_test_loss <= min(r.test_loss for r in history.epochs) + 1e-12
+
+    def test_deterministic_given_seed(self, small_corpus):
+        train, test, normalizer = small_corpus
+
+        def run() -> float:
+            model = HydraModel(ModelConfig(hidden_dim=8, num_layers=2), seed=2)
+            trainer = Trainer(
+                model, normalizer, TrainerConfig(epochs=2, batch_size=16, shuffle_seed=5)
+            )
+            return trainer.fit(train, test).final_test_loss
+
+        assert run() == pytest.approx(run(), rel=1e-9)
+
+    def test_empty_training_set_rejected(self, small_corpus):
+        _, test, normalizer = small_corpus
+        model = HydraModel(ModelConfig(hidden_dim=8, num_layers=2), seed=0)
+        trainer = Trainer(model, normalizer)
+        with pytest.raises(ValueError):
+            trainer.fit([], test)
+
+    def test_quick_train_fits_normalizer(self, small_corpus):
+        train, test, _ = small_corpus
+        model = HydraModel(ModelConfig(hidden_dim=8, num_layers=2), seed=0)
+        history = quick_train(model, train, test, config=TrainerConfig(epochs=1, batch_size=16))
+        assert np.isfinite(history.final_test_loss)
+
+    def test_grad_norm_recorded(self, small_corpus):
+        train, test, normalizer = small_corpus
+        model = HydraModel(ModelConfig(hidden_dim=8, num_layers=2), seed=0)
+        trainer = Trainer(model, normalizer, TrainerConfig(epochs=1, batch_size=16))
+        history = trainer.fit(train, test)
+        assert history.epochs[0].grad_norm > 0
+
+
+class TestEvaluate:
+    def test_batch_size_invariance(self, small_corpus):
+        """Streaming metrics must not depend on eval batch boundaries."""
+        train, test, normalizer = small_corpus
+        model = HydraModel(ModelConfig(hidden_dim=8, num_layers=2), seed=3)
+        a = evaluate(model, test, normalizer, batch_size=3)
+        b = evaluate(model, test, normalizer, batch_size=len(test))
+        assert a["force_mse"] == pytest.approx(b["force_mse"], rel=1e-4)
+        assert a["energy_mse"] == pytest.approx(b["energy_mse"], rel=1e-4)
+
+    def test_perfect_model_zero_loss(self, small_corpus):
+        """Evaluating against a model's own predictions gives ~0 MAE."""
+        train, test, normalizer = small_corpus
+        model = HydraModel(ModelConfig(hidden_dim=8, num_layers=2), seed=4)
+        metrics = evaluate(model, test, normalizer)
+        assert metrics["test_loss"] > 0  # untrained model is imperfect
+
+    def test_weights_scale_loss(self, small_corpus):
+        train, test, normalizer = small_corpus
+        model = HydraModel(ModelConfig(hidden_dim=8, num_layers=2), seed=5)
+        base = evaluate(model, test, normalizer, energy_weight=1.0, force_weight=1.0)
+        doubled = evaluate(model, test, normalizer, energy_weight=2.0, force_weight=2.0)
+        assert doubled["test_loss"] == pytest.approx(2 * base["test_loss"], rel=1e-5)
+
+
+class TestRunningMean:
+    def test_weighted_mean(self):
+        mean = RunningMean()
+        mean.update(1.0, weight=1.0)
+        mean.update(3.0, weight=3.0)
+        assert mean.value == pytest.approx(2.5)
+
+    def test_empty_is_nan(self):
+        assert np.isnan(RunningMean().value)
