@@ -26,13 +26,27 @@ from repro.tensor.allocator import OTHER, track_array
 from repro.tensor.core import Tensor
 
 
-def flatten_grads(params: list[Parameter]) -> np.ndarray:
-    """Concatenate parameter gradients into one flat vector."""
-    pieces = []
+def flatten_grads(params: list[Parameter], out: np.ndarray | None = None) -> np.ndarray:
+    """Concatenate parameter gradients into one flat vector.
+
+    Passing ``out`` (e.g. a rank's persistent DDP bucket) writes in place
+    instead of allocating a fresh vector every step.
+    """
+    total = sum(param.data.size for param in params)
+    if out is None:
+        out = np.empty(total, dtype=np.float32)
+    elif out.size != total:
+        raise ValueError(f"bucket of {out.size} cannot hold {total} gradient values")
+    offset = 0
     for param in params:
-        grad = param.grad if param.grad is not None else np.zeros_like(param.data)
-        pieces.append(grad.reshape(-1))
-    return np.concatenate(pieces)
+        size = param.data.size
+        view = out[offset : offset + size]
+        if param.grad is None:
+            view[:] = 0.0
+        else:
+            view[:] = param.grad.reshape(-1)
+        offset += size
+    return out
 
 
 def unflatten_to_grads(params: list[Parameter], flat: np.ndarray) -> None:
@@ -130,7 +144,9 @@ class DataParallelEngine:
         shards = shard_round_robin(graphs, self.cluster.num_ranks)
         losses = []
         grads = []
-        for rank, model, shard in zip(self.cluster.ranks, self.models, shards):
+        for index, (rank, model, shard) in enumerate(
+            zip(self.cluster.ranks, self.models, shards)
+        ):
             with rank.activate():
                 start = time.perf_counter()
                 model.zero_grad()
@@ -138,7 +154,9 @@ class DataParallelEngine:
                 loss.backward()
                 rank.advance(time.perf_counter() - start)
                 losses.append(loss.item())
-                grads.append(flatten_grads(model.parameters()))
+                # Flatten into the rank's persistent DDP bucket instead of
+                # concatenating a fresh vector every step.
+                grads.append(flatten_grads(model.parameters(), out=self._grad_buckets[index]))
         reduced = self.cluster.all_reduce_mean(grads)
         for rank, model, grad in zip(self.cluster.ranks, self.models, reduced):
             with rank.activate():

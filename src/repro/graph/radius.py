@@ -11,24 +11,28 @@ from __future__ import annotations
 import numpy as np
 from scipy.spatial import cKDTree
 
+from repro.tensor.core import DEFAULT_DTYPE
+
 
 def radius_graph(positions: np.ndarray, cutoff: float) -> tuple[np.ndarray, np.ndarray]:
     """Directed edges between atoms closer than ``cutoff`` (open boundaries).
 
-    Returns ``(edge_index, edge_shift)`` with all-zero shifts.
+    Returns ``(edge_index, edge_shift)`` with all-zero shifts.  Shifts are
+    ``DEFAULT_DTYPE`` (float32), matching the periodic path and the
+    engine's batch arrays.
     """
     positions = np.asarray(positions, dtype=np.float64)
     n = positions.shape[0]
     if n == 0:
-        return np.zeros((2, 0), dtype=np.int64), np.zeros((0, 3))
+        return np.zeros((2, 0), dtype=np.int64), np.zeros((0, 3), dtype=DEFAULT_DTYPE)
     tree = cKDTree(positions)
     pairs = tree.query_pairs(r=cutoff, output_type="ndarray")
     if pairs.size == 0:
-        return np.zeros((2, 0), dtype=np.int64), np.zeros((0, 3))
+        return np.zeros((2, 0), dtype=np.int64), np.zeros((0, 3), dtype=DEFAULT_DTYPE)
     src = np.concatenate([pairs[:, 0], pairs[:, 1]])
     dst = np.concatenate([pairs[:, 1], pairs[:, 0]])
     edge_index = np.stack([src, dst]).astype(np.int64)
-    return edge_index, np.zeros((edge_index.shape[1], 3))
+    return edge_index, np.zeros((edge_index.shape[1], 3), dtype=DEFAULT_DTYPE)
 
 
 def _shift_ranges(cell: np.ndarray, pbc: tuple[bool, bool, bool], cutoff: float) -> list[np.ndarray]:
@@ -63,13 +67,15 @@ def periodic_radius_graph(
     Each atom is connected to every periodic image of every atom (including
     its own images, but not itself at zero shift) within ``cutoff``.
     Returns ``(edge_index, edge_shift)`` where ``edge_shift`` is the
-    Cartesian shift applied to the *source* atom.
+    Cartesian shift applied to the *source* atom, in ``DEFAULT_DTYPE``
+    (float32) like the open-boundary path -- the search itself runs in
+    float64.
     """
     positions = np.asarray(positions, dtype=np.float64)
     cell = np.asarray(cell, dtype=np.float64).reshape(3, 3)
     n = positions.shape[0]
     if n == 0:
-        return np.zeros((2, 0), dtype=np.int64), np.zeros((0, 3))
+        return np.zeros((2, 0), dtype=np.int64), np.zeros((0, 3), dtype=DEFAULT_DTYPE)
 
     ranges = _shift_ranges(cell, pbc, cutoff)
     shifts_int = np.array(np.meshgrid(*ranges, indexing="ij")).reshape(3, -1).T
@@ -102,9 +108,9 @@ def periodic_radius_graph(
         dst_list.append(np.full(src_atoms.shape[0], dst_atom, dtype=np.int64))
         shift_list.append(shifts_cart[images])
     if not src_list:
-        return np.zeros((2, 0), dtype=np.int64), np.zeros((0, 3))
+        return np.zeros((2, 0), dtype=np.int64), np.zeros((0, 3), dtype=DEFAULT_DTYPE)
     edge_index = np.stack([np.concatenate(src_list), np.concatenate(dst_list)])
-    return edge_index.astype(np.int64), np.concatenate(shift_list)
+    return edge_index.astype(np.int64), np.concatenate(shift_list).astype(DEFAULT_DTYPE)
 
 
 def trim_max_neighbors(

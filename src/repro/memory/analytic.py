@@ -32,24 +32,30 @@ FLOAT_BYTES = 4
 
 @dataclass(frozen=True)
 class ActivationInventory:
-    """Counted live-buffer inventory of one EGNN layer's forward pass.
+    """Live-buffer inventory of one EGNN layer at the measured peak.
 
-    The counts mirror ``repro.models.egnn.EGNNLayer.forward`` op by op:
-    every op output that stays referenced by the autograd graph until the
-    backward pass contributes one buffer.
+    The counts mirror the *fused* ``repro.models.egnn.EGNNLayer`` path
+    (the kernel-dispatch default): the gather/concat entry of each MLP is
+    folded into one kernel, so neither the ``(E, 2F+R)`` concat buffer
+    nor the two edge-sized gathers exist, each affine map retains one
+    output instead of two, and the weighted-unit-vector product is fused
+    into its segment sum.  Counts are calibrated against the measured
+    profiler at the moment of peak *total* memory (early backward), where
+    a few late-layer edge buffers have already been released -- which is
+    why ``edge_f_buffers`` is slightly below the ten edge-sized arrays
+    the forward pass retains.
     """
 
-    edge_f_buffers: int = 15  # gather x2, edge MLP x8, envelope mul, coord MLP x4
-    node_f_buffers: int = 13  # aggregate, concat(2), node MLP x6, residual, LN x5
-    edge_vec_buffers: int = 1  # weighted unit vectors (E x 3)
-    node_vec_buffers: int = 3  # coordinate segment-sum, scale, residual (N x 3)
-    edge_scalar_buffers: int = 3  # coord weights and biases (E x 1)
+    edge_f_buffers: int = 7  # fused entry, 2x (linear + SiLU pair), envelope mul
+    node_f_buffers: int = 11  # aggregate, fused entry, SiLU pair, linear, residual, LN x5
+    edge_vec_buffers: int = 0  # weighted unit vectors are fused into the segment sum
+    node_vec_buffers: int = 1  # coordinate residual (N x 3)
+    edge_scalar_buffers: int = 0  # coord weights are released before the peak
 
     def layer_bytes(self, config: ModelConfig, num_nodes: int, num_edges: int) -> int:
         width = config.hidden_dim
         total = num_edges * (
             self.edge_f_buffers * width
-            + (2 * width + config.num_rbf)  # concatenated edge input
             + self.edge_vec_buffers * 3
             + self.edge_scalar_buffers
         )

@@ -15,7 +15,7 @@ from repro.models.egnn import EGNNBackbone
 from repro.models.heads import GraphEnergyHead, NodeForceHead
 from repro.nn.loss import mse_loss
 from repro.nn.module import Module
-from repro.tensor.core import Tensor
+from repro.tensor.core import Tensor, no_grad
 from repro.tensor.rng import rng as make_rng, split_rng
 
 
@@ -37,6 +37,16 @@ class HydraModel(Module):
         energy = self.energy_head(h, batch.node_graph, batch.num_graphs)
         forces = self.force_head(x)
         return {"energy": energy, "forces": forces}
+
+    def predict(self, batch: GraphBatch) -> dict[str, Tensor]:
+        """Inference entry point: forward on the ``no_grad`` fast path.
+
+        No autograd ``Function`` nodes are constructed and no
+        intermediates are retained for backward (asserted in the test
+        suite), which is what serving and evaluation loops should call.
+        """
+        with no_grad():
+            return self.forward(batch)
 
     def loss(
         self,

@@ -6,6 +6,7 @@ import numpy as np
 
 from repro.nn import init
 from repro.nn.module import Module, Parameter
+from repro.tensor import kernels
 from repro.tensor.core import Tensor
 
 
@@ -14,7 +15,9 @@ class Linear(Module):
 
     ``rng`` is mandatory: every layer in the library draws its weights from
     an explicit generator so whole-model construction is a pure function of
-    the seed.
+    the seed.  The forward runs through the kernel-dispatch layer: one
+    fused node by default, the composed ``matmul`` + ``add`` chain under
+    ``kernels.fusion(False)``.
     """
 
     def __init__(self, in_features: int, out_features: int, rng: np.random.Generator, bias: bool = True) -> None:
@@ -25,10 +28,7 @@ class Linear(Module):
         self.bias = Parameter(init.zeros((out_features,))) if bias else None
 
     def forward(self, x: Tensor) -> Tensor:
-        out = x @ self.weight
-        if self.bias is not None:
-            out = out + self.bias
-        return out
+        return kernels.linear(x, self.weight, self.bias)
 
     def __repr__(self) -> str:
         return f"Linear({self.in_features}, {self.out_features}, bias={self.bias is not None})"

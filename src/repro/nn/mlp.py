@@ -36,9 +36,19 @@ class MLP(Module):
         self.final_activation = final_activation
 
     def forward(self, x: Tensor) -> Tensor:
+        return self.forward_tail(x, start=0)
+
+    def forward_tail(self, x: Tensor, start: int) -> Tensor:
+        """Run layers ``start:`` on ``x`` (same activation policy).
+
+        Fused model paths replace layer 0 with a kernel that folds the
+        preceding gather/concat into the first affine map, then hand the
+        result here to finish the stack.  ``x`` must already be activated
+        up to ``start``.
+        """
         last = len(self.layers) - 1
-        for index, layer in enumerate(self.layers):
-            x = layer(x)
+        for index in range(start, len(self.layers)):
+            x = self.layers[index](x)
             if index < last or self.final_activation:
                 x = self.activation(x)
         return x

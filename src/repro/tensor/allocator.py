@@ -27,6 +27,7 @@ views (slices, reshapes that alias) are never double counted.
 
 from __future__ import annotations
 
+import sys
 import threading
 import weakref
 from contextlib import contextmanager
@@ -227,3 +228,170 @@ def track_as(category: str):
     """Shorthand for ``active_tracker().category(category)``."""
     with active_tracker().category(category):
         yield
+
+
+# ----------------------------------------------------------------------
+# Buffer pool.
+#
+# Training allocates the same activation/gradient shapes every step; a
+# caching allocator (the CPU analogue of CUDA's) recycles those buffers
+# instead of round-tripping through malloc.  The pool keeps a strong
+# reference to every buffer it has handed out, bucketed by (shape, dtype).
+# A buffer is reusable exactly when nobody *else* references it -- checked
+# with ``sys.getrefcount`` at acquire time -- so recycling is automatic at
+# step boundaries without an explicit free call: when the previous step's
+# autograd graph dies, its buffers become reclaimable.
+#
+# Pooled buffers stay alive (and therefore stay visible to the active
+# MemoryTracker under their original category), which mirrors the
+# "reserved memory" semantics of real caching allocators.  The pool is
+# opt-in via :func:`use_pool`; memory-profiling code paths leave it off so
+# Fig. 6 lifetimes remain exact.
+# ----------------------------------------------------------------------
+
+#: Refcount of a bucket entry nobody outside the pool is using:
+#: one reference from the bucket list, one from the loop variable, and one
+#: from ``sys.getrefcount``'s own argument.
+_IDLE_REFCOUNT = 3
+
+
+@dataclass
+class PoolStats:
+    """Acquire-time counters: ``hits`` reused a buffer, ``misses`` malloc'd."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class BufferPool:
+    """Shape/dtype-bucketed recycling pool for numpy scratch buffers.
+
+    :meth:`acquire` returns an **uninitialized** array -- callers must
+    fully overwrite it (or use :func:`pool_zeros`).  Retention is bounded
+    two ways: at most ``max_per_bucket`` buffers per exact shape, and at
+    most ``max_total_bytes`` across all buckets.  Over the byte budget the
+    pool first evicts *idle* buffers from other buckets (variable-shape
+    workloads -- shuffled batches -- would otherwise accrete dead shapes
+    forever); if everything retained is busy, new allocations are simply
+    handed out without being retained.
+    """
+
+    def __init__(self, max_per_bucket: int = 64, max_total_bytes: int = 256 * 2**20) -> None:
+        self.max_per_bucket = int(max_per_bucket)
+        self.max_total_bytes = int(max_total_bytes)
+        self._buckets: dict[tuple[tuple[int, ...], np.dtype], list[np.ndarray]] = {}
+        self._reserved = 0
+        self.stats = PoolStats()
+        self._lock = threading.Lock()
+
+    def acquire(self, shape, dtype) -> np.ndarray:
+        shape = tuple(int(s) for s in (shape if isinstance(shape, (tuple, list)) else (shape,)))
+        dtype = np.dtype(dtype)
+        key = (shape, dtype)
+        with self._lock:
+            bucket = self._buckets.get(key)
+            if bucket is not None:
+                for array in bucket:
+                    if sys.getrefcount(array) == _IDLE_REFCOUNT:
+                        self.stats.hits += 1
+                        return array
+            self.stats.misses += 1
+            array = np.empty(shape, dtype=dtype)
+            if bucket is None:
+                bucket = self._buckets[key] = []
+            if len(bucket) < self.max_per_bucket:
+                if self._reserved + array.nbytes > self.max_total_bytes:
+                    self._evict_idle(self._reserved + array.nbytes - self.max_total_bytes, skip=key)
+                if self._reserved + array.nbytes <= self.max_total_bytes:
+                    bucket.append(array)
+                    self._reserved += array.nbytes
+            return array
+
+    def _evict_idle(self, bytes_needed: int, skip) -> None:
+        """Drop idle retained buffers (stale shapes) to free budget."""
+        freed = 0
+        for key, bucket in list(self._buckets.items()):
+            if key == skip:
+                continue
+            kept = []
+            for array in bucket:
+                if freed < bytes_needed and sys.getrefcount(array) == _IDLE_REFCOUNT:
+                    freed += array.nbytes
+                    self.stats.evictions += 1
+                else:
+                    kept.append(array)
+            if len(kept) != len(bucket):
+                self._buckets[key] = kept
+            if not kept:
+                del self._buckets[key]
+        self._reserved -= freed
+
+    def reserved_bytes(self) -> int:
+        """Total bytes of all retained buffers (busy and idle)."""
+        with self._lock:
+            return self._reserved
+
+    def idle_buffers(self) -> int:
+        """Number of retained buffers currently reusable."""
+        with self._lock:
+            return sum(
+                1
+                for bucket in self._buckets.values()
+                for array in bucket
+                if sys.getrefcount(array) == _IDLE_REFCOUNT
+            )
+
+    def clear(self) -> None:
+        with self._lock:
+            self._buckets.clear()
+            self._reserved = 0
+
+
+_pool_stack: list[BufferPool] = []
+
+
+def active_pool() -> BufferPool | None:
+    """Return the pool scratch allocations recycle through, if any."""
+    if _pool_stack:
+        return _pool_stack[-1]
+    return None
+
+
+@contextmanager
+def use_pool(pool: BufferPool | None = None):
+    """Route engine scratch allocations through ``pool`` inside the block.
+
+    A fresh pool is created when none is given; pass a persistent pool to
+    recycle buffers across many steps (what :class:`~repro.train.trainer.Trainer`
+    does).
+    """
+    pool = pool if pool is not None else BufferPool()
+    _pool_stack.append(pool)
+    try:
+        yield pool
+    finally:
+        _pool_stack.pop()
+
+
+def pool_empty(shape, dtype) -> np.ndarray:
+    """Uninitialized array from the active pool (plain ``np.empty`` if none)."""
+    pool = active_pool()
+    if pool is None:
+        return np.empty(shape, dtype=dtype)
+    return pool.acquire(shape, dtype)
+
+
+def pool_zeros(shape, dtype) -> np.ndarray:
+    """Zeroed array from the active pool (plain ``np.zeros`` if none)."""
+    pool = active_pool()
+    if pool is None:
+        return np.zeros(shape, dtype=dtype)
+    array = pool.acquire(shape, dtype)
+    array.fill(0)
+    return array

@@ -20,6 +20,7 @@ from __future__ import annotations
 from repro.tensor.core import (
     Function,
     Tensor,
+    _count_node,
     concat,
     enable_grad,
     grad_enabled,
@@ -68,6 +69,7 @@ def checkpoint(fn, *inputs: Tensor) -> Tensor:
         with no_grad():
             return fn(*inputs)
     flags = tuple(t.requires_grad for t in inputs)
+    _count_node()
     node = CheckpointFunction(fn, flags)
     out_data = node.forward(*[t.data for t in inputs])
     # The segment may contain trainable parameters even when no *input*

@@ -31,6 +31,21 @@ DEFAULT_DTYPE = np.float32
 
 _grad_enabled = True
 
+# Running count of autograd nodes ever constructed.  The inference fast
+# path must keep this flat under ``no_grad`` (asserted in the test suite
+# and the engine benchmarks).
+_function_nodes_created = 0
+
+
+def function_nodes_created() -> int:
+    """Total autograd ``Function`` nodes constructed so far in this process."""
+    return _function_nodes_created
+
+
+def _count_node() -> None:
+    global _function_nodes_created
+    _function_nodes_created += 1
+
 
 def grad_enabled() -> bool:
     """Return whether ops currently record the autograd graph."""
@@ -94,16 +109,30 @@ class Function:
         raise NotImplementedError
 
     @classmethod
+    def infer(cls, *arrays: np.ndarray, **kwargs) -> np.ndarray:
+        """Graph-free forward used when no gradient will be needed.
+
+        Subclasses override this with an implementation that neither saves
+        intermediates nor copies defensively.  The fallback instantiates a
+        throwaway node (and counts it, so the no-node invariant of the
+        inference fast path stays observable).
+        """
+        _count_node()
+        return cls(**kwargs).forward(*arrays)
+
+    @classmethod
     def apply(cls, *tensors: "Tensor", **kwargs) -> "Tensor":
-        fn = cls(**kwargs)
         arrays = tuple(t.data for t in tensors)
-        out_data = fn.forward(*arrays)
-        needs_grad = _grad_enabled and any(t.requires_grad for t in tensors)
-        out = Tensor(out_data, requires_grad=needs_grad)
-        if needs_grad:
+        if _grad_enabled and any(t.requires_grad for t in tensors):
+            _count_node()
+            fn = cls(**kwargs)
+            out = Tensor._from_data(fn.forward(*arrays), requires_grad=True)
             fn.parents = tensors
             out._ctx = fn
-        return out
+            return out
+        # Inference fast path: no Function node, no saved intermediates,
+        # no defensive copies -- just the numpy compute.
+        return Tensor._from_data(cls.infer(*arrays, **kwargs), requires_grad=False)
 
 
 class Tensor:
@@ -131,6 +160,25 @@ class Tensor:
         self._ctx: Function | None = None
         self._retain_grad = False
         track_array(array)
+
+    @classmethod
+    def _from_data(cls, data: np.ndarray, requires_grad: bool) -> "Tensor":
+        """Wrap an op output without the constructor's coercion checks.
+
+        Op outputs are already arrays of the right dtype; skipping
+        ``np.asarray`` dtype logic keeps the hot path cheap.  Views are
+        accepted (the tracker ignores non-base-owning arrays).
+        """
+        if not isinstance(data, np.ndarray):
+            data = np.asarray(data)
+        out = cls.__new__(cls)
+        out.data = data
+        out.grad = None
+        out.requires_grad = requires_grad
+        out._ctx = None
+        out._retain_grad = False
+        track_array(data)
+        return out
 
     # ------------------------------------------------------------------
     # introspection
@@ -357,6 +405,10 @@ class Add(Function):
         self.shapes = (a.shape, b.shape)
         return a + b
 
+    @staticmethod
+    def infer(a, b):
+        return a + b
+
     def backward(self, grad):
         sa, sb = self.shapes
         return _unbroadcast(grad, sa), _unbroadcast(grad, sb)
@@ -367,6 +419,10 @@ class Sub(Function):
         self.shapes = (a.shape, b.shape)
         return a - b
 
+    @staticmethod
+    def infer(a, b):
+        return a - b
+
     def backward(self, grad):
         sa, sb = self.shapes
         return _unbroadcast(grad, sa), _unbroadcast(-grad, sb)
@@ -375,6 +431,10 @@ class Sub(Function):
 class Mul(Function):
     def forward(self, a, b):
         self.a, self.b = a, b
+        return a * b
+
+    @staticmethod
+    def infer(a, b):
         return a * b
 
     def backward(self, grad):
@@ -389,6 +449,10 @@ class Div(Function):
         self.a, self.b = a, b
         return a / b
 
+    @staticmethod
+    def infer(a, b):
+        return a / b
+
     def backward(self, grad):
         grad_a = _unbroadcast(grad / self.b, self.a.shape)
         grad_b = _unbroadcast(-grad * self.a / (self.b * self.b), self.b.shape)
@@ -397,6 +461,10 @@ class Div(Function):
 
 class Neg(Function):
     def forward(self, a):
+        return -a
+
+    @staticmethod
+    def infer(a):
         return -a
 
     def backward(self, grad):
@@ -411,6 +479,10 @@ class Pow(Function):
         self.a = a
         return a**self.exponent
 
+    @staticmethod
+    def infer(a, exponent):
+        return a**exponent
+
     def backward(self, grad):
         return (grad * self.exponent * self.a ** (self.exponent - 1.0),)
 
@@ -420,6 +492,10 @@ class Exp(Function):
         self.out = np.exp(a)
         return self.out
 
+    @staticmethod
+    def infer(a):
+        return np.exp(a)
+
     def backward(self, grad):
         return (grad * self.out,)
 
@@ -427,6 +503,10 @@ class Exp(Function):
 class Log(Function):
     def forward(self, a):
         self.a = a
+        return np.log(a)
+
+    @staticmethod
+    def infer(a):
         return np.log(a)
 
     def backward(self, grad):
@@ -438,6 +518,10 @@ class Sqrt(Function):
         self.out = np.sqrt(a)
         return self.out
 
+    @staticmethod
+    def infer(a):
+        return np.sqrt(a)
+
     def backward(self, grad):
         return (grad * 0.5 / self.out,)
 
@@ -446,6 +530,10 @@ class Tanh(Function):
     def forward(self, a):
         self.out = np.tanh(a)
         return self.out
+
+    @staticmethod
+    def infer(a):
+        return np.tanh(a)
 
     def backward(self, grad):
         return (grad * (1.0 - self.out * self.out),)
@@ -456,6 +544,10 @@ class Sigmoid(Function):
         self.out = 1.0 / (1.0 + np.exp(-a))
         return self.out
 
+    @staticmethod
+    def infer(a):
+        return 1.0 / (1.0 + np.exp(-a))
+
     def backward(self, grad):
         return (grad * self.out * (1.0 - self.out),)
 
@@ -465,6 +557,10 @@ class ReLU(Function):
         self.mask = a > 0
         return a * self.mask
 
+    @staticmethod
+    def infer(a):
+        return np.maximum(a, 0)
+
     def backward(self, grad):
         return (grad * self.mask,)
 
@@ -472,6 +568,10 @@ class ReLU(Function):
 class Abs(Function):
     def forward(self, a):
         self.sign = np.sign(a)
+        return np.abs(a)
+
+    @staticmethod
+    def infer(a):
         return np.abs(a)
 
     def backward(self, grad):
@@ -485,6 +585,12 @@ class MatMul(Function):
         self.a, self.b = a, b
         return a @ b
 
+    @staticmethod
+    def infer(a, b):
+        if a.ndim != 2 or b.ndim != 2:
+            raise ValueError(f"matmul expects 2-D operands, got {a.shape} @ {b.shape}")
+        return a @ b
+
     def backward(self, grad):
         return grad @ self.b.T, self.a.T @ grad
 
@@ -494,6 +600,12 @@ class Transpose(Function):
         if a.ndim != 2:
             raise ValueError("transpose expects a 2-D tensor")
         return np.ascontiguousarray(a.T)
+
+    @staticmethod
+    def infer(a):
+        if a.ndim != 2:
+            raise ValueError("transpose expects a 2-D tensor")
+        return a.T  # view: inference never mutates, so aliasing is safe
 
     def backward(self, grad):
         return (np.ascontiguousarray(grad.T),)
@@ -508,6 +620,10 @@ class Reshape(Function):
         # Copy so the output owns its buffer; keeps memory accounting exact.
         return a.reshape(self.shape).copy()
 
+    @staticmethod
+    def infer(a, shape):
+        return a.reshape(tuple(shape))
+
     def backward(self, grad):
         return (grad.reshape(self.original),)
 
@@ -520,6 +636,10 @@ class Sum(Function):
     def forward(self, a):
         self.shape = a.shape
         return a.sum(axis=self.axis, keepdims=self.keepdims)
+
+    @staticmethod
+    def infer(a, axis=None, keepdims=False):
+        return a.sum(axis=axis, keepdims=keepdims)
 
     def backward(self, grad):
         if self.axis is None:
@@ -552,8 +672,15 @@ class GetItem(Function):
         out = a[self.index]
         return out.copy() if isinstance(out, np.ndarray) else np.asarray(out)
 
+    @staticmethod
+    def infer(a, index):
+        # Basic indexing returns a view; inference never mutates, so the
+        # copy the training path makes for accounting exactness is skipped.
+        out = a[index]
+        return out if isinstance(out, np.ndarray) else np.asarray(out)
+
     def backward(self, grad):
-        full = np.zeros(self.shape, dtype=grad.dtype)
+        full = allocator.pool_zeros(self.shape, grad.dtype)
         if _is_advanced_index(self.index):
             # Integer-array indices may repeat rows; accumulate unbuffered.
             np.add.at(full, self.index, grad)
@@ -570,6 +697,10 @@ class Concat(Function):
     def forward(self, *arrays):
         self.sizes = [a.shape[self.axis] for a in arrays]
         return np.concatenate(arrays, axis=self.axis)
+
+    @staticmethod
+    def infer(*arrays, axis=0):
+        return np.concatenate(arrays, axis=axis)
 
     def backward(self, grad):
         splits = np.cumsum(self.sizes)[:-1]
@@ -590,10 +721,30 @@ class Gather(Function):
         self.num_rows = a.shape[0]
         return a[self.index]
 
+    @staticmethod
+    def infer(a, index):
+        return a[np.asarray(index, dtype=np.int64)]
+
     def backward(self, grad):
-        full = np.zeros((self.num_rows,) + grad.shape[1:], dtype=grad.dtype)
+        full = allocator.pool_zeros((self.num_rows,) + grad.shape[1:], grad.dtype)
         np.add.at(full, self.index, grad)
         return (full,)
+
+
+def _segment_sum_array(a: np.ndarray, segments: np.ndarray, num_segments: int) -> np.ndarray:
+    """Numpy-level segment sum via a sparse incidence matrix."""
+    from scipy import sparse
+
+    n = segments.shape[0]
+    if a.shape[0] != n:
+        raise ValueError(f"segment ids ({n}) do not match rows ({a.shape[0]})")
+    flat = a.reshape(n, -1)
+    incidence = sparse.csr_matrix(
+        (np.ones(n, dtype=a.dtype), (segments, np.arange(n))),
+        shape=(num_segments, n),
+    )
+    out = incidence @ flat
+    return np.ascontiguousarray(out.reshape((num_segments,) + a.shape[1:]))
 
 
 class SegmentSum(Function):
@@ -610,18 +761,11 @@ class SegmentSum(Function):
         self.num_segments = int(num_segments)
 
     def forward(self, a):
-        from scipy import sparse
+        return _segment_sum_array(a, self.segments, self.num_segments)
 
-        n = self.segments.shape[0]
-        if a.shape[0] != n:
-            raise ValueError(f"segment ids ({n}) do not match rows ({a.shape[0]})")
-        flat = a.reshape(n, -1)
-        incidence = sparse.csr_matrix(
-            (np.ones(n, dtype=a.dtype), (self.segments, np.arange(n))),
-            shape=(self.num_segments, n),
-        )
-        out = incidence @ flat
-        return np.ascontiguousarray(out.reshape((self.num_segments,) + a.shape[1:]))
+    @staticmethod
+    def infer(a, segments, num_segments):
+        return _segment_sum_array(a, np.asarray(segments, dtype=np.int64), int(num_segments))
 
     def backward(self, grad):
         flat = grad.reshape(self.num_segments, -1)
@@ -638,6 +782,10 @@ class Where(Function):
     def forward(self, a, b):
         self.shapes = (a.shape, b.shape)
         return np.where(self.condition, a, b)
+
+    @staticmethod
+    def infer(a, b, condition):
+        return np.where(np.asarray(condition, dtype=bool), a, b)
 
     def backward(self, grad):
         sa, sb = self.shapes

@@ -8,8 +8,14 @@ from repro.tensor.core import Tensor, where
 
 
 def silu(x: Tensor) -> Tensor:
-    """SiLU / swish activation ``x * sigmoid(x)`` (EGNN's default)."""
-    return x * x.sigmoid()
+    """SiLU / swish activation ``x * sigmoid(x)`` (EGNN's default).
+
+    Dispatches to the fused kernel (one node, one saved array) unless
+    fusion is disabled, in which case it composes the primitives.
+    """
+    from repro.tensor import kernels
+
+    return kernels.silu(x)
 
 
 def softplus(x: Tensor) -> Tensor:

@@ -2,13 +2,14 @@
 
 from __future__ import annotations
 
+from typing import Iterable, Sequence
+
 import numpy as np
 
 from repro.data.normalize import Normalizer
 from repro.graph.atoms import AtomGraph
-from repro.graph.batch import batch_iterator
+from repro.graph.batch import GraphBatch, batch_iterator
 from repro.models.hydra import HydraModel
-from repro.tensor.core import no_grad
 
 
 class RunningMean:
@@ -29,9 +30,27 @@ class RunningMean:
         return self._total / self._weight
 
 
+def collate_eval_batches(graphs: Sequence[AtomGraph], batch_size: int) -> list[GraphBatch]:
+    """Pre-collate an evaluation set once.
+
+    Graphs are immutable, so the collated batches can be reused across
+    every epoch's evaluation instead of re-concatenating node and edge
+    arrays each time (what :class:`~repro.train.trainer.Trainer` does).
+    """
+    return list(batch_iterator(list(graphs), batch_size))
+
+
+def _eval_batches(
+    graphs: Sequence[AtomGraph] | Sequence[GraphBatch], batch_size: int
+) -> Iterable[GraphBatch]:
+    if graphs and isinstance(graphs[0], GraphBatch):
+        return graphs
+    return batch_iterator(list(graphs), batch_size)
+
+
 def evaluate(
     model: HydraModel,
-    graphs: list[AtomGraph],
+    graphs: Sequence[AtomGraph] | Sequence[GraphBatch],
     normalizer: Normalizer,
     batch_size: int = 32,
     energy_weight: float = 1.0,
@@ -41,28 +60,31 @@ def evaluate(
 
     Element counts weight the streaming means so the result equals the
     metric over the concatenated set regardless of batch boundaries.
+    ``graphs`` may be raw :class:`AtomGraph` lists or batches already
+    collated with :func:`collate_eval_batches` (in which case
+    ``batch_size`` is ignored).  Prediction runs on the engine's
+    graph-free inference fast path.
     """
     loss_mean = RunningMean()
     energy_mse = RunningMean()
     force_mse = RunningMean()
     energy_mae = RunningMean()
     force_mae = RunningMean()
-    with no_grad():
-        for batch in batch_iterator(graphs, batch_size):
-            predictions = model(batch)
-            e_true = normalizer.normalized_energy(batch)
-            f_true = normalizer.normalized_forces(batch)
-            e_pred = predictions["energy"].numpy()
-            f_pred = predictions["forces"].numpy()
-            e_sq = float(((e_pred - e_true) ** 2).mean())
-            f_sq = float(((f_pred - f_true) ** 2).mean())
-            energy_mse.update(e_sq, weight=e_true.size)
-            force_mse.update(f_sq, weight=f_true.size)
-            energy_mae.update(float(np.abs(e_pred - e_true).mean()), weight=e_true.size)
-            force_mae.update(float(np.abs(f_pred - f_true).mean()), weight=f_true.size)
-            loss_mean.update(
-                energy_weight * e_sq + force_weight * f_sq, weight=e_true.size
-            )
+    for batch in _eval_batches(graphs, batch_size):
+        predictions = model.predict(batch)
+        e_true = normalizer.normalized_energy(batch)
+        f_true = normalizer.normalized_forces(batch)
+        e_pred = predictions["energy"].numpy()
+        f_pred = predictions["forces"].numpy()
+        e_sq = float(((e_pred - e_true) ** 2).mean())
+        f_sq = float(((f_pred - f_true) ** 2).mean())
+        energy_mse.update(e_sq, weight=e_true.size)
+        force_mse.update(f_sq, weight=f_true.size)
+        energy_mae.update(float(np.abs(e_pred - e_true).mean()), weight=e_true.size)
+        force_mae.update(float(np.abs(f_pred - f_true).mean()), weight=f_true.size)
+        loss_mean.update(
+            energy_weight * e_sq + force_weight * f_sq, weight=e_true.size
+        )
     return {
         "test_loss": loss_mean.value,
         "energy_mse": energy_mse.value,

@@ -10,6 +10,7 @@ variants in :mod:`repro.distributed` reuse its pieces.
 from __future__ import annotations
 
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass
 
 from repro.data.normalize import Normalizer
@@ -19,10 +20,11 @@ from repro.models.hydra import HydraModel
 from repro.optim.adam import Adam
 from repro.optim.clip import clip_grad_norm
 from repro.optim.lr_schedule import ConstantLR, apply_lr
+from repro.tensor.allocator import BufferPool, use_pool
 from repro.tensor.core import Tensor
 from repro.tensor.rng import rng as make_rng
 from repro.train.history import EpochRecord, TrainingHistory
-from repro.train.metrics import evaluate
+from repro.train.metrics import collate_eval_batches, evaluate
 
 
 @dataclass(frozen=True)
@@ -37,6 +39,10 @@ class TrainerConfig:
     force_weight: float = 1.0
     shuffle_seed: int = 0
     eval_batch_size: int = 32
+    #: Recycle recurring-shape scratch buffers across steps through the
+    #: engine's buffer pool.  Leave off only when byte-exact buffer
+    #: lifetimes matter (the memory profiler manages its own tracking).
+    pool_buffers: bool = True
 
 
 class Trainer:
@@ -55,6 +61,15 @@ class Trainer:
         self.optimizer = Adam(model.parameters(), lr=self.config.learning_rate)
         self.schedule = schedule or ConstantLR(self.config.learning_rate)
         self.global_step = 0
+        # Persistent across fit() epochs so step N+1 reuses step N's
+        # activation/gradient buffers instead of reallocating them.
+        self.buffer_pool = BufferPool() if self.config.pool_buffers else None
+
+    def _pooled(self):
+        """Context routing scratch allocations through the trainer's pool."""
+        if self.buffer_pool is None:
+            return nullcontext()
+        return use_pool(self.buffer_pool)
 
     # ------------------------------------------------------------------
     # single step (reused by the distributed engines)
@@ -93,46 +108,51 @@ class Trainer:
             raise ValueError("empty training set")
         history = TrainingHistory()
         shuffle_rng = make_rng(self.config.shuffle_seed)
-        for epoch in range(self.config.epochs):
-            start = time.perf_counter()
-            epoch_loss = 0.0
-            epoch_norm = 0.0
-            steps = 0
-            for batch in batch_iterator(train_graphs, self.config.batch_size, shuffle_rng):
-                loss, grad_norm = self.train_step(batch)
-                epoch_loss += loss
-                epoch_norm += grad_norm
-                steps += 1
-            metrics = evaluate(
+        # Graphs are immutable, so the evaluation set is collated exactly
+        # once and the batches reused by every epoch's evaluation.
+        eval_batches = collate_eval_batches(test_graphs, self.config.eval_batch_size)
+        metrics: dict[str, float] | None = None
+        with self._pooled():
+            for epoch in range(self.config.epochs):
+                start = time.perf_counter()
+                epoch_loss = 0.0
+                epoch_norm = 0.0
+                steps = 0
+                for batch in batch_iterator(train_graphs, self.config.batch_size, shuffle_rng):
+                    loss, grad_norm = self.train_step(batch)
+                    epoch_loss += loss
+                    epoch_norm += grad_norm
+                    steps += 1
+                metrics = evaluate(
+                    self.model,
+                    eval_batches,
+                    self.normalizer,
+                    energy_weight=self.config.energy_weight,
+                    force_weight=self.config.force_weight,
+                )
+                record = EpochRecord(
+                    epoch=epoch,
+                    train_loss=epoch_loss / max(steps, 1),
+                    test_loss=metrics["test_loss"],
+                    learning_rate=self.optimizer.lr,
+                    grad_norm=epoch_norm / max(steps, 1),
+                    seconds=time.perf_counter() - start,
+                )
+                history.append(record)
+                if verbose:
+                    print(
+                        f"epoch {epoch:3d}  train {record.train_loss:.4f}  "
+                        f"test {record.test_loss:.4f}  lr {record.learning_rate:.2e}"
+                    )
+            # The model has not changed since the last epoch's evaluation,
+            # so its metrics are final (epochs == 0 still evaluates once).
+            history.final_metrics = metrics if metrics is not None else evaluate(
                 self.model,
-                test_graphs,
+                eval_batches,
                 self.normalizer,
-                batch_size=self.config.eval_batch_size,
                 energy_weight=self.config.energy_weight,
                 force_weight=self.config.force_weight,
             )
-            record = EpochRecord(
-                epoch=epoch,
-                train_loss=epoch_loss / max(steps, 1),
-                test_loss=metrics["test_loss"],
-                learning_rate=self.optimizer.lr,
-                grad_norm=epoch_norm / max(steps, 1),
-                seconds=time.perf_counter() - start,
-            )
-            history.append(record)
-            if verbose:
-                print(
-                    f"epoch {epoch:3d}  train {record.train_loss:.4f}  "
-                    f"test {record.test_loss:.4f}  lr {record.learning_rate:.2e}"
-                )
-        history.final_metrics = evaluate(
-            self.model,
-            test_graphs,
-            self.normalizer,
-            batch_size=self.config.eval_batch_size,
-            energy_weight=self.config.energy_weight,
-            force_weight=self.config.force_weight,
-        )
         return history
 
 

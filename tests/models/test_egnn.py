@@ -173,3 +173,38 @@ class TestCheckpointingParity:
             optimizer.step()
             losses.append(loss.item())
         assert min(losses[6:]) < losses[0]
+
+
+class TestFusedKernelParity:
+    """The fused dispatch path must match the composed primitive-op path."""
+
+    def test_forward_identical(self, batch):
+        from repro.tensor import kernels
+
+        model = HydraModel(ModelConfig(hidden_dim=32, num_layers=3, attention=True), seed=6)
+        with no_grad():
+            fused = model(batch)
+            with kernels.fusion(False):
+                reference = model(batch)
+        for key in ("energy", "forces"):
+            assert np.allclose(
+                fused[key].numpy(), reference[key].numpy(), atol=1e-5
+            ), key
+
+    def test_backward_identical(self, batch):
+        from repro.tensor import kernels
+
+        model = HydraModel(ModelConfig(hidden_dim=32, num_layers=2), seed=6)
+        target_e = np.zeros((batch.num_graphs, 1), dtype=np.float32)
+        target_f = np.zeros((batch.num_nodes, 3), dtype=np.float32)
+
+        model.zero_grad()
+        model.loss(model(batch), target_e, target_f).backward()
+        fused_grads = {name: p.grad.copy() for name, p in model.named_parameters()}
+
+        model.zero_grad()
+        with kernels.fusion(False):
+            model.loss(model(batch), target_e, target_f).backward()
+        for name, param in model.named_parameters():
+            assert param.grad is not None, name
+            assert np.allclose(fused_grads[name], param.grad, atol=1e-5), name

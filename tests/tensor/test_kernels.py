@@ -1,0 +1,219 @@
+"""Kernel-dispatch registry, buffer pool, and the inference fast path."""
+
+import numpy as np
+import pytest
+
+from repro.graph.batch import collate
+from repro.models import HydraModel, ModelConfig
+from repro.tensor import kernels
+from repro.tensor.allocator import BufferPool, active_pool, pool_empty, pool_zeros, use_pool
+from repro.tensor.core import Tensor, function_nodes_created, no_grad
+from tests.helpers import make_molecule_graphs
+
+
+class TestRegistry:
+    def test_core_kernels_registered(self):
+        names = kernels.available_kernels("numpy")
+        for expected in (
+            "linear",
+            "silu",
+            "edge_message_linear",
+            "concat_linear",
+            "segment_sum",
+            "mul_segment_sum",
+            "gather_diff",
+        ):
+            assert expected in names
+
+    def test_unknown_kernel_raises(self):
+        with pytest.raises(KeyError):
+            kernels.get_kernel("definitely_not_a_kernel")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+            kernels.register_kernel("linear")(object())
+
+    def test_unknown_backend_falls_back_to_numpy(self):
+        with kernels.use_backend("future-accelerator"):
+            assert kernels.active_backend() == "future-accelerator"
+            impl = kernels.get_kernel("linear")
+        assert impl is kernels.get_kernel("linear", backend="numpy")
+
+    def test_backend_override_dispatches(self):
+        calls = []
+
+        @kernels.register_kernel("linear", backend="test-backend")
+        class _Probe:
+            @staticmethod
+            def forward(x, weight, bias=None):
+                calls.append("hit")
+                return kernels.get_kernel("linear", backend="numpy").forward(x, weight, bias)
+
+        try:
+            x = Tensor(np.ones((2, 3)))
+            w = Tensor(np.ones((3, 2)))
+            with kernels.use_backend("test-backend"):
+                kernels.linear(x, w)
+            assert calls == ["hit"]
+        finally:
+            kernels._REGISTRY.pop(("linear", "test-backend"))
+
+    def test_fusion_switch_restores(self):
+        assert kernels.fusion_enabled()
+        with kernels.fusion(False):
+            assert not kernels.fusion_enabled()
+            with kernels.fusion(True):
+                assert kernels.fusion_enabled()
+            assert not kernels.fusion_enabled()
+        assert kernels.fusion_enabled()
+
+
+class TestBufferPool:
+    def test_reuses_dead_buffers(self):
+        pool = BufferPool()
+        first = pool.acquire((8, 4), np.float32)
+        first_id = id(first)
+        del first
+        second = pool.acquire((8, 4), np.float32)
+        assert id(second) == first_id
+        assert pool.stats.hits == 1
+        assert pool.stats.misses == 1
+
+    def test_never_reuses_live_buffers(self):
+        pool = BufferPool()
+        live = pool.acquire((4,), np.float32)
+        other = pool.acquire((4,), np.float32)
+        assert other is not live
+        assert pool.stats.misses == 2
+
+    def test_views_keep_base_buffers_busy(self):
+        pool = BufferPool()
+        base = pool.acquire((6, 2), np.float32)
+        view = base[1:3]
+        del base
+        # The view still references the storage, so it must not be reused.
+        replacement = pool.acquire((6, 2), np.float32)
+        assert replacement.base is None
+        assert not np.shares_memory(replacement, view)
+
+    def test_bucket_cap_bounds_retention(self):
+        pool = BufferPool(max_per_bucket=2)
+        kept = [pool.acquire((3,), np.float32) for _ in range(5)]
+        assert pool.reserved_bytes() == 2 * 3 * 4
+        del kept
+
+    def test_byte_budget_evicts_stale_idle_shapes(self):
+        # 100-float budget: two dead 40-float shapes, then a 60-float
+        # acquire must evict idle buffers rather than blow the budget.
+        pool = BufferPool(max_total_bytes=400)
+        stale = pool.acquire((40,), np.float32)
+        del stale
+        stale2 = pool.acquire((35,), np.float32)
+        del stale2
+        big = pool.acquire((60,), np.float32)
+        assert pool.reserved_bytes() <= 400
+        assert pool.stats.evictions >= 1
+        del big
+
+    def test_byte_budget_never_blocks_allocation(self):
+        # Busy buffers cannot be evicted; acquire still hands out arrays,
+        # it just stops retaining them.
+        pool = BufferPool(max_total_bytes=100)
+        live = [pool.acquire((20,), np.float32) for _ in range(5)]
+        assert len({id(a) for a in live}) == 5
+        assert pool.reserved_bytes() <= 100
+
+    def test_pool_helpers_respect_active_pool(self):
+        assert active_pool() is None
+        plain = pool_zeros((2, 2), np.float32)
+        assert (plain == 0).all()
+        with use_pool() as pool:
+            assert active_pool() is pool
+            scratch = pool_empty((5, 5), np.float32)
+            scratch.fill(7.0)
+            zeroed = pool_zeros((5, 5), np.float32)
+            assert (zeroed == 0).all()
+        assert active_pool() is None
+
+    def test_training_steps_recycle_buffers(self):
+        batch = collate(make_molecule_graphs(3, seed=11))
+        model = HydraModel(ModelConfig(hidden_dim=16, num_layers=2), seed=0)
+        target_e = np.zeros((batch.num_graphs, 1), dtype=np.float32)
+        target_f = np.zeros((batch.num_nodes, 3), dtype=np.float32)
+
+        def step():
+            model.zero_grad()
+            loss = model.loss(model(batch), target_e, target_f)
+            loss.backward()
+            return loss.item()
+
+        pool = BufferPool()
+        with use_pool(pool):
+            first = step()
+            after_first = pool.stats.misses
+            second = step()
+        assert np.isfinite(first) and np.isfinite(second)
+        # Steady state: the second step reuses the first step's buffers.
+        assert pool.stats.hits > 0
+        assert pool.stats.misses <= after_first + 2
+
+    def test_pooled_training_matches_unpooled(self):
+        batch = collate(make_molecule_graphs(3, seed=12))
+        target_e = np.zeros((batch.num_graphs, 1), dtype=np.float32)
+        target_f = np.zeros((batch.num_nodes, 3), dtype=np.float32)
+
+        def losses(pooled: bool) -> list[float]:
+            from contextlib import nullcontext
+
+            model = HydraModel(ModelConfig(hidden_dim=16, num_layers=2), seed=3)
+            from repro.optim import Adam
+
+            optimizer = Adam(model.parameters(), lr=1e-3)
+            out = []
+            with use_pool() if pooled else nullcontext():
+                for _ in range(3):
+                    model.zero_grad()
+                    loss = model.loss(model(batch), target_e, target_f)
+                    loss.backward()
+                    optimizer.step()
+                    out.append(loss.item())
+            return out
+
+        assert losses(True) == pytest.approx(losses(False), rel=1e-6)
+
+
+class TestInferenceFastPath:
+    def test_no_function_nodes_under_no_grad(self):
+        batch = collate(make_molecule_graphs(3, seed=13))
+        model = HydraModel(ModelConfig(hidden_dim=16, num_layers=2), seed=0)
+        model.predict(batch)  # warm any lazy setup
+        before = function_nodes_created()
+        with no_grad():
+            predictions = model(batch)
+        assert function_nodes_created() == before
+        assert predictions["energy"].requires_grad is False
+        assert predictions["energy"]._ctx is None
+
+    def test_predict_uses_fast_path(self):
+        batch = collate(make_molecule_graphs(2, seed=14))
+        model = HydraModel(ModelConfig(hidden_dim=8, num_layers=1), seed=0)
+        before = function_nodes_created()
+        model.predict(batch)
+        assert function_nodes_created() == before
+
+    def test_grad_mode_still_builds_nodes(self):
+        batch = collate(make_molecule_graphs(2, seed=15))
+        model = HydraModel(ModelConfig(hidden_dim=8, num_layers=1), seed=0)
+        before = function_nodes_created()
+        model(batch)
+        assert function_nodes_created() > before
+
+    def test_fast_path_matches_grad_path(self):
+        batch = collate(make_molecule_graphs(3, seed=16))
+        model = HydraModel(ModelConfig(hidden_dim=16, num_layers=2), seed=0)
+        trained = model(batch)
+        inferred = model.predict(batch)
+        for key in ("energy", "forces"):
+            np.testing.assert_allclose(
+                trained[key].numpy(), inferred[key].numpy(), atol=1e-6
+            )

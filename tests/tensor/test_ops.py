@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.tensor import Tensor, concat, gather, segment_sum, where
+from repro.tensor import Tensor, concat, gather, kernels, segment_sum, where
 from tests.helpers import gradcheck
 
 
@@ -184,3 +184,95 @@ class TestConcatWhere:
         where(mask, a, b).sum().backward()
         assert np.array_equal(a.grad, [1.0, 0.0, 1.0])
         assert np.array_equal(b.grad, [0.0, 1.0, 0.0])
+
+
+class TestFusedKernels:
+    """Finite-difference checks for the hand-written kernel backwards."""
+
+    SRC = np.array([0, 1, 2, 0, 2, 1])
+    DST = np.array([1, 2, 0, 2, 1, 0])
+
+    def test_linear_gradient(self):
+        gradcheck(lambda x, w, b: (kernels.linear(x, w, b) ** 2).sum(), [(5, 3), (3, 4), (4,)])
+
+    def test_linear_no_bias_gradient(self):
+        gradcheck(lambda x, w: (kernels.linear(x, w) ** 2).sum(), [(5, 3), (3, 4)])
+
+    def test_linear_broadcast_bias_gradient(self):
+        # A (1, out) bias must receive a (1, out) gradient, like the
+        # composed reference path's unbroadcast.
+        gradcheck(lambda x, w, b: (kernels.linear(x, w, b) ** 2).sum(), [(5, 3), (3, 4), (1, 4)])
+
+    def test_silu_gradient(self):
+        gradcheck(lambda x: kernels.silu(x).sum(), [(4, 3)])
+
+    def test_edge_message_linear_gradient(self):
+        # The fused gather -> concat -> linear message-passing entry:
+        # gradients flow to node features, edge features, weight and bias.
+        gradcheck(
+            lambda h, f, w, b: (
+                kernels.edge_message_linear(h, f, w, b, self.SRC, self.DST) ** 2
+            ).sum(),
+            [(3, 2), (6, 3), (7, 4), (4,)],
+        )
+
+    def test_concat_linear_gradient(self):
+        gradcheck(
+            lambda a, b, w, bias: (kernels.concat_linear([a, b], w, bias) ** 2).sum(),
+            [(4, 2), (4, 3), (5, 2), (2,)],
+        )
+
+    def test_mul_segment_sum_gradient(self):
+        gradcheck(
+            lambda a, b: (kernels.mul_segment_sum(a, b, self.DST, 3) ** 2).sum(),
+            [(6, 3), (6, 1)],
+        )
+
+    def test_cached_segment_sum_gradient(self):
+        gradcheck(
+            lambda a: (kernels.segment_sum(a, self.DST, 3) ** 2).sum(),
+            [(6, 4)],
+        )
+
+    def test_gather_diff_gradient(self):
+        # The fused edge-geometry kernel differentiates through positions
+        # and periodic shifts.
+        gradcheck(
+            lambda p, s: (kernels.gather_diff(p, s, self.SRC, self.DST) ** 2).sum(),
+            [(3, 3), (6, 3)],
+        )
+
+    def test_gather_diff_no_shift_gradient(self):
+        gradcheck(
+            lambda p: (kernels.gather_diff(p, None, self.SRC, self.DST) ** 2).sum(),
+            [(3, 3)],
+        )
+
+    def test_gather_diff_broadcast_shift_gradient(self):
+        gradcheck(
+            lambda p, s: (kernels.gather_diff(p, s, self.SRC, self.DST) ** 2).sum(),
+            [(3, 3), (1, 3)],
+        )
+
+    def test_mixed_dtype_promotes_like_reference(self):
+        # A float64 operand must promote the fused result exactly as the
+        # composed primitive path would, never be quantized to float32.
+        x = Tensor(np.ones((3, 2), dtype=np.float32))
+        w = Tensor(np.ones((2, 2), dtype=np.float32))
+        b64 = Tensor(np.full((2,), 0.5, dtype=np.float64), dtype=np.float64)
+        fused = kernels.linear(x, w, b64)
+        with kernels.fusion(False):
+            reference = kernels.linear(x, w, b64)
+        assert fused.dtype == reference.dtype == np.float64
+        np.testing.assert_array_equal(fused.numpy(), reference.numpy())
+
+    def test_fused_matches_unfused_edge_message(self):
+        rng = np.random.default_rng(7)
+        h = Tensor(rng.normal(size=(3, 2)))
+        f = Tensor(rng.normal(size=(6, 3)))
+        w = Tensor(rng.normal(size=(7, 4)))
+        b = Tensor(rng.normal(size=(4,)))
+        fused = kernels.edge_message_linear(h, f, w, b, self.SRC, self.DST)
+        with kernels.fusion(False):
+            reference = kernels.edge_message_linear(h, f, w, b, self.SRC, self.DST)
+        np.testing.assert_allclose(fused.numpy(), reference.numpy(), atol=1e-5)
