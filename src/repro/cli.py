@@ -12,6 +12,13 @@ Commands
     width for a parameter target like ``50M`` / ``2B``.
 ``corpus <graphs>``
     Generate a corpus and print its source mixture and statistics.
+``predict``
+    Batch-score generated structures through a model (preset or
+    checkpoint) on the inference fast path and print per-structure
+    results.
+``serve``
+    Run a synthetic serving session: dynamic micro-batching workers,
+    result cache, latency/throughput summary.
 """
 
 from __future__ import annotations
@@ -23,12 +30,23 @@ from repro.experiments.registry import EXPERIMENTS, run_experiment
 
 
 def _parse_params(text: str) -> int:
-    """'50M' -> 50_000_000, '2B' -> 2_000_000_000, plain ints pass."""
+    """'50M' -> 50_000_000, '2B' -> 2_000_000_000, plain ints pass.
+
+    Raises :class:`argparse.ArgumentTypeError` on junk like ``"50X"`` so
+    argparse (or a caller) can report a clean error instead of an
+    unhandled ``ValueError`` traceback.
+    """
     suffixes = {"K": 1e3, "M": 1e6, "B": 1e9}
-    text = text.strip().upper()
-    if text and text[-1] in suffixes:
-        return int(float(text[:-1]) * suffixes[text[-1]])
-    return int(text)
+    cleaned = text.strip().upper()
+    try:
+        if cleaned and cleaned[-1] in suffixes:
+            return int(float(cleaned[:-1]) * suffixes[cleaned[-1]])
+        return int(cleaned)
+    except (ValueError, OverflowError):  # OverflowError: "infM" -> int(inf)
+        raise argparse.ArgumentTypeError(
+            f"invalid parameter count {text!r} (expected an integer or a "
+            "K/M/B-suffixed value like 50M or 2B)"
+        ) from None
 
 
 def _cmd_experiments(_args: argparse.Namespace) -> int:
@@ -67,7 +85,7 @@ def _cmd_model(args: argparse.Namespace) -> int:
     except KeyError:
         try:
             config = solve_width(_parse_params(args.target), num_layers=args.depth)
-        except ValueError as error:
+        except (ValueError, argparse.ArgumentTypeError) as error:
             print(f"error: {error}", file=sys.stderr)
             print(f"known presets: {preset_names()}", file=sys.stderr)
             return 2
@@ -103,6 +121,122 @@ def _cmd_corpus(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_serving_model(args: argparse.Namespace):
+    """Model for ``predict``/``serve``: checkpoint if given, else preset."""
+    if getattr(args, "checkpoint", None):
+        from repro.train import load_inference_model
+
+        return load_inference_model(args.checkpoint)
+    from repro.models import HydraModel, get_preset
+
+    return HydraModel(get_preset(args.preset), seed=args.seed)
+
+
+def _add_serving_model_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--checkpoint", help="path to a training checkpoint (.npz) to serve"
+    )
+    parser.add_argument(
+        "--preset",
+        default="tiny",
+        help="model preset when no checkpoint is given (default: tiny)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.data import generate_corpus
+    from repro.experiments.report import ascii_table
+    from repro.serving import PredictionService, ServiceConfig
+
+    try:
+        model = _load_serving_model(args)
+    except (KeyError, FileNotFoundError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    corpus = generate_corpus(args.graphs, seed=args.seed)
+    service = PredictionService(
+        model, ServiceConfig(max_atoms=args.max_atoms, max_graphs=args.max_graphs)
+    )
+    results = service.predict_many(corpus.graphs)
+    rows = []
+    for graph, result in zip(corpus.graphs, results):
+        rows.append(
+            [
+                graph.source,
+                str(result.n_atoms),
+                f"{result.energy:+.4f}",
+                f"{float(np.abs(result.forces).mean()):.4f}",
+                str(result.batch_graphs),
+            ]
+        )
+    print(
+        ascii_table(
+            ["source", "atoms", "energy/atom (norm)", "mean |force|", "batch"], rows
+        )
+    )
+    summary = service.summary()
+    print(
+        f"served {summary.requests} structures in {summary.batches} micro-batches "
+        f"(mean {summary.mean_batch_graphs:.1f} graphs/batch)"
+    )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.data import generate_corpus
+    from repro.serving import PredictionService, ServiceConfig
+
+    try:
+        model = _load_serving_model(args)
+    except (KeyError, FileNotFoundError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    corpus = generate_corpus(args.graphs, seed=args.seed)
+    rng = np.random.default_rng(args.seed)
+    # A synthetic request stream with repeats: screening traffic re-scores
+    # known structures, which is what the result cache is for.
+    indices = rng.integers(0, len(corpus.graphs), size=args.requests)
+    config = ServiceConfig(
+        max_atoms=args.max_atoms,
+        max_graphs=args.max_graphs,
+        flush_interval_s=args.flush_interval,
+    )
+    service = PredictionService(model, config)
+    print(
+        f"serving {args.requests} requests over {len(corpus.graphs)} unique "
+        f"structures with {args.workers} worker(s) "
+        f"(budget: {config.max_atoms} atoms / {config.max_graphs} graphs, "
+        f"tick {config.flush_interval_s * 1e3:.1f} ms)"
+    )
+    service.start(workers=args.workers)
+    try:
+        # Closed-loop clients: at most --concurrency requests in flight.
+        # Later waves re-request structures earlier waves computed, which
+        # is what turns repeats into cache hits.
+        for start in range(0, len(indices), args.concurrency):
+            wave = indices[start : start + args.concurrency]
+            pending = [service.submit(corpus.graphs[i]) for i in wave]
+            for request in pending:
+                request.wait(config.request_timeout_s)
+    finally:
+        service.stop()
+    print(service.summary().to_text())
+    cache = service.cache.stats
+    pool = service.pool.snapshot()
+    print(
+        f"result cache    : {cache.hits} hits / {cache.misses} misses "
+        f"({cache.hit_rate:.1%})\n"
+        f"buffer pool     : {pool['hit_rate']:.1%} reuse, "
+        f"{pool['reserved_bytes'] / 1e6:.2f} MB reserved"
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -131,6 +265,32 @@ def build_parser() -> argparse.ArgumentParser:
     corpus_parser.add_argument("graphs", type=int)
     corpus_parser.add_argument("--seed", type=int, default=0)
     corpus_parser.set_defaults(func=_cmd_corpus)
+
+    predict_parser = commands.add_parser(
+        "predict", help="batch-score generated structures through a model"
+    )
+    _add_serving_model_args(predict_parser)
+    predict_parser.add_argument("--graphs", type=int, default=8)
+    predict_parser.add_argument("--max-atoms", type=int, default=512)
+    predict_parser.add_argument("--max-graphs", type=int, default=64)
+    predict_parser.set_defaults(func=_cmd_predict)
+
+    serve_parser = commands.add_parser(
+        "serve", help="run a synthetic dynamic-batching serving session"
+    )
+    _add_serving_model_args(serve_parser)
+    serve_parser.add_argument("--graphs", type=int, default=24, help="unique structures")
+    serve_parser.add_argument("--requests", type=int, default=96, help="total requests")
+    serve_parser.add_argument("--workers", type=int, default=2)
+    serve_parser.add_argument(
+        "--concurrency", type=int, default=16, help="in-flight requests per wave"
+    )
+    serve_parser.add_argument("--max-atoms", type=int, default=512)
+    serve_parser.add_argument("--max-graphs", type=int, default=64)
+    serve_parser.add_argument(
+        "--flush-interval", type=float, default=0.005, help="timeout tick in seconds"
+    )
+    serve_parser.set_defaults(func=_cmd_serve)
     return parser
 
 

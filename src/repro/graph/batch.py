@@ -49,6 +49,30 @@ class GraphBatch:
         )
         return sum(a.nbytes for a in arrays)
 
+    def node_counts(self) -> np.ndarray:
+        """Return ``(G,)`` atoms per graph, in batch order."""
+        return np.bincount(self.node_graph, minlength=self.num_graphs)
+
+    def node_offsets(self) -> np.ndarray:
+        """Return ``(G+1,)`` cumulative node offsets; graph ``i`` owns
+        rows ``offsets[i]:offsets[i+1]`` of every node-level array."""
+        offsets = np.zeros(self.num_graphs + 1, dtype=np.int64)
+        np.cumsum(self.node_counts(), out=offsets[1:])
+        return offsets
+
+    def split_node_array(self, array: np.ndarray) -> list[np.ndarray]:
+        """Split a node-level ``(N, ...)`` array back into per-graph views.
+
+        The inverse of :func:`collate` for node quantities — serving uses
+        it to scatter batched force predictions back to the individual
+        requests that were micro-batched together.
+        """
+        if array.shape[0] != self.num_nodes:
+            raise ValueError(
+                f"array has {array.shape[0]} rows, batch has {self.num_nodes} nodes"
+            )
+        return np.split(array, self.node_offsets()[1:-1])
+
 
 def collate(graphs: list[AtomGraph]) -> GraphBatch:
     """Merge graphs into a :class:`GraphBatch`.

@@ -48,6 +48,21 @@ class HydraModel(Module):
         with no_grad():
             return self.forward(batch)
 
+    def serve(self, batch: GraphBatch) -> dict[str, np.ndarray]:
+        """Predict and return plain numpy arrays (the serving contract).
+
+        Same ``no_grad`` fast path as :meth:`predict`, but the outputs
+        are *owned copies* as plain numpy arrays — ``energy`` is ``(G, 1)``
+        normalized per-atom energy per graph, ``forces`` is ``(N, 3)``
+        stacked over the batch's nodes.  ``Tensor.numpy()`` shares the
+        underlying buffer, which under an active :class:`BufferPool` is
+        recyclable scratch; copying here means result caches can hold
+        predictions indefinitely without pinning (or being corrupted by)
+        pool buffers.
+        """
+        predictions = self.predict(batch)
+        return {name: np.array(tensor.numpy()) for name, tensor in predictions.items()}
+
     def loss(
         self,
         predictions: dict[str, Tensor],

@@ -1,0 +1,41 @@
+"""Batched inference serving on the no-grad fast path.
+
+Structure-hash result cache → dynamic micro-batcher → fused
+``HydraModel.serve`` forward, with a named-model registry and
+latency/throughput telemetry.  See :mod:`repro.serving.service` for the
+data flow.
+"""
+
+from repro.serving.batcher import (
+    FLUSH_ATOMS,
+    FLUSH_CLOSE,
+    FLUSH_GRAPHS,
+    FLUSH_TIMEOUT,
+    MicroBatcher,
+    ServeRequest,
+)
+from repro.serving.cache import CacheStats, ResultCache
+from repro.serving.hashing import structure_hash
+from repro.serving.registry import ModelRegistry, RegistryEntry
+from repro.serving.service import PredictionResult, PredictionService, ServiceConfig
+from repro.serving.stats import ServingStats, StatsSummary, percentile
+
+__all__ = [
+    "FLUSH_ATOMS",
+    "FLUSH_CLOSE",
+    "FLUSH_GRAPHS",
+    "FLUSH_TIMEOUT",
+    "CacheStats",
+    "MicroBatcher",
+    "ModelRegistry",
+    "PredictionResult",
+    "PredictionService",
+    "RegistryEntry",
+    "ResultCache",
+    "ServeRequest",
+    "ServiceConfig",
+    "ServingStats",
+    "StatsSummary",
+    "percentile",
+    "structure_hash",
+]

@@ -1,0 +1,195 @@
+"""Dynamic micro-batching: queue requests, flush on budget or timeout.
+
+The throughput of the fused inference path scales with batch size —
+collating K small structures into one disjoint-union graph amortizes
+per-call overhead across K structures — but serving traffic arrives one
+structure at a time.  The :class:`MicroBatcher` bridges the two: client
+requests accumulate in an ordered queue, and a batch is released to a
+worker when either
+
+- the **atom budget** is met (``pending atoms >= max_atoms``, the knob
+  that bounds peak activation memory per forward), or
+- the **graph budget** is met (``pending graphs >= max_graphs``), or
+- the **timeout tick** fires (the oldest request has waited
+  ``flush_interval_s``) — the latency guarantee for a trickle of
+  traffic that never fills a budget.
+
+This is the same flush discipline GPU inference servers use (max batch
+size + queue delay); atoms-not-graphs as the primary budget is what a
+variable-size graph workload needs, since forward cost tracks nodes and
+edges, not graph count.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.graph.atoms import AtomGraph
+
+
+@dataclass
+class ServeRequest:
+    """One enqueued structure, with its completion signal.
+
+    Workers fulfil the request by calling :meth:`resolve` (or
+    :meth:`fail`); the submitting client blocks in :meth:`wait`.
+    """
+
+    graph: AtomGraph
+    key: str
+    submitted_at: float = field(default_factory=time.monotonic)
+    _done: threading.Event = field(default_factory=threading.Event, repr=False)
+    _result: object = None
+    _error: BaseException | None = None
+
+    @property
+    def n_atoms(self) -> int:
+        return self.graph.n_atoms
+
+    def resolve(self, result) -> None:
+        self._result = result
+        self._done.set()
+
+    def fail(self, error: BaseException) -> None:
+        self._error = error
+        self._done.set()
+
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def wait(self, timeout: float | None = None):
+        """Block until fulfilled; returns the result or re-raises."""
+        if not self._done.wait(timeout):
+            raise TimeoutError(f"request {self.key[:12]} not served within {timeout}s")
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+
+#: Why a batch left the queue (recorded for telemetry/tests).
+FLUSH_ATOMS = "atoms_budget"
+FLUSH_GRAPHS = "graphs_budget"
+FLUSH_TIMEOUT = "timeout"
+FLUSH_CLOSE = "close"
+
+
+def first_chunk_size(
+    requests: list[ServeRequest], max_atoms: int, max_graphs: int
+) -> int:
+    """How many leading requests one flush takes (always >= 1).
+
+    The single source of truth for the budget discipline — the batcher's
+    flush and the service's inline chunking both call this, so the two
+    execution modes can never batch differently.  A single structure
+    larger than ``max_atoms`` still ships as a batch of one: oversized
+    structures must be servable, they just never share a batch.
+    """
+    count = 0
+    atoms = 0
+    for request in requests:
+        if count >= max_graphs:
+            break
+        if count and atoms + request.n_atoms > max_atoms:
+            break
+        count += 1
+        atoms += request.n_atoms
+    return count
+
+
+class MicroBatcher:
+    """Bounded accumulation queue with budget- and deadline-based flush."""
+
+    def __init__(
+        self,
+        max_atoms: int = 512,
+        max_graphs: int = 64,
+        flush_interval_s: float = 0.005,
+    ) -> None:
+        if max_atoms < 1 or max_graphs < 1:
+            raise ValueError("max_atoms and max_graphs must be >= 1")
+        if flush_interval_s < 0:
+            raise ValueError("flush_interval_s must be >= 0")
+        self.max_atoms = int(max_atoms)
+        self.max_graphs = int(max_graphs)
+        self.flush_interval_s = float(flush_interval_s)
+        self._pending: list[ServeRequest] = []
+        self._pending_atoms = 0
+        self._closed = False
+        self._cond = threading.Condition()
+        self.flush_reasons: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # producer side
+    # ------------------------------------------------------------------
+    def submit(self, request: ServeRequest) -> None:
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("cannot submit to a closed MicroBatcher")
+            self._pending.append(request)
+            self._pending_atoms += request.n_atoms
+            self._cond.notify_all()
+
+    def close(self) -> None:
+        """Stop accepting requests; queued work drains as final batches."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    @property
+    def pending_graphs(self) -> int:
+        with self._cond:
+            return len(self._pending)
+
+    @property
+    def pending_atoms(self) -> int:
+        with self._cond:
+            return self._pending_atoms
+
+    # ------------------------------------------------------------------
+    # consumer side
+    # ------------------------------------------------------------------
+    def _flush_reason(self, now: float) -> str | None:
+        """Why the queue should flush right now (``None``: keep waiting)."""
+        if not self._pending:
+            return None
+        if self._pending_atoms >= self.max_atoms:
+            return FLUSH_ATOMS
+        if len(self._pending) >= self.max_graphs:
+            return FLUSH_GRAPHS
+        if now - self._pending[0].submitted_at >= self.flush_interval_s:
+            return FLUSH_TIMEOUT
+        if self._closed:
+            return FLUSH_CLOSE
+        return None
+
+    def _take_batch(self) -> list[ServeRequest]:
+        """Pop front requests up to the budgets (always at least one)."""
+        count = first_chunk_size(self._pending, self.max_atoms, self.max_graphs)
+        batch = self._pending[:count]
+        del self._pending[:count]
+        self._pending_atoms -= sum(request.n_atoms for request in batch)
+        return batch
+
+    def next_batch(self) -> list[ServeRequest] | None:
+        """Block until a batch is ready; ``None`` once closed and drained.
+
+        Safe to call from many worker threads; each released batch goes
+        to exactly one caller.
+        """
+        with self._cond:
+            while True:
+                now = time.monotonic()
+                reason = self._flush_reason(now)
+                if reason is not None:
+                    self.flush_reasons[reason] = self.flush_reasons.get(reason, 0) + 1
+                    return self._take_batch()
+                if self._closed and not self._pending:
+                    return None
+                if self._pending:
+                    # Sleep exactly until the oldest request's deadline.
+                    deadline = self._pending[0].submitted_at + self.flush_interval_s
+                    self._cond.wait(timeout=max(0.0, deadline - now))
+                else:
+                    self._cond.wait()

@@ -1,0 +1,101 @@
+"""Structure-hash → prediction result cache (bounded, LRU, thread-safe).
+
+Inference traffic against materials models is heavily repetitive — the
+same relaxed structures are scored again and again by screening loops —
+so a result cache in front of the model converts recurring structures
+into O(hash) lookups.  Entries are keyed by :func:`structure_hash`
+digests and evicted least-recently-used once ``capacity`` is reached.
+
+Values stored here are owned numpy arrays (:meth:`HydraModel.serve`
+copies out of the engine), so a hit can be returned to any number of
+clients without aliasing engine scratch buffers.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+
+@dataclass
+class CacheStats:
+    """Lookup counters: ``hits`` returned a stored result."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class ResultCache:
+    """LRU map from structure-hash digest to a prediction payload.
+
+    ``capacity <= 0`` disables storage entirely (every ``get`` misses,
+    ``put`` is a no-op) — useful for measuring the uncached path with
+    the same serving code.
+    """
+
+    def __init__(self, capacity: int = 4096) -> None:
+        self.capacity = int(capacity)
+        self._entries: OrderedDict[str, object] = OrderedDict()
+        self.stats = CacheStats()
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def get(self, key: str):
+        """Return the stored payload or ``None``; counts a hit/miss."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                return self._entries[key]
+            self.stats.misses += 1
+            return None
+
+    def peek(self, key: str):
+        """Like :meth:`get` but without touching counters or LRU order.
+
+        The dispatch loop uses this to re-check a key right before
+        computing it (another worker may have finished the same
+        structure meanwhile) without double-counting the client-facing
+        hit/miss statistics.
+        """
+        with self._lock:
+            return self._entries.get(key)
+
+    def put(self, key: str, value) -> None:
+        if self.capacity <= 0:
+            return
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self._entries[key] = value
+                return
+            self._entries[key] = value
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()

@@ -1,0 +1,54 @@
+"""Canonical structure hashing for the serving result cache.
+
+Two requests carrying the same atomistic structure must map to the same
+cache key, so the hash covers exactly the model inputs — atomic numbers,
+positions, connectivity, periodic shifts, cell, pbc flags — and nothing
+else.  Labels (energy/forces) are *outputs*; including them would split
+identical inference requests into distinct keys whenever one client
+happens to attach reference labels.
+
+Positions are hashed as raw float64 bytes by default: serving traffic
+that resubmits a structure resubmits the same bytes.  An optional
+``decimals`` rounding absorbs end-of-float noise for clients that
+re-derive coordinates (e.g. from a relaxation trajectory written at
+lower precision).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from repro.graph.atoms import AtomGraph
+
+
+def _digest_array(hasher: "hashlib._Hash", array: np.ndarray) -> None:
+    """Feed an array into the hash in a layout-independent way."""
+    contiguous = np.ascontiguousarray(array)
+    hasher.update(str(contiguous.dtype).encode())
+    hasher.update(np.asarray(contiguous.shape, dtype=np.int64).tobytes())
+    hasher.update(contiguous.tobytes())
+
+
+def structure_hash(graph: AtomGraph, decimals: int | None = None) -> str:
+    """Return a hex digest identifying ``graph``'s model inputs.
+
+    ``decimals`` optionally rounds the float arrays (positions, shifts,
+    cell) before hashing so nearly-identical coordinates collide.
+    """
+
+    def maybe_round(array: np.ndarray) -> np.ndarray:
+        if decimals is None:
+            return array
+        return np.round(array, decimals)
+
+    hasher = hashlib.sha256()
+    _digest_array(hasher, graph.atomic_numbers)
+    _digest_array(hasher, maybe_round(graph.positions))
+    _digest_array(hasher, graph.edge_index)
+    _digest_array(hasher, maybe_round(graph.edge_shift))
+    if graph.cell is not None:
+        _digest_array(hasher, maybe_round(np.asarray(graph.cell, dtype=np.float64)))
+    hasher.update(bytes(int(flag) for flag in graph.pbc))
+    return hasher.hexdigest()

@@ -1,0 +1,111 @@
+"""Named-model registry: checkpoints on disk become servable replicas.
+
+A deployment serves several model variants at once (presets at different
+widths, fine-tunes, canaries).  The registry maps stable names to either
+in-memory :class:`HydraModel` instances or checkpoint paths that are
+loaded lazily via :mod:`repro.train.checkpoint_io` — metadata is
+validated at registration time (cheap), parameters are decompressed on
+first :meth:`get` and then cached.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.models.hydra import HydraModel
+from repro.train.checkpoint_io import checkpoint_metadata, load_inference_model
+
+
+@dataclass
+class RegistryEntry:
+    """One registered model: resident, or a validated checkpoint path."""
+
+    name: str
+    model: HydraModel | None = None
+    path: Path | None = None
+    metadata: dict | None = None
+
+    @property
+    def loaded(self) -> bool:
+        return self.model is not None
+
+
+class ModelRegistry:
+    """Thread-safe name → model mapping with lazy checkpoint loading."""
+
+    def __init__(self) -> None:
+        self._entries: dict[str, RegistryEntry] = {}
+        self._lock = threading.Lock()
+
+    def register_model(self, name: str, model: HydraModel) -> None:
+        """Register a resident model under ``name`` (replaces any prior)."""
+        with self._lock:
+            self._entries[name] = RegistryEntry(name=name, model=model)
+
+    def register_checkpoint(self, name: str, path: str | Path) -> dict:
+        """Register a checkpoint for lazy loading; returns its metadata.
+
+        The metadata block is read immediately so a bad path or foreign
+        file fails at registration, not at first request.
+        """
+        path = Path(path)
+        metadata = checkpoint_metadata(path)
+        with self._lock:
+            self._entries[name] = RegistryEntry(name=name, path=path, metadata=metadata)
+        return metadata
+
+    def get(self, name: str) -> HydraModel:
+        """Return the model for ``name``, loading the checkpoint once."""
+        with self._lock:
+            try:
+                entry = self._entries[name]
+            except KeyError:
+                raise KeyError(
+                    f"no model named {name!r}; registered: {sorted(self._entries)}"
+                ) from None
+        if entry.model is None:
+            # Load outside the registry lock (decompression is slow);
+            # a concurrent duplicate load is wasteful but harmless.
+            model = load_inference_model(entry.path)
+            with self._lock:
+                if entry.model is None:
+                    entry.model = model
+        return entry.model
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._entries)
+
+    def describe(self) -> list[dict]:
+        """One JSON-ready row per entry (name, residency, config)."""
+        with self._lock:
+            entries = list(self._entries.values())
+        rows = []
+        for entry in entries:
+            config = (
+                entry.metadata.get("config")
+                if entry.metadata is not None
+                else {
+                    "hidden_dim": entry.model.config.hidden_dim,
+                    "num_layers": entry.model.config.num_layers,
+                }
+            )
+            rows.append(
+                {
+                    "name": entry.name,
+                    "loaded": entry.loaded,
+                    "path": str(entry.path) if entry.path else None,
+                    "config": config,
+                }
+            )
+        return rows
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._entries
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)

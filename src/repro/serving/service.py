@@ -1,0 +1,350 @@
+"""The serving front end: cache → micro-batch → fused no-grad forward.
+
+``PredictionService`` is the subsystem's public surface.  A request
+(one :class:`AtomGraph`) flows through three stages:
+
+1. **Dedup** — the structure is hashed (:func:`structure_hash`) and
+   looked up in the :class:`ResultCache`; a hit returns immediately
+   without touching the model.
+2. **Micro-batch** — misses are enqueued into a :class:`MicroBatcher`,
+   which releases batches on an atom/graph budget or a timeout tick.
+3. **Execute** — a worker collates the batch into one disjoint-union
+   :class:`GraphBatch` and runs :meth:`HydraModel.serve` (the zero-
+   ``Function``-node ``no_grad`` fast path) under a shared
+   :class:`BufferPool`, then scatters per-graph results back to the
+   waiting requests and populates the cache.
+
+Two execution modes share all of that code: **inline** (no worker
+threads; ``predict_many`` chunks and executes on the caller's thread —
+what batch jobs and benchmarks want) and **served** (``start(workers=N)``
+spins up a synchronous dispatch loop per worker so concurrent clients
+can block on their own requests — what an RPC front end wants).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.graph.atoms import AtomGraph
+from repro.graph.batch import collate
+from repro.models.hydra import HydraModel
+from repro.serving.batcher import MicroBatcher, ServeRequest, first_chunk_size
+from repro.serving.cache import ResultCache
+from repro.serving.hashing import structure_hash
+from repro.serving.stats import ServingStats, StatsSummary
+from repro.tensor.allocator import BufferPool, use_pool
+
+
+@dataclass(frozen=True)
+class PredictionResult:
+    """What a client gets back for one structure.
+
+    ``energy`` is the model's normalized per-atom energy for the graph;
+    ``forces`` is ``(n_atoms, 3)``.  Arrays are owned by the service's
+    cache — treat them as read-only.
+    """
+
+    key: str
+    energy: float
+    forces: np.ndarray
+    n_atoms: int
+    cached: bool
+    latency_s: float
+    batch_graphs: int
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Serving knobs, grouped so deployments can version them."""
+
+    max_atoms: int = 512  # micro-batch atom budget (bounds forward memory)
+    max_graphs: int = 64  # micro-batch graph budget
+    flush_interval_s: float = 0.005  # latency bound for trickle traffic
+    cache_capacity: int = 4096  # LRU entries; <=0 disables caching
+    hash_decimals: int | None = None  # optional coordinate rounding for keys
+    request_timeout_s: float = 30.0  # client-side wait bound in served mode
+
+
+class PredictionService:
+    """Dynamic-batching inference front end over one :class:`HydraModel`."""
+
+    def __init__(
+        self,
+        model: HydraModel,
+        config: ServiceConfig | None = None,
+        pool: BufferPool | None = None,
+    ) -> None:
+        self.model = model
+        self.config = config or ServiceConfig()
+        self.pool = pool if pool is not None else BufferPool()
+        self.cache = ResultCache(self.config.cache_capacity)
+        self.stats = ServingStats()
+        self._batcher: MicroBatcher | None = None
+        self._workers: list[threading.Thread] = []
+        self._flush_reasons: dict[str, int] = {}  # accumulated across sessions
+        # The engine's no_grad flag and pool stack are process-global,
+        # not thread-local, so forwards must not interleave across
+        # workers.  Workers still overlap hashing/collation/scatter with
+        # each other's compute; only the model call itself serializes.
+        self._model_lock = threading.Lock()
+
+    @classmethod
+    def from_registry(cls, registry, name: str, **kwargs) -> "PredictionService":
+        """Build a service over a named model from a :class:`ModelRegistry`."""
+        return cls(registry.get(name), **kwargs)
+
+    # ------------------------------------------------------------------
+    # lifecycle (served mode)
+    # ------------------------------------------------------------------
+    @property
+    def running(self) -> bool:
+        return bool(self._workers)
+
+    def start(self, workers: int = 1) -> "PredictionService":
+        """Spin up ``workers`` dispatch threads consuming the batcher."""
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.running:
+            raise RuntimeError("service already started")
+        self._batcher = MicroBatcher(
+            max_atoms=self.config.max_atoms,
+            max_graphs=self.config.max_graphs,
+            flush_interval_s=self.config.flush_interval_s,
+        )
+        for index in range(workers):
+            thread = threading.Thread(
+                target=self._worker_loop, name=f"serving-worker-{index}", daemon=True
+            )
+            thread.start()
+            self._workers.append(thread)
+        return self
+
+    def stop(self) -> None:
+        """Drain queued requests, then join the workers."""
+        if not self.running:
+            return
+        self._batcher.close()
+        for thread in self._workers:
+            thread.join()
+        # Fold the session's flush counters into the service before the
+        # batcher goes away, so post-session telemetry keeps them.
+        for reason, count in self._batcher.flush_reasons.items():
+            self._flush_reasons[reason] = self._flush_reasons.get(reason, 0) + count
+        self._workers.clear()
+        self._batcher = None
+
+    def __enter__(self) -> "PredictionService":
+        if not self.running:
+            self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def _worker_loop(self) -> None:
+        while True:
+            batch = self._batcher.next_batch()
+            if batch is None:
+                return
+            try:
+                self._execute(batch)
+            except Exception:  # noqa: BLE001
+                # _execute already failed every waiter in the batch; the
+                # worker must survive to serve subsequent batches.
+                continue
+
+    # ------------------------------------------------------------------
+    # client API
+    # ------------------------------------------------------------------
+    def submit(self, graph: AtomGraph) -> ServeRequest:
+        """Enqueue one structure (served mode); returns its handle.
+
+        Cache hits are resolved immediately — the returned request is
+        already ``done()`` and never enters the batcher.
+        """
+        # Capture the batcher once: a concurrent stop() nulls the
+        # attribute, and the capture turns that race into the clean
+        # RuntimeError below (or the batcher's own closed error) instead
+        # of an AttributeError with a never-resolved request.
+        batcher = self._batcher
+        if batcher is None:
+            raise RuntimeError("submit() requires a started service; use predict()")
+        key = structure_hash(graph, self.config.hash_decimals)
+        request = ServeRequest(graph=graph, key=key)
+        payload = self.cache.get(key)
+        if payload is not None:
+            request.resolve(self._hit_result(key, graph, payload))
+            self.stats.record_request(latency_s=0.0, cached=True, batch_graphs=1)
+            return request
+        batcher.submit(request)
+        return request
+
+    def predict(self, graph: AtomGraph) -> PredictionResult:
+        """Serve one structure, blocking until its result is ready."""
+        if self.running:
+            return self.submit(graph).wait(self.config.request_timeout_s)
+        return self.predict_many([graph])[0]
+
+    def predict_many(self, graphs: list[AtomGraph]) -> list[PredictionResult]:
+        """Serve a list of structures; results come back in input order.
+
+        Inline mode chunks cache misses by the batching budgets and
+        executes them on the calling thread; served mode fans them out
+        to the dispatch workers.
+        """
+        if self.running:
+            requests = [self.submit(graph) for graph in graphs]
+            return [request.wait(self.config.request_timeout_s) for request in requests]
+
+        results: list[PredictionResult | None] = [None] * len(graphs)
+        misses: list[tuple[int, ServeRequest]] = []
+        for index, graph in enumerate(graphs):
+            key = structure_hash(graph, self.config.hash_decimals)
+            payload = self.cache.get(key)
+            if payload is not None:
+                results[index] = self._hit_result(key, graph, payload)
+                self.stats.record_request(latency_s=0.0, cached=True, batch_graphs=1)
+            else:
+                misses.append((index, ServeRequest(graph=graph, key=key)))
+
+        for chunk in self._chunk_by_budget([request for _, request in misses]):
+            self._execute(chunk)
+        for index, request in misses:
+            results[index] = request.wait(timeout=0)
+        return results
+
+    def _chunk_by_budget(self, requests: list[ServeRequest]) -> list[list[ServeRequest]]:
+        """Partition requests exactly as the batcher's flush would.
+
+        Delegates to :func:`first_chunk_size` (the batcher's own rule)
+        so inline and served mode cannot drift apart.
+        """
+        chunks: list[list[ServeRequest]] = []
+        start = 0
+        while start < len(requests):
+            count = first_chunk_size(
+                requests[start:], self.config.max_atoms, self.config.max_graphs
+            )
+            chunks.append(requests[start : start + count])
+            start += count
+        return chunks
+
+    # ------------------------------------------------------------------
+    # batch execution (shared by inline chunks and dispatch workers)
+    # ------------------------------------------------------------------
+    def _hit_result(
+        self, key: str, graph: AtomGraph, payload, latency_s: float = 0.0, batch_graphs: int = 1
+    ) -> PredictionResult:
+        energy, forces = payload
+        return PredictionResult(
+            key=key,
+            energy=energy,
+            forces=forces,
+            n_atoms=graph.n_atoms,
+            cached=True,
+            latency_s=latency_s,
+            batch_graphs=batch_graphs,
+        )
+
+    def _execute(self, requests: list[ServeRequest]) -> None:
+        """Run one micro-batch: dedupe, collate, forward, scatter."""
+        if not requests:
+            return
+        start = time.perf_counter()
+        try:
+            # Dedupe identical structures within the batch, and re-check
+            # the cache: another worker's batch may have computed a key
+            # between this request's submit-time miss and now.
+            order: list[str] = []
+            by_key: dict[str, list[ServeRequest]] = {}
+            ready: dict[str, object] = {}
+            for request in requests:
+                if request.key not in by_key:
+                    by_key[request.key] = []
+                    payload = self.cache.peek(request.key)
+                    if payload is not None:
+                        ready[request.key] = payload
+                    else:
+                        order.append(request.key)
+                by_key[request.key].append(request)
+
+            if order:
+                graphs = [by_key[key][0].graph for key in order]
+                batch = collate(graphs)
+                with self._model_lock:
+                    with use_pool(self.pool):
+                        outputs = self.model.serve(batch)
+                duration = time.perf_counter() - start
+                self.stats.record_batch(batch.num_graphs, batch.num_nodes, duration)
+                for key, energy, forces in zip(
+                    order,
+                    outputs["energy"][:, 0],
+                    batch.split_node_array(outputs["forces"]),
+                ):
+                    payload = (float(energy), np.array(forces))
+                    self.cache.put(key, payload)
+                    ready[key] = payload
+
+            now = time.monotonic()
+            computed = set(order)
+            for key, group in by_key.items():
+                energy, forces = ready[key]
+                # A key absent from `order` was satisfied by the peek
+                # re-check (another batch computed it since this
+                # request's submit-time miss) — that is a cache-served
+                # result and must be labeled as one.
+                from_cache = key not in computed
+                for request in group:
+                    latency = max(0.0, now - request.submitted_at)
+                    request.resolve(
+                        PredictionResult(
+                            key=key,
+                            energy=energy,
+                            forces=forces,
+                            n_atoms=request.n_atoms,
+                            cached=from_cache,
+                            latency_s=latency,
+                            batch_graphs=len(order) or 1,
+                        )
+                    )
+                    self.stats.record_request(
+                        latency_s=latency, cached=from_cache, batch_graphs=len(order) or 1
+                    )
+        except BaseException as error:  # noqa: BLE001 — fail every waiter, not just one
+            for request in requests:
+                if not request.done():
+                    request.fail(error)
+            raise
+
+    # ------------------------------------------------------------------
+    # telemetry
+    # ------------------------------------------------------------------
+
+    def summary(self) -> StatsSummary:
+        return self.stats.summary()
+
+    def _all_flush_reasons(self) -> dict[str, int]:
+        """Accumulated flush counters plus the live session's, if any."""
+        reasons = dict(self._flush_reasons)
+        if self._batcher is not None:
+            for reason, count in self._batcher.flush_reasons.items():
+                reasons[reason] = reasons.get(reason, 0) + count
+        return reasons
+
+    def telemetry(self) -> dict:
+        """JSON-ready stats: serving, result cache, and buffer pool."""
+        return {
+            "serving": self.summary().as_dict(),
+            "result_cache": self.cache.stats.as_dict(),
+            "buffer_pool": self.pool.snapshot(),
+            "batching": {
+                "max_atoms": self.config.max_atoms,
+                "max_graphs": self.config.max_graphs,
+                "flush_interval_s": self.config.flush_interval_s,
+                "flush_reasons": self._all_flush_reasons(),
+            },
+        }

@@ -268,6 +268,15 @@ class PoolStats:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
+    def as_dict(self) -> dict[str, float]:
+        """JSON-ready counters (what serving telemetry reports)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
 
 class BufferPool:
     """Shape/dtype-bucketed recycling pool for numpy scratch buffers.
@@ -346,6 +355,17 @@ class BufferPool:
                 for array in bucket
                 if sys.getrefcount(array) == _IDLE_REFCOUNT
             )
+
+    def snapshot(self) -> dict[str, float]:
+        """One JSON-ready dict of acquire counters plus retention state.
+
+        Serving workers share a single pool across threads; this is the
+        per-service telemetry surfaced next to latency/throughput stats.
+        """
+        stats = self.stats.as_dict()
+        stats["reserved_bytes"] = self.reserved_bytes()
+        stats["idle_buffers"] = self.idle_buffers()
+        return stats
 
     def clear(self) -> None:
         with self._lock:

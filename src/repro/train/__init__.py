@@ -1,6 +1,12 @@
 """Training loop, metrics, run history, and checkpoint I/O."""
 
-from repro.train.checkpoint_io import load_checkpoint, resume, save_checkpoint
+from repro.train.checkpoint_io import (
+    checkpoint_metadata,
+    load_checkpoint,
+    load_inference_model,
+    resume,
+    save_checkpoint,
+)
 from repro.train.history import EpochRecord, TrainingHistory
 from repro.train.metrics import RunningMean, evaluate
 from repro.train.trainer import Trainer, TrainerConfig, quick_train
@@ -11,8 +17,10 @@ __all__ = [
     "Trainer",
     "TrainerConfig",
     "TrainingHistory",
+    "checkpoint_metadata",
     "evaluate",
     "load_checkpoint",
+    "load_inference_model",
     "quick_train",
     "resume",
     "save_checkpoint",

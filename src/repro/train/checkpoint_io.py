@@ -74,6 +74,28 @@ def load_checkpoint(path: str | Path) -> tuple[HydraModel, dict]:
     return model, metadata
 
 
+def checkpoint_metadata(path: str | Path) -> dict:
+    """Read just the metadata block (format, step, config, extra).
+
+    Cheap relative to :func:`load_checkpoint` — no model is rebuilt and
+    no parameter arrays are decompressed — so registries can list and
+    validate many named checkpoints without paying a load each.
+    """
+    with np.load(Path(path), allow_pickle=False) as data:
+        return _read_metadata(data)
+
+
+def load_inference_model(path: str | Path) -> HydraModel:
+    """Rebuild a model for serving: parameters only, no optimizer state.
+
+    The checkpoint's Adam moments (two extra copies of every parameter)
+    are never touched, which is the difference between a serving replica
+    and a training resume at foundation scale.
+    """
+    model, _ = load_checkpoint(path)
+    return model
+
+
 def resume(
     path: str | Path,
     model: HydraModel,

@@ -72,3 +72,27 @@ class TestBatchIterator:
     def test_invalid_batch_size(self):
         with pytest.raises(ValueError):
             list(batch_iterator(make_molecule_graphs(2), 0))
+
+
+class TestPerGraphSplit:
+    def test_node_counts_and_offsets(self):
+        graphs = make_molecule_graphs(3)
+        batch = collate(graphs)
+        counts = batch.node_counts()
+        assert counts.tolist() == [g.n_atoms for g in graphs]
+        offsets = batch.node_offsets()
+        assert offsets[0] == 0
+        assert offsets[-1] == batch.num_nodes
+
+    def test_split_node_array_inverts_collate(self):
+        graphs = make_molecule_graphs(4)
+        batch = collate(graphs)
+        pieces = batch.split_node_array(batch.forces)
+        assert len(pieces) == len(graphs)
+        for graph, piece in zip(graphs, pieces):
+            np.testing.assert_allclose(piece, graph.forces.astype(np.float32))
+
+    def test_split_rejects_wrong_length(self):
+        batch = collate(make_molecule_graphs(2))
+        with pytest.raises(ValueError):
+            batch.split_node_array(np.zeros((batch.num_nodes + 1, 3)))

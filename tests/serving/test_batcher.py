@@ -1,0 +1,103 @@
+"""Micro-batcher flush discipline: budgets, timeout tick, drain."""
+
+import threading
+import time
+
+import pytest
+
+from repro.serving import (
+    FLUSH_ATOMS,
+    FLUSH_GRAPHS,
+    FLUSH_TIMEOUT,
+    MicroBatcher,
+    ServeRequest,
+)
+from tests.helpers import make_molecule_graphs
+
+
+def _requests(count: int, seed: int = 0) -> list[ServeRequest]:
+    graphs = make_molecule_graphs(count, seed=seed)
+    return [ServeRequest(graph=g, key=str(i)) for i, g in enumerate(graphs)]
+
+
+def test_atom_budget_flush():
+    requests = _requests(6)
+    total_atoms = sum(r.n_atoms for r in requests[:3])
+    batcher = MicroBatcher(max_atoms=total_atoms, max_graphs=100, flush_interval_s=60.0)
+    for request in requests[:3]:
+        batcher.submit(request)
+    batch = batcher.next_batch()  # must not wait for the 60s tick
+    assert [r.key for r in batch] == ["0", "1", "2"]
+    assert batcher.flush_reasons == {FLUSH_ATOMS: 1}
+    assert batcher.pending_graphs == 0
+    assert batcher.pending_atoms == 0
+
+
+def test_graph_budget_flush_keeps_fifo_order():
+    requests = _requests(5)
+    batcher = MicroBatcher(max_atoms=10**9, max_graphs=2, flush_interval_s=60.0)
+    for request in requests:
+        batcher.submit(request)
+    assert [r.key for r in batcher.next_batch()] == ["0", "1"]
+    assert [r.key for r in batcher.next_batch()] == ["2", "3"]
+    assert batcher.flush_reasons[FLUSH_GRAPHS] == 2
+
+
+def test_timeout_tick_flushes_partial_batch():
+    requests = _requests(2)
+    batcher = MicroBatcher(max_atoms=10**9, max_graphs=100, flush_interval_s=0.02)
+    start = time.monotonic()
+    for request in requests:
+        batcher.submit(request)
+    batch = batcher.next_batch()
+    waited = time.monotonic() - start
+    assert [r.key for r in batch] == ["0", "1"]
+    assert batcher.flush_reasons == {FLUSH_TIMEOUT: 1}
+    assert waited >= 0.015  # actually honored the tick, within clock slop
+
+
+def test_oversized_structure_ships_alone():
+    requests = _requests(3)
+    big = max(requests, key=lambda r: r.n_atoms)
+    batcher = MicroBatcher(max_atoms=big.n_atoms - 1, max_graphs=100, flush_interval_s=0.0)
+    batcher.submit(big)
+    batch = batcher.next_batch()
+    assert batch == [big]
+
+
+def test_close_drains_then_returns_none():
+    requests = _requests(3)
+    batcher = MicroBatcher(max_atoms=10**9, max_graphs=100, flush_interval_s=60.0)
+    for request in requests:
+        batcher.submit(request)
+    batcher.close()
+    assert len(batcher.next_batch()) == 3
+    assert batcher.next_batch() is None
+    with pytest.raises(RuntimeError):
+        batcher.submit(requests[0])
+
+
+def test_blocked_consumer_wakes_on_submit():
+    batcher = MicroBatcher(max_atoms=1, max_graphs=100, flush_interval_s=60.0)
+    received = []
+
+    def consume():
+        received.append(batcher.next_batch())
+
+    thread = threading.Thread(target=consume)
+    thread.start()
+    time.sleep(0.02)  # let the consumer block on an empty queue
+    request = _requests(1)[0]
+    batcher.submit(request)
+    thread.join(timeout=5.0)
+    assert not thread.is_alive()
+    assert received == [[request]]
+
+
+def test_validates_parameters():
+    with pytest.raises(ValueError):
+        MicroBatcher(max_atoms=0)
+    with pytest.raises(ValueError):
+        MicroBatcher(max_graphs=0)
+    with pytest.raises(ValueError):
+        MicroBatcher(flush_interval_s=-1.0)

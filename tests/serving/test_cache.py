@@ -1,0 +1,62 @@
+"""Result-cache semantics: LRU order, bounds, counters."""
+
+from repro.serving import ResultCache
+
+
+def test_get_put_roundtrip():
+    cache = ResultCache(capacity=4)
+    assert cache.get("a") is None
+    cache.put("a", 1)
+    assert cache.get("a") == 1
+    assert cache.stats.hits == 1
+    assert cache.stats.misses == 1
+
+
+def test_lru_eviction_order():
+    cache = ResultCache(capacity=2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    assert cache.get("a") == 1  # refresh a; b becomes LRU
+    cache.put("c", 3)
+    assert cache.get("b") is None
+    assert cache.get("a") == 1
+    assert cache.get("c") == 3
+    assert cache.stats.evictions == 1
+
+
+def test_overwrite_does_not_evict():
+    cache = ResultCache(capacity=2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    cache.put("a", 10)
+    assert len(cache) == 2
+    assert cache.get("a") == 10
+    assert cache.stats.evictions == 0
+
+
+def test_zero_capacity_disables_storage():
+    cache = ResultCache(capacity=0)
+    cache.put("a", 1)
+    assert cache.get("a") is None
+    assert len(cache) == 0
+
+
+def test_peek_skips_counters_and_lru():
+    cache = ResultCache(capacity=2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    assert cache.peek("a") == 1
+    assert cache.stats.hits == 0
+    # peek must not refresh "a": it is still the LRU entry.
+    cache.put("c", 3)
+    assert "a" not in cache
+    assert "b" in cache
+
+
+def test_hit_rate():
+    cache = ResultCache(capacity=8)
+    cache.put("a", 1)
+    cache.get("a")
+    cache.get("a")
+    cache.get("x")
+    assert abs(cache.stats.hit_rate - 2 / 3) < 1e-12

@@ -1,0 +1,48 @@
+"""Structure-hash semantics: inputs in, labels out."""
+
+import numpy as np
+
+from repro.serving import structure_hash
+from tests.helpers import make_molecule_graphs, make_periodic_graphs
+
+
+def test_identical_structures_collide():
+    a = make_molecule_graphs(1, seed=3)[0]
+    b = make_molecule_graphs(1, seed=3)[0]
+    assert structure_hash(a) == structure_hash(b)
+
+
+def test_different_structures_differ():
+    a, b = make_molecule_graphs(2, seed=3)
+    assert structure_hash(a) != structure_hash(b)
+
+
+def test_positions_matter():
+    a = make_molecule_graphs(1, seed=0)[0]
+    b = make_molecule_graphs(1, seed=0)[0]
+    b.positions = b.positions + 0.5
+    assert structure_hash(a) != structure_hash(b)
+
+
+def test_labels_do_not_matter():
+    a = make_molecule_graphs(1, seed=0)[0]
+    b = make_molecule_graphs(1, seed=0)[0]
+    b.energy = a.energy + 123.0
+    b.forces = b.forces + 1.0
+    assert structure_hash(a) == structure_hash(b)
+
+
+def test_periodic_cell_matters():
+    a = make_periodic_graphs(1, seed=0)[0]
+    b = make_periodic_graphs(1, seed=0)[0]
+    assert structure_hash(a) == structure_hash(b)
+    b.cell = np.asarray(b.cell) * 1.01
+    assert structure_hash(a) != structure_hash(b)
+
+
+def test_decimals_absorb_float_noise():
+    a = make_molecule_graphs(1, seed=0)[0]
+    b = make_molecule_graphs(1, seed=0)[0]
+    b.positions = b.positions + 1e-9
+    assert structure_hash(a) != structure_hash(b)
+    assert structure_hash(a, decimals=6) == structure_hash(b, decimals=6)

@@ -1,0 +1,61 @@
+"""Model registry: residency, lazy checkpoint loads, validation."""
+
+import numpy as np
+import pytest
+
+from repro.models import HydraModel, ModelConfig
+from repro.serving import ModelRegistry
+from repro.train import save_checkpoint
+
+CONFIG = ModelConfig(hidden_dim=8, num_layers=2)
+
+
+def test_register_resident_model():
+    registry = ModelRegistry()
+    model = HydraModel(CONFIG, seed=0)
+    registry.register_model("canary", model)
+    assert registry.get("canary") is model
+    assert "canary" in registry
+    assert registry.names() == ["canary"]
+
+
+def test_checkpoint_registration_is_lazy_and_cached(tmp_path):
+    model = HydraModel(CONFIG, seed=4)
+    path = save_checkpoint(tmp_path / "m.npz", model, global_step=11)
+    registry = ModelRegistry()
+    metadata = registry.register_checkpoint("prod", path)
+    assert metadata["global_step"] == 11
+    assert registry.describe()[0]["loaded"] is False
+
+    loaded = registry.get("prod")
+    assert registry.describe()[0]["loaded"] is True
+    for key, value in model.state_dict().items():
+        assert np.array_equal(value, loaded.state_dict()[key]), key
+    assert registry.get("prod") is loaded  # second get: no reload
+
+
+def test_bad_checkpoint_fails_at_registration(tmp_path):
+    bogus = tmp_path / "bogus.npz"
+    np.savez(bogus, metadata=np.frombuffer(b'{"format": "other"}', dtype=np.uint8))
+    registry = ModelRegistry()
+    with pytest.raises(ValueError):
+        registry.register_checkpoint("bad", bogus)
+    assert len(registry) == 0
+
+
+def test_missing_name_lists_known(tmp_path):
+    registry = ModelRegistry()
+    registry.register_model("a", HydraModel(CONFIG, seed=0))
+    with pytest.raises(KeyError, match="'a'"):
+        registry.get("nope")
+
+
+def test_describe_reports_config(tmp_path):
+    registry = ModelRegistry()
+    registry.register_model("mem", HydraModel(CONFIG, seed=0))
+    path = save_checkpoint(tmp_path / "d.npz", HydraModel(CONFIG, seed=1))
+    registry.register_checkpoint("disk", path)
+    rows = {row["name"]: row for row in registry.describe()}
+    assert rows["mem"]["config"]["hidden_dim"] == 8
+    assert rows["disk"]["config"]["hidden_dim"] == 8
+    assert rows["disk"]["path"] is not None

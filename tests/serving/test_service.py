@@ -1,0 +1,247 @@
+"""End-to-end PredictionService: parity, dedup, caching, workers."""
+
+import numpy as np
+import pytest
+
+from repro.graph.batch import collate
+from repro.models import HydraModel, ModelConfig
+from repro.serving import PredictionService, ServiceConfig
+from repro.tensor import function_nodes_created
+from tests.helpers import make_molecule_graphs, make_periodic_graphs
+
+CONFIG = ModelConfig(hidden_dim=16, num_layers=2)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return HydraModel(CONFIG, seed=0)
+
+
+@pytest.fixture(scope="module")
+def graphs():
+    return make_molecule_graphs(6, seed=2) + make_periodic_graphs(2, seed=2)
+
+
+def _reference(model, graph):
+    """Single-structure ground truth: collate-of-one on the fast path."""
+    batch = collate([graph])
+    out = model.serve(batch)
+    return float(out["energy"][0, 0]), out["forces"]
+
+
+class TestInline:
+    def test_matches_single_structure_predict(self, model, graphs):
+        service = PredictionService(model)
+        results = service.predict_many(list(graphs))
+        for graph, result in zip(graphs, results):
+            energy, forces = _reference(model, graph)
+            assert abs(result.energy - energy) < 1e-5
+            np.testing.assert_allclose(result.forces, forces, atol=1e-5)
+            assert result.n_atoms == graph.n_atoms
+
+    def test_results_in_input_order(self, model, graphs):
+        service = PredictionService(model)
+        shuffled = list(reversed(graphs))
+        results = service.predict_many(shuffled)
+        assert [r.n_atoms for r in results] == [g.n_atoms for g in shuffled]
+
+    def test_repeat_traffic_hits_cache(self, model, graphs):
+        service = PredictionService(model)
+        first = service.predict_many(list(graphs))
+        assert all(not r.cached for r in first)
+        second = service.predict_many(list(graphs))
+        assert all(r.cached for r in second)
+        assert service.cache.stats.hits == len(graphs)
+        for a, b in zip(first, second):
+            assert a.energy == b.energy
+            np.testing.assert_array_equal(a.forces, b.forces)
+
+    def test_duplicates_within_call_computed_once(self, model, graphs):
+        service = PredictionService(model)
+        results = service.predict_many([graphs[0], graphs[1], graphs[0]])
+        # One micro-batch, two unique structures computed.
+        assert len(service.stats.batch_records) == 1
+        assert service.stats.batch_records[0].num_graphs == 2
+        assert results[0].energy == results[2].energy
+        np.testing.assert_array_equal(results[0].forces, results[2].forces)
+
+    def test_no_autograd_nodes_on_serving_path(self, model, graphs):
+        service = PredictionService(model)
+        service.predict_many(list(graphs))  # warm any lazy setup
+        before = function_nodes_created()
+        service.predict_many(list(make_molecule_graphs(3, seed=9)))
+        assert function_nodes_created() == before
+
+    def test_chunking_respects_graph_budget(self, model, graphs):
+        service = PredictionService(model, ServiceConfig(max_graphs=3, max_atoms=10**9))
+        service.predict_many(list(graphs))
+        sizes = [b.num_graphs for b in service.stats.batch_records]
+        assert sum(sizes) == len(graphs)
+        assert max(sizes) <= 3
+
+    def test_chunking_respects_atom_budget(self, model, graphs):
+        budget = max(g.n_atoms for g in graphs)  # every batch is small
+        service = PredictionService(model, ServiceConfig(max_atoms=budget))
+        service.predict_many(list(graphs))
+        for record in service.stats.batch_records:
+            assert record.num_atoms <= budget or record.num_graphs == 1
+
+    def test_single_predict(self, model, graphs):
+        service = PredictionService(model)
+        result = service.predict(graphs[0])
+        energy, _ = _reference(model, graphs[0])
+        assert abs(result.energy - energy) < 1e-5
+
+    def test_cache_disabled_recomputes(self, model, graphs):
+        service = PredictionService(model, ServiceConfig(cache_capacity=0))
+        service.predict_many([graphs[0]])
+        service.predict_many([graphs[0]])
+        assert len(service.stats.batch_records) == 2
+
+
+class TestServed:
+    def test_workers_match_inline(self, model, graphs):
+        inline = PredictionService(model).predict_many(list(graphs))
+        service = PredictionService(
+            model, ServiceConfig(flush_interval_s=0.002)
+        )
+        with service.start(workers=2):
+            served = [service.submit(g) for g in graphs]
+            served = [request.wait(10.0) for request in served]
+        for a, b in zip(inline, served):
+            assert abs(a.energy - b.energy) < 1e-5
+            np.testing.assert_allclose(a.forces, b.forces, atol=1e-5)
+
+    def test_predict_many_routes_through_workers(self, model, graphs):
+        service = PredictionService(model, ServiceConfig(flush_interval_s=0.002))
+        with service:
+            results = service.predict_many(list(graphs))
+        assert [r.n_atoms for r in results] == [g.n_atoms for g in graphs]
+        assert len(service.stats.batch_records) >= 1
+
+    def test_stop_is_idempotent_and_drains(self, model, graphs):
+        service = PredictionService(model, ServiceConfig(flush_interval_s=5.0))
+        service.start(workers=1)
+        # With a 5s tick the only way these get served promptly is the
+        # close-time drain.
+        pending = [service.submit(g) for g in graphs[:3]]
+        service.stop()
+        service.stop()
+        for request in pending:
+            assert request.done()
+        assert not service.running
+
+    def test_start_twice_rejected(self, model):
+        service = PredictionService(model)
+        service.start()
+        try:
+            with pytest.raises(RuntimeError):
+                service.start()
+        finally:
+            service.stop()
+
+    def test_submit_requires_started_service(self, model, graphs):
+        service = PredictionService(model)
+        with pytest.raises(RuntimeError):
+            service.submit(graphs[0])
+
+
+class TestTelemetry:
+    def test_summary_counts(self, model, graphs):
+        service = PredictionService(model)
+        service.predict_many(list(graphs))
+        service.predict_many(list(graphs))
+        summary = service.summary()
+        assert summary.requests == 2 * len(graphs)
+        assert summary.cache_hits == len(graphs)
+        assert 0.0 < summary.cache_hit_rate < 1.0
+        assert summary.p95_latency_s >= summary.p50_latency_s >= 0.0
+
+    def test_telemetry_is_json_ready(self, model, graphs):
+        import json
+
+        service = PredictionService(model)
+        service.predict_many(list(graphs))
+        payload = json.dumps(service.telemetry())
+        assert "buffer_pool" in payload
+        assert "result_cache" in payload
+
+
+class TestFailurePropagation:
+    def test_model_error_fails_waiters(self, graphs):
+        class Broken:
+            def serve(self, batch):
+                raise RuntimeError("backend down")
+
+        service = PredictionService(HydraModel(CONFIG, seed=0))
+        service.model = Broken()
+        with pytest.raises(RuntimeError, match="backend down"):
+            service.predict_many([graphs[0]])
+
+    def test_registry_constructor(self, model):
+        from repro.serving import ModelRegistry
+
+        registry = ModelRegistry()
+        registry.register_model("m", model)
+        service = PredictionService.from_registry(registry, "m")
+        assert service.model is model
+
+
+class TestReviewRegressions:
+    """Guards for defects found in review: bounded stats, peek labeling."""
+
+    def test_stats_window_bounds_memory_but_totals_are_exact(self):
+        from repro.serving.stats import ServingStats
+
+        stats = ServingStats(window=4)
+        for i in range(10):
+            stats.record_request(latency_s=0.001 * i, cached=(i % 2 == 0), batch_graphs=1)
+        assert len(stats.request_records) == 4
+        summary = stats.summary()
+        assert summary.requests == 10
+        assert summary.cache_hits == 5
+
+    def test_peek_satisfied_request_is_labeled_cached(self, model, graphs):
+        from repro.serving import ServeRequest, structure_hash
+
+        service = PredictionService(model)
+        # Precompute the structure so the worker-side peek re-check
+        # (not the submit-time get) finds it.
+        service.predict_many([graphs[0]])
+        key = structure_hash(graphs[0])
+        request = ServeRequest(graph=graphs[0], key=key)
+        service._execute([request])
+        result = request.wait(timeout=0)
+        assert result.cached is True
+        # No new model batch ran for it.
+        assert len(service.stats.batch_records) == 1
+
+    def test_inline_chunking_matches_batcher_rule(self, model, graphs):
+        from repro.serving import MicroBatcher, ServeRequest, structure_hash
+        from repro.serving.batcher import first_chunk_size
+
+        requests = [
+            ServeRequest(graph=g, key=structure_hash(g)) for g in graphs
+        ]
+        max_atoms = sum(g.n_atoms for g in graphs[:3])
+        service = PredictionService(model, ServiceConfig(max_atoms=max_atoms))
+        chunks = service._chunk_by_budget(requests)
+        batcher = MicroBatcher(max_atoms=max_atoms, max_graphs=64, flush_interval_s=0.0)
+        for request in requests:
+            batcher.submit(ServeRequest(graph=request.graph, key=request.key))
+        batcher.close()
+        flushed = []
+        while (batch := batcher.next_batch()) is not None:
+            flushed.append([r.key for r in batch])
+        assert [[r.key for r in chunk] for chunk in chunks] == flushed
+        assert first_chunk_size(requests, max_atoms, 64) == len(chunks[0])
+
+    def test_flush_reasons_survive_stop(self, model, graphs):
+        service = PredictionService(model, ServiceConfig(flush_interval_s=0.002))
+        with service.start(workers=1):
+            pending = [service.submit(g) for g in graphs]
+            for request in pending:
+                request.wait(10.0)
+        assert not service.running
+        reasons = service.telemetry()["batching"]["flush_reasons"]
+        assert sum(reasons.values()) >= 1

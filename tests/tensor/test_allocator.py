@@ -147,3 +147,33 @@ class TestTrainingLifecycle:
         assert rank0.current_total == 400
         assert rank1.current_total == 800
         del a, b
+
+
+class TestBufferPoolSnapshot:
+    def test_snapshot_is_json_ready(self):
+        import json
+
+        from repro.tensor.allocator import BufferPool
+
+        pool = BufferPool()
+        kept = pool.acquire((8, 8), np.float32)  # miss, retained
+        again = pool.acquire((8, 8), np.float32)  # busy -> second alloc
+        del again
+        reuse = pool.acquire((8, 8), np.float32)  # noqa: F841 — hit
+        snap = pool.snapshot()
+        assert snap["misses"] == 2
+        assert snap["hits"] == 1
+        assert snap["reserved_bytes"] >= kept.nbytes
+        json.dumps(snap)  # must be serializable for serving telemetry
+
+    def test_stats_as_dict_matches_counters(self):
+        from repro.tensor.allocator import BufferPool
+
+        pool = BufferPool()
+        a = pool.acquire((4,), np.float32)
+        del a
+        pool.acquire((4,), np.float32)
+        stats = pool.stats.as_dict()
+        assert stats["hits"] == pool.stats.hits == 1
+        assert stats["misses"] == pool.stats.misses == 1
+        assert 0.0 <= stats["hit_rate"] <= 1.0

@@ -138,3 +138,34 @@ class TestAdamStateDict:
         opt_b = Adam(model_b.parameters())
         with pytest.raises(ValueError):
             opt_b.load_state_dict(opt_a.state_dict())
+
+
+class TestInferenceLoaders:
+    def test_checkpoint_metadata_reads_without_model(self, tmp_path):
+        from repro.train import checkpoint_metadata
+
+        model = HydraModel(CONFIG, seed=0)
+        path = save_checkpoint(tmp_path / "m.npz", model, global_step=42, extra={"tag": "a"})
+        metadata = checkpoint_metadata(path)
+        assert metadata["global_step"] == 42
+        assert metadata["extra"]["tag"] == "a"
+        assert metadata["config"]["hidden_dim"] == CONFIG.hidden_dim
+
+    def test_checkpoint_metadata_rejects_foreign_file(self, tmp_path):
+        from repro.train import checkpoint_metadata
+
+        bogus = tmp_path / "bogus.npz"
+        np.savez(bogus, metadata=np.frombuffer(b'{"format": "other"}', dtype=np.uint8))
+        with pytest.raises(ValueError):
+            checkpoint_metadata(bogus)
+
+    def test_load_inference_model_restores_parameters(self, tmp_path):
+        from repro.train import load_inference_model
+
+        model = HydraModel(CONFIG, seed=6)
+        optimizer = Adam(model.parameters(), lr=1e-3)
+        path = save_checkpoint(tmp_path / "m.npz", model, optimizer)
+        served = load_inference_model(path)
+        assert served.config == CONFIG
+        for key, value in model.state_dict().items():
+            assert np.array_equal(value, served.state_dict()[key]), key
