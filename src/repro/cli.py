@@ -122,14 +122,19 @@ def _cmd_corpus(args: argparse.Namespace) -> int:
 
 
 def _load_serving_model(args: argparse.Namespace):
-    """Model for ``predict``/``serve``: checkpoint if given, else preset."""
-    if getattr(args, "checkpoint", None):
-        from repro.train import load_inference_model
+    """(model, normalizer) for ``predict``/``serve``.
 
-        return load_inference_model(args.checkpoint)
+    Checkpoints saved with a fitted :class:`Normalizer` serve
+    physical-unit outputs; presets (no training run, no normalizer)
+    serve normalized outputs.
+    """
+    if getattr(args, "checkpoint", None):
+        from repro.train import load_inference_bundle
+
+        return load_inference_bundle(args.checkpoint)
     from repro.models import HydraModel, get_preset
 
-    return HydraModel(get_preset(args.preset), seed=args.seed)
+    return HydraModel(get_preset(args.preset), seed=args.seed), None
 
 
 def _add_serving_model_args(parser: argparse.ArgumentParser) -> None:
@@ -142,6 +147,15 @@ def _add_serving_model_args(parser: argparse.ArgumentParser) -> None:
         help="model preset when no checkpoint is given (default: tiny)",
     )
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--backend",
+        choices=["numpy", "parallel", "auto"],
+        help="kernel backend for model forwards (default: process default)",
+    )
+    parser.add_argument(
+        "--autotune-cache",
+        help="JSON file the autotuner warm-starts from and saves back to",
+    )
 
 
 def _cmd_predict(args: argparse.Namespace) -> int:
@@ -152,14 +166,23 @@ def _cmd_predict(args: argparse.Namespace) -> int:
     from repro.serving import PredictionService, ServiceConfig
 
     try:
-        model = _load_serving_model(args)
-    except (KeyError, FileNotFoundError, ValueError) as error:
+        model, normalizer = _load_serving_model(args)
+        # Construction loads --autotune-cache: a corrupt or foreign file
+        # must produce the same clean error path as a bad checkpoint.
+        service = PredictionService(
+            model,
+            ServiceConfig(
+                max_atoms=args.max_atoms,
+                max_graphs=args.max_graphs,
+                backend=args.backend,
+                autotune_cache=args.autotune_cache,
+            ),
+            normalizer=normalizer,
+        )
+    except (KeyError, OSError, ValueError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
     corpus = generate_corpus(args.graphs, seed=args.seed)
-    service = PredictionService(
-        model, ServiceConfig(max_atoms=args.max_atoms, max_graphs=args.max_graphs)
-    )
     results = service.predict_many(corpus.graphs)
     rows = []
     for graph, result in zip(corpus.graphs, results):
@@ -172,11 +195,8 @@ def _cmd_predict(args: argparse.Namespace) -> int:
                 str(result.batch_graphs),
             ]
         )
-    print(
-        ascii_table(
-            ["source", "atoms", "energy/atom (norm)", "mean |force|", "batch"], rows
-        )
-    )
+    energy_label = "energy (phys)" if normalizer is not None else "energy/atom (norm)"
+    print(ascii_table(["source", "atoms", energy_label, "mean |force|", "batch"], rows))
     summary = service.summary()
     print(
         f"served {summary.requests} structures in {summary.batches} micro-batches "
@@ -192,8 +212,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serving import PredictionService, ServiceConfig
 
     try:
-        model = _load_serving_model(args)
-    except (KeyError, FileNotFoundError, ValueError) as error:
+        model, normalizer = _load_serving_model(args)
+        config = ServiceConfig(
+            max_atoms=args.max_atoms,
+            max_graphs=args.max_graphs,
+            flush_interval_s=args.flush_interval,
+            backend=args.backend,
+            autotune_cache=args.autotune_cache,
+        )
+        # Construction loads --autotune-cache: a corrupt or foreign file
+        # must produce the same clean error path as a bad checkpoint.
+        service = PredictionService(model, config, normalizer=normalizer)
+    except (KeyError, OSError, ValueError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
     corpus = generate_corpus(args.graphs, seed=args.seed)
@@ -201,17 +231,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     # A synthetic request stream with repeats: screening traffic re-scores
     # known structures, which is what the result cache is for.
     indices = rng.integers(0, len(corpus.graphs), size=args.requests)
-    config = ServiceConfig(
-        max_atoms=args.max_atoms,
-        max_graphs=args.max_graphs,
-        flush_interval_s=args.flush_interval,
-    )
-    service = PredictionService(model, config)
     print(
         f"serving {args.requests} requests over {len(corpus.graphs)} unique "
         f"structures with {args.workers} worker(s) "
         f"(budget: {config.max_atoms} atoms / {config.max_graphs} graphs, "
-        f"tick {config.flush_interval_s * 1e3:.1f} ms)"
+        f"tick {config.flush_interval_s * 1e3:.1f} ms, "
+        f"backend {config.backend or 'default'}, "
+        f"units {'physical' if normalizer is not None else 'normalized'})"
     )
     service.start(workers=args.workers)
     try:

@@ -91,26 +91,25 @@ def periodic_radius_graph(
     # For every destination atom, find replicated sources within the cutoff.
     neighbor_lists = tree.query_ball_point(positions, r=cutoff)
 
-    src_list: list[np.ndarray] = []
-    dst_list: list[np.ndarray] = []
-    shift_list: list[np.ndarray] = []
-    zero_image = int(np.flatnonzero((shifts_int == 0).all(axis=1))[0])
-    for dst_atom, hits in enumerate(neighbor_lists):
-        hits = np.asarray(hits, dtype=np.int64)
-        if hits.size == 0:
-            continue
-        src_atoms = source_atom[hits]
-        images = source_shift[hits]
-        # Drop the self edge at zero shift (an atom is not its own neighbor).
-        keep = ~((src_atoms == dst_atom) & (images == zero_image))
-        src_atoms, images = src_atoms[keep], images[keep]
-        src_list.append(src_atoms)
-        dst_list.append(np.full(src_atoms.shape[0], dst_atom, dtype=np.int64))
-        shift_list.append(shifts_cart[images])
-    if not src_list:
+    # One concatenation instead of a per-destination Python loop: stack
+    # every hit, repeat the destination ids by per-atom hit counts, and
+    # build the self-edge mask array-wise.  Order matches the loop
+    # version exactly (destinations ascending, KD-tree order within).
+    counts = np.fromiter((len(hits) for hits in neighbor_lists), dtype=np.int64, count=n)
+    if int(counts.sum()) == 0:
         return np.zeros((2, 0), dtype=np.int64), np.zeros((0, 3), dtype=DEFAULT_DTYPE)
-    edge_index = np.stack([np.concatenate(src_list), np.concatenate(dst_list)])
-    return edge_index.astype(np.int64), np.concatenate(shift_list).astype(DEFAULT_DTYPE)
+    hits = np.concatenate([np.asarray(h, dtype=np.int64) for h in neighbor_lists if len(h)])
+    dst_atoms = np.repeat(np.arange(n, dtype=np.int64), counts)
+    src_atoms = source_atom[hits]
+    images = source_shift[hits]
+    # Drop the self edge at zero shift (an atom is not its own neighbor).
+    zero_image = int(np.flatnonzero((shifts_int == 0).all(axis=1))[0])
+    keep = ~((src_atoms == dst_atoms) & (images == zero_image))
+    src_atoms, dst_atoms, images = src_atoms[keep], dst_atoms[keep], images[keep]
+    if src_atoms.size == 0:
+        return np.zeros((2, 0), dtype=np.int64), np.zeros((0, 3), dtype=DEFAULT_DTYPE)
+    edge_index = np.stack([src_atoms, dst_atoms])
+    return edge_index, shifts_cart[images].astype(DEFAULT_DTYPE)
 
 
 def trim_max_neighbors(

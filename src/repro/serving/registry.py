@@ -14,8 +14,13 @@ import threading
 from dataclasses import dataclass
 from pathlib import Path
 
+from repro.data.normalize import Normalizer
 from repro.models.hydra import HydraModel
-from repro.train.checkpoint_io import checkpoint_metadata, load_inference_model
+from repro.train.checkpoint_io import (
+    checkpoint_metadata,
+    load_inference_model,
+    normalizer_from_metadata,
+)
 
 
 @dataclass
@@ -26,6 +31,7 @@ class RegistryEntry:
     model: HydraModel | None = None
     path: Path | None = None
     metadata: dict | None = None
+    normalizer: Normalizer | None = None
 
     @property
     def loaded(self) -> bool:
@@ -39,25 +45,34 @@ class ModelRegistry:
         self._entries: dict[str, RegistryEntry] = {}
         self._lock = threading.Lock()
 
-    def register_model(self, name: str, model: HydraModel) -> None:
+    def register_model(
+        self, name: str, model: HydraModel, normalizer: Normalizer | None = None
+    ) -> None:
         """Register a resident model under ``name`` (replaces any prior)."""
         with self._lock:
-            self._entries[name] = RegistryEntry(name=name, model=model)
+            self._entries[name] = RegistryEntry(name=name, model=model, normalizer=normalizer)
 
     def register_checkpoint(self, name: str, path: str | Path) -> dict:
         """Register a checkpoint for lazy loading; returns its metadata.
 
         The metadata block is read immediately so a bad path or foreign
-        file fails at registration, not at first request.
+        file fails at registration, not at first request.  A normalizer
+        stored in the checkpoint's ``extra`` block is picked up here (it
+        lives in the metadata, not the parameter arrays), so serving can
+        denormalize without waiting for the lazy parameter load.
         """
         path = Path(path)
         metadata = checkpoint_metadata(path)
         with self._lock:
-            self._entries[name] = RegistryEntry(name=name, path=path, metadata=metadata)
+            self._entries[name] = RegistryEntry(
+                name=name,
+                path=path,
+                metadata=metadata,
+                normalizer=normalizer_from_metadata(metadata),
+            )
         return metadata
 
-    def get(self, name: str) -> HydraModel:
-        """Return the model for ``name``, loading the checkpoint once."""
+    def _entry(self, name: str) -> RegistryEntry:
         with self._lock:
             try:
                 entry = self._entries[name]
@@ -72,7 +87,16 @@ class ModelRegistry:
             with self._lock:
                 if entry.model is None:
                     entry.model = model
-        return entry.model
+        return entry
+
+    def get(self, name: str) -> HydraModel:
+        """Return the model for ``name``, loading the checkpoint once."""
+        return self._entry(name).model
+
+    def get_bundle(self, name: str) -> tuple[HydraModel, Normalizer | None]:
+        """Model plus its target normalizer (``None`` when not stored)."""
+        entry = self._entry(name)
+        return entry.model, entry.normalizer
 
     def names(self) -> list[str]:
         with self._lock:

@@ -11,24 +11,33 @@
 3. **Execute** — a worker collates the batch into one disjoint-union
    :class:`GraphBatch` and runs :meth:`HydraModel.serve` (the zero-
    ``Function``-node ``no_grad`` fast path) under a shared
-   :class:`BufferPool`, then scatters per-graph results back to the
-   waiting requests and populates the cache.
+   :class:`BufferPool` and the configured kernel backend, then scatters
+   per-graph results back to the waiting requests and populates the
+   cache.  When the service holds the training run's
+   :class:`~repro.data.normalize.Normalizer`, results are denormalized
+   to physical units before caching.
 
 Two execution modes share all of that code: **inline** (no worker
 threads; ``predict_many`` chunks and executes on the caller's thread —
 what batch jobs and benchmarks want) and **served** (``start(workers=N)``
 spins up a synchronous dispatch loop per worker so concurrent clients
-can block on their own requests — what an RPC front end wants).
+can block on their own requests — what an RPC front end wants).  The
+engine's grad mode, pool stack, and kernel dispatch are all
+thread-local, so served-mode workers execute model forwards **truly
+concurrently** — there is no global model lock.
 """
 
 from __future__ import annotations
 
 import threading
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
+from repro.data.normalize import Normalizer
 from repro.graph.atoms import AtomGraph
 from repro.graph.batch import collate
 from repro.models.hydra import HydraModel
@@ -37,15 +46,22 @@ from repro.serving.cache import ResultCache
 from repro.serving.hashing import structure_hash
 from repro.serving.stats import ServingStats, StatsSummary
 from repro.tensor.allocator import BufferPool, use_pool
+from repro.tensor.autotune import default_autotuner
+from repro.tensor.kernels import available_backends, use_backend
 
 
 @dataclass(frozen=True)
 class PredictionResult:
     """What a client gets back for one structure.
 
-    ``energy`` is the model's normalized per-atom energy for the graph;
-    ``forces`` is ``(n_atoms, 3)``.  Arrays are owned by the service's
-    cache — treat them as read-only.
+    Without a normalizer, ``energy`` is the model's normalized per-atom
+    energy for the graph and ``forces`` the normalized ``(n_atoms, 3)``
+    components (``physical_units=False``).  When the service holds the
+    training run's :class:`Normalizer` — stored in the checkpoint's
+    ``extra`` block — outputs are **denormalized**: ``energy`` is the
+    structure's total energy and ``forces`` the force components, both
+    in the training corpus's physical units (``physical_units=True``).
+    Arrays are owned by the service's cache — treat them as read-only.
     """
 
     key: str
@@ -55,6 +71,7 @@ class PredictionResult:
     cached: bool
     latency_s: float
     batch_graphs: int
+    physical_units: bool = False
 
 
 @dataclass(frozen=True)
@@ -67,6 +84,16 @@ class ServiceConfig:
     cache_capacity: int = 4096  # LRU entries; <=0 disables caching
     hash_decimals: int | None = None  # optional coordinate rounding for keys
     request_timeout_s: float = 30.0  # client-side wait bound in served mode
+    #: Kernel backend model forwards dispatch to ("numpy", "parallel",
+    #: "auto"); None keeps the caller's/process default.  Validated at
+    #: service construction against the registered backends.
+    backend: str | None = None
+    #: Autotuner decision cache (JSON).  Loaded at construction when the
+    #: file exists (warm start), written back on stop() and after inline
+    #: sessions that measured something new.  Note the autotuner itself
+    #: is process-global: services in one process share decisions, and
+    #: each configured file receives the union.
+    autotune_cache: str | None = None
 
 
 class PredictionService:
@@ -77,25 +104,46 @@ class PredictionService:
         model: HydraModel,
         config: ServiceConfig | None = None,
         pool: BufferPool | None = None,
+        normalizer: Normalizer | None = None,
     ) -> None:
         self.model = model
         self.config = config or ServiceConfig()
         self.pool = pool if pool is not None else BufferPool()
+        self.normalizer = normalizer
         self.cache = ResultCache(self.config.cache_capacity)
         self.stats = ServingStats()
         self._batcher: MicroBatcher | None = None
         self._workers: list[threading.Thread] = []
         self._flush_reasons: dict[str, int] = {}  # accumulated across sessions
-        # The engine's no_grad flag and pool stack are process-global,
-        # not thread-local, so forwards must not interleave across
-        # workers.  Workers still overlap hashing/collation/scatter with
-        # each other's compute; only the model call itself serializes.
-        self._model_lock = threading.Lock()
+        # No model lock: the engine's grad mode, pool stack, and kernel
+        # dispatch are thread-local, and the shared BufferPool is
+        # internally locked, so N workers run N model forwards truly
+        # concurrently.
+        if self.config.backend is not None and self.config.backend not in available_backends():
+            # get_kernel quietly falls back to numpy for unknown names;
+            # a typo'd config must fail loudly, not silently serve numpy.
+            raise ValueError(
+                f"unknown kernel backend {self.config.backend!r}; "
+                f"available: {available_backends()}"
+            )
+        # The autotuner is process-global: all services in a process
+        # share one decision table, and each service's cache file holds
+        # the union of what the process measured.
+        if self.config.autotune_cache and Path(self.config.autotune_cache).exists():
+            default_autotuner().load(self.config.autotune_cache)
+        self._autotune_saved_decisions = len(default_autotuner())
 
     @classmethod
     def from_registry(cls, registry, name: str, **kwargs) -> "PredictionService":
-        """Build a service over a named model from a :class:`ModelRegistry`."""
-        return cls(registry.get(name), **kwargs)
+        """Build a service over a named model from a :class:`ModelRegistry`.
+
+        The registry entry's stored normalizer (if any) rides along, so
+        checkpoints saved with one serve physical units automatically.
+        An explicit ``normalizer=`` kwarg wins over the stored one.
+        """
+        model, normalizer = registry.get_bundle(name)
+        kwargs.setdefault("normalizer", normalizer)
+        return cls(model, **kwargs)
 
     # ------------------------------------------------------------------
     # lifecycle (served mode)
@@ -123,19 +171,41 @@ class PredictionService:
             self._workers.append(thread)
         return self
 
-    def stop(self) -> None:
-        """Drain queued requests, then join the workers."""
-        if not self.running:
+    def _save_autotune_cache(self) -> None:
+        """Persist the session's autotuner measurements, if configured.
+
+        Skipped when nothing new was recorded *since this service last
+        saved* and the file already exists — inline batch jobs call this
+        per ``predict_many`` and must not pay redundant file writes on
+        the hot path, while a sibling service's save (the tuner is
+        process-global) must not swallow this service's pending
+        decisions.
+        """
+        if not self.config.autotune_cache:
             return
-        self._batcher.close()
-        for thread in self._workers:
-            thread.join()
-        # Fold the session's flush counters into the service before the
-        # batcher goes away, so post-session telemetry keeps them.
-        for reason, count in self._batcher.flush_reasons.items():
-            self._flush_reasons[reason] = self._flush_reasons.get(reason, 0) + count
-        self._workers.clear()
-        self._batcher = None
+        tuner = default_autotuner()
+        path = Path(self.config.autotune_cache)
+        if len(tuner) != self._autotune_saved_decisions or not path.exists():
+            tuner.save(path)
+            self._autotune_saved_decisions = len(tuner)
+
+    def stop(self) -> None:
+        """Drain queued requests, then join the workers.
+
+        Also saves the autotune cache (even on a never-started service),
+        so the next replica warm-starts from this session's measurements.
+        """
+        if self.running:
+            self._batcher.close()
+            for thread in self._workers:
+                thread.join()
+            # Fold the session's flush counters into the service before
+            # the batcher goes away, so post-session telemetry keeps them.
+            for reason, count in self._batcher.flush_reasons.items():
+                self._flush_reasons[reason] = self._flush_reasons.get(reason, 0) + count
+            self._workers.clear()
+            self._batcher = None
+        self._save_autotune_cache()
 
     def __enter__(self) -> "PredictionService":
         if not self.running:
@@ -215,6 +285,9 @@ class PredictionService:
             self._execute(chunk)
         for index, request in misses:
             results[index] = request.wait(timeout=0)
+        # Inline sessions have no stop(); persist any fresh autotuner
+        # measurements here so batch jobs also warm-start the next run.
+        self._save_autotune_cache()
         return results
 
     def _chunk_by_budget(self, requests: list[ServeRequest]) -> list[list[ServeRequest]]:
@@ -248,6 +321,7 @@ class PredictionService:
             cached=True,
             latency_s=latency_s,
             batch_graphs=batch_graphs,
+            physical_units=self.normalizer is not None,
         )
 
     def _execute(self, requests: list[ServeRequest]) -> None:
@@ -275,17 +349,33 @@ class PredictionService:
             if order:
                 graphs = [by_key[key][0].graph for key in order]
                 batch = collate(graphs)
-                with self._model_lock:
-                    with use_pool(self.pool):
-                        outputs = self.model.serve(batch)
+                dispatch = (
+                    use_backend(self.config.backend)
+                    if self.config.backend
+                    else nullcontext()
+                )
+                with dispatch, use_pool(self.pool):
+                    outputs = self.model.serve(batch)
                 duration = time.perf_counter() - start
                 self.stats.record_batch(batch.num_graphs, batch.num_nodes, duration)
-                for key, energy, forces in zip(
+                for key, graph, energy, forces in zip(
                     order,
+                    graphs,
                     outputs["energy"][:, 0],
                     batch.split_node_array(outputs["forces"]),
                 ):
-                    payload = (float(energy), np.array(forces))
+                    energy = float(energy)
+                    forces = np.array(forces)
+                    if self.normalizer is not None:
+                        # Model outputs are normalized per-atom energy and
+                        # normalized forces; undo the corpus transform and
+                        # rescale energy back to the structure total.
+                        energy = float(
+                            self.normalizer.denormalize_energy_per_atom(energy)
+                            * graph.n_atoms
+                        )
+                        forces = self.normalizer.denormalize_forces(forces)
+                    payload = (energy, forces)
                     self.cache.put(key, payload)
                     ready[key] = payload
 
@@ -309,6 +399,7 @@ class PredictionService:
                             cached=from_cache,
                             latency_s=latency,
                             batch_graphs=len(order) or 1,
+                            physical_units=self.normalizer is not None,
                         )
                     )
                     self.stats.record_request(
@@ -336,7 +427,9 @@ class PredictionService:
         return reasons
 
     def telemetry(self) -> dict:
-        """JSON-ready stats: serving, result cache, and buffer pool."""
+        """JSON-ready stats: serving, result cache, buffer pool, engine."""
+        from repro.tensor.kernels import active_backend
+
         return {
             "serving": self.summary().as_dict(),
             "result_cache": self.cache.stats.as_dict(),
@@ -346,5 +439,10 @@ class PredictionService:
                 "max_graphs": self.config.max_graphs,
                 "flush_interval_s": self.config.flush_interval_s,
                 "flush_reasons": self._all_flush_reasons(),
+            },
+            "engine": {
+                "backend": self.config.backend or active_backend(),
+                "physical_units": self.normalizer is not None,
+                "autotune_decisions": len(default_autotuner()),
             },
         }

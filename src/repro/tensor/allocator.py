@@ -84,12 +84,21 @@ class MemoryTracker:
         self._total = 0
         self._peak_total = 0
         self._peak_breakdown: dict[str, int] = dict(self._current)
-        self._category_stack: list[str] = []
+        # Per-thread category stack: concurrent serving workers annotating
+        # allocations must not see each other's ``category(...)`` blocks.
+        self._category_local = threading.local()
         self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # category context
     # ------------------------------------------------------------------
+    @property
+    def _category_stack(self) -> list[str]:
+        stack = getattr(self._category_local, "stack", None)
+        if stack is None:
+            stack = self._category_local.stack = []
+        return stack
+
     @property
     def active_category(self) -> str:
         if self._category_stack:
@@ -190,16 +199,30 @@ class MemoryTracker:
 #
 # The engine always registers buffers with the *active* tracker, which by
 # default is a process-global one.  The distributed launcher pushes the
-# per-rank tracker while executing that rank's share of a step.
+# per-rank tracker while executing that rank's share of a step.  The
+# stack itself is **thread-local**: every thread starts at the global
+# tracker, and a ``use_tracker`` block on one thread is invisible to all
+# others — the isolation that lets serving workers (or two simulated
+# ranks on two threads) run engine code concurrently.
 # ----------------------------------------------------------------------
 _GLOBAL_TRACKER = MemoryTracker("global")
-_tracker_stack: list[MemoryTracker] = []
+
+
+class _ContextStacks(threading.local):
+    """Per-thread tracker and pool stacks (fresh and empty per thread)."""
+
+    def __init__(self) -> None:
+        self.trackers: list[MemoryTracker] = []
+        self.pools: list["BufferPool"] = []
+
+
+_stacks = _ContextStacks()
 
 
 def active_tracker() -> MemoryTracker:
     """Return the tracker new buffers will be charged to."""
-    if _tracker_stack:
-        return _tracker_stack[-1]
+    if _stacks.trackers:
+        return _stacks.trackers[-1]
     return _GLOBAL_TRACKER
 
 
@@ -209,12 +232,12 @@ def global_tracker() -> MemoryTracker:
 
 @contextmanager
 def use_tracker(tracker: MemoryTracker):
-    """Charge buffers allocated inside the block to ``tracker``."""
-    _tracker_stack.append(tracker)
+    """Charge buffers allocated on this thread inside the block to ``tracker``."""
+    _stacks.trackers.append(tracker)
     try:
         yield tracker
     finally:
-        _tracker_stack.pop()
+        _stacks.trackers.pop()
 
 
 def track_array(array: np.ndarray, category: str | None = None) -> np.ndarray:
@@ -282,7 +305,11 @@ class BufferPool:
     """Shape/dtype-bucketed recycling pool for numpy scratch buffers.
 
     :meth:`acquire` returns an **uninitialized** array -- callers must
-    fully overwrite it (or use :func:`pool_zeros`).  Retention is bounded
+    fully overwrite it (or use :func:`pool_zeros`).  The pool is
+    thread-safe: one lock guards the buckets, and the refcount idle test
+    cannot hand a buffer to two threads (the first acquirer's reference
+    marks it busy before the lock is released), so serving workers share
+    one pool.  Retention is bounded
     two ways: at most ``max_per_bucket`` buffers per exact shape, and at
     most ``max_total_bytes`` across all buckets.  Over the byte budget the
     pool first evicts *idle* buffers from other buckets (variable-shape
@@ -373,30 +400,30 @@ class BufferPool:
             self._reserved = 0
 
 
-_pool_stack: list[BufferPool] = []
-
-
 def active_pool() -> BufferPool | None:
     """Return the pool scratch allocations recycle through, if any."""
-    if _pool_stack:
-        return _pool_stack[-1]
+    if _stacks.pools:
+        return _stacks.pools[-1]
     return None
 
 
 @contextmanager
 def use_pool(pool: BufferPool | None = None):
-    """Route engine scratch allocations through ``pool`` inside the block.
+    """Route this thread's engine scratch allocations through ``pool``.
 
     A fresh pool is created when none is given; pass a persistent pool to
     recycle buffers across many steps (what :class:`~repro.train.trainer.Trainer`
-    does).
+    does).  The pool *stack* is thread-local, but a single
+    :class:`BufferPool` instance is internally locked, so many threads
+    may enter ``use_pool`` on the *same* pool and share its buckets —
+    the serving workers' configuration.
     """
     pool = pool if pool is not None else BufferPool()
-    _pool_stack.append(pool)
+    _stacks.pools.append(pool)
     try:
         yield pool
     finally:
-        _pool_stack.pop()
+        _stacks.pools.pop()
 
 
 def pool_empty(shape, dtype) -> np.ndarray:

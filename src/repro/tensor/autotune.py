@@ -1,0 +1,273 @@
+"""Shape-bucketed kernel autotuning: measure once, dispatch the winner.
+
+Whether the sharded ``parallel`` backend beats the single-threaded
+``numpy`` reference depends on shape (rows to split, columns per row),
+kernel (BLAS-bound vs gather-bound), and host (core count) — exactly the
+decision GPU stacks delegate to an autotuner instead of a heuristic.
+This module is that autotuner for the dispatch registry:
+
+- Shapes are coarsened into **buckets**: ``(kernel name, rows rounded up
+  to a power of two, cols rounded up to a power of two)``.  One timing
+  per bucket covers every shape in it, so a training run or serving
+  session pays the measurement cost a handful of times, not per step.
+- The first call in a bucket runs **both** backends on the live
+  arguments, times them, records the winner, and returns the winner's
+  result.  Every later call in the bucket dispatches straight to the
+  recorded backend.
+- **Small shapes never measure**: below :attr:`Autotuner.min_work`
+  (rows × cols) the answer is always ``numpy`` — fork/join overhead
+  cannot pay for itself, and tier-1-test-sized inputs must see zero
+  autotuner cost.
+- Decisions **serialize to JSON** (:meth:`Autotuner.save` /
+  :meth:`Autotuner.load`), so a serving replica can warm-start from a
+  previous session's measurements instead of re-timing on live traffic.
+
+Selecting the autotuned path is one context (or process default) away::
+
+    with kernels.use_backend("auto"):
+        model.predict(batch)   # per-shape numpy/parallel dispatch
+
+**Measurement caveat**: timings taken on live traffic reflect the load
+at that moment — a bucket first measured while N-1 other serving
+workers saturate the cores will under-rate the parallel backend, and
+the decision sticks until :meth:`Autotuner.clear`.  For stable
+decisions, warm the cache on an idle host (a ``workers=1`` session, or
+``benchmarks/bench_parallel_kernels.py``) and ship the JSON to the
+replicas via ``ServiceConfig(autotune_cache=...)``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.tensor.kernels import get_kernel, register_kernel
+
+_FORMAT = "repro-autotune-v1"
+
+#: Kernels the ``auto`` backend arbitrates (the registry's full hot set).
+AUTOTUNED_KERNELS = (
+    "linear",
+    "silu",
+    "edge_message_linear",
+    "concat_linear",
+    "segment_sum",
+    "mul_segment_sum",
+    "gather_diff",
+)
+
+#: rows × cols below which parallel dispatch is never even measured.
+DEFAULT_MIN_WORK = 1 << 16
+
+
+def bucket(n: int) -> int:
+    """Round ``n`` up to a power of two (0 stays 0) — the shape coarsening."""
+    n = int(n)
+    if n <= 0:
+        return 0
+    return 1 << (n - 1).bit_length()
+
+
+# How each kernel's forward argument tuple maps to (rows, cols).  Rows is
+# always the shardable axis; cols the per-row width, so rows*cols is the
+# work the parallel backend would split.
+_WORK_SHAPES = {
+    "linear": lambda args: (args[0].shape[0], args[1].shape[1]),
+    "silu": lambda args: (args[0].shape[0], args[0].shape[1] if args[0].ndim > 1 else 1),
+    "edge_message_linear": lambda args: (args[4].shape[0], args[2].shape[1]),
+    "concat_linear": lambda args: (args[0][0].shape[0], args[1].shape[1]),
+    "segment_sum": lambda args: (
+        args[0].shape[0],
+        int(np.prod(args[0].shape[1:], dtype=np.int64)) if args[0].ndim > 1 else 1,
+    ),
+    "mul_segment_sum": lambda args: (
+        args[0].shape[0],
+        int(np.prod(args[0].shape[1:], dtype=np.int64)) if args[0].ndim > 1 else 1,
+    ),
+    "gather_diff": lambda args: (args[2].shape[0], args[0].shape[1]),
+}
+
+
+@dataclass
+class Decision:
+    """The cached outcome of one bucket's measurement."""
+
+    backend: str
+    numpy_s: float | None = None
+    parallel_s: float | None = None
+
+    def as_dict(self) -> dict:
+        return {
+            "backend": self.backend,
+            "numpy_s": self.numpy_s,
+            "parallel_s": self.parallel_s,
+        }
+
+
+class Autotuner:
+    """Per-(kernel, shape-bucket) backend decisions, measured then cached."""
+
+    def __init__(self, min_work: int = DEFAULT_MIN_WORK) -> None:
+        self.min_work = int(min_work)
+        self._decisions: dict[tuple[str, int, int], Decision] = {}
+        self._dirty = False  # decisions recorded since the last save/load
+        self._lock = threading.Lock()
+
+    @property
+    def dirty(self) -> bool:
+        """Whether decisions were recorded since the last save/load."""
+        with self._lock:
+            return self._dirty
+
+    # ------------------------------------------------------------------
+    # decisions
+    # ------------------------------------------------------------------
+    def lookup(self, kernel: str, rows: int, cols: int) -> str | None:
+        """The backend for this shape, or ``None`` if it needs measuring.
+
+        Small shapes short-circuit to ``numpy`` without ever creating a
+        bucket entry — they are the common tier-1/test case and must pay
+        nothing.
+        """
+        if rows * max(cols, 1) < self.min_work:
+            return "numpy"
+        from repro.tensor import parallel
+
+        if parallel.worker_count() <= 1:
+            return "numpy"  # nothing to win on a single-core host
+        with self._lock:
+            decision = self._decisions.get((kernel, bucket(rows), bucket(cols)))
+        return decision.backend if decision is not None else None
+
+    def record(
+        self, kernel: str, rows: int, cols: int, numpy_s: float, parallel_s: float
+    ) -> Decision:
+        """Store a measurement; the faster backend becomes the bucket's answer."""
+        decision = Decision(
+            backend="parallel" if parallel_s < numpy_s else "numpy",
+            numpy_s=float(numpy_s),
+            parallel_s=float(parallel_s),
+        )
+        with self._lock:
+            self._decisions[(kernel, bucket(rows), bucket(cols))] = decision
+            self._dirty = True
+        return decision
+
+    def decisions(self) -> dict[tuple[str, int, int], Decision]:
+        with self._lock:
+            return dict(self._decisions)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._decisions.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._decisions)
+
+    # ------------------------------------------------------------------
+    # persistence (serving warm-start)
+    # ------------------------------------------------------------------
+    def as_dict(self) -> dict:
+        """JSON-ready snapshot of every decision."""
+        with self._lock:
+            decisions = {
+                f"{kernel}|{rows}|{cols}": decision.as_dict()
+                for (kernel, rows, cols), decision in self._decisions.items()
+            }
+        return {"format": _FORMAT, "min_work": self.min_work, "decisions": decisions}
+
+    def save(self, path: str | Path) -> Path:
+        """Write the decision cache to ``path`` as JSON."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.as_dict(), indent=2, sort_keys=True) + "\n")
+        with self._lock:
+            self._dirty = False
+        return path
+
+    def load(self, path: str | Path) -> int:
+        """Merge decisions from ``path``; returns how many were loaded."""
+        payload = json.loads(Path(path).read_text())
+        if payload.get("format") != _FORMAT:
+            raise ValueError(f"not an autotune cache (format={payload.get('format')!r})")
+        loaded = 0
+        with self._lock:
+            for key, entry in payload.get("decisions", {}).items():
+                kernel, rows, cols = key.rsplit("|", 2)
+                self._decisions[(kernel, int(rows), int(cols))] = Decision(
+                    backend=entry["backend"],
+                    numpy_s=entry.get("numpy_s"),
+                    parallel_s=entry.get("parallel_s"),
+                )
+                loaded += 1
+        return loaded
+
+
+_DEFAULT = Autotuner()
+
+
+def default_autotuner() -> Autotuner:
+    """The process-wide tuner the ``auto`` backend consults."""
+    return _DEFAULT
+
+
+# ----------------------------------------------------------------------
+# The "auto" backend: one proxy per kernel.
+# ----------------------------------------------------------------------
+class _AutoKernel:
+    """Registry impl that measures-then-dispatches per shape bucket.
+
+    ``forward`` runs the first call of a bucket through *both* backends
+    and records the timings; ``backward`` (and ``geometry``) reuse the
+    forward decision for their gradient's shape — a backward whose shape
+    was never measured falls back to ``numpy``.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def _impl(self, backend: str):
+        return get_kernel(self.name, backend=backend)
+
+    def forward(self, *args, **kwargs):
+        tuner = default_autotuner()
+        rows, cols = _WORK_SHAPES[self.name](args)
+        backend = tuner.lookup(self.name, rows, cols)
+        if backend is not None:
+            return self._impl(backend).forward(*args, **kwargs)
+        # Warm both backends before timing: the first-ever call pays
+        # one-time setup (executor thread spawn, pool misses, cold
+        # incidence caches) that must not be charged to either side —
+        # the decision is permanent and persisted, so it has to reflect
+        # steady state, not cold start.
+        self._impl("numpy").forward(*args, **kwargs)
+        self._impl("parallel").forward(*args, **kwargs)
+        start = time.perf_counter()
+        numpy_result = self._impl("numpy").forward(*args, **kwargs)
+        numpy_s = time.perf_counter() - start
+        start = time.perf_counter()
+        parallel_result = self._impl("parallel").forward(*args, **kwargs)
+        parallel_s = time.perf_counter() - start
+        decision = tuner.record(self.name, rows, cols, numpy_s, parallel_s)
+        return parallel_result if decision.backend == "parallel" else numpy_result
+
+    def backward(self, grad, *args, **kwargs):
+        rows = grad.shape[0]
+        cols = grad.shape[1] if grad.ndim > 1 else 1
+        backend = default_autotuner().lookup(self.name, rows, cols) or "numpy"
+        return self._impl(backend).backward(grad, *args, **kwargs)
+
+    def geometry(self, positions, shift, src, dst, eps: float = 1e-9):
+        rows, cols = src.shape[0], positions.shape[1]
+        backend = default_autotuner().lookup("gather_diff", rows, cols) or "numpy"
+        return self._impl(backend).geometry(positions, shift, src, dst, eps)
+
+
+for _name in AUTOTUNED_KERNELS:
+    register_kernel(_name, backend="auto")(_AutoKernel(_name))

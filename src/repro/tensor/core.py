@@ -20,6 +20,9 @@ pointwise nonlinearities.
 
 from __future__ import annotations
 
+import threading
+import weakref
+from collections import deque
 from contextlib import contextmanager
 
 import numpy as np
@@ -29,51 +32,128 @@ from repro.tensor.allocator import GRADIENTS, track_array
 
 DEFAULT_DTYPE = np.float32
 
-_grad_enabled = True
 
-# Running count of autograd nodes ever constructed.  The inference fast
-# path must keep this flat under ``no_grad`` (asserted in the test suite
-# and the engine benchmarks).
-_function_nodes_created = 0
+class _NodeCounter:
+    """Per-thread count of autograd nodes, summable across threads."""
+
+    __slots__ = ("count",)
+
+    def __init__(self) -> None:
+        self.count = 0
+
+
+class _CounterHandle:
+    """Weakref-able sentinel that dies with its owning thread's locals."""
+
+    __slots__ = ("__weakref__",)
+
+
+_live_counters: list[_NodeCounter] = []
+_retired_counters: deque[_NodeCounter] = deque()
+_retired_nodes = 0
+_counters_lock = threading.Lock()
+
+
+def _retire_counter(counter: _NodeCounter) -> None:
+    """Queue a dead thread's counter for folding into the retired total.
+
+    Runs as a ``weakref.finalize`` callback, which cyclic GC may fire on
+    *any* thread at *any* allocation — including one currently holding
+    ``_counters_lock``.  It must therefore be lock-free: a plain
+    (atomic) deque append.  :func:`_drain_retired` does the actual
+    folding under the lock.  This keeps the process-wide node total
+    monotone without retaining one counter per thread ever created — a
+    long-lived server cycling worker threads holds O(live threads)
+    counters, not O(threads ever).
+    """
+    _retired_counters.append(counter)
+
+
+def _drain_retired() -> None:
+    """Fold queued dead-thread counters (caller holds ``_counters_lock``)."""
+    global _retired_nodes
+    while True:
+        try:
+            counter = _retired_counters.popleft()
+        except IndexError:
+            break
+        _retired_nodes += counter.count
+        try:
+            _live_counters.remove(counter)
+        except ValueError:
+            pass
+
+
+class _GradState(threading.local):
+    """Thread-local grad mode + node counter.
+
+    ``threading.local`` re-runs ``__init__`` in every thread that touches
+    the instance, so each thread starts with recording *enabled* (the
+    same default the process-global flag used to give the main thread)
+    and its own node counter.  Concurrent model forwards — the serving
+    workers, the parallel-backend shards — therefore cannot leak
+    ``no_grad`` state into each other.
+    """
+
+    def __init__(self) -> None:
+        self.enabled = True
+        self.counter = _NodeCounter()
+        # The handle lives only in this thread's local dict; when the
+        # thread dies the finalizer folds the counter into the retired
+        # total and drops it from the live list.
+        self._handle = _CounterHandle()
+        with _counters_lock:
+            _drain_retired()
+            _live_counters.append(self.counter)
+        weakref.finalize(self._handle, _retire_counter, self.counter)
+
+
+_state = _GradState()
 
 
 def function_nodes_created() -> int:
-    """Total autograd ``Function`` nodes constructed so far in this process."""
-    return _function_nodes_created
+    """Total autograd ``Function`` nodes constructed so far in this process.
+
+    The inference fast path must keep this flat under ``no_grad``
+    (asserted in the test suite and the engine benchmarks).  The total is
+    the retired count of dead threads plus the live per-thread counters,
+    so concurrent serving workers never race on one shared integer and
+    the value stays monotone across thread churn.
+    """
+    with _counters_lock:
+        _drain_retired()
+        return _retired_nodes + sum(counter.count for counter in _live_counters)
 
 
 def _count_node() -> None:
-    global _function_nodes_created
-    _function_nodes_created += 1
+    _state.counter.count += 1
 
 
 def grad_enabled() -> bool:
-    """Return whether ops currently record the autograd graph."""
-    return _grad_enabled
+    """Return whether ops on *this thread* record the autograd graph."""
+    return _state.enabled
 
 
 @contextmanager
 def no_grad():
-    """Disable graph recording inside the block (like ``torch.no_grad``)."""
-    global _grad_enabled
-    previous = _grad_enabled
-    _grad_enabled = False
+    """Disable graph recording on this thread inside the block."""
+    previous = _state.enabled
+    _state.enabled = False
     try:
         yield
     finally:
-        _grad_enabled = previous
+        _state.enabled = previous
 
 
 @contextmanager
 def enable_grad():
     """Force graph recording inside the block (used by checkpointing)."""
-    global _grad_enabled
-    previous = _grad_enabled
-    _grad_enabled = True
+    previous = _state.enabled
+    _state.enabled = True
     try:
         yield
     finally:
-        _grad_enabled = previous
+        _state.enabled = previous
 
 
 def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
@@ -123,7 +203,7 @@ class Function:
     @classmethod
     def apply(cls, *tensors: "Tensor", **kwargs) -> "Tensor":
         arrays = tuple(t.data for t in tensors)
-        if _grad_enabled and any(t.requires_grad for t in tensors):
+        if _state.enabled and any(t.requires_grad for t in tensors):
             _count_node()
             fn = cls(**kwargs)
             out = Tensor._from_data(fn.forward(*arrays), requires_grad=True)

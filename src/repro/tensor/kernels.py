@@ -11,14 +11,20 @@ Design:
 
 - A **registry** maps ``(kernel name, backend name)`` to an
   implementation object exposing static ``forward``/``backward``
-  functions over raw numpy arrays.  Only the ``numpy`` backend ships
-  today; the registry is the dispatch point future backends (BLAS
-  variants, compiled extensions, accelerators) plug into without touching
-  model code.
+  functions over raw numpy arrays.  Three backends ship: ``numpy`` (the
+  single-threaded reference), ``parallel`` (row-sharded multi-threaded
+  kernels, :mod:`repro.tensor.parallel`), and ``auto`` (the
+  shape-bucketed autotuner arbitrating between them,
+  :mod:`repro.tensor.autotune`).  The registry remains the dispatch
+  point further backends (compiled extensions, accelerators) plug into
+  without touching model code.
 - **Autograd wrappers** (subclasses of :class:`~repro.tensor.core.Function`)
   look their compute up in the registry, so a backend swap changes what
   executes without changing what differentiates.
-- A process-wide **fusion switch** (:func:`fusion`) lets callers fall
+- Backend and fusion selection are **thread-local** (with a process-wide
+  default, :func:`set_default_backend`), so concurrent serving workers
+  can run forwards under different dispatch modes without interfering.
+- A **fusion switch** (:func:`fusion`) lets callers fall
   back to the composed primitive-op path -- the reference implementation
   fused kernels are validated against, and the baseline the engine
   benchmarks compare to.
@@ -51,6 +57,7 @@ Kernels:
 
 from __future__ import annotations
 
+import threading
 import weakref
 from contextlib import contextmanager
 
@@ -63,8 +70,27 @@ from repro.tensor.core import Function, Tensor, _unbroadcast
 # Registry
 # ----------------------------------------------------------------------
 _REGISTRY: dict[tuple[str, str], object] = {}
-_backend_stack: list[str] = ["numpy"]
-_fusion_stack: list[bool] = [True]
+
+#: Backend every thread starts on (overridden per-thread by
+#: :func:`use_backend`, process-wide by :func:`set_default_backend`).
+_default_backend = "numpy"
+
+
+class _DispatchState(threading.local):
+    """Per-thread backend/fusion override stacks.
+
+    Thread-locality is what makes concurrent serving sound: a worker
+    inside ``use_backend("parallel")`` cannot flip another worker's (or
+    the training loop's) dispatch mid-forward.  Fresh threads start with
+    empty stacks, i.e. the process default backend and fusion on.
+    """
+
+    def __init__(self) -> None:
+        self.backends: list[str] = []
+        self.fusion: list[bool] = []
+
+
+_dispatch = _DispatchState()
 
 
 def register_kernel(name: str, backend: str = "numpy"):
@@ -105,38 +131,66 @@ def available_kernels(backend: str | None = None) -> list[str]:
     return sorted(names)
 
 
+def available_backends() -> list[str]:
+    """Sorted backend names with at least one registered kernel.
+
+    ``get_kernel`` silently falls back to numpy for unknown backend
+    names (forward compatibility for partial backends); callers taking a
+    backend name from *configuration* should validate against this list
+    so a typo fails loudly instead of silently serving numpy.
+    """
+    return sorted({impl_backend for _, impl_backend in _REGISTRY})
+
+
 def active_backend() -> str:
-    return _backend_stack[-1]
+    """The backend this thread currently dispatches to."""
+    if _dispatch.backends:
+        return _dispatch.backends[-1]
+    return _default_backend
+
+
+def set_default_backend(name: str) -> str:
+    """Set the process-wide default backend; returns the previous one.
+
+    Threads with no :func:`use_backend` override — including threads
+    created later, such as serving workers — dispatch to this backend.
+    """
+    global _default_backend
+    previous = _default_backend
+    _default_backend = name
+    return previous
 
 
 @contextmanager
 def use_backend(name: str):
-    """Dispatch kernels to ``name`` inside the block."""
-    _backend_stack.append(name)
+    """Dispatch this thread's kernels to ``name`` inside the block."""
+    _dispatch.backends.append(name)
     try:
         yield
     finally:
-        _backend_stack.pop()
+        _dispatch.backends.pop()
 
 
 def fusion_enabled() -> bool:
-    """Whether fused kernels are active (vs the composed primitive path)."""
-    return _fusion_stack[-1]
+    """Whether fused kernels are active on this thread (vs primitive ops)."""
+    if _dispatch.fusion:
+        return _dispatch.fusion[-1]
+    return True
 
 
 @contextmanager
 def fusion(enabled: bool):
-    """Force fused kernels on or off inside the block.
+    """Force fused kernels on or off on this thread inside the block.
 
     ``fusion(False)`` routes every kernel entry point through the
     composed primitive-op implementation -- the reference path used by
     equivalence tests and as the benchmark baseline.
     """
-    _fusion_stack.append(bool(enabled))
+    _dispatch.fusion.append(bool(enabled))
     try:
         yield
     finally:
-        _fusion_stack.pop()
+        _dispatch.fusion.pop()
 
 
 # ----------------------------------------------------------------------
@@ -675,3 +729,15 @@ def edge_geometry_arrays(
 ) -> tuple[np.ndarray, np.ndarray]:
     """Raw (vectors, clamped distances) pass for batch preprocessing."""
     return get_kernel("gather_diff").geometry(positions, shift, src, dst, eps)
+
+
+# ----------------------------------------------------------------------
+# Non-default backends.
+#
+# Imported last so the registry and the numpy reference implementations
+# above are fully defined when these modules register themselves:
+# ``parallel`` (row-sharded multi-threaded kernels) and ``auto`` (the
+# shape-bucketed autotuner arbitrating numpy vs parallel).
+# ----------------------------------------------------------------------
+from repro.tensor import parallel as _parallel_backend  # noqa: E402,F401
+from repro.tensor import autotune as _auto_backend  # noqa: E402,F401

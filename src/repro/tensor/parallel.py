@@ -1,0 +1,565 @@
+"""The ``parallel`` kernel backend: row-sharded multi-threaded kernels.
+
+Every hot kernel in the dispatch registry is row-parallel: its output
+rows depend on disjoint slices of its inputs (edges for the message
+kernels, feature rows for the MLP kernels).  This backend exploits that
+by splitting the row range into shards and running the shards on a
+persistent :class:`~concurrent.futures.ThreadPoolExecutor`.  Threads —
+not processes — are the right tool here because the shard bodies are
+numpy ufuncs and BLAS calls that release the GIL, so shards genuinely
+overlap on multi-core hosts while sharing input arrays zero-copy.
+
+Execution model:
+
+- The **calling thread allocates** every output buffer (through the
+  allocator, so pooling and memory tracking keep their single-owner
+  semantics) and participates by running shard 0 itself; executor
+  threads only ever *write disjoint row slices* of preallocated outputs
+  or return shard-local partials.  Worker threads never touch the
+  tracker/pool stacks, which stay thread-local to the caller.
+- **Reductions across rows** (weight gradients, segment sums) are
+  computed as per-shard partials and summed on the calling thread — the
+  classic partial-sum-and-reduce shape of data-parallel backward passes.
+- Shard bodies must not themselves dispatch sharded kernels: when the
+  current thread *is* an executor worker, every entry point runs inline
+  (re-entrant dispatch would deadlock a single-slot executor).
+- Inputs too small to amortize the fork/join overhead — fewer than
+  :func:`min_rows_per_shard` rows per worker — **delegate to the numpy
+  reference backend**, so the parallel backend is never pathologically
+  slower on trickle shapes.  The autotuner (:mod:`repro.tensor.autotune`)
+  makes that choice per shape bucket from measurements instead of this
+  static floor.
+
+Configuration: ``REPRO_PARALLEL_WORKERS`` (default: the host's CPU
+count, capped at 8) and ``REPRO_PARALLEL_MIN_ROWS`` (default 2048), or
+:func:`configure` at runtime.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import weakref
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from repro.tensor import allocator
+from repro.tensor.core import _unbroadcast
+from repro.tensor.kernels import _common_dtype, get_kernel, register_kernel
+
+_THREAD_PREFIX = "repro-parallel"
+_MAX_DEFAULT_WORKERS = 8
+
+_lock = threading.Lock()
+_executor: ThreadPoolExecutor | None = None
+_max_workers: int | None = None
+_min_rows: int | None = None
+
+
+def worker_count() -> int:
+    """Number of shard threads the backend will use (>= 1)."""
+    if _max_workers is not None:
+        return _max_workers
+    env = os.environ.get("REPRO_PARALLEL_WORKERS")
+    if env:
+        return max(1, int(env))
+    return max(1, min(os.cpu_count() or 1, _MAX_DEFAULT_WORKERS))
+
+
+def min_rows_per_shard() -> int:
+    """Smallest shard worth forking a thread for."""
+    if _min_rows is not None:
+        return _min_rows
+    return max(1, int(os.environ.get("REPRO_PARALLEL_MIN_ROWS", "2048")))
+
+
+def configure(max_workers: int | None = None, min_rows: int | None = None) -> None:
+    """Override worker count / shard floor; ``None`` restores env defaults.
+
+    Shuts down any live executor so the next sharded call starts a pool
+    of the new size (used by tests to exercise multi-shard paths on
+    single-core hosts).
+    """
+    global _max_workers, _min_rows
+    with _lock:
+        _max_workers = None if max_workers is None else max(1, int(max_workers))
+        _min_rows = None if min_rows is None else max(1, int(min_rows))
+    shutdown()
+
+
+def shutdown() -> None:
+    """Stop the worker pool (it restarts lazily on the next sharded call)."""
+    global _executor
+    with _lock:
+        executor, _executor = _executor, None
+    if executor is not None:
+        executor.shutdown(wait=True)
+
+
+def _get_executor() -> ThreadPoolExecutor:
+    global _executor
+    with _lock:
+        if _executor is None:
+            _executor = ThreadPoolExecutor(
+                max_workers=worker_count(), thread_name_prefix=_THREAD_PREFIX
+            )
+        return _executor
+
+
+def _in_worker_thread() -> bool:
+    return threading.current_thread().name.startswith(_THREAD_PREFIX)
+
+
+def row_shards(n: int) -> list[tuple[int, int]]:
+    """Split ``range(n)`` into at most ``worker_count()`` balanced spans.
+
+    Returns a single span (→ callers delegate to numpy) when the input
+    is too small to shard, the backend is configured single-threaded, or
+    the current thread is already a shard worker.
+    """
+    n = int(n)
+    workers = worker_count()
+    if n <= 0 or workers <= 1 or _in_worker_thread():
+        return [(0, n)]
+    shards = min(workers, max(1, n // min_rows_per_shard()))
+    if shards <= 1:
+        return [(0, n)]
+    bounds = np.linspace(0, n, shards + 1, dtype=np.int64)
+    return [(int(bounds[i]), int(bounds[i + 1])) for i in range(shards)]
+
+
+def run_sharded(fn, spans: list[tuple[int, int]]) -> list:
+    """Run ``fn(start, stop)`` for every span; caller executes span 0.
+
+    Executor threads take spans 1..k while the calling thread computes
+    the first shard itself (no idle caller, no extra context switch for
+    the two-shard case).  Results come back in span order; the first
+    raised exception propagates after all shards finish, so partially
+    written output buffers are never left racing.
+    """
+    if len(spans) == 1:
+        return [fn(*spans[0])]
+    executor = _get_executor()
+    futures = [executor.submit(fn, start, stop) for start, stop in spans[1:]]
+    results: list = [None] * len(spans)
+    error: BaseException | None = None
+    try:
+        results[0] = fn(*spans[0])
+    except BaseException as exc:  # noqa: BLE001 — must still join the shards
+        error = exc
+    for index, future in enumerate(futures, start=1):
+        try:
+            results[index] = future.result()
+        except BaseException as exc:  # noqa: BLE001
+            error = error or exc
+    if error is not None:
+        raise error
+    return results
+
+
+def _numpy(name: str):
+    return get_kernel(name, backend="numpy")
+
+
+def _reduce(partials: list[np.ndarray]) -> np.ndarray:
+    total = partials[0]
+    for partial in partials[1:]:
+        total += partial
+    return total
+
+
+# ----------------------------------------------------------------------
+# Sharded segment sum (per-shard partial sums + reduce).
+#
+# Each shard multiplies its row block through a shard-local CSR incidence
+# matrix; the (num_segments, F) partials are summed on the caller.  The
+# shard incidence matrices are cached per (index array, span) exactly
+# like the full-array cache in :mod:`repro.tensor.kernels`.
+# ----------------------------------------------------------------------
+_shard_incidence_cache: dict[tuple, object] = {}
+
+
+def _shard_incidence(segments: np.ndarray, start: int, stop: int, num_segments: int, dtype):
+    from scipy import sparse
+
+    key = (id(segments), start, stop, int(num_segments), np.dtype(dtype).str)
+    cached = _shard_incidence_cache.get(key)
+    if cached is not None:
+        return cached
+    rows = segments[start:stop]
+    matrix = sparse.csr_matrix(
+        (np.ones(stop - start, dtype=dtype), (rows, np.arange(stop - start))),
+        shape=(int(num_segments), stop - start),
+    )
+    _shard_incidence_cache[key] = matrix
+    weakref.finalize(segments, _shard_incidence_cache.pop, key, None)
+    return matrix
+
+
+def sharded_segment_sum(
+    values: np.ndarray, segments: np.ndarray, num_segments: int
+) -> np.ndarray:
+    """Segment sum over axis 0 via per-shard partials (numpy if one shard)."""
+    spans = row_shards(segments.shape[0])
+    if len(spans) == 1:
+        return _numpy("segment_sum").forward(values, segments, num_segments)
+    flat = values.reshape(segments.shape[0], -1)
+
+    def shard(start: int, stop: int) -> np.ndarray:
+        incidence = _shard_incidence(segments, start, stop, num_segments, values.dtype)
+        return incidence @ flat[start:stop]
+
+    total = _reduce(run_sharded(shard, spans))
+    return np.ascontiguousarray(
+        total.reshape((int(num_segments),) + values.shape[1:])
+    )
+
+
+def _sharded_expand(grad: np.ndarray, segments: np.ndarray) -> np.ndarray:
+    """Sharded ``grad[segments]`` (the backward of a segment sum)."""
+    spans = row_shards(segments.shape[0])
+    out = np.empty((segments.shape[0],) + grad.shape[1:], dtype=grad.dtype)
+
+    def shard(start: int, stop: int) -> None:
+        out[start:stop] = grad[segments[start:stop]]
+
+    run_sharded(shard, spans)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Kernel implementations
+# ----------------------------------------------------------------------
+@register_kernel("linear", backend="parallel")
+class _LinearParallel:
+    @staticmethod
+    def forward(x, weight, bias=None):
+        dtype = _common_dtype(x, weight, bias)
+        spans = row_shards(x.shape[0])
+        if len(spans) == 1 or x.dtype != dtype or weight.dtype != dtype:
+            return _numpy("linear").forward(x, weight, bias)
+        out = allocator.pool_empty((x.shape[0], weight.shape[1]), dtype)
+
+        def shard(start: int, stop: int) -> None:
+            block = out[start:stop]
+            np.matmul(x[start:stop], weight, out=block)
+            if bias is not None:
+                block += bias
+
+        run_sharded(shard, spans)
+        return out
+
+    @staticmethod
+    def backward(grad, x, weight, bias_shape, needs=(True, True, True)):
+        need_x, need_w, need_b = needs
+        spans = row_shards(grad.shape[0])
+        if len(spans) == 1:
+            return _numpy("linear").backward(grad, x, weight, bias_shape, needs)
+        grad_x = grad_w = grad_b = None
+        if need_x:
+            grad_x = np.empty((grad.shape[0], weight.shape[0]), dtype=np.result_type(grad, weight))
+
+            def shard_x(start: int, stop: int) -> None:
+                np.matmul(grad[start:stop], weight.T, out=grad_x[start:stop])
+
+            run_sharded(shard_x, spans)
+        if need_w:
+            grad_w = _reduce(
+                run_sharded(lambda start, stop: x[start:stop].T @ grad[start:stop], spans)
+            )
+        if need_b:
+            grad_b = _unbroadcast(grad, bias_shape)
+        return grad_x, grad_w, grad_b
+
+
+@register_kernel("silu", backend="parallel")
+class _SiLUParallel:
+    @staticmethod
+    def forward(x):
+        spans = row_shards(x.shape[0])
+        if len(spans) == 1:
+            return _numpy("silu").forward(x)
+        sig = allocator.pool_empty(x.shape, np.result_type(x, np.float32))
+        out = allocator.pool_empty(x.shape, sig.dtype)
+
+        def shard(start: int, stop: int) -> None:
+            xs = x[start:stop]
+            sg = sig[start:stop]
+            np.negative(xs, out=sg)
+            np.exp(sg, out=sg)
+            sg += 1.0
+            np.reciprocal(sg, out=sg)
+            np.multiply(xs, sg, out=out[start:stop])
+
+        run_sharded(shard, spans)
+        return out, sig
+
+    @staticmethod
+    def backward(grad, x, sig):
+        spans = row_shards(grad.shape[0])
+        if len(spans) == 1:
+            return _numpy("silu").backward(grad, x, sig)
+        out = np.empty(sig.shape, dtype=sig.dtype)
+
+        def shard(start: int, stop: int) -> None:
+            block = out[start:stop]
+            np.subtract(1.0, sig[start:stop], out=block)
+            block *= x[start:stop]
+            block += 1.0
+            block *= sig[start:stop]
+            block *= grad[start:stop]
+
+        run_sharded(shard, spans)
+        return out
+
+
+@register_kernel("edge_message_linear", backend="parallel")
+class _EdgeMessageLinearParallel:
+    """Sharded fused message kernel: node projections, then edge emission."""
+
+    @staticmethod
+    def forward(h, feat, weight, bias, src, dst):
+        width = h.shape[1]
+        dtype = _common_dtype(h, feat, weight, bias)
+        uniform = h.dtype == dtype and feat.dtype == dtype and weight.dtype == dtype
+        node_spans = row_shards(h.shape[0])
+        edge_spans = row_shards(src.shape[0])
+        if not uniform or (len(node_spans) == 1 and len(edge_spans) == 1):
+            return _numpy("edge_message_linear").forward(h, feat, weight, bias, src, dst)
+        w_src = weight[:width]
+        w_dst = weight[width : 2 * width]
+        w_feat = weight[2 * width :]
+        proj_src = allocator.pool_empty((h.shape[0], weight.shape[1]), dtype)
+        proj_dst = allocator.pool_empty((h.shape[0], weight.shape[1]), dtype)
+
+        def project(start: int, stop: int) -> None:
+            np.matmul(h[start:stop], w_src, out=proj_src[start:stop])
+            np.matmul(h[start:stop], w_dst, out=proj_dst[start:stop])
+
+        run_sharded(project, node_spans)
+        out = allocator.pool_empty((src.shape[0], weight.shape[1]), dtype)
+
+        def emit(start: int, stop: int) -> None:
+            block = out[start:stop]
+            np.take(proj_src, src[start:stop], axis=0, out=block)
+            block += proj_dst[dst[start:stop]]
+            block += feat[start:stop] @ w_feat
+            if bias is not None:
+                block += bias
+
+        run_sharded(emit, edge_spans)
+        return out
+
+    @staticmethod
+    def backward(grad, h, feat, weight, src, dst, bias_shape, needs=(True, True, True, True)):
+        need_h, need_feat, need_w, need_b = needs
+        edge_spans = row_shards(grad.shape[0])
+        if len(edge_spans) == 1:
+            return _numpy("edge_message_linear").backward(
+                grad, h, feat, weight, src, dst, bias_shape, needs
+            )
+        width = h.shape[1]
+        num_nodes = h.shape[0]
+        w_src = weight[:width]
+        w_dst = weight[width : 2 * width]
+        w_feat = weight[2 * width :]
+        grad_h = grad_feat = grad_w = grad_b = None
+        if need_h or need_w:
+            sum_src = sharded_segment_sum(grad, src, num_nodes)
+            sum_dst = sharded_segment_sum(grad, dst, num_nodes)
+        if need_h:
+            node_spans = row_shards(num_nodes)
+            grad_h = np.empty((num_nodes, width), dtype=np.result_type(grad, weight))
+
+            def shard_h(start: int, stop: int) -> None:
+                block = grad_h[start:stop]
+                np.matmul(sum_src[start:stop], w_src.T, out=block)
+                block += sum_dst[start:stop] @ w_dst.T
+
+            run_sharded(shard_h, node_spans)
+        if need_feat:
+            grad_feat = np.empty(
+                (grad.shape[0], w_feat.shape[0]), dtype=np.result_type(grad, weight)
+            )
+
+            def shard_feat(start: int, stop: int) -> None:
+                np.matmul(grad[start:stop], w_feat.T, out=grad_feat[start:stop])
+
+            run_sharded(shard_feat, edge_spans)
+        if need_w:
+            # The edge-sized block reduces over per-shard partials; the
+            # node-sized blocks are small matmuls done directly.
+            feat_block = _reduce(
+                run_sharded(
+                    lambda start, stop: feat[start:stop].T @ grad[start:stop], edge_spans
+                )
+            )
+            grad_w = np.concatenate([h.T @ sum_src, h.T @ sum_dst, feat_block])
+        if need_b:
+            grad_b = _unbroadcast(grad, bias_shape)
+        return grad_h, grad_feat, grad_w, grad_b
+
+
+@register_kernel("concat_linear", backend="parallel")
+class _ConcatLinearParallel:
+    @staticmethod
+    def forward(parts, weight, bias=None):
+        dtype = _common_dtype(*parts, weight, bias)
+        spans = row_shards(parts[0].shape[0])
+        uniform = weight.dtype == dtype and all(part.dtype == dtype for part in parts)
+        if len(spans) == 1 or not uniform:
+            return _numpy("concat_linear").forward(parts, weight, bias)
+        out = allocator.pool_empty((parts[0].shape[0], weight.shape[1]), dtype)
+        first_width = parts[0].shape[1]
+
+        def shard(start: int, stop: int) -> None:
+            block = out[start:stop]
+            np.matmul(parts[0][start:stop], weight[:first_width], out=block)
+            offset = first_width
+            for part in parts[1:]:
+                width = part.shape[1]
+                block += part[start:stop] @ weight[offset : offset + width]
+                offset += width
+            if bias is not None:
+                block += bias
+
+        run_sharded(shard, spans)
+        return out
+
+    @staticmethod
+    def backward(grad, parts, weight, bias_shape, needs):
+        need_parts, need_w, need_b = needs
+        spans = row_shards(grad.shape[0])
+        if len(spans) == 1:
+            return _numpy("concat_linear").backward(grad, parts, weight, bias_shape, needs)
+        grad_parts: list[np.ndarray | None] = []
+        offset = 0
+        for part, need in zip(parts, need_parts):
+            width = part.shape[1]
+            if not need:
+                grad_parts.append(None)
+                offset += width
+                continue
+            block = weight[offset : offset + width]
+            grad_part = np.empty((grad.shape[0], width), dtype=np.result_type(grad, weight))
+
+            def shard(start: int, stop: int, _block=block, _out=grad_part) -> None:
+                np.matmul(grad[start:stop], _block.T, out=_out[start:stop])
+
+            run_sharded(shard, spans)
+            grad_parts.append(grad_part)
+            offset += width
+        grad_w = None
+        if need_w:
+            def shard_w(start: int, stop: int) -> np.ndarray:
+                return np.concatenate(
+                    [part[start:stop].T @ grad[start:stop] for part in parts]
+                )
+
+            grad_w = _reduce(run_sharded(shard_w, spans))
+        grad_b = _unbroadcast(grad, bias_shape) if need_b else None
+        return grad_parts, grad_w, grad_b
+
+
+@register_kernel("segment_sum", backend="parallel")
+class _SegmentSumParallel:
+    @staticmethod
+    def forward(a, segments, num_segments):
+        return sharded_segment_sum(a, segments, num_segments)
+
+    @staticmethod
+    def backward(grad, segments):
+        return _sharded_expand(grad, segments)
+
+
+@register_kernel("mul_segment_sum", backend="parallel")
+class _MulSegmentSumParallel:
+    @staticmethod
+    def forward(a, b, segments, num_segments):
+        spans = row_shards(segments.shape[0])
+        if len(spans) == 1 or getattr(b, "shape", ())[:1] != a.shape[:1]:
+            return _numpy("mul_segment_sum").forward(a, b, segments, num_segments)
+        flat_width = int(np.prod(a.shape[1:], dtype=np.int64)) if a.ndim > 1 else 1
+
+        def shard(start: int, stop: int) -> np.ndarray:
+            product = np.multiply(a[start:stop], b[start:stop])
+            incidence = _shard_incidence(segments, start, stop, num_segments, product.dtype)
+            return incidence @ product.reshape(stop - start, flat_width)
+
+        total = _reduce(run_sharded(shard, spans))
+        return np.ascontiguousarray(total.reshape((int(num_segments),) + a.shape[1:]))
+
+    @staticmethod
+    def backward(grad, a, b, segments, needs=(True, True)):
+        need_a, need_b = needs
+        spans = row_shards(segments.shape[0])
+        if len(spans) == 1:
+            return _numpy("mul_segment_sum").backward(grad, a, b, segments, needs)
+        expanded = _sharded_expand(grad, segments)
+        grad_a = _unbroadcast(expanded * b, a.shape) if need_a else None
+        grad_b = _unbroadcast(expanded * a, b.shape) if need_b else None
+        return grad_a, grad_b
+
+
+@register_kernel("gather_diff", backend="parallel")
+class _GatherDiffParallel:
+    @staticmethod
+    def forward(positions, shift, src, dst):
+        dtype = _common_dtype(positions, shift)
+        spans = row_shards(src.shape[0])
+        if len(spans) == 1 or positions.dtype != dtype:
+            return _numpy("gather_diff").forward(positions, shift, src, dst)
+        out = allocator.pool_empty((src.shape[0],) + positions.shape[1:], dtype)
+
+        def shard(start: int, stop: int) -> None:
+            block = out[start:stop]
+            np.take(positions, dst[start:stop], axis=0, out=block)
+            block -= positions[src[start:stop]]
+            if shift is not None:
+                block -= shift[start:stop]
+
+        run_sharded(shard, spans)
+        return out
+
+    @staticmethod
+    def geometry(positions, shift, src, dst, eps: float = 1e-9):
+        spans = row_shards(src.shape[0])
+        if len(spans) == 1:
+            return _numpy("gather_diff").geometry(positions, shift, src, dst, eps)
+        vectors = _GatherDiffParallel.forward(positions, shift, src, dst)
+        distances = np.empty(src.shape[0], dtype=vectors.dtype)
+
+        def shard(start: int, stop: int) -> None:
+            block = distances[start:stop]
+            v = vectors[start:stop]
+            np.einsum("ij,ij->i", v, v, out=block)
+            np.sqrt(block, out=block)
+            np.maximum(block, eps, out=block)
+
+        run_sharded(shard, spans)
+        return vectors, distances
+
+    @staticmethod
+    def backward(grad, src, dst, num_nodes, shift_shape, needs=(True, True)):
+        need_pos, need_shift = needs
+        spans = row_shards(grad.shape[0])
+        if len(spans) == 1:
+            return _numpy("gather_diff").backward(
+                grad, src, dst, num_nodes, shift_shape, needs
+            )
+        grad_pos = grad_shift = None
+        if need_pos:
+            def shard(start: int, stop: int) -> np.ndarray:
+                partial = np.zeros((num_nodes,) + grad.shape[1:], dtype=grad.dtype)
+                np.add.at(partial, dst[start:stop], grad[start:stop])
+                np.subtract.at(partial, src[start:stop], grad[start:stop])
+                return partial
+
+            partials = run_sharded(shard, spans)
+            grad_pos = allocator.pool_zeros((num_nodes,) + grad.shape[1:], grad.dtype)
+            for partial in partials:
+                grad_pos += partial
+        if need_shift:
+            grad_shift = _unbroadcast(-grad, shift_shape)
+        return grad_pos, grad_shift

@@ -3,7 +3,9 @@
 from repro.train.checkpoint_io import (
     checkpoint_metadata,
     load_checkpoint,
+    load_inference_bundle,
     load_inference_model,
+    normalizer_from_metadata,
     resume,
     save_checkpoint,
 )
@@ -20,7 +22,9 @@ __all__ = [
     "checkpoint_metadata",
     "evaluate",
     "load_checkpoint",
+    "load_inference_bundle",
     "load_inference_model",
+    "normalizer_from_metadata",
     "quick_train",
     "resume",
     "save_checkpoint",

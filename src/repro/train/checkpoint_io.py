@@ -15,11 +15,15 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.data.normalize import Normalizer
 from repro.models.config import ModelConfig
 from repro.models.hydra import HydraModel
 from repro.optim.adam import Adam
 
 _FORMAT = "repro-checkpoint-v1"
+
+#: Key under ``metadata["extra"]`` holding the fitted target normalizer.
+NORMALIZER_KEY = "normalizer"
 
 
 def save_checkpoint(
@@ -28,8 +32,15 @@ def save_checkpoint(
     optimizer: Adam | None = None,
     global_step: int = 0,
     extra: dict | None = None,
+    normalizer: Normalizer | None = None,
 ) -> Path:
-    """Write a restorable training checkpoint to ``path`` (.npz)."""
+    """Write a restorable training checkpoint to ``path`` (.npz).
+
+    Passing the run's fitted :class:`Normalizer` stores its three scalars
+    in the metadata ``extra`` block, which is what lets a serving replica
+    return **physical-unit** energies/forces instead of the normalized
+    targets the model was trained on.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     payload: dict[str, np.ndarray] = {}
@@ -43,15 +54,26 @@ def save_checkpoint(
                 payload[f"adam_v/{index}"] = v
         payload["adam/step_count"] = np.array(state["step_count"])
         payload["adam/lr"] = np.array(state["lr"])
+    extra = dict(extra or {})
+    if normalizer is not None:
+        extra[NORMALIZER_KEY] = dataclasses.asdict(normalizer)
     metadata = {
         "format": _FORMAT,
         "global_step": int(global_step),
         "config": dataclasses.asdict(model.config),
-        "extra": extra or {},
+        "extra": extra,
     }
     payload["metadata"] = np.frombuffer(json.dumps(metadata).encode(), dtype=np.uint8)
     np.savez_compressed(path, **payload)
     return path
+
+
+def normalizer_from_metadata(metadata: dict) -> Normalizer | None:
+    """Rebuild the stored :class:`Normalizer`, or ``None`` if absent."""
+    fields = (metadata.get("extra") or {}).get(NORMALIZER_KEY)
+    if fields is None:
+        return None
+    return Normalizer(**fields)
 
 
 def _read_metadata(data: np.lib.npyio.NpzFile) -> dict:
@@ -94,6 +116,16 @@ def load_inference_model(path: str | Path) -> HydraModel:
     """
     model, _ = load_checkpoint(path)
     return model
+
+
+def load_inference_bundle(path: str | Path) -> tuple[HydraModel, Normalizer | None]:
+    """Serving bundle: the model plus its stored target normalizer.
+
+    The normalizer is ``None`` for checkpoints written without one, in
+    which case the serving layer keeps returning normalized outputs.
+    """
+    model, metadata = load_checkpoint(path)
+    return model, normalizer_from_metadata(metadata)
 
 
 def resume(

@@ -146,6 +146,126 @@ class TestServed:
             service.submit(graphs[0])
 
 
+class TestConcurrentServing:
+    """No model lock: N workers must run forwards concurrently *and* exactly."""
+
+    def test_workers4_bit_identical_to_inline(self, model):
+        # 12 structures, graph budget 4, huge flush tick: batches flush
+        # purely on budget, so served mode composes exactly the same
+        # micro-batches as inline chunking — results must be *bitwise*
+        # equal, not just close.
+        graphs = make_molecule_graphs(12, seed=21)
+        config = ServiceConfig(
+            max_graphs=4, max_atoms=10**9, cache_capacity=0, flush_interval_s=30.0
+        )
+        inline = PredictionService(model, config).predict_many(list(graphs))
+        service = PredictionService(model, config)
+        with service.start(workers=4):
+            pending = [service.submit(g) for g in graphs]
+            served = [request.wait(30.0) for request in pending]
+        for a, b in zip(inline, served):
+            assert a.energy == b.energy  # bit-identical, no tolerance
+            np.testing.assert_array_equal(a.forces, b.forces)
+
+    def test_no_model_lock_attribute(self, model):
+        # The serialization point the thread-local engine removed must
+        # not quietly come back.
+        assert not hasattr(PredictionService(model), "_model_lock")
+
+    def test_workers4_under_parallel_backend(self, model):
+        graphs = make_molecule_graphs(8, seed=22)
+        from repro.tensor import parallel
+
+        parallel.configure(max_workers=2, min_rows=8)
+        try:
+            config = ServiceConfig(
+                max_graphs=4, max_atoms=10**9, cache_capacity=0, backend="parallel"
+            )
+            inline = PredictionService(model, config).predict_many(list(graphs))
+            service = PredictionService(model, config)
+            with service.start(workers=4):
+                served = service.predict_many(list(graphs))
+            for a, b in zip(inline, served):
+                assert abs(a.energy - b.energy) < 1e-5
+        finally:
+            parallel.configure()
+
+    def test_telemetry_reports_engine_backend(self, model):
+        service = PredictionService(model, ServiceConfig(backend="parallel"))
+        engine = service.telemetry()["engine"]
+        assert engine["backend"] == "parallel"
+        assert engine["physical_units"] is False
+
+    def test_unknown_backend_rejected_at_construction(self, model):
+        # get_kernel silently falls back to numpy for unknown backends,
+        # so a typo'd config must fail loudly here instead.
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            PredictionService(model, ServiceConfig(backend="paralell"))
+
+
+class TestDenormalization:
+    """A stored Normalizer turns served outputs into physical units."""
+
+    def _normalizer(self):
+        from repro.data.normalize import Normalizer
+
+        return Normalizer(
+            energy_mean_per_atom=-3.5, energy_std_per_atom=2.0, force_std=4.0
+        )
+
+    def test_outputs_are_denormalized(self, model, graphs):
+        normalizer = self._normalizer()
+        plain = PredictionService(model).predict_many(list(graphs))
+        physical = PredictionService(model, normalizer=normalizer).predict_many(
+            list(graphs)
+        )
+        for graph, norm, phys in zip(graphs, plain, physical):
+            assert not norm.physical_units
+            assert phys.physical_units
+            expected_energy = (
+                norm.energy * normalizer.energy_std_per_atom
+                + normalizer.energy_mean_per_atom
+            ) * graph.n_atoms
+            assert phys.energy == pytest.approx(expected_energy, rel=1e-6)
+            np.testing.assert_allclose(
+                phys.forces, norm.forces * normalizer.force_std, atol=1e-6
+            )
+
+    def test_cache_hits_stay_physical(self, model, graphs):
+        service = PredictionService(model, normalizer=self._normalizer())
+        first = service.predict_many(list(graphs))
+        second = service.predict_many(list(graphs))
+        for a, b in zip(first, second):
+            assert b.cached and b.physical_units
+            assert a.energy == b.energy
+
+    def test_checkpoint_round_trip_through_registry(self, model, tmp_path):
+        from repro.serving import ModelRegistry
+        from repro.train import save_checkpoint
+
+        normalizer = self._normalizer()
+        path = save_checkpoint(tmp_path / "m.npz", model, normalizer=normalizer)
+        registry = ModelRegistry()
+        registry.register_checkpoint("prod", path)
+        service = PredictionService.from_registry(registry, "prod")
+        assert service.normalizer == normalizer
+        graph = make_molecule_graphs(1, seed=3)[0]
+        result = service.predict(graph)
+        assert result.physical_units
+
+    def test_checkpoint_without_normalizer_serves_normalized(self, model, tmp_path):
+        from repro.serving import ModelRegistry
+        from repro.train import save_checkpoint
+
+        path = save_checkpoint(tmp_path / "m.npz", model)
+        registry = ModelRegistry()
+        registry.register_checkpoint("raw", path)
+        service = PredictionService.from_registry(registry, "raw")
+        assert service.normalizer is None
+        result = service.predict(make_molecule_graphs(1, seed=4)[0])
+        assert not result.physical_units
+
+
 class TestTelemetry:
     def test_summary_counts(self, model, graphs):
         service = PredictionService(model)

@@ -1,0 +1,143 @@
+"""The shape-bucketed autotuner and its ``auto`` dispatch backend."""
+
+import numpy as np
+import pytest
+
+from repro.graph.batch import collate
+from repro.models import HydraModel, ModelConfig
+from repro.tensor import kernels, parallel
+from repro.tensor.autotune import (
+    Autotuner,
+    bucket,
+    default_autotuner,
+)
+from tests.helpers import make_molecule_graphs
+
+
+@pytest.fixture(autouse=True)
+def _clean_tuner():
+    """Each test starts from an empty default tuner and default config."""
+    tuner = default_autotuner()
+    saved_min_work = tuner.min_work
+    tuner.clear()
+    parallel.configure(max_workers=4, min_rows=8)
+    yield tuner
+    tuner.clear()
+    tuner.min_work = saved_min_work
+    parallel.configure()
+
+
+class TestBucketing:
+    def test_bucket_rounds_up_to_power_of_two(self):
+        assert bucket(0) == 0
+        assert bucket(1) == 1
+        assert bucket(2) == 2
+        assert bucket(3) == 4
+        assert bucket(1000) == 1024
+        assert bucket(1024) == 1024
+        assert bucket(1025) == 2048
+
+    def test_same_bucket_shares_decision(self, _clean_tuner):
+        tuner = _clean_tuner
+        tuner.min_work = 1  # the guard under test is bucketing, not size
+        tuner.record("linear", 1000, 100, numpy_s=2.0, parallel_s=1.0)
+        assert tuner.lookup("linear", 600, 80) == "parallel"  # same 1024/128 bucket
+        assert tuner.lookup("linear", 3000, 80) is None  # different rows bucket
+
+
+class TestDecisions:
+    def test_small_shapes_always_numpy_without_measuring(self, _clean_tuner):
+        tuner = _clean_tuner
+        assert tuner.lookup("linear", 10, 10) == "numpy"
+        assert len(tuner) == 0  # no bucket entry was created
+
+    def test_single_worker_hosts_always_numpy(self, _clean_tuner):
+        parallel.configure(max_workers=1)
+        assert _clean_tuner.lookup("linear", 10**6, 512) == "numpy"
+
+    def test_record_picks_faster_backend(self, _clean_tuner):
+        tuner = _clean_tuner
+        d1 = tuner.record("silu", 10**6, 64, numpy_s=1.0, parallel_s=0.4)
+        d2 = tuner.record("linear", 10**6, 64, numpy_s=0.3, parallel_s=0.9)
+        assert d1.backend == "parallel"
+        assert d2.backend == "numpy"
+
+    def test_auto_backend_measures_once_then_dispatches(self, _clean_tuner):
+        tuner = _clean_tuner
+        tuner.min_work = 64  # let the small test shape qualify
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((2000, 32)).astype(np.float32)
+        w = rng.standard_normal((32, 16)).astype(np.float32)
+        impl = kernels.get_kernel("linear", "auto")
+        first = impl.forward(x, w, None)
+        assert len(tuner) == 1
+        second = impl.forward(x, w, None)
+        assert len(tuner) == 1  # no re-measurement
+        np.testing.assert_allclose(first, second, atol=1e-6)
+        ((kernel, rows, cols),) = tuner.decisions().keys()
+        assert (kernel, rows, cols) == ("linear", 2048, 16)
+
+    def test_backward_without_decision_falls_back_to_numpy(self, _clean_tuner):
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal((100, 8)).astype(np.float32)
+        w = rng.standard_normal((8, 4)).astype(np.float32)
+        grad = rng.standard_normal((100, 4)).astype(np.float32)
+        impl = kernels.get_kernel("linear", "auto")
+        got = impl.backward(grad, x, w, None, (True, True, False))
+        expected = kernels.get_kernel("linear", "numpy").backward(
+            grad, x, w, None, (True, True, False)
+        )
+        np.testing.assert_allclose(got[0], expected[0], atol=1e-6)
+        np.testing.assert_allclose(got[1], expected[1], atol=1e-6)
+
+
+class TestPersistence:
+    def test_json_round_trip(self, _clean_tuner, tmp_path):
+        tuner = _clean_tuner
+        tuner.record("linear", 5000, 128, numpy_s=1.5, parallel_s=0.5)
+        tuner.record("silu", 9000, 64, numpy_s=0.2, parallel_s=0.8)
+        path = tuner.save(tmp_path / "autotune.json")
+        fresh = Autotuner()
+        assert fresh.load(path) == 2
+        assert fresh.lookup("linear", 5000, 128) == "parallel"
+        assert fresh.lookup("silu", 9000, 64) == "numpy"
+
+    def test_load_rejects_foreign_json(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text('{"format": "something-else"}')
+        with pytest.raises(ValueError, match="not an autotune cache"):
+            Autotuner().load(path)
+
+    def test_service_warm_start_and_save(self, tmp_path):
+        from repro.serving import PredictionService, ServiceConfig
+
+        cache_path = tmp_path / "tuner.json"
+        seed_tuner = Autotuner()
+        seed_tuner.record("linear", 4096, 128, numpy_s=1.0, parallel_s=0.25)
+        seed_tuner.save(cache_path)
+
+        model = HydraModel(ModelConfig(hidden_dim=8, num_layers=1), seed=0)
+        service = PredictionService(
+            model, ServiceConfig(autotune_cache=str(cache_path))
+        )
+        # Warm start: the decision is visible before any traffic.
+        assert default_autotuner().lookup("linear", 4096, 128) == "parallel"
+        with service.start(workers=1):
+            service.predict(make_molecule_graphs(1, seed=0)[0])
+        assert cache_path.exists()  # re-saved on stop
+
+
+class TestEndToEnd:
+    def test_auto_backend_model_predict_matches_numpy(self, _clean_tuner):
+        batch = collate(make_molecule_graphs(4, seed=8))
+        model = HydraModel(ModelConfig(hidden_dim=16, num_layers=2), seed=0)
+        reference = model.predict(batch)
+        with kernels.use_backend("auto"):
+            predicted = model.predict(batch)
+        for key in ("energy", "forces"):
+            np.testing.assert_allclose(
+                predicted[key].numpy(), reference[key].numpy(), atol=1e-5
+            )
+        # Test-sized inputs are all below min_work: nothing was measured,
+        # which is exactly the "small shapes stay numpy" guarantee.
+        assert len(_clean_tuner) == 0

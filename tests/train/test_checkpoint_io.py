@@ -169,3 +169,44 @@ class TestInferenceLoaders:
         assert served.config == CONFIG
         for key, value in model.state_dict().items():
             assert np.array_equal(value, served.state_dict()[key]), key
+
+
+class TestNormalizerStorage:
+    """The fitted Normalizer rides in the metadata extra block."""
+
+    def test_round_trip_through_bundle(self, tmp_path):
+        from repro.data.normalize import Normalizer
+        from repro.train import load_inference_bundle
+
+        normalizer = Normalizer(
+            energy_mean_per_atom=-1.25, energy_std_per_atom=0.75, force_std=3.5
+        )
+        model = HydraModel(CONFIG, seed=2)
+        path = save_checkpoint(tmp_path / "m.npz", model, normalizer=normalizer)
+        served, restored = load_inference_bundle(path)
+        assert restored == normalizer
+        assert served.config == CONFIG
+
+    def test_bundle_without_normalizer_returns_none(self, tmp_path):
+        from repro.train import load_inference_bundle
+
+        path = save_checkpoint(tmp_path / "m.npz", HydraModel(CONFIG, seed=2))
+        _, restored = load_inference_bundle(path)
+        assert restored is None
+
+    def test_normalizer_coexists_with_extra(self, tmp_path):
+        from repro.data.normalize import Normalizer
+        from repro.train import checkpoint_metadata, normalizer_from_metadata
+
+        normalizer = Normalizer(
+            energy_mean_per_atom=0.5, energy_std_per_atom=1.5, force_std=2.0
+        )
+        path = save_checkpoint(
+            tmp_path / "m.npz",
+            HydraModel(CONFIG, seed=2),
+            extra={"tag": "canary"},
+            normalizer=normalizer,
+        )
+        metadata = checkpoint_metadata(path)
+        assert metadata["extra"]["tag"] == "canary"
+        assert normalizer_from_metadata(metadata) == normalizer
