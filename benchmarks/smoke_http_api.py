@@ -1,0 +1,161 @@
+"""CI smoke for the HTTP serving API — the real CLI server, real sockets.
+
+Boots `python -m repro serve --http 0` as a subprocess (ephemeral port,
+tiny preset), then asserts the deployment contract end to end:
+
+1. `/v1/healthz` comes up and reports the served model,
+2. a POSTed structure returns 200 with a schema-valid `PredictResponse`
+   (finite energy, `(n_atoms, 3)` finite forces),
+3. a burst beyond `--max-pending 1` returns 429 with a typed
+   `overloaded` error body,
+4. SIGTERM exits 0 through the graceful path and saves the autotune
+   cache for the next replica.
+
+Run:  PYTHONPATH=src python benchmarks/smoke_http_api.py
+Exits nonzero (with the server log on stdout) on any violation.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import numpy as np
+
+from repro.api import PredictResponse
+
+WATER = {
+    "atomic_numbers": [8, 1, 1],
+    "positions": [[0.0, 0.0, 0.117], [0.0, 0.755, -0.471], [0.0, -0.755, -0.471]],
+}
+
+
+def start_server(cache_path: str, *extra_args: str) -> tuple[subprocess.Popen, str]:
+    """Launch `repro serve --http 0 --preset tiny` + ``extra_args``.
+
+    Returns ``(process, base_url)`` once the CLI reports its ephemeral
+    port.  Shared with ``tests/api/test_cli_http.py`` — the CLI's
+    "serving model ... on http://..." banner is load-bearing here, and
+    this helper is its single parser.
+    """
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parents[1] / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src + (os.pathsep + existing if existing else "")
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--http",
+            "0",
+            "--preset",
+            "tiny",
+            "--autotune-cache",
+            cache_path,
+            *extra_args,
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    deadline = time.monotonic() + 60
+    while True:
+        line = process.stdout.readline()
+        match = re.search(r"on (http://[\d.]+:\d+)", line)
+        if match:
+            return process, match.group(1)
+        if not line or process.poll() is not None or time.monotonic() > deadline:
+            process.kill()
+            raise AssertionError(f"server never reported its URL (last line: {line!r})")
+
+
+def post_predict(base_url: str, structures: list[dict]):
+    request = urllib.request.Request(
+        base_url + "/v1/predict",
+        data=json.dumps({"schema_version": "v1", "structures": structures}).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=60) as response:
+        return response.status, json.loads(response.read())
+
+
+def main() -> int:
+    cache_path = os.path.join(tempfile.mkdtemp(prefix="repro-smoke-"), "autotune.json")
+    process, base_url = start_server(
+        cache_path, "--workers", "1", "--max-pending", "1", "--flush-interval", "0.5"
+    )
+    try:
+        # 1. Liveness.
+        deadline = time.monotonic() + 60
+        while True:
+            try:
+                with urllib.request.urlopen(base_url + "/v1/healthz", timeout=1) as resp:
+                    health = json.loads(resp.read())
+                    break
+            except OSError:
+                if time.monotonic() > deadline:
+                    raise
+                time.sleep(0.1)
+        assert health["status"] == "ok", health
+        assert health["models"] == ["default"], health
+        print(f"healthz ok at {base_url}")
+
+        # 2. One structure -> 200 with schema-valid energy/forces.
+        status, payload = post_predict(base_url, [WATER])
+        assert status == 200, status
+        response = PredictResponse.from_json_dict(payload)  # strict schema check
+        (result,) = response.results
+        assert result.n_atoms == 3
+        assert math.isfinite(result.energy)
+        assert result.forces.shape == (3, 3)
+        assert np.isfinite(result.forces).all()
+        print(f"predict ok: energy={result.energy:+.6f}, model={response.model!r}")
+
+        # 3. Burst beyond --max-pending 1 -> 429 with a typed error body.
+        burst = [
+            {
+                "atomic_numbers": [6, 6],
+                "positions": [[0.0, 0.0, 0.0], [0.0, 0.0, 1.3 + 0.01 * index]],
+            }
+            for index in range(6)
+        ]
+        try:
+            status, payload = post_predict(base_url, burst)
+            raise AssertionError(f"expected 429, got {status}: {payload}")
+        except urllib.error.HTTPError as error:
+            assert error.code == 429, error.code
+            body = json.loads(error.read())
+            assert body["error"]["code"] == "overloaded", body
+            print("admission control ok: burst rejected with 429/overloaded")
+
+        # 4. SIGTERM -> graceful exit 0 + autotune cache saved.
+        process.send_signal(signal.SIGTERM)
+        out, _ = process.communicate(timeout=60)
+        assert process.returncode == 0, (process.returncode, out)
+        assert "server stopped cleanly" in out, out
+        assert os.path.exists(cache_path), "autotune cache not saved on shutdown"
+        print("graceful SIGTERM shutdown ok (autotune cache saved)")
+    finally:
+        if process.poll() is None:
+            process.kill()
+            out, _ = process.communicate()
+            print(out)
+    print("HTTP API smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,66 @@
+"""The public prediction API: versioned wire schemas, HTTP server, client.
+
+This package is the single surface through which structures get
+predicted, whatever the deployment shape:
+
+- :mod:`repro.api.schemas` — the ``v1`` wire contract: strict, typed,
+  bit-exact-float JSON payloads and the :class:`ApiError` taxonomy.
+- :mod:`repro.api.server` — :class:`ApiGateway` (transport-free request
+  execution over a model registry) and :class:`ApiServer` (a stdlib
+  threaded HTTP front end with JSON errors and graceful shutdown).
+- :mod:`repro.api.client` — one :class:`Client` over interchangeable
+  :class:`LocalTransport`/:class:`HttpTransport`, returning the same
+  :class:`~repro.serving.service.PredictionResult` either way.
+
+The CLI (``repro serve --http``, ``repro predict --input/--json``) is a
+thin shell over these pieces.
+"""
+
+from repro.api.client import Client, HttpTransport, LocalTransport
+from repro.api.schemas import (
+    DEFAULT_CUTOFF,
+    MAX_STRUCTURES_PER_REQUEST,
+    SCHEMA_VERSION,
+    ApiError,
+    ErrorPayload,
+    NotFound,
+    OverloadedError,
+    PredictionPayload,
+    PredictRequest,
+    PredictResponse,
+    RequestTimeout,
+    SchemaError,
+    ServerInfo,
+    StatsSnapshot,
+    StructurePayload,
+    TransportError,
+    UnknownModelError,
+    structures_from_json,
+)
+from repro.api.server import ApiGateway, ApiServer
+
+__all__ = [
+    "ApiError",
+    "ApiGateway",
+    "ApiServer",
+    "Client",
+    "DEFAULT_CUTOFF",
+    "ErrorPayload",
+    "HttpTransport",
+    "LocalTransport",
+    "MAX_STRUCTURES_PER_REQUEST",
+    "NotFound",
+    "OverloadedError",
+    "PredictRequest",
+    "PredictResponse",
+    "PredictionPayload",
+    "RequestTimeout",
+    "SCHEMA_VERSION",
+    "SchemaError",
+    "ServerInfo",
+    "StatsSnapshot",
+    "StructurePayload",
+    "TransportError",
+    "UnknownModelError",
+    "structures_from_json",
+]

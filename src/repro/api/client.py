@@ -1,0 +1,199 @@
+"""One prediction client, two transports.
+
+The deployment question "is the model in my process or behind a URL?"
+should not leak into calling code.  :class:`Client` exposes the same
+surface either way and returns the same type —
+:class:`~repro.serving.service.PredictionResult`, exactly what the
+in-process ``PredictionService`` returns — over either transport:
+
+- :class:`LocalTransport` executes against an in-process
+  :class:`~repro.api.server.ApiGateway` (no sockets, no serialization);
+- :class:`HttpTransport` speaks the v1 JSON wire format over urllib to
+  an :class:`~repro.api.server.ApiServer`, rebuilding typed
+  :class:`~repro.api.schemas.ApiError`\\ s from error bodies so callers
+  catch the same exceptions in both modes.
+
+Because both transports route through the same gateway code and the
+wire format round-trips float64 bit-exactly, a prediction fetched over
+HTTP is **numerically identical** to one computed in-process — the
+transport-equivalence suite in ``tests/api`` runs the same assertions
+against both to pin that down.
+
+Usage::
+
+    client = Client.local(registry)                  # batch job, tests
+    client = Client.http("http://127.0.0.1:8080")    # remote replica
+    results = client.predict(graphs, model="prod")   # list[PredictionResult]
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+from repro.api.schemas import (
+    ErrorPayload,
+    PredictRequest,
+    PredictResponse,
+    ServerInfo,
+    StatsSnapshot,
+    StructurePayload,
+    TransportError,
+)
+from repro.api.server import ApiGateway
+from repro.graph.atoms import AtomGraph
+from repro.serving.registry import ModelRegistry
+from repro.serving.service import PredictionResult, ServiceConfig
+
+
+class LocalTransport:
+    """In-process transport: request objects straight into the gateway."""
+
+    def __init__(
+        self,
+        registry: ModelRegistry | None = None,
+        gateway: ApiGateway | None = None,
+        config: ServiceConfig | None = None,
+        workers: int = 1,
+        default_model: str | None = None,
+    ) -> None:
+        if (registry is None) == (gateway is None):
+            raise ValueError("pass exactly one of registry or gateway")
+        self._owns_gateway = gateway is None
+        self.gateway = gateway or ApiGateway(
+            registry, config=config, workers=workers, default_model=default_model
+        )
+
+    def predict(self, request: PredictRequest) -> PredictResponse:
+        return self.gateway.predict(request)
+
+    def server_info(self) -> ServerInfo:
+        return self.gateway.server_info()
+
+    def stats(self) -> StatsSnapshot:
+        return self.gateway.stats()
+
+    def healthz(self) -> dict:
+        return self.gateway.healthz()
+
+    def close(self) -> None:
+        """Stop the gateway's services iff this transport created them."""
+        if self._owns_gateway:
+            self.gateway.close()
+
+
+class HttpTransport:
+    """v1 JSON over HTTP via urllib — no third-party client dependency."""
+
+    def __init__(self, base_url: str, timeout_s: float = 60.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = float(timeout_s)
+
+    def _request(self, method: str, path: str, payload: dict | None = None) -> dict:
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.base_url + path, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout_s) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as err:
+            body = err.read().decode("utf-8", errors="replace")
+            try:
+                error_payload = ErrorPayload.from_json_dict(json.loads(body))
+            except Exception:  # noqa: BLE001 - non-JSON error body
+                raise TransportError(
+                    f"HTTP {err.code} from {method} {path}: {body[:200]!r}"
+                ) from err
+            # Re-raise the *typed* error the server raised, so HTTP and
+            # local callers catch identical exception classes.
+            raise error_payload.to_error() from err
+        except urllib.error.URLError as err:
+            raise TransportError(f"cannot reach {self.base_url}: {err.reason}") from err
+        except json.JSONDecodeError as err:
+            raise TransportError(f"non-JSON response from {method} {path}: {err}") from err
+
+    def predict(self, request: PredictRequest) -> PredictResponse:
+        return PredictResponse.from_json_dict(
+            self._request("POST", "/v1/predict", request.to_json_dict())
+        )
+
+    def server_info(self) -> ServerInfo:
+        return ServerInfo.from_json_dict(self._request("GET", "/v1/models"))
+
+    def stats(self) -> StatsSnapshot:
+        return StatsSnapshot.from_json_dict(self._request("GET", "/v1/stats"))
+
+    def healthz(self) -> dict:
+        return self._request("GET", "/v1/healthz")
+
+    def close(self) -> None:
+        """Nothing to release: urllib connections are per-request."""
+
+
+class Client:
+    """The one prediction entry point examples, jobs, and tests share."""
+
+    def __init__(self, transport) -> None:
+        self.transport = transport
+
+    @classmethod
+    def local(cls, registry: ModelRegistry, **kwargs) -> "Client":
+        """In-process client over ``registry`` (kwargs → :class:`LocalTransport`)."""
+        return cls(LocalTransport(registry, **kwargs))
+
+    @classmethod
+    def http(cls, base_url: str, timeout_s: float = 60.0) -> "Client":
+        """Remote client for an :class:`~repro.api.server.ApiServer` URL."""
+        return cls(HttpTransport(base_url, timeout_s=timeout_s))
+
+    # ------------------------------------------------------------------
+    # prediction
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _as_payloads(structures) -> list[StructurePayload]:
+        if isinstance(structures, (AtomGraph, StructurePayload)):
+            structures = [structures]
+        return [
+            item
+            if isinstance(item, StructurePayload)
+            else StructurePayload.from_graph(item)
+            for item in structures
+        ]
+
+    def predict(self, structures, model: str | None = None) -> list[PredictionResult]:
+        """Predict for graphs or payloads (one or many); results in order."""
+        request = PredictRequest(structures=self._as_payloads(structures), model=model)
+        return self.transport.predict(request).to_results()
+
+    def predict_one(self, structure, model: str | None = None) -> PredictionResult:
+        return self.predict([structure], model=model)[0]
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def server_info(self) -> ServerInfo:
+        return self.transport.server_info()
+
+    def stats(self) -> StatsSnapshot:
+        return self.transport.stats()
+
+    def healthz(self) -> dict:
+        return self.transport.healthz()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        self.transport.close()
+
+    def __enter__(self) -> "Client":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,548 @@
+"""Versioned wire schemas for the prediction API.
+
+Everything that crosses a process boundary — a request body, a response
+body, an error — is one of the dataclasses here, and every top-level
+object carries ``schema_version`` (currently :data:`SCHEMA_VERSION`,
+``"v1"``) so servers and clients can detect drift instead of
+misinterpreting each other.  Two design rules:
+
+- **Strict validation.** ``from_json_dict`` rejects unknown keys, wrong
+  types, wrong shapes, and non-finite coordinates with a typed
+  :class:`SchemaError` whose message names the offending field.  A
+  malformed request must become a clean 400, never a stack trace deep in
+  graph construction.
+- **Bit-exact floats.** Coordinates, cells, energies, and forces are
+  serialized as plain JSON numbers.  Python's ``json`` writes floats via
+  ``repr``, which is the shortest string that round-trips the exact
+  float64 value — so payload → JSON → payload is **bit-exact** for
+  float64 (and therefore for float32), and a structure predicted over
+  HTTP is numerically identical to the same structure predicted
+  in-process.  The golden files under ``tests/api/golden/`` pin this
+  encoding.
+
+Note what :class:`StructurePayload` does *not* carry: edges.
+Connectivity is derived (radius cutoff + periodic images), so the wire
+format ships only the physical inputs — positions, atomic numbers, cell,
+pbc — and both the server and the local transport rebuild edges with the
+same :func:`~repro.graph.radius.build_edges` call.  Clients on other
+stacks therefore cannot disagree with the server about neighbor lists.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.graph.atoms import AtomGraph
+from repro.graph.radius import build_edges
+from repro.serving.service import PredictionResult
+
+SCHEMA_VERSION = "v1"
+
+#: Neighbor-search cutoff (angstrom) used when a wire structure is turned
+#: into a graph; matches the data sources' default so served predictions
+#: see the connectivity the models were trained on.
+DEFAULT_CUTOFF = 5.0
+
+#: Hard bound on structures per request — one request is one micro-batch
+#: admission decision, not a bulk-import channel.
+MAX_STRUCTURES_PER_REQUEST = 1024
+
+
+# ----------------------------------------------------------------------
+# Typed errors (the wire contract's failure half)
+# ----------------------------------------------------------------------
+class ApiError(Exception):
+    """Base class for every error the API maps onto an HTTP status."""
+
+    code = "internal_error"
+    http_status = 500
+
+
+class SchemaError(ApiError):
+    """The payload is malformed: wrong keys, types, shapes, or values."""
+
+    code = "invalid_request"
+    http_status = 400
+
+
+class UnknownModelError(ApiError):
+    """The request named a model the registry does not serve."""
+
+    code = "unknown_model"
+    http_status = 404
+
+
+class NotFound(ApiError):
+    """No such endpoint (route-level 404, distinct from unknown model)."""
+
+    code = "not_found"
+    http_status = 404
+
+
+class OverloadedError(ApiError):
+    """Admission control rejected the request; retry with backoff."""
+
+    code = "overloaded"
+    http_status = 429
+
+
+class RequestTimeout(ApiError):
+    """The request was admitted but not served within the timeout."""
+
+    code = "timeout"
+    http_status = 504
+
+
+class TransportError(ApiError):
+    """The HTTP transport could not reach or understand the server."""
+
+    code = "transport_error"
+    http_status = 502
+
+
+#: code → class, for rebuilding the typed error client-side.
+ERROR_TYPES = {
+    cls.code: cls
+    for cls in (
+        ApiError,
+        SchemaError,
+        UnknownModelError,
+        NotFound,
+        OverloadedError,
+        RequestTimeout,
+        TransportError,
+    )
+}
+
+
+# ----------------------------------------------------------------------
+# Validation helpers
+# ----------------------------------------------------------------------
+def _expect_keys(obj: dict, required: set[str], optional: set[str], where: str) -> None:
+    if not isinstance(obj, dict):
+        raise SchemaError(f"{where}: expected a JSON object, got {type(obj).__name__}")
+    missing = required - obj.keys()
+    if missing:
+        raise SchemaError(f"{where}: missing required key(s) {sorted(missing)}")
+    unknown = obj.keys() - required - optional
+    if unknown:
+        raise SchemaError(f"{where}: unknown key(s) {sorted(unknown)}")
+
+
+def _expect_version(obj: dict, where: str) -> None:
+    version = obj.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise SchemaError(
+            f"{where}: unsupported schema_version {version!r} (expected {SCHEMA_VERSION!r})"
+        )
+
+
+def _float_matrix(value: Any, shape: tuple[int | None, int], where: str) -> np.ndarray:
+    """Validate a nested list of finite numbers into a float64 array."""
+    if not isinstance(value, list) or any(not isinstance(row, list) for row in value):
+        raise SchemaError(f"{where}: expected a list of {shape[1]}-element rows")
+    rows = shape[0] if shape[0] is not None else len(value)
+    if len(value) != rows:
+        raise SchemaError(f"{where}: expected {rows} rows, got {len(value)}")
+    for index, row in enumerate(value):
+        if len(row) != shape[1]:
+            raise SchemaError(f"{where}[{index}]: expected {shape[1]} components")
+        for component in row:
+            if isinstance(component, bool) or not isinstance(component, (int, float)):
+                raise SchemaError(f"{where}[{index}]: non-numeric component {component!r}")
+            if not math.isfinite(component):
+                raise SchemaError(f"{where}[{index}]: non-finite component {component!r}")
+    return np.asarray(value, dtype=np.float64).reshape(len(value), shape[1])
+
+
+def _matrix_to_json(array: np.ndarray) -> list[list[float]]:
+    return [[float(component) for component in row] for row in np.asarray(array)]
+
+
+# ----------------------------------------------------------------------
+# Structures
+# ----------------------------------------------------------------------
+@dataclass
+class StructurePayload:
+    """One atomistic structure as it crosses the wire.
+
+    The edge-free projection of :class:`AtomGraph`: atomic numbers,
+    positions, and (for periodic systems) cell + pbc flags.  Conversion
+    back to a graph rebuilds connectivity with the server's cutoff.
+    """
+
+    atomic_numbers: np.ndarray
+    positions: np.ndarray
+    cell: np.ndarray | None = None
+    pbc: tuple[bool, bool, bool] = (False, False, False)
+
+    @classmethod
+    def from_graph(cls, graph: AtomGraph) -> "StructurePayload":
+        return cls(
+            atomic_numbers=np.asarray(graph.atomic_numbers, dtype=np.int64),
+            positions=np.asarray(graph.positions, dtype=np.float64),
+            cell=None if graph.cell is None else np.asarray(graph.cell, dtype=np.float64),
+            pbc=tuple(bool(flag) for flag in graph.pbc),
+        )
+
+    def to_graph(
+        self, cutoff: float = DEFAULT_CUTOFF, max_neighbors: int | None = None
+    ) -> AtomGraph:
+        """Rebuild the model-input graph (neighbor search included)."""
+        edge_index, edge_shift = build_edges(
+            self.positions, cutoff, self.cell, self.pbc, max_neighbors
+        )
+        return AtomGraph(
+            atomic_numbers=self.atomic_numbers,
+            positions=self.positions,
+            edge_index=edge_index,
+            edge_shift=edge_shift,
+            cell=self.cell,
+            pbc=self.pbc,
+            source="api",
+        )
+
+    def to_json_dict(self) -> dict:
+        payload: dict[str, Any] = {
+            "atomic_numbers": [int(z) for z in self.atomic_numbers],
+            "positions": _matrix_to_json(self.positions),
+        }
+        if self.cell is not None:
+            payload["cell"] = _matrix_to_json(self.cell)
+        if any(self.pbc):
+            payload["pbc"] = [bool(flag) for flag in self.pbc]
+        return payload
+
+    @classmethod
+    def from_json_dict(cls, obj: dict, where: str = "structure") -> "StructurePayload":
+        _expect_keys(obj, {"atomic_numbers", "positions"}, {"cell", "pbc"}, where)
+        numbers = obj["atomic_numbers"]
+        if (
+            not isinstance(numbers, list)
+            or not numbers
+            or any(isinstance(z, bool) or not isinstance(z, int) for z in numbers)
+        ):
+            raise SchemaError(f"{where}.atomic_numbers: expected a non-empty list of ints")
+        if any(z < 1 or z > 118 for z in numbers):
+            raise SchemaError(f"{where}.atomic_numbers: element numbers must be in [1, 118]")
+        positions = _float_matrix(obj["positions"], (len(numbers), 3), f"{where}.positions")
+        cell = None
+        if "cell" in obj and obj["cell"] is not None:
+            cell = _float_matrix(obj["cell"], (3, 3), f"{where}.cell")
+        pbc: tuple[bool, bool, bool] = (False, False, False)
+        if "pbc" in obj and obj["pbc"] is not None:
+            flags = obj["pbc"]
+            if (
+                not isinstance(flags, list)
+                or len(flags) != 3
+                or any(not isinstance(flag, bool) for flag in flags)
+            ):
+                raise SchemaError(f"{where}.pbc: expected three booleans")
+            pbc = (flags[0], flags[1], flags[2])
+        if any(pbc) and cell is None:
+            raise SchemaError(f"{where}: pbc set but no cell given")
+        return cls(
+            atomic_numbers=np.asarray(numbers, dtype=np.int64),
+            positions=positions,
+            cell=cell,
+            pbc=pbc,
+        )
+
+
+# ----------------------------------------------------------------------
+# Predict request / response
+# ----------------------------------------------------------------------
+@dataclass
+class PredictRequest:
+    """``POST /v1/predict`` body: one or many structures, optional model."""
+
+    structures: list[StructurePayload]
+    model: str | None = None
+
+    @classmethod
+    def from_graphs(
+        cls, graphs: list[AtomGraph], model: str | None = None
+    ) -> "PredictRequest":
+        return cls(structures=[StructurePayload.from_graph(g) for g in graphs], model=model)
+
+    def to_json_dict(self) -> dict:
+        payload: dict[str, Any] = {
+            "schema_version": SCHEMA_VERSION,
+            "structures": [structure.to_json_dict() for structure in self.structures],
+        }
+        if self.model is not None:
+            payload["model"] = self.model
+        return payload
+
+    @classmethod
+    def from_json_dict(cls, obj: dict) -> "PredictRequest":
+        _expect_keys(obj, {"schema_version", "structures"}, {"model"}, "request")
+        _expect_version(obj, "request")
+        structures = obj["structures"]
+        if not isinstance(structures, list) or not structures:
+            raise SchemaError("request.structures: expected a non-empty list")
+        if len(structures) > MAX_STRUCTURES_PER_REQUEST:
+            raise SchemaError(
+                f"request.structures: at most {MAX_STRUCTURES_PER_REQUEST} structures "
+                f"per request, got {len(structures)}"
+            )
+        model = obj.get("model")
+        if model is not None and not isinstance(model, str):
+            raise SchemaError("request.model: expected a string")
+        return cls(
+            structures=[
+                StructurePayload.from_json_dict(entry, where=f"request.structures[{index}]")
+                for index, entry in enumerate(structures)
+            ],
+            model=model,
+        )
+
+
+@dataclass
+class PredictionPayload:
+    """One structure's prediction as it crosses the wire.
+
+    Mirrors :class:`~repro.serving.service.PredictionResult` — energy,
+    forces, and the serving provenance (cache hit? batch size? physical
+    or normalized units?) a client needs to interpret and debug it.
+    """
+
+    key: str
+    energy: float
+    forces: np.ndarray
+    n_atoms: int
+    cached: bool
+    batch_graphs: int
+    physical_units: bool
+    latency_s: float = 0.0
+
+    @classmethod
+    def from_result(cls, result: PredictionResult) -> "PredictionPayload":
+        return cls(
+            key=result.key,
+            energy=float(result.energy),
+            forces=np.asarray(result.forces, dtype=np.float64),
+            n_atoms=result.n_atoms,
+            cached=result.cached,
+            batch_graphs=result.batch_graphs,
+            physical_units=result.physical_units,
+            latency_s=float(result.latency_s),
+        )
+
+    def to_result(self) -> PredictionResult:
+        """Rebuild the in-process result type clients already consume."""
+        return PredictionResult(
+            key=self.key,
+            energy=self.energy,
+            forces=np.asarray(self.forces, dtype=np.float64),
+            n_atoms=self.n_atoms,
+            cached=self.cached,
+            latency_s=self.latency_s,
+            batch_graphs=self.batch_graphs,
+            physical_units=self.physical_units,
+        )
+
+    def to_json_dict(self) -> dict:
+        return {
+            "key": self.key,
+            "energy": float(self.energy),
+            "forces": _matrix_to_json(self.forces),
+            "n_atoms": int(self.n_atoms),
+            "cached": bool(self.cached),
+            "batch_graphs": int(self.batch_graphs),
+            "physical_units": bool(self.physical_units),
+            "latency_s": float(self.latency_s),
+        }
+
+    @classmethod
+    def from_json_dict(cls, obj: dict, where: str = "result") -> "PredictionPayload":
+        _expect_keys(
+            obj,
+            {"key", "energy", "forces", "n_atoms", "cached", "batch_graphs", "physical_units"},
+            {"latency_s"},
+            where,
+        )
+        if not isinstance(obj["key"], str):
+            raise SchemaError(f"{where}.key: expected a string")
+        energy = obj["energy"]
+        if isinstance(energy, bool) or not isinstance(energy, (int, float)):
+            raise SchemaError(f"{where}.energy: expected a number")
+        n_atoms = obj["n_atoms"]
+        if isinstance(n_atoms, bool) or not isinstance(n_atoms, int) or n_atoms < 1:
+            raise SchemaError(f"{where}.n_atoms: expected a positive int")
+        forces = _float_matrix(obj["forces"], (n_atoms, 3), f"{where}.forces")
+        for flag in ("cached", "physical_units"):
+            if not isinstance(obj[flag], bool):
+                raise SchemaError(f"{where}.{flag}: expected a boolean")
+        if isinstance(obj["batch_graphs"], bool) or not isinstance(obj["batch_graphs"], int):
+            raise SchemaError(f"{where}.batch_graphs: expected an int")
+        return cls(
+            key=obj["key"],
+            energy=float(energy),
+            forces=forces,
+            n_atoms=n_atoms,
+            cached=obj["cached"],
+            batch_graphs=obj["batch_graphs"],
+            physical_units=obj["physical_units"],
+            latency_s=float(obj.get("latency_s", 0.0)),
+        )
+
+
+@dataclass
+class PredictResponse:
+    """``POST /v1/predict`` success body: results in request order."""
+
+    model: str
+    results: list[PredictionPayload]
+
+    @classmethod
+    def from_results(
+        cls, model: str, results: list[PredictionResult]
+    ) -> "PredictResponse":
+        return cls(model=model, results=[PredictionPayload.from_result(r) for r in results])
+
+    def to_results(self) -> list[PredictionResult]:
+        return [payload.to_result() for payload in self.results]
+
+    def to_json_dict(self) -> dict:
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "model": self.model,
+            "results": [payload.to_json_dict() for payload in self.results],
+        }
+
+    @classmethod
+    def from_json_dict(cls, obj: dict) -> "PredictResponse":
+        _expect_keys(obj, {"schema_version", "model", "results"}, set(), "response")
+        _expect_version(obj, "response")
+        if not isinstance(obj["model"], str):
+            raise SchemaError("response.model: expected a string")
+        if not isinstance(obj["results"], list):
+            raise SchemaError("response.results: expected a list")
+        return cls(
+            model=obj["model"],
+            results=[
+                PredictionPayload.from_json_dict(entry, where=f"response.results[{index}]")
+                for index, entry in enumerate(obj["results"])
+            ],
+        )
+
+
+# ----------------------------------------------------------------------
+# Errors, server info, stats
+# ----------------------------------------------------------------------
+@dataclass
+class ErrorPayload:
+    """JSON body every non-2xx response carries."""
+
+    code: str
+    message: str
+    status: int
+
+    @classmethod
+    def from_error(cls, error: ApiError) -> "ErrorPayload":
+        return cls(code=error.code, message=str(error), status=error.http_status)
+
+    def to_error(self) -> ApiError:
+        """Rebuild the typed exception (client side of the contract)."""
+        error_type = ERROR_TYPES.get(self.code, ApiError)
+        error = error_type(self.message)
+        return error
+
+    def to_json_dict(self) -> dict:
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "error": {"code": self.code, "message": self.message, "status": self.status},
+        }
+
+    @classmethod
+    def from_json_dict(cls, obj: dict) -> "ErrorPayload":
+        _expect_keys(obj, {"schema_version", "error"}, set(), "error payload")
+        _expect_version(obj, "error payload")
+        body = obj["error"]
+        _expect_keys(body, {"code", "message", "status"}, set(), "error payload.error")
+        if not isinstance(body["code"], str) or not isinstance(body["message"], str):
+            raise SchemaError("error payload: code and message must be strings")
+        if isinstance(body["status"], bool) or not isinstance(body["status"], int):
+            raise SchemaError("error payload: status must be an int")
+        return cls(code=body["code"], message=body["message"], status=body["status"])
+
+
+@dataclass
+class ServerInfo:
+    """``GET /v1/models`` body: what this server serves and where."""
+
+    models: list[dict]
+    default_model: str | None = None
+    endpoints: tuple[str, ...] = (
+        "POST /v1/predict",
+        "GET /v1/models",
+        "GET /v1/healthz",
+        "GET /v1/stats",
+    )
+
+    def to_json_dict(self) -> dict:
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "models": self.models,
+            "default_model": self.default_model,
+            "endpoints": list(self.endpoints),
+        }
+
+    @classmethod
+    def from_json_dict(cls, obj: dict) -> "ServerInfo":
+        _expect_keys(obj, {"schema_version", "models"}, {"default_model", "endpoints"}, "info")
+        _expect_version(obj, "info")
+        if not isinstance(obj["models"], list):
+            raise SchemaError("info.models: expected a list")
+        default_model = obj.get("default_model")
+        if default_model is not None and not isinstance(default_model, str):
+            raise SchemaError("info.default_model: expected a string")
+        return cls(
+            models=obj["models"],
+            default_model=default_model,
+            endpoints=tuple(obj.get("endpoints", ())),
+        )
+
+
+@dataclass
+class StatsSnapshot:
+    """``GET /v1/stats`` body: per-model serving telemetry."""
+
+    models: dict[str, dict] = field(default_factory=dict)
+
+    def to_json_dict(self) -> dict:
+        return {"schema_version": SCHEMA_VERSION, "models": self.models}
+
+    @classmethod
+    def from_json_dict(cls, obj: dict) -> "StatsSnapshot":
+        _expect_keys(obj, {"schema_version", "models"}, set(), "stats")
+        _expect_version(obj, "stats")
+        if not isinstance(obj["models"], dict):
+            raise SchemaError("stats.models: expected an object keyed by model name")
+        return cls(models=obj["models"])
+
+
+def structures_from_json(obj: Any) -> list[StructurePayload]:
+    """Structures from either wire shape users reasonably write.
+
+    Accepts a full :class:`PredictRequest` dict, a bare list of
+    structure objects, or one structure object — the shapes ``repro
+    predict --input`` meets in the wild.
+    """
+    if isinstance(obj, list):
+        return [
+            StructurePayload.from_json_dict(entry, where=f"structures[{index}]")
+            for index, entry in enumerate(obj)
+        ]
+    if isinstance(obj, dict) and "structures" in obj:
+        return PredictRequest.from_json_dict(obj).structures
+    if isinstance(obj, dict):
+        return [StructurePayload.from_json_dict(obj)]
+    raise SchemaError(
+        "expected a predict request, a list of structures, or one structure object"
+    )

@@ -1,0 +1,407 @@
+"""HTTP front end over :class:`~repro.serving.service.PredictionService`.
+
+Two layers, deliberately separated:
+
+- :class:`ApiGateway` — the transport-free core.  It owns a
+  :class:`~repro.serving.registry.ModelRegistry`, lazily builds one
+  *started* ``PredictionService`` per requested model, turns wire
+  schemas into graphs and back, and raises only typed
+  :class:`~repro.api.schemas.ApiError`\\ s.  The HTTP handler *and* the
+  in-process :class:`~repro.api.client.LocalTransport` both sit on this
+  class, which is what makes "same request, same bytes, same numbers"
+  true across deployment modes.
+- :class:`ApiServer` — a stdlib ``ThreadingHTTPServer`` mapping routes
+  onto the gateway and :class:`ApiError` onto status codes:
+
+  ==========================  ======================================
+  ``POST /v1/predict``        400 invalid body · 404 unknown model ·
+                              429 overloaded · 504 timeout
+  ``GET /v1/models``          :class:`~repro.api.schemas.ServerInfo`
+  ``GET /v1/healthz``         liveness probe
+  ``GET /v1/stats``           :class:`~repro.api.schemas.StatsSnapshot`
+  ==========================  ======================================
+
+  Every response body — success or failure — is JSON.  Shutdown is
+  graceful: :meth:`ApiServer.close` stops accepting connections, then
+  stops each model's service, which drains queued requests and saves
+  the autotune cache for the next replica's warm start.
+
+The server is threaded (one handler thread per connection) because the
+engine underneath is: grad mode, pool stacks, and kernel dispatch are
+thread-local (PR 3), and the batcher admits requests from any thread —
+so HTTP concurrency maps directly onto the service's worker
+concurrency with no extra locking here.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.api.schemas import (
+    DEFAULT_CUTOFF,
+    MAX_STRUCTURES_PER_REQUEST,
+    ApiError,
+    ErrorPayload,
+    OverloadedError,
+    PredictRequest,
+    PredictResponse,
+    NotFound,
+    RequestTimeout,
+    SchemaError,
+    ServerInfo,
+    StatsSnapshot,
+    UnknownModelError,
+)
+from repro.serving.batcher import ServiceOverloaded
+from repro.serving.registry import ModelRegistry
+from repro.serving.service import PredictionService, ServiceConfig
+
+#: Request bodies above this are rejected before JSON parsing; at ~100
+#: bytes per atom on the wire this is far beyond any sane micro-batch.
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+class ApiGateway:
+    """Transport-free request execution over a model registry.
+
+    One started :class:`PredictionService` per served model, created on
+    first use (mirroring the registry's lazy checkpoint loading) and
+    stopped — queue drained, autotune cache saved — by :meth:`close`.
+    """
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        config: ServiceConfig | None = None,
+        workers: int = 2,
+        default_model: str | None = None,
+        cutoff: float = DEFAULT_CUTOFF,
+        max_neighbors: int | None = None,
+    ) -> None:
+        self.registry = registry
+        self.config = config or ServiceConfig()
+        self.workers = int(workers)
+        self.default_model = default_model
+        self.cutoff = float(cutoff)
+        self.max_neighbors = max_neighbors
+        self._services: dict[str, PredictionService] = {}
+        self._lock = threading.Lock()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # model resolution
+    # ------------------------------------------------------------------
+    def resolve_model(self, requested: str | None) -> str:
+        """Requested name, configured default, or the only model served."""
+        if requested is not None:
+            return requested
+        if self.default_model is not None:
+            return self.default_model
+        names = self.registry.names()
+        if len(names) == 1:
+            return names[0]
+        raise SchemaError(
+            "request.model is required when the server serves "
+            f"{len(names)} models (registered: {names})"
+        )
+
+    def _service(self, name: str) -> PredictionService:
+        with self._lock:
+            if self._closed:
+                raise ApiError("server is shutting down")
+            service = self._services.get(name)
+        if service is not None:
+            return service
+        if name not in self.registry:
+            raise UnknownModelError(
+                f"no model named {name!r}; registered: {self.registry.names()}"
+            )
+        # Build outside the lock: a lazy checkpoint load is slow, and
+        # holding the gateway lock through it would stall healthz/stats
+        # probes (and sibling models) for the whole warmup.  A racing
+        # duplicate build is wasteful but harmless — only the winner is
+        # started; the loser is never started, so it owns no threads.
+        candidate = PredictionService.from_registry(self.registry, name, config=self.config)
+        with self._lock:
+            if self._closed:
+                raise ApiError("server is shutting down")
+            service = self._services.get(name)
+            if service is None:
+                candidate.start(workers=self.workers)
+                service = self._services[name] = candidate
+        return service
+
+    def warm(self, name: str | None = None) -> PredictionService:
+        """Eagerly build and start a model's service (startup validation).
+
+        ``repro serve --http`` calls this before reporting the server
+        up, so a typo'd backend or corrupt autotune cache fails the
+        process at startup instead of 500-ing every later request.
+        Raises whatever the lazy path would have raised on first use
+        (:class:`ValueError` from service construction, registry errors).
+        """
+        return self._service(self.resolve_model(name))
+
+    # ------------------------------------------------------------------
+    # endpoints
+    # ------------------------------------------------------------------
+    def predict(self, request: PredictRequest) -> PredictResponse:
+        """Execute one wire request; raises typed :class:`ApiError`\\ s.
+
+        Admission is all-or-nothing at the request level: if any
+        structure is rejected by the batcher's queue bound the whole
+        request maps to 429 and the client retries it wholesale —
+        structures admitted before the rejection still complete and
+        populate the result cache, so the retry is cheaper.
+        """
+        # Size limits are enforced here, not only in from_json_dict, so
+        # LocalTransport callers get the same contract (and the same
+        # exceptions) as HTTP callers.
+        if not request.structures:
+            raise SchemaError("request.structures: expected a non-empty list")
+        if len(request.structures) > MAX_STRUCTURES_PER_REQUEST:
+            raise SchemaError(
+                f"request.structures: at most {MAX_STRUCTURES_PER_REQUEST} structures "
+                f"per request, got {len(request.structures)}"
+            )
+        name = self.resolve_model(request.model)
+        service = self._service(name)
+        graphs = [
+            payload.to_graph(self.cutoff, self.max_neighbors)
+            for payload in request.structures
+        ]
+        try:
+            results = service.predict_many(graphs)
+        except ServiceOverloaded as error:
+            raise OverloadedError(str(error)) from error
+        except TimeoutError as error:
+            raise RequestTimeout(str(error)) from error
+        return PredictResponse.from_results(name, results)
+
+    def server_info(self) -> ServerInfo:
+        return ServerInfo(
+            models=self.registry.describe(),
+            default_model=self.default_model,
+        )
+
+    def stats(self) -> StatsSnapshot:
+        with self._lock:
+            services = dict(self._services)
+        return StatsSnapshot(
+            models={name: service.telemetry() for name, service in services.items()}
+        )
+
+    def healthz(self) -> dict:
+        with self._lock:
+            active = sorted(self._services)
+            closed = self._closed
+        return {
+            "schema_version": "v1",
+            "status": "shutting_down" if closed else "ok",
+            "models": self.registry.names(),
+            "active_services": active,
+        }
+
+    def close(self) -> None:
+        """Stop every service: drain queues, save the autotune cache."""
+        with self._lock:
+            self._closed = True
+            services = list(self._services.values())
+            self._services.clear()
+        for service in services:
+            service.stop()
+
+
+class _ApiRequestHandler(BaseHTTPRequestHandler):
+    """Routes HTTP onto the gateway; all bodies are JSON."""
+
+    server: "_GatewayHTTPServer"
+    protocol_version = "HTTP/1.1"  # keep-alive; every response sets Content-Length
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    def log_message(self, format: str, *args) -> None:  # noqa: A002 - stdlib signature
+        if self.server.verbose:
+            super().log_message(format, *args)
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if self.close_connection:
+            # Advertise the drop (set when a rejected request left unread
+            # body bytes on the socket) so clients don't try to reuse a
+            # connection the server is about to close.
+            self.send_header("Connection", "close")
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_payload(self, error: ApiError) -> None:
+        self._send_json(error.http_status, ErrorPayload.from_error(error).to_json_dict())
+
+    def _read_json_body(self) -> dict:
+        # Rejections below leave the body unread on the socket, which
+        # would desync a keep-alive connection (the leftover bytes get
+        # parsed as the next request line) — so every early exit must
+        # drop the connection instead of keeping it alive.
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError as err:
+            self.close_connection = True
+            raise SchemaError(f"malformed Content-Length header: {err}") from err
+        if length <= 0:
+            self.close_connection = True
+            raise SchemaError("request body required (Content-Length missing or 0)")
+        if length > MAX_BODY_BYTES:
+            self.close_connection = True
+            raise SchemaError(f"request body too large ({length} > {MAX_BODY_BYTES} bytes)")
+        raw = self.rfile.read(length)
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as err:
+            raise SchemaError(f"request body is not valid JSON: {err}") from err
+
+    # ------------------------------------------------------------------
+    # routes
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        gateway = self.server.gateway
+        try:
+            if self.path == "/v1/healthz":
+                self._send_json(200, gateway.healthz())
+            elif self.path == "/v1/models":
+                self._send_json(200, gateway.server_info().to_json_dict())
+            elif self.path == "/v1/stats":
+                self._send_json(200, gateway.stats().to_json_dict())
+            else:
+                raise NotFound(f"no such endpoint: GET {self.path}")
+        except ApiError as error:
+            self._send_error_payload(error)
+        except Exception as error:  # noqa: BLE001 - boundary: no HTML tracebacks
+            self._send_error_payload(ApiError(f"internal error: {error}"))
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        try:
+            if self.path != "/v1/predict":
+                raise NotFound(f"no such endpoint: POST {self.path}")
+            request = PredictRequest.from_json_dict(self._read_json_body())
+            response = self.server.gateway.predict(request)
+            self._send_json(200, response.to_json_dict())
+        except ApiError as error:
+            self._send_error_payload(error)
+        except Exception as error:  # noqa: BLE001 - boundary: no HTML tracebacks
+            self._send_error_payload(ApiError(f"internal error: {error}"))
+
+
+class _GatewayHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer that hands its handler threads the gateway."""
+
+    daemon_threads = True
+
+    def __init__(self, address, gateway: ApiGateway, verbose: bool) -> None:
+        super().__init__(address, _ApiRequestHandler)
+        self.gateway = gateway
+        self.verbose = verbose
+
+
+class ApiServer:
+    """The deployable unit: gateway + threaded HTTP listener.
+
+    ``port=0`` binds an ephemeral port (tests, CI smoke); read the
+    actual one from :attr:`port` / :attr:`url`.  Use :meth:`start` for a
+    background listener (in-process tests, examples) or
+    :meth:`serve_forever` to block (the CLI), and :meth:`close` for
+    graceful shutdown either way.
+    """
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        config: ServiceConfig | None = None,
+        workers: int = 2,
+        default_model: str | None = None,
+        cutoff: float = DEFAULT_CUTOFF,
+        max_neighbors: int | None = None,
+        verbose: bool = False,
+    ) -> None:
+        self.gateway = ApiGateway(
+            registry,
+            config=config,
+            workers=workers,
+            default_model=default_model,
+            cutoff=cutoff,
+            max_neighbors=max_neighbors,
+        )
+        self._httpd = _GatewayHTTPServer((host, port), self.gateway, verbose)
+        self._thread: threading.Thread | None = None
+        self._serving = threading.Event()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # address
+    # ------------------------------------------------------------------
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return int(self._httpd.server_address[1])
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def _serve(self) -> None:
+        self._serving.set()
+        try:
+            self._httpd.serve_forever(poll_interval=0.05)
+        finally:
+            self._serving.clear()
+
+    def start(self) -> "ApiServer":
+        """Serve from a daemon thread; returns once the listener is up."""
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+        self._thread = threading.Thread(target=self._serve, name="api-http", daemon=True)
+        self._thread.start()
+        self._serving.wait(timeout=5.0)
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until :meth:`close` (another thread)."""
+        self._serve()
+
+    def close(self) -> None:
+        """Graceful shutdown: stop listening, drain services, save caches.
+
+        Idempotent, and safe whether the server was started, served on
+        the calling thread, or never run at all.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._serving.is_set():
+            self._httpd.shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+        self._httpd.server_close()
+        self.gateway.close()
+
+    def __enter__(self) -> "ApiServer":
+        if self._thread is None:
+            self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -13,18 +13,24 @@ Commands
 ``corpus <graphs>``
     Generate a corpus and print its source mixture and statistics.
 ``predict``
-    Batch-score generated structures through a model (preset or
-    checkpoint) on the inference fast path and print per-structure
-    results.
+    Score structures through a model (preset or checkpoint) on the
+    inference fast path.  Reads user structures from ``--input
+    structures.json`` (the v1 wire schema) or generates a synthetic
+    corpus; prints a table or, with ``--json``, a v1 ``PredictResponse``.
 ``serve``
-    Run a synthetic serving session: dynamic micro-batching workers,
-    result cache, latency/throughput summary.
+    With ``--http PORT``: run the real HTTP prediction API
+    (``POST /v1/predict``, ``GET /v1/models``/``healthz``/``stats``)
+    over a :class:`~repro.serving.service.PredictionService`, shutting
+    down gracefully on SIGTERM/Ctrl-C.  With ``--selftest``: replay the
+    synthetic closed-loop serving session and print its telemetry.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 
 from repro.experiments.registry import EXPERIMENTS, run_experiment
 
@@ -158,10 +164,19 @@ def _add_serving_model_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _load_input_graphs(args: argparse.Namespace) -> list:
+    """Graphs from ``--input`` (wire schema) — neighbor search included."""
+    from repro.api import structures_from_json
+
+    payload = json.loads(Path(args.input).read_text())
+    structures = structures_from_json(payload)
+    return [structure.to_graph(args.cutoff) for structure in structures]
+
+
 def _cmd_predict(args: argparse.Namespace) -> int:
     import numpy as np
 
-    from repro.data import generate_corpus
+    from repro.api import PredictResponse, SchemaError
     from repro.experiments.report import ascii_table
     from repro.serving import PredictionService, ServiceConfig
 
@@ -179,13 +194,24 @@ def _cmd_predict(args: argparse.Namespace) -> int:
             ),
             normalizer=normalizer,
         )
-    except (KeyError, OSError, ValueError) as error:
+        if args.input:
+            graphs = _load_input_graphs(args)
+        else:
+            from repro.data import generate_corpus
+
+            graphs = generate_corpus(args.graphs, seed=args.seed).graphs
+    except (KeyError, OSError, ValueError, SchemaError, json.JSONDecodeError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
-    corpus = generate_corpus(args.graphs, seed=args.seed)
-    results = service.predict_many(corpus.graphs)
+    results = service.predict_many(graphs)
+    if args.json:
+        response = PredictResponse.from_results(
+            args.checkpoint or args.preset, results
+        )
+        print(json.dumps(response.to_json_dict(), indent=2))
+        return 0
     rows = []
-    for graph, result in zip(corpus.graphs, results):
+    for graph, result in zip(graphs, results):
         rows.append(
             [
                 graph.source,
@@ -205,21 +231,100 @@ def _cmd_predict(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_serve(args: argparse.Namespace) -> int:
-    import numpy as np
+def _service_config(args: argparse.Namespace):
+    from repro.serving import ServiceConfig
 
-    from repro.data import generate_corpus
-    from repro.serving import PredictionService, ServiceConfig
+    return ServiceConfig(
+        max_atoms=args.max_atoms,
+        max_graphs=args.max_graphs,
+        flush_interval_s=args.flush_interval,
+        max_pending=args.max_pending,
+        backend=args.backend,
+        autotune_cache=args.autotune_cache,
+    )
+
+
+def _serve_http(args: argparse.Namespace) -> int:
+    """Run the real HTTP prediction API until SIGTERM/SIGINT.
+
+    Both signals take the same graceful path: stop accepting
+    connections, drain queued requests, save the autotune cache.  The
+    listener runs on a daemon thread so the main thread can sit in an
+    interruptible wait and still own the shutdown sequence.
+    """
+    import signal
+    import threading
+
+    from repro.api import ApiServer
+    from repro.serving import ModelRegistry
 
     try:
         model, normalizer = _load_serving_model(args)
-        config = ServiceConfig(
-            max_atoms=args.max_atoms,
-            max_graphs=args.max_graphs,
-            flush_interval_s=args.flush_interval,
-            backend=args.backend,
-            autotune_cache=args.autotune_cache,
+        registry = ModelRegistry()
+        registry.register_model(args.model_name, model, normalizer=normalizer)
+        # Construction loads --autotune-cache: a corrupt or foreign file
+        # must produce the same clean error path as a bad checkpoint.
+        server = ApiServer(
+            registry,
+            host=args.host,
+            port=args.http,
+            config=_service_config(args),
+            workers=args.workers,
+            default_model=args.model_name,
         )
+        # Eagerly start the served model's service: a typo'd --backend or
+        # corrupt --autotune-cache must fail the process here, not 500
+        # every request after a healthy-looking startup.
+        server.gateway.warm()
+    except (KeyError, OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    stop = threading.Event()
+
+    def _request_shutdown(signum, _frame) -> None:
+        print(f"received {signal.Signals(signum).name}", flush=True)
+        stop.set()
+
+    previous = {
+        signum: signal.signal(signum, _request_shutdown)
+        for signum in (signal.SIGINT, signal.SIGTERM)
+    }
+    server.start()
+    print(
+        f"serving model {args.model_name!r} on {server.url} "
+        f"({args.workers} worker(s), budget {args.max_atoms} atoms / "
+        f"{args.max_graphs} graphs, max_pending "
+        f"{args.max_pending or 'unbounded'})",
+        flush=True,
+    )
+    print(
+        "endpoints: POST /v1/predict · GET /v1/models · GET /v1/healthz · GET /v1/stats",
+        flush=True,
+    )
+    try:
+        stop.wait()
+        print(
+            "shutting down: draining queued requests, saving autotune cache", flush=True
+        )
+    finally:
+        server.close()
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+    print("server stopped cleanly", flush=True)
+    return 0
+
+
+def _serve_selftest(args: argparse.Namespace) -> int:
+    """The synthetic closed-loop serving session (pre-HTTP behavior)."""
+    import numpy as np
+
+    from repro.data import generate_corpus
+    from repro.serving import PredictionService, ServiceOverloaded
+
+    try:
+        model, normalizer = _load_serving_model(args)
+        config = _service_config(args)
         # Construction loads --autotune-cache: a corrupt or foreign file
         # must produce the same clean error path as a bad checkpoint.
         service = PredictionService(model, config, normalizer=normalizer)
@@ -249,6 +354,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             pending = [service.submit(corpus.graphs[i]) for i in wave]
             for request in pending:
                 request.wait(config.request_timeout_s)
+    except ServiceOverloaded as error:
+        print(f"error: server overloaded: {error}", file=sys.stderr)
+        print(
+            "hint: raise --max-pending (or 0 to disable admission control), "
+            "or lower --concurrency",
+            file=sys.stderr,
+        )
+        return 2
     finally:
         service.stop()
     print(service.summary().to_text())
@@ -261,6 +374,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"{pool['reserved_bytes'] / 1e6:.2f} MB reserved"
     )
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    if args.http is not None and args.selftest:
+        print("error: --http and --selftest are mutually exclusive", file=sys.stderr)
+        return 2
+    if args.http is not None:
+        return _serve_http(args)
+    if args.selftest:
+        return _serve_selftest(args)
+    print(
+        "error: serve requires a mode: --http PORT (real API server) "
+        "or --selftest (synthetic session)",
+        file=sys.stderr,
+    )
+    return 2
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -293,26 +422,74 @@ def build_parser() -> argparse.ArgumentParser:
     corpus_parser.set_defaults(func=_cmd_corpus)
 
     predict_parser = commands.add_parser(
-        "predict", help="batch-score generated structures through a model"
+        "predict", help="score structures (--input or synthetic) through a model"
     )
     _add_serving_model_args(predict_parser)
-    predict_parser.add_argument("--graphs", type=int, default=8)
+    predict_parser.add_argument(
+        "--input",
+        help="JSON file of structures (v1 wire schema: a predict request, "
+        "a list of structures, or one structure)",
+    )
+    predict_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit a v1 PredictResponse JSON document instead of a table",
+    )
+    predict_parser.add_argument(
+        "--cutoff",
+        type=float,
+        default=5.0,
+        help="neighbor-search cutoff for --input structures (angstrom)",
+    )
+    predict_parser.add_argument(
+        "--graphs", type=int, default=8, help="synthetic structures when no --input"
+    )
     predict_parser.add_argument("--max-atoms", type=int, default=512)
     predict_parser.add_argument("--max-graphs", type=int, default=64)
     predict_parser.set_defaults(func=_cmd_predict)
 
     serve_parser = commands.add_parser(
-        "serve", help="run a synthetic dynamic-batching serving session"
+        "serve", help="run the HTTP prediction API (--http) or a synthetic session (--selftest)"
     )
     _add_serving_model_args(serve_parser)
-    serve_parser.add_argument("--graphs", type=int, default=24, help="unique structures")
-    serve_parser.add_argument("--requests", type=int, default=96, help="total requests")
+    serve_parser.add_argument(
+        "--http",
+        type=int,
+        metavar="PORT",
+        help="run the real HTTP API server on PORT (0 picks an ephemeral port)",
+    )
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address for --http (default: loopback)"
+    )
+    serve_parser.add_argument(
+        "--model-name",
+        default="default",
+        help="name the served model is registered under (default: 'default')",
+    )
+    serve_parser.add_argument(
+        "--selftest",
+        action="store_true",
+        help="replay the synthetic closed-loop serving session instead",
+    )
+    serve_parser.add_argument(
+        "--graphs", type=int, default=24, help="unique structures (selftest)"
+    )
+    serve_parser.add_argument(
+        "--requests", type=int, default=96, help="total requests (selftest)"
+    )
     serve_parser.add_argument("--workers", type=int, default=2)
     serve_parser.add_argument(
-        "--concurrency", type=int, default=16, help="in-flight requests per wave"
+        "--concurrency", type=int, default=16, help="in-flight requests per wave (selftest)"
     )
     serve_parser.add_argument("--max-atoms", type=int, default=512)
     serve_parser.add_argument("--max-graphs", type=int, default=64)
+    serve_parser.add_argument(
+        "--max-pending",
+        type=int,
+        default=0,
+        help="admission control: reject once this many structures are queued "
+        "(0 = unbounded)",
+    )
     serve_parser.add_argument(
         "--flush-interval", type=float, default=0.005, help="timeout tick in seconds"
     )

@@ -13,6 +13,7 @@ from repro.serving.batcher import (
     FLUSH_TIMEOUT,
     MicroBatcher,
     ServeRequest,
+    ServiceOverloaded,
 )
 from repro.serving.cache import CacheStats, ResultCache
 from repro.serving.hashing import structure_hash
@@ -34,6 +35,7 @@ __all__ = [
     "ResultCache",
     "ServeRequest",
     "ServiceConfig",
+    "ServiceOverloaded",
     "ServingStats",
     "StatsSummary",
     "percentile",

@@ -18,6 +18,14 @@ This is the same flush discipline GPU inference servers use (max batch
 size + queue delay); atoms-not-graphs as the primary budget is what a
 variable-size graph workload needs, since forward cost tracks nodes and
 edges, not graph count.
+
+**Admission control.** An optional ``max_pending`` bounds the queue
+depth: once that many structures are waiting, :meth:`MicroBatcher.submit`
+raises :class:`ServiceOverloaded` instead of enqueueing.  Rejecting at
+the door keeps a slow consumer from growing an unbounded backlog whose
+requests would all time out anyway — the client gets an immediate,
+retryable signal (HTTP 429 at the API layer) while in-flight work keeps
+its latency bound.
 """
 
 from __future__ import annotations
@@ -27,6 +35,14 @@ import time
 from dataclasses import dataclass, field
 
 from repro.graph.atoms import AtomGraph
+
+
+class ServiceOverloaded(RuntimeError):
+    """Admission control rejected a request: the pending queue is full.
+
+    Retryable by construction — the queue was full *now*; nothing about
+    the request itself was wrong.  The HTTP front end maps this to 429.
+    """
 
 
 @dataclass
@@ -106,14 +122,19 @@ class MicroBatcher:
         max_atoms: int = 512,
         max_graphs: int = 64,
         flush_interval_s: float = 0.005,
+        max_pending: int = 0,
     ) -> None:
         if max_atoms < 1 or max_graphs < 1:
             raise ValueError("max_atoms and max_graphs must be >= 1")
         if flush_interval_s < 0:
             raise ValueError("flush_interval_s must be >= 0")
+        if max_pending < 0:
+            raise ValueError("max_pending must be >= 0 (0 disables admission control)")
         self.max_atoms = int(max_atoms)
         self.max_graphs = int(max_graphs)
         self.flush_interval_s = float(flush_interval_s)
+        self.max_pending = int(max_pending)
+        self.rejected = 0  # admission-control rejections (telemetry)
         self._pending: list[ServeRequest] = []
         self._pending_atoms = 0
         self._closed = False
@@ -124,9 +145,16 @@ class MicroBatcher:
     # producer side
     # ------------------------------------------------------------------
     def submit(self, request: ServeRequest) -> None:
+        """Enqueue one request, or reject it if the queue is at capacity."""
         with self._cond:
             if self._closed:
                 raise RuntimeError("cannot submit to a closed MicroBatcher")
+            if self.max_pending and len(self._pending) >= self.max_pending:
+                self.rejected += 1
+                raise ServiceOverloaded(
+                    f"pending queue full ({len(self._pending)}/{self.max_pending} "
+                    "structures); retry later"
+                )
             self._pending.append(request)
             self._pending_atoms += request.n_atoms
             self._cond.notify_all()

@@ -84,6 +84,11 @@ class ServiceConfig:
     cache_capacity: int = 4096  # LRU entries; <=0 disables caching
     hash_decimals: int | None = None  # optional coordinate rounding for keys
     request_timeout_s: float = 30.0  # client-side wait bound in served mode
+    #: Admission control (served mode): queued structures beyond this
+    #: bound are rejected with :class:`ServiceOverloaded` at submit time
+    #: instead of growing an unbounded backlog.  0 disables the bound.
+    #: Cache hits never count against it — they bypass the batcher.
+    max_pending: int = 0
     #: Kernel backend model forwards dispatch to ("numpy", "parallel",
     #: "auto"); None keeps the caller's/process default.  Validated at
     #: service construction against the registered backends.
@@ -115,6 +120,7 @@ class PredictionService:
         self._batcher: MicroBatcher | None = None
         self._workers: list[threading.Thread] = []
         self._flush_reasons: dict[str, int] = {}  # accumulated across sessions
+        self._rejected = 0  # admission-control rejections, accumulated likewise
         # No model lock: the engine's grad mode, pool stack, and kernel
         # dispatch are thread-local, and the shared BufferPool is
         # internally locked, so N workers run N model forwards truly
@@ -162,6 +168,7 @@ class PredictionService:
             max_atoms=self.config.max_atoms,
             max_graphs=self.config.max_graphs,
             flush_interval_s=self.config.flush_interval_s,
+            max_pending=self.config.max_pending,
         )
         for index in range(workers):
             thread = threading.Thread(
@@ -203,6 +210,7 @@ class PredictionService:
             # the batcher goes away, so post-session telemetry keeps them.
             for reason, count in self._batcher.flush_reasons.items():
                 self._flush_reasons[reason] = self._flush_reasons.get(reason, 0) + count
+            self._rejected += self._batcher.rejected
             self._workers.clear()
             self._batcher = None
         self._save_autotune_cache()
@@ -421,8 +429,9 @@ class PredictionService:
     def _all_flush_reasons(self) -> dict[str, int]:
         """Accumulated flush counters plus the live session's, if any."""
         reasons = dict(self._flush_reasons)
-        if self._batcher is not None:
-            for reason, count in self._batcher.flush_reasons.items():
+        batcher = self._batcher  # captured: concurrent stop() nulls the attribute
+        if batcher is not None:
+            for reason, count in batcher.flush_reasons.items():
                 reasons[reason] = reasons.get(reason, 0) + count
         return reasons
 
@@ -430,6 +439,9 @@ class PredictionService:
         """JSON-ready stats: serving, result cache, buffer pool, engine."""
         from repro.tensor.kernels import active_backend
 
+        # Capture once: a concurrent stop() nulls the attribute between
+        # a None-check and an attribute access (same race submit() guards).
+        batcher = self._batcher
         return {
             "serving": self.summary().as_dict(),
             "result_cache": self.cache.stats.as_dict(),
@@ -438,6 +450,8 @@ class PredictionService:
                 "max_atoms": self.config.max_atoms,
                 "max_graphs": self.config.max_graphs,
                 "flush_interval_s": self.config.flush_interval_s,
+                "max_pending": self.config.max_pending,
+                "rejected": self._rejected + (batcher.rejected if batcher is not None else 0),
                 "flush_reasons": self._all_flush_reasons(),
             },
             "engine": {

@@ -7,9 +7,13 @@ decision GPU stacks delegate to an autotuner instead of a heuristic.
 This module is that autotuner for the dispatch registry:
 
 - Shapes are coarsened into **buckets**: ``(kernel name, rows rounded up
-  to a power of two, cols rounded up to a power of two)``.  One timing
-  per bucket covers every shape in it, so a training run or serving
-  session pays the measurement cost a handful of times, not per step.
+  to a power of two, cols rounded up to a power of two, dtype)``.  One
+  timing per bucket covers every shape in it, so a training run or
+  serving session pays the measurement cost a handful of times, not per
+  step.  Dtype is part of the key because the winner genuinely depends
+  on it: float64 traffic moves twice the bytes per element, which shifts
+  the BLAS-vs-memory-bandwidth balance the numpy/parallel race measures
+  — a float32 decision must not be recycled for float64 inputs.
 - The first call in a bucket runs **both** backends on the live
   arguments, times them, records the winner, and returns the winner's
   result.  Every later call in the bucket dispatches straight to the
@@ -48,7 +52,12 @@ import numpy as np
 
 from repro.tensor.kernels import get_kernel, register_kernel
 
-_FORMAT = "repro-autotune-v1"
+#: Cache-file format.  v2 added dtype to the decision key; files written
+#: by older versions are *ignored* on load (their decisions would be
+#: ambiguous under the new key), not rejected — a stale warm-start file
+#: must degrade to a cold start, never to a crashed replica.
+_FORMAT = "repro-autotune-v2"
+_FORMAT_PREFIX = "repro-autotune-v"
 
 #: Kernels the ``auto`` backend arbitrates (the registry's full hot set).
 AUTOTUNED_KERNELS = (
@@ -92,6 +101,26 @@ _WORK_SHAPES = {
     "gather_diff": lambda args: (args[2].shape[0], args[0].shape[1]),
 }
 
+#: The decision key's default dtype — the engine's working precision.
+DEFAULT_DTYPE = "float32"
+
+
+def _work_dtype(args) -> str:
+    """Dtype of a kernel's data arguments (first ndarray found).
+
+    ``concat_linear`` packs its inputs as a tuple in ``args[0]``, hence
+    the shallow recursion; index arrays never come first in any kernel's
+    signature, so the first ndarray is always payload, not indices.
+    """
+    for arg in args:
+        if isinstance(arg, np.ndarray):
+            return str(arg.dtype)
+        if isinstance(arg, (tuple, list)):
+            for inner in arg:
+                if isinstance(inner, np.ndarray):
+                    return str(inner.dtype)
+    return DEFAULT_DTYPE
+
 
 @dataclass
 class Decision:
@@ -114,7 +143,7 @@ class Autotuner:
 
     def __init__(self, min_work: int = DEFAULT_MIN_WORK) -> None:
         self.min_work = int(min_work)
-        self._decisions: dict[tuple[str, int, int], Decision] = {}
+        self._decisions: dict[tuple[str, int, int, str], Decision] = {}
         self._dirty = False  # decisions recorded since the last save/load
         self._lock = threading.Lock()
 
@@ -127,8 +156,10 @@ class Autotuner:
     # ------------------------------------------------------------------
     # decisions
     # ------------------------------------------------------------------
-    def lookup(self, kernel: str, rows: int, cols: int) -> str | None:
-        """The backend for this shape, or ``None`` if it needs measuring.
+    def lookup(
+        self, kernel: str, rows: int, cols: int, dtype: str = DEFAULT_DTYPE
+    ) -> str | None:
+        """The backend for this shape/dtype, or ``None`` if it needs measuring.
 
         Small shapes short-circuit to ``numpy`` without ever creating a
         bucket entry — they are the common tier-1/test case and must pay
@@ -141,11 +172,17 @@ class Autotuner:
         if parallel.worker_count() <= 1:
             return "numpy"  # nothing to win on a single-core host
         with self._lock:
-            decision = self._decisions.get((kernel, bucket(rows), bucket(cols)))
+            decision = self._decisions.get((kernel, bucket(rows), bucket(cols), dtype))
         return decision.backend if decision is not None else None
 
     def record(
-        self, kernel: str, rows: int, cols: int, numpy_s: float, parallel_s: float
+        self,
+        kernel: str,
+        rows: int,
+        cols: int,
+        numpy_s: float,
+        parallel_s: float,
+        dtype: str = DEFAULT_DTYPE,
     ) -> Decision:
         """Store a measurement; the faster backend becomes the bucket's answer."""
         decision = Decision(
@@ -154,11 +191,11 @@ class Autotuner:
             parallel_s=float(parallel_s),
         )
         with self._lock:
-            self._decisions[(kernel, bucket(rows), bucket(cols))] = decision
+            self._decisions[(kernel, bucket(rows), bucket(cols), dtype)] = decision
             self._dirty = True
         return decision
 
-    def decisions(self) -> dict[tuple[str, int, int], Decision]:
+    def decisions(self) -> dict[tuple[str, int, int, str], Decision]:
         with self._lock:
             return dict(self._decisions)
 
@@ -177,8 +214,8 @@ class Autotuner:
         """JSON-ready snapshot of every decision."""
         with self._lock:
             decisions = {
-                f"{kernel}|{rows}|{cols}": decision.as_dict()
-                for (kernel, rows, cols), decision in self._decisions.items()
+                f"{kernel}|{rows}|{cols}|{dtype}": decision.as_dict()
+                for (kernel, rows, cols, dtype), decision in self._decisions.items()
             }
         return {"format": _FORMAT, "min_work": self.min_work, "decisions": decisions}
 
@@ -192,15 +229,25 @@ class Autotuner:
         return path
 
     def load(self, path: str | Path) -> int:
-        """Merge decisions from ``path``; returns how many were loaded."""
+        """Merge decisions from ``path``; returns how many were loaded.
+
+        A file written by an **older format version** (``repro-autotune-v1``
+        …) is cleanly ignored — ``0`` decisions load, nothing raises — so
+        replicas roll forward past a format bump by re-measuring instead
+        of crashing on their own stale warm-start file.  Anything that is
+        not an autotune cache at all still fails loudly.
+        """
         payload = json.loads(Path(path).read_text())
-        if payload.get("format") != _FORMAT:
-            raise ValueError(f"not an autotune cache (format={payload.get('format')!r})")
+        fmt = payload.get("format")
+        if fmt != _FORMAT:
+            if isinstance(fmt, str) and fmt.startswith(_FORMAT_PREFIX):
+                return 0  # recognized but outdated: ignore, re-measure
+            raise ValueError(f"not an autotune cache (format={fmt!r})")
         loaded = 0
         with self._lock:
             for key, entry in payload.get("decisions", {}).items():
-                kernel, rows, cols = key.rsplit("|", 2)
-                self._decisions[(kernel, int(rows), int(cols))] = Decision(
+                kernel, rows, cols, dtype = key.rsplit("|", 3)
+                self._decisions[(kernel, int(rows), int(cols), dtype)] = Decision(
                     backend=entry["backend"],
                     numpy_s=entry.get("numpy_s"),
                     parallel_s=entry.get("parallel_s"),
@@ -238,7 +285,8 @@ class _AutoKernel:
     def forward(self, *args, **kwargs):
         tuner = default_autotuner()
         rows, cols = _WORK_SHAPES[self.name](args)
-        backend = tuner.lookup(self.name, rows, cols)
+        dtype = _work_dtype(args)
+        backend = tuner.lookup(self.name, rows, cols, dtype)
         if backend is not None:
             return self._impl(backend).forward(*args, **kwargs)
         # Warm both backends before timing: the first-ever call pays
@@ -254,18 +302,23 @@ class _AutoKernel:
         start = time.perf_counter()
         parallel_result = self._impl("parallel").forward(*args, **kwargs)
         parallel_s = time.perf_counter() - start
-        decision = tuner.record(self.name, rows, cols, numpy_s, parallel_s)
+        decision = tuner.record(self.name, rows, cols, numpy_s, parallel_s, dtype)
         return parallel_result if decision.backend == "parallel" else numpy_result
 
     def backward(self, grad, *args, **kwargs):
         rows = grad.shape[0]
         cols = grad.shape[1] if grad.ndim > 1 else 1
-        backend = default_autotuner().lookup(self.name, rows, cols) or "numpy"
+        backend = (
+            default_autotuner().lookup(self.name, rows, cols, str(grad.dtype)) or "numpy"
+        )
         return self._impl(backend).backward(grad, *args, **kwargs)
 
     def geometry(self, positions, shift, src, dst, eps: float = 1e-9):
         rows, cols = src.shape[0], positions.shape[1]
-        backend = default_autotuner().lookup("gather_diff", rows, cols) or "numpy"
+        backend = (
+            default_autotuner().lookup("gather_diff", rows, cols, str(positions.dtype))
+            or "numpy"
+        )
         return self._impl(backend).geometry(positions, shift, src, dst, eps)
 
 

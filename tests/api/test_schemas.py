@@ -1,0 +1,320 @@
+"""Wire-schema contract: bit-exact round trips, strict validation, goldens."""
+
+import json
+import math
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    ApiError,
+    ErrorPayload,
+    OverloadedError,
+    PredictionPayload,
+    PredictRequest,
+    PredictResponse,
+    SchemaError,
+    ServerInfo,
+    StatsSnapshot,
+    StructurePayload,
+    UnknownModelError,
+    structures_from_json,
+)
+from tests.helpers import make_molecule_graphs, make_periodic_graphs
+
+GOLDEN = Path(__file__).parent / "golden"
+
+
+def wire_round_trip(payload_dict: dict) -> dict:
+    """dict -> JSON text -> dict, exactly what HTTP does to a body."""
+    return json.loads(json.dumps(payload_dict))
+
+
+def make_triclinic_payload() -> StructurePayload:
+    """A fully periodic structure with a deliberately skewed cell."""
+    rng = np.random.default_rng(7)
+    return StructurePayload(
+        atomic_numbers=np.array([22, 8, 8, 8]),
+        positions=rng.uniform(0.0, 3.0, size=(4, 3)),
+        cell=np.array(
+            [
+                [3.9051234567890123, 0.0, 0.0],
+                [1.2716049382716049, 3.7103456789012345, 0.0],
+                [0.8271604938271605, 1.0123456789012345, 3.6051234567890122],
+            ]
+        ),
+        pbc=(True, True, True),
+    )
+
+
+class TestStructureRoundTrip:
+    @pytest.mark.parametrize("seed", [0, 3])
+    def test_molecule_graph_payload_json_bit_exact(self, seed):
+        graph = make_molecule_graphs(1, seed=seed)[0]
+        payload = StructurePayload.from_graph(graph)
+        recovered = StructurePayload.from_json_dict(wire_round_trip(payload.to_json_dict()))
+        # Bit-exact: float64 survives JSON because dumps uses repr.
+        assert np.array_equal(recovered.positions, graph.positions)
+        assert np.array_equal(recovered.atomic_numbers, graph.atomic_numbers)
+        assert recovered.cell is None
+        assert recovered.pbc == (False, False, False)
+
+    def test_periodic_graph_payload_json_bit_exact(self):
+        graph = make_periodic_graphs(1, seed=1)[0]
+        payload = StructurePayload.from_graph(graph)
+        recovered = StructurePayload.from_json_dict(wire_round_trip(payload.to_json_dict()))
+        assert np.array_equal(recovered.positions, graph.positions)
+        assert np.array_equal(recovered.cell, np.asarray(graph.cell, dtype=np.float64))
+        assert recovered.pbc == tuple(graph.pbc)
+
+    def test_triclinic_cell_bit_exact_and_graph_rebuild(self):
+        payload = make_triclinic_payload()
+        recovered = StructurePayload.from_json_dict(wire_round_trip(payload.to_json_dict()))
+        assert np.array_equal(recovered.cell, payload.cell)
+        assert np.array_equal(recovered.positions, payload.positions)
+        # Same bytes in -> same derived graph out, periodic images included.
+        original = payload.to_graph(cutoff=4.0)
+        rebuilt = recovered.to_graph(cutoff=4.0)
+        assert np.array_equal(original.edge_index, rebuilt.edge_index)
+        assert np.array_equal(original.edge_shift, rebuilt.edge_shift)
+        assert original.n_edges > 0  # the cutoff genuinely crosses the cell
+
+    def test_float32_coordinates_survive_exactly(self):
+        """float32-origin coordinates are exactly representable in float64/JSON."""
+        coords32 = np.random.default_rng(5).uniform(-3, 3, size=(6, 3)).astype(np.float32)
+        payload = StructurePayload(
+            atomic_numbers=np.array([6] * 6), positions=coords32.astype(np.float64)
+        )
+        recovered = StructurePayload.from_json_dict(wire_round_trip(payload.to_json_dict()))
+        assert np.array_equal(recovered.positions.astype(np.float32), coords32)
+
+    def test_to_graph_matches_source_pipeline_connectivity(self):
+        """Rebuilding from the wire reproduces the radius-graph edges."""
+        graph = make_molecule_graphs(1, seed=2)[0]
+        rebuilt = StructurePayload.from_graph(graph).to_graph(cutoff=5.0)
+        assert np.array_equal(rebuilt.edge_index, graph.edge_index)
+
+
+class TestStructureValidation:
+    def valid(self) -> dict:
+        return {
+            "atomic_numbers": [1, 8],
+            "positions": [[0.0, 0.0, 0.0], [0.96, 0.0, 0.0]],
+        }
+
+    def test_unknown_key_rejected(self):
+        obj = self.valid()
+        obj["velocity"] = [[0, 0, 0]]
+        with pytest.raises(SchemaError, match="unknown key"):
+            StructurePayload.from_json_dict(obj)
+
+    def test_missing_key_rejected(self):
+        with pytest.raises(SchemaError, match="missing required"):
+            StructurePayload.from_json_dict({"positions": [[0.0, 0.0, 0.0]]})
+
+    def test_row_count_mismatch_rejected(self):
+        obj = self.valid()
+        obj["positions"] = [[0.0, 0.0, 0.0]]
+        with pytest.raises(SchemaError, match="expected 2 rows"):
+            StructurePayload.from_json_dict(obj)
+
+    def test_short_row_rejected(self):
+        obj = self.valid()
+        obj["positions"][1] = [0.96, 0.0]
+        with pytest.raises(SchemaError, match="3 components"):
+            StructurePayload.from_json_dict(obj)
+
+    def test_non_finite_coordinates_rejected(self):
+        obj = self.valid()
+        obj["positions"][0][0] = math.inf
+        with pytest.raises(SchemaError, match="non-finite"):
+            StructurePayload.from_json_dict(obj)
+
+    def test_non_numeric_coordinate_rejected(self):
+        obj = self.valid()
+        obj["positions"][0][0] = "zero"
+        with pytest.raises(SchemaError, match="non-numeric"):
+            StructurePayload.from_json_dict(obj)
+
+    def test_bool_is_not_an_atomic_number(self):
+        obj = self.valid()
+        obj["atomic_numbers"] = [True, 8]
+        with pytest.raises(SchemaError, match="atomic_numbers"):
+            StructurePayload.from_json_dict(obj)
+
+    def test_element_number_range_enforced(self):
+        obj = self.valid()
+        obj["atomic_numbers"] = [1, 200]
+        with pytest.raises(SchemaError, match=r"\[1, 118\]"):
+            StructurePayload.from_json_dict(obj)
+
+    def test_pbc_without_cell_rejected(self):
+        obj = self.valid()
+        obj["pbc"] = [True, True, True]
+        with pytest.raises(SchemaError, match="no cell"):
+            StructurePayload.from_json_dict(obj)
+
+    def test_bad_cell_shape_rejected(self):
+        obj = self.valid()
+        obj["cell"] = [[1.0, 0.0], [0.0, 1.0]]
+        with pytest.raises(SchemaError, match="cell"):
+            StructurePayload.from_json_dict(obj)
+
+
+class TestPredictRequest:
+    def test_round_trip_with_model(self):
+        graphs = make_molecule_graphs(2, seed=0)
+        request = PredictRequest.from_graphs(graphs, model="prod")
+        recovered = PredictRequest.from_json_dict(wire_round_trip(request.to_json_dict()))
+        assert recovered.model == "prod"
+        assert len(recovered.structures) == 2
+        for graph, structure in zip(graphs, recovered.structures):
+            assert np.array_equal(structure.positions, graph.positions)
+
+    def test_version_is_mandatory_and_checked(self):
+        request = PredictRequest.from_graphs(make_molecule_graphs(1, seed=0))
+        obj = request.to_json_dict()
+        obj["schema_version"] = "v0"
+        with pytest.raises(SchemaError, match="unsupported schema_version"):
+            PredictRequest.from_json_dict(obj)
+        del obj["schema_version"]
+        with pytest.raises(SchemaError, match="missing required"):
+            PredictRequest.from_json_dict(obj)
+
+    def test_empty_structures_rejected(self):
+        with pytest.raises(SchemaError, match="non-empty"):
+            PredictRequest.from_json_dict({"schema_version": "v1", "structures": []})
+
+    def test_oversized_request_rejected(self):
+        structure = {"atomic_numbers": [1], "positions": [[0.0, 0.0, 0.0]]}
+        obj = {"schema_version": "v1", "structures": [structure] * 2000}
+        with pytest.raises(SchemaError, match="at most"):
+            PredictRequest.from_json_dict(obj)
+
+    def test_non_string_model_rejected(self):
+        structure = {"atomic_numbers": [1], "positions": [[0.0, 0.0, 0.0]]}
+        obj = {"schema_version": "v1", "structures": [structure], "model": 7}
+        with pytest.raises(SchemaError, match="model"):
+            PredictRequest.from_json_dict(obj)
+
+
+class TestPredictResponse:
+    def payload(self) -> PredictionPayload:
+        return PredictionPayload(
+            key="k" * 64,
+            energy=-3.25,
+            forces=np.array([[0.1, -0.2, 0.3], [0.0, 0.5, -0.25]]),
+            n_atoms=2,
+            cached=False,
+            batch_graphs=3,
+            physical_units=True,
+            latency_s=0.002,
+        )
+
+    def test_round_trip_bit_exact(self):
+        response = PredictResponse(model="prod", results=[self.payload()])
+        recovered = PredictResponse.from_json_dict(wire_round_trip(response.to_json_dict()))
+        assert recovered.model == "prod"
+        (result,) = recovered.results
+        assert result.energy == -3.25
+        assert np.array_equal(result.forces, self.payload().forces)
+        assert result.batch_graphs == 3 and result.physical_units
+
+    def test_to_results_rebuilds_prediction_result(self):
+        (result,) = PredictResponse(model="m", results=[self.payload()]).to_results()
+        assert result.energy == -3.25
+        assert result.n_atoms == 2
+        assert result.cached is False
+        assert result.forces.shape == (2, 3)
+
+    def test_forces_shape_checked_against_n_atoms(self):
+        obj = PredictResponse(model="m", results=[self.payload()]).to_json_dict()
+        obj["results"][0]["n_atoms"] = 5
+        with pytest.raises(SchemaError, match="expected 5 rows"):
+            PredictResponse.from_json_dict(obj)
+
+
+class TestErrorPayload:
+    def test_round_trip_rebuilds_typed_error(self):
+        payload = ErrorPayload.from_error(OverloadedError("queue full"))
+        recovered = ErrorPayload.from_json_dict(wire_round_trip(payload.to_json_dict()))
+        error = recovered.to_error()
+        assert isinstance(error, OverloadedError)
+        assert error.http_status == 429
+        assert "queue full" in str(error)
+
+    def test_unknown_code_degrades_to_base_api_error(self):
+        payload = ErrorPayload(code="from_the_future", message="?", status=500)
+        error = payload.to_error()
+        assert type(error) is ApiError
+
+    def test_status_codes(self):
+        assert SchemaError("x").http_status == 400
+        assert UnknownModelError("x").http_status == 404
+        assert OverloadedError("x").http_status == 429
+
+
+class TestServerInfoAndStats:
+    def test_server_info_round_trip(self):
+        info = ServerInfo(models=[{"name": "a", "loaded": True}], default_model="a")
+        recovered = ServerInfo.from_json_dict(wire_round_trip(info.to_json_dict()))
+        assert recovered.default_model == "a"
+        assert recovered.models[0]["name"] == "a"
+        assert "POST /v1/predict" in recovered.endpoints
+
+    def test_stats_round_trip(self):
+        snapshot = StatsSnapshot(models={"a": {"serving": {"requests": 4}}})
+        recovered = StatsSnapshot.from_json_dict(wire_round_trip(snapshot.to_json_dict()))
+        assert recovered.models["a"]["serving"]["requests"] == 4
+
+
+class TestGoldenFiles:
+    """The committed fixtures pin the wire encoding itself.
+
+    parse -> re-emit must reproduce the golden dict *exactly* — if one
+    of these breaks, the change is a wire-format break and needs a
+    schema_version bump, not a fixture update.
+    """
+
+    @pytest.mark.parametrize(
+        "name, schema",
+        [
+            ("predict_request.json", PredictRequest),
+            ("predict_response.json", PredictResponse),
+            ("error_overloaded.json", ErrorPayload),
+            ("server_info.json", ServerInfo),
+        ],
+    )
+    def test_parse_reemit_identity(self, name, schema):
+        golden = json.loads((GOLDEN / name).read_text())
+        assert schema.from_json_dict(golden).to_json_dict() == golden
+
+    def test_golden_request_structures_build_graphs(self):
+        golden = json.loads((GOLDEN / "predict_request.json").read_text())
+        request = PredictRequest.from_json_dict(golden)
+        molecule, crystal = (s.to_graph(cutoff=4.0) for s in request.structures)
+        assert molecule.cell is None and molecule.n_edges > 0
+        assert crystal.pbc == (True, True, True) and crystal.n_edges > 0
+
+    def test_golden_error_carries_429(self):
+        golden = json.loads((GOLDEN / "error_overloaded.json").read_text())
+        error = ErrorPayload.from_json_dict(golden).to_error()
+        assert isinstance(error, OverloadedError)
+
+
+class TestStructuresFromJson:
+    def structure(self) -> dict:
+        return {"atomic_numbers": [1], "positions": [[0.0, 0.0, 0.0]]}
+
+    def test_accepts_request_list_and_single(self):
+        single = structures_from_json(self.structure())
+        listed = structures_from_json([self.structure(), self.structure()])
+        request = structures_from_json(
+            {"schema_version": "v1", "structures": [self.structure()]}
+        )
+        assert len(single) == 1 and len(listed) == 2 and len(request) == 1
+
+    def test_rejects_junk(self):
+        with pytest.raises(SchemaError):
+            structures_from_json(42)

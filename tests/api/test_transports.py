@@ -1,0 +1,135 @@
+"""Transport equivalence: one client, local or HTTP, identical numbers.
+
+The acceptance bar for the API redesign: a structure POSTed to
+``/v1/predict`` on a live server must come back **numerically
+identical** — energies and every force component bit-equal — to the
+same structure predicted through the in-process path.  The suite runs
+the same assertions against both transports (parametrized fixture), and
+pins both against a plain ``PredictionService`` reference.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    ApiServer,
+    Client,
+    DEFAULT_CUTOFF,
+    OverloadedError,
+    SchemaError,
+    StructurePayload,
+    UnknownModelError,
+)
+from repro.models import HydraModel, ModelConfig
+from repro.serving import ModelRegistry, PredictionService, ServiceConfig
+from tests.helpers import make_molecule_graphs, make_periodic_graphs
+
+
+def make_model() -> HydraModel:
+    return HydraModel(ModelConfig(hidden_dim=8, num_layers=2), seed=0)
+
+
+def make_registry() -> ModelRegistry:
+    registry = ModelRegistry()
+    registry.register_model("tiny", make_model())
+    return registry
+
+
+@pytest.fixture(params=["local", "http"])
+def client(request):
+    """The same Client over each transport; tests must not tell them apart."""
+    if request.param == "local":
+        with Client.local(make_registry(), workers=1) as local_client:
+            yield local_client
+    else:
+        with ApiServer(make_registry(), workers=1) as server:
+            with Client.http(server.url) as http_client:
+                yield http_client
+
+
+@pytest.fixture
+def structures():
+    graphs = make_molecule_graphs(3, seed=0) + make_periodic_graphs(1, seed=1)
+    return [StructurePayload.from_graph(graph) for graph in graphs]
+
+
+@pytest.fixture
+def reference(structures):
+    """In-process PredictionService over the same derived graphs."""
+    graphs = [structure.to_graph(DEFAULT_CUTOFF) for structure in structures]
+    return PredictionService(make_model(), ServiceConfig()).predict_many(graphs)
+
+
+class TestEquivalence:
+    def test_results_numerically_identical_to_in_process(
+        self, client, structures, reference
+    ):
+        results = client.predict(structures)
+        assert len(results) == len(reference)
+        for expected, result in zip(reference, results):
+            assert result.energy == expected.energy  # bit-equal, not allclose
+            assert np.array_equal(
+                result.forces, np.asarray(expected.forces, dtype=np.float64)
+            )
+            assert result.n_atoms == expected.n_atoms
+            assert result.key == expected.key
+            assert result.physical_units == expected.physical_units
+
+    def test_accepts_graphs_directly(self, client):
+        graph = make_molecule_graphs(1, seed=2)[0]
+        result = client.predict_one(graph)
+        assert result.n_atoms == graph.n_atoms
+        assert np.isfinite(result.energy)
+
+    def test_repeat_is_a_cache_hit_with_identical_numbers(self, client, structures):
+        first = client.predict(structures[:1])[0]
+        second = client.predict(structures[:1])[0]
+        assert first.cached is False
+        assert second.cached is True
+        assert second.energy == first.energy
+        assert np.array_equal(second.forces, first.forces)
+
+    def test_results_keep_request_order(self, client, structures):
+        results = client.predict(structures)
+        assert [r.n_atoms for r in results] == [
+            s.positions.shape[0] for s in structures
+        ]
+
+
+class TestTypedErrorsAcrossTransports:
+    def test_unknown_model_raises_same_type(self, client, structures):
+        with pytest.raises(UnknownModelError, match="nope"):
+            client.predict(structures[:1], model="nope")
+
+    def test_empty_request_raises_same_type(self, client):
+        """Local and HTTP must agree that zero structures is an error."""
+        with pytest.raises(SchemaError, match="non-empty"):
+            client.predict([])
+
+    def test_introspection_shapes_match(self, client):
+        info = client.server_info()
+        assert [model["name"] for model in info.models] == ["tiny"]
+        health = client.healthz()
+        assert health["status"] == "ok"
+        assert health["models"] == ["tiny"]
+
+    def test_stats_visible_after_traffic(self, client, structures):
+        client.predict(structures[:2])
+        snapshot = client.stats()
+        assert snapshot.models["tiny"]["serving"]["requests"] == 2
+
+
+@pytest.mark.parametrize("mode", ["local", "http"])
+def test_overload_raises_overloaded_error(mode):
+    """Admission control surfaces as the same typed error on both transports."""
+    config = ServiceConfig(max_pending=1, flush_interval_s=0.5)
+    graphs = make_molecule_graphs(6, seed=3)
+    if mode == "local":
+        with Client.local(make_registry(), config=config, workers=1) as client:
+            with pytest.raises(OverloadedError, match="queue full"):
+                client.predict(graphs)
+    else:
+        with ApiServer(make_registry(), config=config, workers=1) as server:
+            with Client.http(server.url) as client:
+                with pytest.raises(OverloadedError, match="queue full"):
+                    client.predict(graphs)

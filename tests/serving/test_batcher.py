@@ -11,6 +11,7 @@ from repro.serving import (
     FLUSH_TIMEOUT,
     MicroBatcher,
     ServeRequest,
+    ServiceOverloaded,
 )
 from tests.helpers import make_molecule_graphs
 
@@ -101,3 +102,86 @@ def test_validates_parameters():
         MicroBatcher(max_graphs=0)
     with pytest.raises(ValueError):
         MicroBatcher(flush_interval_s=-1.0)
+    with pytest.raises(ValueError):
+        MicroBatcher(max_pending=-1)
+
+
+def test_admission_control_rejects_at_the_bound():
+    requests = _requests(4)
+    # No consumer thread runs here, so rejection is deterministic even
+    # with an immediate timeout tick (which keeps next_batch() instant).
+    batcher = MicroBatcher(max_atoms=10**9, max_graphs=100, flush_interval_s=0.0, max_pending=2)
+    batcher.submit(requests[0])
+    batcher.submit(requests[1])
+    with pytest.raises(ServiceOverloaded, match="queue full"):
+        batcher.submit(requests[2])
+    # The rejection left the queue untouched and was counted.
+    assert batcher.pending_graphs == 2
+    assert batcher.rejected == 1
+    # Draining frees capacity: admission is about *current* depth.
+    assert len(batcher.next_batch()) == 2
+    batcher.submit(requests[2])
+    assert batcher.pending_graphs == 1
+
+
+def test_admission_control_disabled_by_default():
+    requests = _requests(6)
+    batcher = MicroBatcher(max_atoms=10**9, max_graphs=100, flush_interval_s=60.0)
+    for request in requests:
+        batcher.submit(request)
+    assert batcher.pending_graphs == 6
+    assert batcher.rejected == 0
+
+
+def test_service_surfaces_overload_and_keeps_serving():
+    """A rejected burst does not poison the service for later requests."""
+    from repro.models import HydraModel, ModelConfig
+    from repro.serving import PredictionService, ServiceConfig
+
+    model = HydraModel(ModelConfig(hidden_dim=8, num_layers=1), seed=0)
+    service = PredictionService(
+        model,
+        ServiceConfig(max_pending=1, flush_interval_s=0.5),
+    )
+    graphs = make_molecule_graphs(3, seed=5)
+    service.start(workers=1)
+    try:
+        # The first submit fills the bound; the second (well inside the
+        # 0.5 s flush tick, so nothing has drained) must be rejected.
+        admitted = service.submit(graphs[0])
+        with pytest.raises(ServiceOverloaded):
+            service.submit(graphs[1])
+        # Telemetry shows the rejection while the admitted request is
+        # unaffected, and once it drains the service accepts new work.
+        assert service.telemetry()["batching"]["rejected"] == 1
+        assert admitted.wait(10.0).n_atoms == graphs[0].n_atoms
+        result = service.predict(graphs[2])
+        assert result.n_atoms == graphs[2].n_atoms
+    finally:
+        service.stop()
+    assert service.telemetry()["batching"]["rejected"] == 1  # survives stop()
+
+
+def test_cache_hits_bypass_admission_control():
+    """A full queue must not reject requests the cache can answer."""
+    from repro.models import HydraModel, ModelConfig
+    from repro.serving import PredictionService, ServiceConfig
+
+    model = HydraModel(ModelConfig(hidden_dim=8, num_layers=1), seed=0)
+    service = PredictionService(model, ServiceConfig(max_pending=1, flush_interval_s=0.2))
+    graphs = make_molecule_graphs(3, seed=6)
+    warm = None
+    service.start(workers=1)
+    try:
+        warm = service.predict(graphs[0])  # populate the cache
+        # Fill the queue to its bound...
+        service.submit(graphs[1])
+        with pytest.raises(ServiceOverloaded):
+            service.submit(graphs[2])
+        # ...and the cached structure still resolves instantly.
+        hit = service.submit(graphs[0])
+        assert hit.done()
+        assert hit.wait(0).cached
+        assert hit.wait(0).energy == warm.energy
+    finally:
+        service.stop()

@@ -74,8 +74,32 @@ class TestDecisions:
         second = impl.forward(x, w, None)
         assert len(tuner) == 1  # no re-measurement
         np.testing.assert_allclose(first, second, atol=1e-6)
-        ((kernel, rows, cols),) = tuner.decisions().keys()
-        assert (kernel, rows, cols) == ("linear", 2048, 16)
+        ((kernel, rows, cols, dtype),) = tuner.decisions().keys()
+        assert (kernel, rows, cols, dtype) == ("linear", 2048, 16, "float32")
+
+    def test_dtype_is_part_of_the_key(self, _clean_tuner):
+        """A float32 decision must not be recycled for float64 traffic."""
+        tuner = _clean_tuner
+        tuner.min_work = 1
+        tuner.record("linear", 1000, 100, numpy_s=2.0, parallel_s=1.0, dtype="float32")
+        assert tuner.lookup("linear", 1000, 100, dtype="float32") == "parallel"
+        assert tuner.lookup("linear", 1000, 100, dtype="float64") is None
+        tuner.record("linear", 1000, 100, numpy_s=0.5, parallel_s=1.0, dtype="float64")
+        assert tuner.lookup("linear", 1000, 100, dtype="float64") == "numpy"
+        assert tuner.lookup("linear", 1000, 100, dtype="float32") == "parallel"
+        assert len(tuner) == 2
+
+    def test_auto_backend_measures_per_dtype(self, _clean_tuner):
+        tuner = _clean_tuner
+        tuner.min_work = 64
+        rng = np.random.default_rng(3)
+        impl = kernels.get_kernel("linear", "auto")
+        for dtype in (np.float32, np.float64):
+            x = rng.standard_normal((2000, 32)).astype(dtype)
+            w = rng.standard_normal((32, 16)).astype(dtype)
+            impl.forward(x, w, None)
+        dtypes = {key[3] for key in tuner.decisions()}
+        assert dtypes == {"float32", "float64"}
 
     def test_backward_without_decision_falls_back_to_numpy(self, _clean_tuner):
         rng = np.random.default_rng(1)
@@ -107,6 +131,31 @@ class TestPersistence:
         path.write_text('{"format": "something-else"}')
         with pytest.raises(ValueError, match="not an autotune cache"):
             Autotuner().load(path)
+
+    def test_load_ignores_old_format_versions(self, tmp_path):
+        """A v1 warm-start file degrades to a cold start, not a crash.
+
+        v1 keys had no dtype component, so its decisions are ambiguous
+        under the v2 key and must be dropped wholesale.
+        """
+        path = tmp_path / "old.json"
+        path.write_text(
+            '{"format": "repro-autotune-v1", "min_work": 65536, "decisions": '
+            '{"linear|4096|128": {"backend": "parallel", "numpy_s": 1.0, '
+            '"parallel_s": 0.2}}}'
+        )
+        fresh = Autotuner()
+        assert fresh.load(path) == 0
+        assert len(fresh) == 0
+
+    def test_service_tolerates_old_format_cache(self, tmp_path):
+        """ServiceConfig(autotune_cache=<v1 file>) must construct cleanly."""
+        from repro.serving import PredictionService, ServiceConfig
+
+        path = tmp_path / "old.json"
+        path.write_text('{"format": "repro-autotune-v1", "decisions": {}}')
+        model = HydraModel(ModelConfig(hidden_dim=8, num_layers=1), seed=0)
+        PredictionService(model, ServiceConfig(autotune_cache=str(path)))
 
     def test_service_warm_start_and_save(self, tmp_path):
         from repro.serving import PredictionService, ServiceConfig

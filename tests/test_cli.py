@@ -92,13 +92,75 @@ class TestPredict:
         assert main(["predict", "--graphs", "4", "--seed", "7"]) == 0
         assert capsys.readouterr().out == first
 
+    def test_input_file_with_json_output(self, capsys, tmp_path):
+        """--input (wire structures) + --json emits a valid PredictResponse."""
+        import json
+
+        from repro.api import PredictResponse
+
+        path = tmp_path / "structures.json"
+        path.write_text(
+            json.dumps(
+                [
+                    {
+                        "atomic_numbers": [1, 8, 1],
+                        "positions": [
+                            [0.0, 0.0, 0.0],
+                            [0.96, 0.0, 0.0],
+                            [1.2, 0.9, 0.0],
+                        ],
+                    }
+                ]
+            )
+        )
+        assert main(["predict", "--input", str(path), "--json"]) == 0
+        response = PredictResponse.from_json_dict(json.loads(capsys.readouterr().out))
+        assert response.model == "tiny"
+        assert len(response.results) == 1
+        assert response.results[0].n_atoms == 3
+        assert response.results[0].forces.shape == (3, 3)
+
+    def test_input_file_schema_error_is_clean(self, capsys, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('[{"atomic_numbers": [1], "positions": [[0, 0]]}]')
+        assert main(["predict", "--input", str(path)]) == 2
+        captured = capsys.readouterr()
+        assert "error:" in captured.err
+        assert "positions" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_missing_input_file_is_clean(self, capsys, tmp_path):
+        assert main(["predict", "--input", str(tmp_path / "nope.json")]) == 2
+        assert "error:" in capsys.readouterr().err
+
 
 class TestServe:
-    def test_session_summary(self, capsys):
+    def test_requires_a_mode(self, capsys):
+        """Bare `repro serve` must name its two modes, not guess one."""
+        assert main(["serve"]) == 2
+        err = capsys.readouterr().err
+        assert "--http" in err and "--selftest" in err
+
+    def test_modes_are_mutually_exclusive(self, capsys):
+        assert main(["serve", "--http", "0", "--selftest"]) == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_http_bad_autotune_cache_fails_at_startup(self, capsys, tmp_path):
+        """Misconfiguration must fail the process before it reports healthy."""
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"format": "something-else"}')
+        assert main(["serve", "--http", "0", "--autotune-cache", str(bad)]) == 2
+        captured = capsys.readouterr()
+        assert "error:" in captured.err
+        assert "autotune" in captured.err
+        assert "serving model" not in captured.out  # never claimed to be up
+
+    def test_selftest_session_summary(self, capsys):
         assert (
             main(
                 [
                     "serve",
+                    "--selftest",
                     "--graphs",
                     "6",
                     "--requests",
@@ -117,11 +179,12 @@ class TestServe:
         assert "throughput" in out
         assert "buffer pool" in out
 
-    def test_repeat_requests_hit_cache(self, capsys):
+    def test_selftest_repeat_requests_hit_cache(self, capsys):
         assert (
             main(
                 [
                     "serve",
+                    "--selftest",
                     "--graphs",
                     "4",
                     "--requests",
@@ -143,6 +206,32 @@ class TestServe:
         # steady state is all-hits, so the session must report some.
         hits = int(re.search(r"\((\d+) cache hits", out).group(1))
         assert hits > 0
+
+    def test_selftest_overload_is_a_clean_error(self, capsys):
+        """A queue bound smaller than the wave rejects with a hint, not a traceback."""
+        code = main(
+            [
+                "serve",
+                "--selftest",
+                "--graphs",
+                "8",
+                "--requests",
+                "8",
+                "--workers",
+                "1",
+                "--concurrency",
+                "8",
+                "--max-pending",
+                "1",
+                "--flush-interval",
+                "0.5",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "server overloaded" in captured.err
+        assert "--max-pending" in captured.err
+        assert "Traceback" not in captured.err
 
 
 class TestParser:
