@@ -511,7 +511,17 @@ class ServerInfo:
 
 @dataclass
 class StatsSnapshot:
-    """``GET /v1/stats`` body: per-model serving telemetry."""
+    """``GET /v1/stats`` body: per-model serving telemetry.
+
+    Each model's entry carries the service's telemetry sections
+    (``serving``, ``result_cache``, ``buffer_pool``, ``batching``,
+    ``engine``) plus — additively since this revision, still schema
+    ``v1`` — a ``plans`` section with the execution-plan cache counters
+    (``enabled``, ``plans_compiled``, ``plan_hits``, ``plan_misses``,
+    ``plan_fallbacks``, ``plan_hit_rate``, ``cached_plans``).  Sections
+    are additive by contract: snapshots written before a section existed
+    keep parsing, and clients must tolerate unknown sections.
+    """
 
     models: dict[str, dict] = field(default_factory=dict)
 

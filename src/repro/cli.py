@@ -162,6 +162,12 @@ def _add_serving_model_args(parser: argparse.ArgumentParser) -> None:
         "--autotune-cache",
         help="JSON file the autotuner warm-starts from and saves back to",
     )
+    parser.add_argument(
+        "--no-plan",
+        action="store_true",
+        help="disable traced execution plans (run every forward on the "
+        "op-by-op fast path instead of compiled per-bucket replays)",
+    )
 
 
 def _load_input_graphs(args: argparse.Namespace) -> list:
@@ -191,6 +197,7 @@ def _cmd_predict(args: argparse.Namespace) -> int:
                 max_graphs=args.max_graphs,
                 backend=args.backend,
                 autotune_cache=args.autotune_cache,
+                plan=not args.no_plan,
             ),
             normalizer=normalizer,
         )
@@ -241,6 +248,7 @@ def _service_config(args: argparse.Namespace):
         max_pending=args.max_pending,
         backend=args.backend,
         autotune_cache=args.autotune_cache,
+        plan=not args.no_plan,
     )
 
 
@@ -342,6 +350,7 @@ def _serve_selftest(args: argparse.Namespace) -> int:
         f"(budget: {config.max_atoms} atoms / {config.max_graphs} graphs, "
         f"tick {config.flush_interval_s * 1e3:.1f} ms, "
         f"backend {config.backend or 'default'}, "
+        f"plans {'on' if config.plan else 'off'}, "
         f"units {'physical' if normalizer is not None else 'normalized'})"
     )
     service.start(workers=args.workers)
@@ -367,11 +376,20 @@ def _serve_selftest(args: argparse.Namespace) -> int:
     print(service.summary().to_text())
     cache = service.cache.stats
     pool = service.pool.snapshot()
+    plans = service.telemetry()["plans"]
+    plan_line = (
+        f"execution plans : {plans.get('plans_compiled', 0)} compiled, "
+        f"{plans.get('plan_hits', 0)} hits / {plans.get('plan_misses', 0)} misses "
+        f"({plans.get('plan_hit_rate', 0.0):.1%} replayed)"
+        if plans["enabled"]
+        else "execution plans : disabled (--no-plan)"
+    )
     print(
         f"result cache    : {cache.hits} hits / {cache.misses} misses "
         f"({cache.hit_rate:.1%})\n"
         f"buffer pool     : {pool['hit_rate']:.1%} reuse, "
-        f"{pool['reserved_bytes'] / 1e6:.2f} MB reserved"
+        f"{pool['reserved_bytes'] / 1e6:.2f} MB reserved\n"
+        + plan_line
     )
     return 0
 

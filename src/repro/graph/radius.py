@@ -8,6 +8,8 @@ cutoff and queries a KD-tree over the replicated positions.
 
 from __future__ import annotations
 
+from itertools import chain
+
 import numpy as np
 from scipy.spatial import cKDTree
 
@@ -35,12 +37,28 @@ def radius_graph(positions: np.ndarray, cutoff: float) -> tuple[np.ndarray, np.n
     return edge_index, np.zeros((edge_index.shape[1], 3), dtype=DEFAULT_DTYPE)
 
 
+#: Memoized image ranges per (cell bytes, pbc, cutoff).  The HTTP server
+#: rebuilds edges per request, and screening traffic reuses a handful of
+#: cells across thousands of structures — the determinant/cross-product
+#: face geometry is identical every time.  Bounded by wholesale clearing
+#: (the entries are tiny; churn past the bound means keys barely repeat
+#: anyway).  Callers must not mutate the cached range arrays.
+_SHIFT_RANGES_CACHE: dict[tuple[bytes, tuple[bool, bool, bool], float], list[np.ndarray]] = {}
+_SHIFT_RANGES_CACHE_MAX = 256
+
+
 def _shift_ranges(cell: np.ndarray, pbc: tuple[bool, bool, bool], cutoff: float) -> list[np.ndarray]:
     """Integer image ranges per axis that can bring atoms within ``cutoff``.
 
     Uses the perpendicular distance between opposite cell faces, which is
-    exact for arbitrary (including triclinic) cells.
+    exact for arbitrary (including triclinic) cells.  Memoized on the
+    cell's bytes + pbc + cutoff: repeated ``build_edges`` calls with the
+    same cell (the serving hot path) skip the face-geometry recompute.
     """
+    key = (cell.tobytes(), tuple(bool(flag) for flag in pbc), float(cutoff))
+    cached = _SHIFT_RANGES_CACHE.get(key)
+    if cached is not None:
+        return cached
     ranges = []
     # Face distances: volume / area of the face spanned by the other two vectors.
     volume = abs(np.linalg.det(cell))
@@ -53,6 +71,9 @@ def _shift_ranges(cell: np.ndarray, pbc: tuple[bool, bool, bool], cutoff: float)
         height = volume / face_area
         reach = int(np.ceil(cutoff / height))
         ranges.append(np.arange(-reach, reach + 1))
+    if len(_SHIFT_RANGES_CACHE) >= _SHIFT_RANGES_CACHE_MAX:
+        _SHIFT_RANGES_CACHE.clear()
+    _SHIFT_RANGES_CACHE[key] = ranges
     return ranges
 
 
@@ -91,14 +112,17 @@ def periodic_radius_graph(
     # For every destination atom, find replicated sources within the cutoff.
     neighbor_lists = tree.query_ball_point(positions, r=cutoff)
 
-    # One concatenation instead of a per-destination Python loop: stack
-    # every hit, repeat the destination ids by per-atom hit counts, and
-    # build the self-edge mask array-wise.  Order matches the loop
-    # version exactly (destinations ascending, KD-tree order within).
-    counts = np.fromiter((len(hits) for hits in neighbor_lists), dtype=np.int64, count=n)
-    if int(counts.sum()) == 0:
+    # One flattening pass instead of a per-destination Python loop: the
+    # ball-point hit lists stream straight into a single index array
+    # (no per-list ndarray + concatenate), destination ids repeat by
+    # per-atom hit counts, and the self-edge mask is built array-wise.
+    # Order matches the loop version exactly (destinations ascending,
+    # KD-tree order within).
+    counts = np.fromiter(map(len, neighbor_lists), dtype=np.int64, count=n)
+    total = int(counts.sum())
+    if total == 0:
         return np.zeros((2, 0), dtype=np.int64), np.zeros((0, 3), dtype=DEFAULT_DTYPE)
-    hits = np.concatenate([np.asarray(h, dtype=np.int64) for h in neighbor_lists if len(h)])
+    hits = np.fromiter(chain.from_iterable(neighbor_lists), dtype=np.int64, count=total)
     dst_atoms = np.repeat(np.arange(n, dtype=np.int64), counts)
     src_atoms = source_atom[hits]
     images = source_shift[hits]

@@ -42,28 +42,58 @@ from repro.tensor.core import DEFAULT_DTYPE, Tensor, concat, gather, segment_sum
 from repro.tensor.rng import rng as make_rng, split_rng
 
 
+def edge_geometry_arrays_for(
+    batch: GraphBatch, cutoff: float, num_rbf: int
+) -> dict[str, np.ndarray]:
+    """Raw per-batch edge features, keyed by name, in final shapes.
+
+    The single source of truth for the geometry preprocessing shared by
+    :class:`EdgeGeometry` (which wraps these arrays into Tensors for the
+    layer stack) and the execution-plan prologue
+    (:mod:`repro.tensor.plan`, which feeds them to plan replay as named
+    inputs) — the two consumers must agree bit-for-bit.
+    """
+    src, dst = batch.edge_index
+    src = np.asarray(src, dtype=np.int64)
+    dst = np.asarray(dst, dtype=np.int64)
+    # Fused gather-diff kernel: one pass for vectors and clamped
+    # distances (the reference numpy chain is in AtomGraph.edge_vectors).
+    vectors, distances = kernels.edge_geometry_arrays(
+        batch.positions, batch.edge_shift, src, dst
+    )
+    envelope = cosine_cutoff(distances, cutoff).astype(DEFAULT_DTYPE)
+    # 1 / in-degree for the coordinate-update normalization.
+    degree = np.bincount(dst, minlength=batch.num_nodes).astype(DEFAULT_DTYPE)
+    inv_degree = 1.0 / np.maximum(degree, 1.0)
+    return {
+        "src": src,
+        "dst": dst,
+        "unit_vectors": (vectors / distances[:, None]).astype(DEFAULT_DTYPE),
+        "envelope": envelope.reshape(-1, 1),
+        "rbf": gaussian_rbf(distances, cutoff, num_rbf).astype(DEFAULT_DTYPE),
+        "inv_degree": inv_degree.reshape(-1, 1),
+    }
+
+
 class EdgeGeometry:
     """Precomputed per-batch edge features (constant across layers)."""
 
-    def __init__(self, batch: GraphBatch, cutoff: float, num_rbf: int) -> None:
-        src, dst = batch.edge_index
-        # Fused gather-diff kernel: one pass for vectors and clamped
-        # distances (the reference numpy chain is in AtomGraph.edge_vectors).
-        vectors, distances = kernels.edge_geometry_arrays(
-            batch.positions, batch.edge_shift, src, dst
-        )
-        self.src = src
-        self.dst = dst
+    def __init__(
+        self,
+        batch: GraphBatch,
+        cutoff: float,
+        num_rbf: int,
+        arrays: dict[str, np.ndarray] | None = None,
+    ) -> None:
+        if arrays is None:
+            arrays = edge_geometry_arrays_for(batch, cutoff, num_rbf)
+        self.src = arrays["src"]
+        self.dst = arrays["dst"]
         self.num_nodes = batch.num_nodes
-        self.unit_vectors = Tensor((vectors / distances[:, None]).astype(DEFAULT_DTYPE))
-        envelope = cosine_cutoff(distances, cutoff).astype(DEFAULT_DTYPE)
-        self.envelope = Tensor(envelope.reshape(-1, 1))
-        rbf = gaussian_rbf(distances, cutoff, num_rbf).astype(DEFAULT_DTYPE)
-        self.rbf = Tensor(rbf)
-        # 1 / in-degree for the coordinate-update normalization.
-        degree = np.bincount(dst, minlength=batch.num_nodes).astype(DEFAULT_DTYPE)
-        inv_degree = 1.0 / np.maximum(degree, 1.0)
-        self.inv_degree = Tensor(inv_degree.reshape(-1, 1))
+        self.unit_vectors = Tensor(arrays["unit_vectors"])
+        self.envelope = Tensor(arrays["envelope"])
+        self.rbf = Tensor(arrays["rbf"])
+        self.inv_degree = Tensor(arrays["inv_degree"])
 
 
 class EGNNLayer(Module):
@@ -168,6 +198,16 @@ class EGNNBackbone(Module):
         geometry = EdgeGeometry(batch, self.config.cutoff, self.config.num_rbf)
         h = self.embedding(batch.atomic_numbers)
         x = Tensor(np.zeros((batch.num_nodes, 3), dtype=DEFAULT_DTYPE))
+        h, x = self.run_layers(h, x, geometry)
+        return h, x, geometry
+
+    def run_layers(self, h: Tensor, x: Tensor, geometry: EdgeGeometry) -> tuple[Tensor, Tensor]:
+        """Run the layer stack on prepared inputs.
+
+        Split from :meth:`forward` so the execution-plan tracer can feed
+        its own bound input arrays through exactly the layers the normal
+        forward runs.
+        """
         for layer in self.layers:
             if self.config.checkpoint_activations:
                 h, x = checkpoint_multi(
@@ -175,4 +215,4 @@ class EGNNBackbone(Module):
                 )
             else:
                 h, x = layer(h, x, geometry)
-        return h, x, geometry
+        return h, x

@@ -18,6 +18,17 @@ from repro.nn.module import Module, Parameter
 from repro.tensor.core import DEFAULT_DTYPE, Tensor, segment_sum
 
 
+def mean_pool_inv_counts(node_graph: np.ndarray, num_graphs: int) -> np.ndarray:
+    """``(G, 1)`` reciprocal atom counts for mean pooling per graph.
+
+    Shared by :class:`GraphEnergyHead` and the execution-plan prologue
+    (:mod:`repro.tensor.plan`), which precomputes these weights per
+    replay batch and feeds them to the traced program as a named input.
+    """
+    counts = np.bincount(node_graph, minlength=num_graphs).astype(DEFAULT_DTYPE)
+    return (1.0 / np.maximum(counts, 1.0)).reshape(-1, 1)
+
+
 class GraphEnergyHead(Module):
     """Graph-level scalar head: per-node MLP then mean pool per graph."""
 
@@ -27,10 +38,16 @@ class GraphEnergyHead(Module):
             [config.hidden_dim, config.head_dim, 1], rng, activation=config.activation
         )
 
-    def forward(self, h: Tensor, node_graph: np.ndarray, num_graphs: int) -> Tensor:
+    def forward(
+        self,
+        h: Tensor,
+        node_graph: np.ndarray,
+        num_graphs: int,
+        inv_counts: Tensor | None = None,
+    ) -> Tensor:
         node_energy = self.mlp(h)
-        counts = np.bincount(node_graph, minlength=num_graphs).astype(DEFAULT_DTYPE)
-        inv_counts = Tensor((1.0 / np.maximum(counts, 1.0)).reshape(-1, 1))
+        if inv_counts is None:
+            inv_counts = Tensor(mean_pool_inv_counts(node_graph, num_graphs))
         return segment_sum(node_energy, node_graph, num_graphs) * inv_counts
 
 

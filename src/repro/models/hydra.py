@@ -16,6 +16,7 @@ from repro.models.heads import GraphEnergyHead, NodeForceHead
 from repro.nn.loss import mse_loss
 from repro.nn.module import Module
 from repro.tensor.core import Tensor, no_grad
+from repro.tensor.plan import PlanCache
 from repro.tensor.rng import rng as make_rng, split_rng
 
 
@@ -30,6 +31,9 @@ class HydraModel(Module):
         self.backbone = EGNNBackbone(config, backbone_rng)
         self.energy_head = GraphEnergyHead(config, energy_rng)
         self.force_head = NodeForceHead(config, force_rng)
+        #: Per-model traced execution plans, one per shape bucket.  The
+        #: no-grad inference entry points consult it; training never does.
+        self.plans = PlanCache(self)
 
     def forward(self, batch: GraphBatch) -> dict[str, Tensor]:
         """Predict normalized per-atom energy (graph) and forces (node)."""
@@ -38,29 +42,48 @@ class HydraModel(Module):
         forces = self.force_head(x)
         return {"energy": energy, "forces": forces}
 
-    def predict(self, batch: GraphBatch) -> dict[str, Tensor]:
+    def predict(self, batch: GraphBatch, plan: bool = True) -> dict[str, Tensor]:
         """Inference entry point: forward on the ``no_grad`` fast path.
 
         No autograd ``Function`` nodes are constructed and no
         intermediates are retained for backward (asserted in the test
         suite), which is what serving and evaluation loops should call.
+
+        With ``plan=True`` (the default) the per-model :class:`PlanCache`
+        serves the forward: the first batch of a shape bucket compiles a
+        traced execution plan, later batches replay it with zero Python
+        dispatch and bit-identical outputs.  ``plan=False`` (or any
+        batch the compiler refuses) runs the regular op-by-op fast path.
         """
         with no_grad():
+            if plan:
+                outputs = self.plans.run(batch)
+                if outputs is not None:
+                    return {
+                        name: Tensor._from_data(array, requires_grad=False)
+                        for name, array in outputs.items()
+                    }
             return self.forward(batch)
 
-    def serve(self, batch: GraphBatch) -> dict[str, np.ndarray]:
+    def serve(self, batch: GraphBatch, plan: bool = True) -> dict[str, np.ndarray]:
         """Predict and return plain numpy arrays (the serving contract).
 
-        Same ``no_grad`` fast path as :meth:`predict`, but the outputs
-        are *owned copies* as plain numpy arrays — ``energy`` is ``(G, 1)``
-        normalized per-atom energy per graph, ``forces`` is ``(N, 3)``
-        stacked over the batch's nodes.  ``Tensor.numpy()`` shares the
-        underlying buffer, which under an active :class:`BufferPool` is
-        recyclable scratch; copying here means result caches can hold
-        predictions indefinitely without pinning (or being corrupted by)
-        pool buffers.
+        Same ``no_grad`` fast path as :meth:`predict` (planned by
+        default, see there), but the outputs are *owned copies* as plain
+        numpy arrays — ``energy`` is ``(G, 1)`` normalized per-atom
+        energy per graph, ``forces`` is ``(N, 3)`` stacked over the
+        batch's nodes.  ``Tensor.numpy()`` shares the underlying buffer,
+        which under an active :class:`BufferPool` is recyclable scratch;
+        copying here means result caches can hold predictions
+        indefinitely without pinning (or being corrupted by) pool
+        buffers.
         """
-        predictions = self.predict(batch)
+        if plan:
+            with no_grad():
+                outputs = self.plans.run(batch)
+            if outputs is not None:
+                return outputs  # replay already hands out owned copies
+        predictions = self.predict(batch, plan=False)
         return {name: np.array(tensor.numpy()) for name, tensor in predictions.items()}
 
     def loss(

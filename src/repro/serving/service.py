@@ -93,6 +93,12 @@ class ServiceConfig:
     #: "auto"); None keeps the caller's/process default.  Validated at
     #: service construction against the registered backends.
     backend: str | None = None
+    #: Traced execution plans (:mod:`repro.tensor.plan`): with ``True``
+    #: (the default) the first forward of a shape bucket compiles a
+    #: plan and later forwards replay it with zero Python dispatch,
+    #: bit-identically.  ``False`` is the escape hatch (CLI
+    #: ``--no-plan``) forcing every forward down the op-by-op path.
+    plan: bool = True
     #: Autotuner decision cache (JSON).  Loaded at construction when the
     #: file exists (warm start), written back on stop() and after inline
     #: sessions that measured something new.  Note the autotuner itself
@@ -363,7 +369,7 @@ class PredictionService:
                     else nullcontext()
                 )
                 with dispatch, use_pool(self.pool):
-                    outputs = self.model.serve(batch)
+                    outputs = self.model.serve(batch, plan=self.config.plan)
                 duration = time.perf_counter() - start
                 self.stats.record_batch(batch.num_graphs, batch.num_nodes, duration)
                 for key, graph, energy, forces in zip(
@@ -435,8 +441,16 @@ class PredictionService:
                 reasons[reason] = reasons.get(reason, 0) + count
         return reasons
 
+    def _plan_telemetry(self) -> dict:
+        """Plan-cache counters for this service's model (JSON-ready)."""
+        payload: dict = {"enabled": bool(self.config.plan)}
+        plans = getattr(self.model, "plans", None)
+        if plans is not None:
+            payload.update(plans.telemetry())
+        return payload
+
     def telemetry(self) -> dict:
-        """JSON-ready stats: serving, result cache, buffer pool, engine."""
+        """JSON-ready stats: serving, result cache, buffer pool, plans, engine."""
         from repro.tensor.kernels import active_backend
 
         # Capture once: a concurrent stop() nulls the attribute between
@@ -446,6 +460,7 @@ class PredictionService:
             "serving": self.summary().as_dict(),
             "result_cache": self.cache.stats.as_dict(),
             "buffer_pool": self.pool.snapshot(),
+            "plans": self._plan_telemetry(),
             "batching": {
                 "max_atoms": self.config.max_atoms,
                 "max_graphs": self.config.max_graphs,

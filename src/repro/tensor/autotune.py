@@ -264,6 +264,21 @@ def default_autotuner() -> Autotuner:
     return _DEFAULT
 
 
+def resolve_backend(name: str, impl_args: tuple) -> str:
+    """The tuner's frozen answer for one concrete call, never ``None``.
+
+    Used by the execution-plan tracer to pin the ``auto`` backend's
+    per-bucket decision into a replayable step: ``impl_args`` is the
+    argument tuple in the registry implementation's ``forward`` order
+    (what :data:`_WORK_SHAPES` indexes).  A bucket the tuner has not
+    measured resolves to ``numpy`` — the same answer the proxy's
+    ``backward``/``geometry`` paths give an unmeasured shape.
+    """
+    rows, cols = _WORK_SHAPES[name](impl_args)
+    decision = default_autotuner().lookup(name, rows, cols, _work_dtype(impl_args))
+    return decision or "numpy"
+
+
 # ----------------------------------------------------------------------
 # The "auto" backend: one proxy per kernel.
 # ----------------------------------------------------------------------

@@ -85,18 +85,21 @@ def _drain_retired() -> None:
 
 
 class _GradState(threading.local):
-    """Thread-local grad mode + node counter.
+    """Thread-local grad mode + node counter + plan tracer.
 
     ``threading.local`` re-runs ``__init__`` in every thread that touches
     the instance, so each thread starts with recording *enabled* (the
     same default the process-global flag used to give the main thread)
     and its own node counter.  Concurrent model forwards — the serving
     workers, the parallel-backend shards — therefore cannot leak
-    ``no_grad`` state into each other.
+    ``no_grad`` state into each other.  ``tracer`` is the execution-plan
+    recorder (:mod:`repro.tensor.plan`), also per-thread so one worker's
+    plan compilation never captures another worker's ops.
     """
 
     def __init__(self) -> None:
         self.enabled = True
+        self.tracer = None
         self.counter = _NodeCounter()
         # The handle lives only in this thread's local dict; when the
         # thread dies the finalizer folds the counter into the retired
@@ -156,6 +159,30 @@ def enable_grad():
         _state.enabled = previous
 
 
+@contextmanager
+def tracing(tracer):
+    """Route this thread's no-grad op stream through ``tracer``.
+
+    While active, every ``Function.apply`` on the inference fast path
+    calls ``tracer.record(cls, arrays, kwargs)`` instead of
+    ``cls.infer`` directly — that is how the execution-plan compiler
+    (:mod:`repro.tensor.plan`) captures the resolved kernel sequence of
+    one forward.  Tracing composes with (and requires) ``no_grad``:
+    grad-recording ops are never traced.
+    """
+    previous = _state.tracer
+    _state.tracer = tracer
+    try:
+        yield tracer
+    finally:
+        _state.tracer = previous
+
+
+def active_tracer():
+    """The plan tracer capturing this thread's ops, or ``None``."""
+    return _state.tracer
+
+
 def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
     """Sum ``grad`` down to ``shape``, undoing numpy broadcasting."""
     if grad.shape == shape:
@@ -212,6 +239,9 @@ class Function:
             return out
         # Inference fast path: no Function node, no saved intermediates,
         # no defensive copies -- just the numpy compute.
+        tracer = _state.tracer
+        if tracer is not None:
+            return Tensor._from_data(tracer.record(cls, arrays, kwargs), requires_grad=False)
         return Tensor._from_data(cls.infer(*arrays, **kwargs), requires_grad=False)
 
 
@@ -835,6 +865,22 @@ class SegmentSum(Function):
     Implemented with a sparse incidence matrix, which is far faster than
     ``np.add.at`` for the edge counts realistic batches produce.
     """
+
+    #: Execution-plan protocol: a traced SegmentSum freezes to the
+    #: dispatch registry's ``segment_sum`` implementation, whose cached
+    #: incidence matrix computes the identical ``incidence @ flat``
+    #: product without rebuilding the CSR structure every replay.
+    kernel_name = "segment_sum"
+
+    @staticmethod
+    def infer_with(impl, a, segments=None, num_segments=None):
+        return impl.forward(a, segments, num_segments)
+
+    @staticmethod
+    def plan_impl(arrays, kwargs):
+        from repro.tensor.kernels import frozen_kernel
+
+        return frozen_kernel("segment_sum", (arrays[0],))
 
     def __init__(self, segments: np.ndarray, num_segments: int) -> None:
         self.segments = np.asarray(segments, dtype=np.int64)

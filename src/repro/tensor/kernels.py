@@ -65,6 +65,7 @@ import numpy as np
 
 from repro.tensor import allocator
 from repro.tensor.core import Function, Tensor, _unbroadcast
+from repro.tensor.core import SegmentSum as _CoreSegmentSum
 
 # ----------------------------------------------------------------------
 # Registry
@@ -169,6 +170,26 @@ def use_backend(name: str):
         yield
     finally:
         _dispatch.backends.pop()
+
+
+def frozen_kernel(name: str, impl_args: tuple):
+    """Resolve ``(impl, backend)`` with any autotune decision frozen.
+
+    The execution-plan tracer (:mod:`repro.tensor.plan`) calls this once
+    per recorded kernel step: replayed steps must dispatch straight to a
+    concrete implementation, so the ``auto`` proxy is resolved here to
+    its recorded per-bucket winner for ``impl_args`` (the arguments in
+    the registry implementation's ``forward`` order).  Replays then pay
+    neither the registry lookup nor the autotuner's bucket lookup.
+    """
+    backend = active_backend()
+    impl = get_kernel(name, backend=backend)
+    from repro.tensor import autotune
+
+    if isinstance(impl, autotune._AutoKernel):
+        backend = autotune.resolve_backend(name, impl_args)
+        impl = get_kernel(name, backend=backend)
+    return impl, backend
 
 
 def fusion_enabled() -> bool:
@@ -461,10 +482,19 @@ class _GatherDiffNumpy:
 
 
 # ----------------------------------------------------------------------
-# Autograd wrappers
+# Autograd wrappers.
+#
+# Besides ``forward``/``backward``/``infer``, each wrapper implements the
+# execution-plan protocol: ``kernel_name`` identifies the registry entry,
+# ``plan_impl(arrays, kwargs)`` resolves the frozen implementation for a
+# traced call (``arrays``/``kwargs`` exactly as ``apply`` received them),
+# and ``infer_with(impl, ...)`` is ``infer`` with the registry lookup
+# already done — the form plan replay calls in its tight loop.
 # ----------------------------------------------------------------------
 class FusedLinear(Function):
     """One-node ``x @ W (+ b)``."""
+
+    kernel_name = "linear"
 
     def forward(self, x, weight, bias=None):
         self.x, self.weight = x, weight
@@ -475,6 +505,14 @@ class FusedLinear(Function):
     def infer(x, weight, bias=None):
         return get_kernel("linear").forward(x, weight, bias)
 
+    @staticmethod
+    def infer_with(impl, x, weight, bias=None):
+        return impl.forward(x, weight, bias)
+
+    @staticmethod
+    def plan_impl(arrays, kwargs):
+        return frozen_kernel("linear", arrays)
+
     def backward(self, grad):
         needs = tuple(p.requires_grad for p in self.parents) + (False,) * (3 - len(self.parents))
         grads = get_kernel("linear").backward(grad, self.x, self.weight, self.bias_shape, needs)
@@ -483,6 +521,8 @@ class FusedLinear(Function):
 
 class FusedSiLU(Function):
     """One-node ``x * sigmoid(x)``."""
+
+    kernel_name = "silu"
 
     def forward(self, x):
         out, sig = get_kernel("silu").forward(x)
@@ -494,12 +534,35 @@ class FusedSiLU(Function):
         out, _ = get_kernel("silu").forward(x)
         return out
 
+    @staticmethod
+    def infer_with(impl, x):
+        out, _ = impl.forward(x)
+        return out
+
+    @staticmethod
+    def plan_impl(arrays, kwargs):
+        return frozen_kernel("silu", arrays)
+
     def backward(self, grad):
         return (get_kernel("silu").backward(grad, self.x, self.sig),)
 
 
 class EdgeMessageLinear(Function):
     """Fused ``gather -> concat -> linear`` over edges."""
+
+    kernel_name = "edge_message_linear"
+
+    @staticmethod
+    def infer_with(impl, h, feat, weight, bias=None, src=None, dst=None):
+        return impl.forward(h, feat, weight, bias, src, dst)
+
+    @staticmethod
+    def plan_impl(arrays, kwargs):
+        bias = arrays[3] if len(arrays) > 3 else None
+        return frozen_kernel(
+            "edge_message_linear",
+            (arrays[0], arrays[1], arrays[2], bias, kwargs["src"], kwargs["dst"]),
+        )
 
     def __init__(self, src: np.ndarray, dst: np.ndarray) -> None:
         self.src = np.asarray(src, dtype=np.int64)
@@ -528,6 +591,18 @@ class EdgeMessageLinear(Function):
 
 class ConcatLinear(Function):
     """Fused ``concat(parts, axis=1) @ W (+ b)``."""
+
+    kernel_name = "concat_linear"
+
+    @staticmethod
+    def infer_with(impl, *arrays, num_parts, has_bias):
+        bias = arrays[num_parts + 1] if has_bias else None
+        return impl.forward(arrays[:num_parts], arrays[num_parts], bias)
+
+    @staticmethod
+    def plan_impl(arrays, kwargs):
+        num_parts = kwargs["num_parts"]
+        return frozen_kernel("concat_linear", (tuple(arrays[:num_parts]), arrays[num_parts]))
 
     def __init__(self, num_parts: int, has_bias: bool) -> None:
         self.num_parts = num_parts
@@ -565,6 +640,12 @@ class CachedSegmentSum(Function):
     reconstructed every layer every step.
     """
 
+    # Plan protocol shared with core.SegmentSum — both ops freeze to the
+    # same registry kernel, so the freeze signature lives in one place.
+    kernel_name = "segment_sum"
+    infer_with = staticmethod(_CoreSegmentSum.infer_with)
+    plan_impl = staticmethod(_CoreSegmentSum.plan_impl)
+
     def __init__(self, segments: np.ndarray, num_segments: int) -> None:
         self.segments = np.asarray(segments, dtype=np.int64)
         self.num_segments = int(num_segments)
@@ -584,6 +665,16 @@ class CachedSegmentSum(Function):
 
 class MulSegmentSum(Function):
     """Fused ``segment_sum(a * b, segments, num_segments)``."""
+
+    kernel_name = "mul_segment_sum"
+
+    @staticmethod
+    def infer_with(impl, a, b, segments=None, num_segments=None):
+        return impl.forward(a, b, segments, num_segments)
+
+    @staticmethod
+    def plan_impl(arrays, kwargs):
+        return frozen_kernel("mul_segment_sum", (arrays[0],))
 
     def __init__(self, segments: np.ndarray, num_segments: int) -> None:
         self.segments = np.asarray(segments, dtype=np.int64)
@@ -608,6 +699,19 @@ class MulSegmentSum(Function):
 
 class GatherDiff(Function):
     """Fused ``pos[dst] - (pos[src] + shift)`` with hand-written backward."""
+
+    kernel_name = "gather_diff"
+
+    @staticmethod
+    def infer_with(impl, positions, shift=None, src=None, dst=None):
+        return impl.forward(positions, shift, src, dst)
+
+    @staticmethod
+    def plan_impl(arrays, kwargs):
+        shift = arrays[1] if len(arrays) > 1 else None
+        return frozen_kernel(
+            "gather_diff", (arrays[0], shift, kwargs["src"], kwargs["dst"])
+        )
 
     def __init__(self, src: np.ndarray, dst: np.ndarray) -> None:
         self.src = np.asarray(src, dtype=np.int64)

@@ -1,0 +1,689 @@
+"""Traced inference execution plans: compile one forward per shape bucket.
+
+The ``no_grad`` fast path (PR 1) skips autograd ``Function`` nodes but
+still pays full Python dispatch on every served forward: a ``Tensor``
+wrapper per op, a kernel-registry lookup per kernel, a backend/autotune
+decision per call, and a fresh buffer-pool request per scratch array.
+For a serving replica answering the same *shapes* of traffic all day,
+that cost should be paid once per shape bucket, not per request — the
+same argument that moved the autotuner to per-bucket decisions.
+
+This module is the tracing compiler that makes it so:
+
+- **Trace.**  :func:`compile_plan` runs one instrumented ``no_grad``
+  forward.  The engine's per-thread tracer hook
+  (:func:`repro.tensor.core.tracing`) hands every op to
+  :meth:`PlanTracer.record`, which resolves each argument to a *slot*
+  (a previous step's output), a *named input* (a batch-derived array the
+  prologue recomputes per replay), or a *baked constant* (model
+  parameters, scalar coercions).  Kernel ops are frozen to a concrete
+  registry implementation — the ``auto`` backend's per-bucket winner is
+  resolved **now** (:func:`repro.tensor.autotune.resolve_backend`), so
+  replays never consult the registry or the tuner again.
+- **Arena.**  A schedule-learning replay records the plan's ordered
+  scratch-acquire stream, computes each buffer's last-use step, and
+  assigns arena slots by liveness.  Later replays draw every pooled
+  buffer from a :class:`~repro.tensor.allocator.SequentialArena` —
+  recycled in plan order, zero malloc in steady state.  The learning
+  replay's outputs are verified bit-identical to the traced forward
+  before the plan is admitted.
+- **Replay.**  :meth:`ExecutionPlan.replay` recomputes the batch-derived
+  inputs (edge geometry, pooling weights — work the unplanned path does
+  too), then runs the step list as a tight loop over raw ndarrays: no
+  ``Tensor`` objects, no registry lookups, no autotune timing.
+
+Safety rails, because a wrong plan is worse than a slow one:
+
+- Any *unknown* array the tracer meets whose leading dimension matches
+  the trace batch's node or edge count raises :class:`PlanTraceError` —
+  a batch-dependent value almost slipped in as a constant.  Model code
+  routes such arrays through the registered inputs instead
+  (``EdgeGeometry``'s arrays, the energy head's pooling weights).
+- Symbolic segment counts: a ``num_segments`` kwarg is bound to the
+  ``num_nodes``/``num_graphs`` dimension it tracks (disambiguated by
+  which input array indexes the segments), so replays with a different
+  atom count in the same bucket reduce into the right number of rows.
+- :class:`PlanCache` keys plans on the autotuner's power-of-two buckets
+  of ``(nodes, edges, graphs)`` plus the active backend and fusion mode,
+  watches parameter storage identity (a rebound parameter array drops
+  every plan), and falls back to the unplanned path — permanently, per
+  key — whenever compilation refuses.
+"""
+
+from __future__ import annotations
+
+import functools
+import heapq
+import threading
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.tensor.allocator import SequentialArena, use_pool
+from repro.tensor.autotune import bucket
+from repro.tensor.core import DEFAULT_DTYPE, Tensor, no_grad, tracing
+from repro.tensor import kernels
+
+
+class PlanTraceError(RuntimeError):
+    """A forward could not be captured as a safely replayable plan."""
+
+
+# Argument-reference kinds inside a recorded step.
+_CONST = 0  # payload is the literal value (parameter array, scalar, int)
+_SLOT = 1  # payload is a slot index into the replay's value table
+_DIM = 2  # payload is a named batch dimension ("num_nodes", "num_graphs")
+
+#: Geometry inputs the prologue recomputes per replay batch, in the
+#: shapes :func:`repro.models.egnn.edge_geometry_arrays_for` produces.
+_GEOMETRY_INPUTS = ("src", "dst", "unit_vectors", "envelope", "rbf", "inv_degree")
+
+#: Arenas retained per plan; more concurrent replays than this simply
+#: allocate (and drop) extra arenas instead of queueing.
+_MAX_POOLED_ARENAS = 32
+
+
+class _Step:
+    """One replayable op: a frozen callable plus resolved argument refs."""
+
+    __slots__ = ("fn", "args", "kwargs", "out", "label", "kernel")
+
+    def __init__(self, fn, args, kwargs, out, label, kernel):
+        self.fn = fn
+        self.args = args  # tuple[(kind, payload), ...]
+        self.kwargs = kwargs  # dict[str, (kind, payload)]
+        self.out = out  # output slot index
+        self.label = label  # e.g. "FusedLinear[numpy]" — introspection only
+        self.kernel = kernel  # registry-backed op: may acquire pooled scratch
+
+
+class PlanTracer:
+    """Records one ``no_grad`` forward as a slot program.
+
+    Installed via :func:`repro.tensor.core.tracing`; ``record`` is
+    called by ``Function.apply`` in place of ``cls.infer``.  Holds a
+    strong reference to every array it has mapped so ``id``-keyed slot
+    resolution can never be confused by CPython reusing a freed object's
+    address mid-trace.
+    """
+
+    def __init__(
+        self,
+        dims: dict[str, int],
+        guard_dims: tuple[int, ...],
+        constants: list[np.ndarray],
+    ) -> None:
+        self.dims = dict(dims)
+        self._guard = {int(v) for v in guard_dims if int(v) > 0}
+        self._slot_of: dict[int, int] = {}
+        self._dim_for_slot: dict[int, str] = {}
+        self._known_constants = {id(array) for array in constants}
+        self._live: list = list(constants)
+        self.steps: list[_Step] = []
+        self.inputs: dict[str, int] = {}
+        self.outputs: dict[str, int] = {}
+        self.num_slots = 0
+
+    # ------------------------------------------------------------------
+    # binding
+    # ------------------------------------------------------------------
+    def bind(self, name: str, array: np.ndarray, dim: str | None = None) -> None:
+        """Register a named per-batch input array (optionally tracking ``dim``)."""
+        slot = self.num_slots
+        self.num_slots += 1
+        self.inputs[name] = slot
+        self._slot_of[id(array)] = slot
+        self._live.append(array)
+        if dim is not None:
+            self._dim_for_slot[slot] = dim
+
+    def mark_output(self, name: str, array: np.ndarray) -> None:
+        slot = self._slot_of.get(id(array))
+        if slot is None:
+            raise PlanTraceError(f"output {name!r} is not a traced value")
+        self.outputs[name] = slot
+
+    # ------------------------------------------------------------------
+    # recording (called from Function.apply)
+    # ------------------------------------------------------------------
+    def record(self, cls, arrays: tuple, kwargs: dict) -> np.ndarray:
+        args = tuple(self._ref(array) for array in arrays)
+        kw = {key: self._kwarg_ref(key, value, kwargs) for key, value in kwargs.items()}
+        # Execute through the normal infer path so the autotuner can
+        # measure a cold bucket *before* plan_impl freezes its decision.
+        out = cls.infer(*arrays, **kwargs)
+        if not isinstance(out, np.ndarray):
+            out = np.asarray(out)
+        fn, label = self._freeze(cls, arrays, kwargs)
+        slot = self.num_slots
+        self.num_slots += 1
+        self._slot_of[id(out)] = slot
+        self._live.append(out)
+        kernel = getattr(cls, "kernel_name", None) is not None
+        self.steps.append(_Step(fn, args, kw, slot, label, kernel))
+        return out
+
+    def _ref(self, value):
+        if isinstance(value, np.ndarray):
+            slot = self._slot_of.get(id(value))
+            if slot is not None:
+                return (_SLOT, slot)
+            self._check_bakeable(value)
+            self._live.append(value)
+        return (_CONST, value)
+
+    def _check_bakeable(self, array: np.ndarray) -> None:
+        """Refuse to bake an unknown array shaped like the batch."""
+        if id(array) in self._known_constants or array.ndim == 0:
+            return
+        if array.shape[0] in self._guard:
+            raise PlanTraceError(
+                f"op captured an unregistered array of batch-shaped {array.shape}; "
+                "it must be a named plan input, not a baked constant"
+            )
+
+    def _kwarg_ref(self, key: str, value, kwargs: dict):
+        if isinstance(value, np.ndarray):
+            return self._ref(value)
+        if key == "num_segments" and isinstance(value, int) and not isinstance(value, bool):
+            segments = kwargs.get("segments")
+            if isinstance(segments, np.ndarray):
+                dim = self._dim_for_slot.get(self._slot_of.get(id(segments)))
+                if dim is not None and self.dims[dim] == value:
+                    return (_DIM, dim)
+            matches = [name for name, dim in self.dims.items() if dim == value]
+            if len(matches) == 1:
+                return (_DIM, matches[0])
+            if matches:
+                raise PlanTraceError(
+                    f"segment count {value} is ambiguous between dims {matches}"
+                )
+        return (_CONST, value)
+
+    def _freeze(self, cls, arrays: tuple, kwargs: dict):
+        """The replay callable: registry-free for kernel-backed ops."""
+        if getattr(cls, "kernel_name", None) is None:
+            return cls.infer, cls.__name__
+        impl, backend = cls.plan_impl(arrays, kwargs)
+        return functools.partial(cls.infer_with, impl), f"{cls.__name__}[{backend}]"
+
+
+class _RecordingPool:
+    """Logs the acquire stream of the schedule-learning replay."""
+
+    def __init__(self) -> None:
+        self.events: list[tuple[int, int]] = []  # (step index, id(array))
+        self.arrays: list[np.ndarray] = []  # strong refs: keep ids unique
+        self.step = -1
+
+    def acquire(self, shape, dtype) -> np.ndarray:
+        array = np.empty(shape, dtype=dtype)
+        self.events.append((self.step, id(array)))
+        self.arrays.append(array)
+        return array
+
+
+class ExecutionPlan:
+    """A frozen kernel program for one (model, shape-bucket, dispatch mode)."""
+
+    def __init__(
+        self,
+        steps: list[_Step],
+        num_slots: int,
+        input_slots: dict[str, int],
+        output_slots: dict[str, int],
+        key: tuple,
+    ) -> None:
+        self.steps = steps
+        self.num_slots = num_slots
+        self.input_slots = input_slots
+        self.output_slots = output_slots
+        self.key = key
+        self._step_slots: dict[int, list[int]] = {}
+        self._arena_slots = 0
+        self._arenas: list[SequentialArena] = []
+        self._arena_lock = threading.Lock()
+        self._compile_replay()
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def labels(self) -> list[str]:
+        """Step labels in program order (introspection and tests)."""
+        return [step.label for step in self.steps]
+
+    # ------------------------------------------------------------------
+    # arena leasing (one arena per concurrent replay)
+    # ------------------------------------------------------------------
+    def _lease_arena(self) -> SequentialArena:
+        with self._arena_lock:
+            if self._arenas:
+                return self._arenas.pop()
+        arena = SequentialArena()
+        arena.configure(self._step_slots, self._arena_slots)
+        return arena
+
+    def _release_arena(self, arena: SequentialArena) -> None:
+        with self._arena_lock:
+            if len(self._arenas) < _MAX_POOLED_ARENAS:
+                self._arenas.append(arena)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def _compile_replay(self) -> None:
+        """Generate the replay function as straight-line Python source.
+
+        Interpreting the step list costs a few microseconds of ref
+        resolution per step — real money against sub-millisecond
+        forwards.  Generating one function with one call per step
+        (``v12 = fns[7](v5, v9, num_segments=num_nodes)``) leaves only
+        the frozen callables themselves between the input arrays and the
+        outputs.  ``A`` is the leased arena's ``begin_step``: every
+        kernel-backed step announces itself so scratch acquisitions are
+        addressed per step (the arena's divergence containment).  The
+        source is kept on ``self.source`` for inspection.
+        """
+        consts: list = []
+
+        def expr(ref) -> str:
+            kind, payload = ref
+            if kind == _SLOT:
+                return f"v{payload}"
+            if kind == _DIM:
+                return payload
+            consts.append(payload)
+            return f"consts[{len(consts) - 1}]"
+
+        lines = ["def _replay(inputs, dims, fns, consts, A):"]
+        for name in sorted(self.dims_used()):
+            lines.append(f"    {name} = dims[{name!r}]")
+        for name, slot in self.input_slots.items():
+            lines.append(f"    v{slot} = inputs[{name!r}]")
+        for index, step in enumerate(self.steps):
+            parts = [expr(ref) for ref in step.args]
+            parts += [f"{key}={expr(ref)}" for key, ref in step.kwargs.items()]
+            if step.kernel:
+                lines.append(f"    A({index})")
+            lines.append(f"    v{step.out} = fns[{index}]({', '.join(parts)})")
+        result = ", ".join(
+            f"{name!r}: v{slot}" for name, slot in self.output_slots.items()
+        )
+        lines.append(f"    return {{{result}}}")
+        self.source = "\n".join(lines)
+        namespace: dict = {}
+        exec(compile(self.source, "<execution-plan>", "exec"), {}, namespace)  # noqa: S102
+        self._consts = consts
+        self._fns = [step.fn for step in self.steps]
+        self._replay_fn = namespace["_replay"]
+
+    def dims_used(self) -> set[str]:
+        """Symbolic dimension names any step resolves at replay time."""
+        used: set[str] = set()
+        for step in self.steps:
+            for kind, payload in list(step.args) + list(step.kwargs.values()):
+                if kind == _DIM:
+                    used.add(payload)
+        return used
+
+    def _run_steps(self, slots: list, dims: dict[str, int], on_step=None) -> None:
+        steps = self.steps
+        for index in range(len(steps)):
+            step = steps[index]
+            if on_step is not None:
+                on_step(index)
+            args = [
+                slots[payload]
+                if kind == _SLOT
+                else (payload if kind == _CONST else dims[payload])
+                for kind, payload in step.args
+            ]
+            if step.kwargs:
+                kw = {
+                    key: (
+                        slots[payload]
+                        if kind == _SLOT
+                        else (payload if kind == _CONST else dims[payload])
+                    )
+                    for key, (kind, payload) in step.kwargs.items()
+                }
+                slots[step.out] = step.fn(*args, **kw)
+            else:
+                slots[step.out] = step.fn(*args)
+
+    def _seed_slots(self, inputs: dict[str, np.ndarray]) -> list:
+        slots: list = [None] * self.num_slots
+        for name, index in self.input_slots.items():
+            slots[index] = inputs[name]
+        return slots
+
+    def _collect_outputs(self, slots: list) -> dict[str, np.ndarray]:
+        """Owned copies of the output slots (see :meth:`replay`)."""
+        return {
+            name: np.array(slots[index]) for name, index in self.output_slots.items()
+        }
+
+    def replay(
+        self, inputs: dict[str, np.ndarray], dims: dict[str, int]
+    ) -> dict[str, np.ndarray]:
+        """Execute the plan on a new batch's prologue arrays."""
+        arena = self._lease_arena()
+        arena.reset()
+        try:
+            with use_pool(arena):
+                outputs = self._replay_fn(
+                    inputs, dims, self._fns, self._consts, arena.begin_step
+                )
+            # Copies: replayed outputs live in arena memory that the next
+            # replay will overwrite; results handed out must be owned.
+            return {name: np.array(value) for name, value in outputs.items()}
+        finally:
+            self._release_arena(arena)
+
+    # ------------------------------------------------------------------
+    # schedule learning (one pass, at compile time)
+    # ------------------------------------------------------------------
+    def learn_schedule(
+        self, inputs: dict[str, np.ndarray], dims: dict[str, int]
+    ) -> dict[str, np.ndarray]:
+        """Replay once through a recording pool; derive the arena schedule.
+
+        Returns the replay's outputs so the compiler can verify them
+        against the traced forward before admitting the plan.
+        """
+        recorder = _RecordingPool()
+        slots = self._seed_slots(inputs)
+
+        def mark(index: int) -> None:
+            recorder.step = index
+
+        with use_pool(recorder):
+            self._run_steps(slots, dims, on_step=mark)
+        outputs = self._collect_outputs(slots)
+        self._build_schedule(recorder, slots)
+        return outputs
+
+    def _build_schedule(self, recorder: _RecordingPool, slots: list) -> None:
+        horizon = len(self.steps)
+        # Last step reading each value slot (outputs live to the copy).
+        last_use = [-1] * self.num_slots
+        for index, step in enumerate(self.steps):
+            refs = list(step.args) + list(step.kwargs.values())
+            for kind, payload in refs:
+                if kind == _SLOT:
+                    last_use[payload] = index
+        for slot in self.output_slots.values():
+            last_use[slot] = horizon
+
+        # Acquires grouped by step.  Every acquire in a step gets the
+        # lifetime of the step's *output* — deliberately conservative:
+        # a replay-time implementation branch may make a different
+        # ordinal escape than the learning pass observed (the arena's
+        # divergence containment relies on whichever ordinal escapes
+        # being protected), so per-ordinal temporary-vs-output liveness
+        # would be unsound.  The cost is holding kernel temporaries a
+        # few steps longer; arena slot counts stay single-digit.
+        counts: dict[int, int] = {}
+        step_of_acquire: dict[int, int] = {}
+        for step_index, array_id in recorder.events:
+            counts[step_index] = counts.get(step_index, 0) + 1
+            step_of_acquire[array_id] = step_index
+
+        release: dict[int, int] = {}
+        for index in counts:
+            release[index] = max(index, last_use[self.steps[index].out])
+        # A view output pins its base buffer's whole step for the
+        # replay: the view's liveness is not tracked against the base.
+        for index, step in enumerate(self.steps):
+            value = slots[step.out]
+            if isinstance(value, np.ndarray) and value.base is not None:
+                owner = step_of_acquire.get(id(value.base))
+                if owner is not None:
+                    release[owner] = horizon
+
+        step_slots: dict[int, list[int]] = {}
+        free: list[int] = []
+        active: list[tuple[int, int]] = []  # (release step, arena slot)
+        num_arena_slots = 0
+        for step_index in sorted(counts):
+            while active and active[0][0] < step_index:
+                free.append(heapq.heappop(active)[1])
+            assigned = []
+            for _ in range(counts[step_index]):
+                if free:
+                    slot = free.pop()
+                else:
+                    slot = num_arena_slots
+                    num_arena_slots += 1
+                assigned.append(slot)
+                heapq.heappush(active, (release[step_index], slot))
+            step_slots[step_index] = assigned
+        self._step_slots = step_slots
+        self._arena_slots = num_arena_slots
+
+
+# ----------------------------------------------------------------------
+# prologue: the per-batch arrays every replay recomputes
+# ----------------------------------------------------------------------
+def plan_inputs(model, batch) -> tuple[dict[str, np.ndarray], dict[str, int]]:
+    """Named replay inputs + symbolic dims for ``batch``.
+
+    This is the work the unplanned path also does per forward (edge
+    geometry, pooling weights) plus the embedding range check the
+    replay would otherwise skip along with ``Embedding.forward``.
+    """
+    from repro.models.egnn import edge_geometry_arrays_for
+    from repro.models.heads import mean_pool_inv_counts
+
+    embedding = model.backbone.embedding
+    ids = np.asarray(batch.atomic_numbers, dtype=np.int64)
+    if ids.size and (ids.min() < 0 or ids.max() >= embedding.num_embeddings):
+        raise IndexError(
+            f"embedding ids out of range [0, {embedding.num_embeddings}): "
+            f"min={ids.min()}, max={ids.max()}"
+        )
+    node_graph = np.asarray(batch.node_graph, dtype=np.int64)
+    config = model.config
+    inputs = {
+        "atomic_numbers": ids,
+        "x0": np.zeros((batch.num_nodes, 3), dtype=DEFAULT_DTYPE),
+        "node_graph": node_graph,
+        "inv_counts": mean_pool_inv_counts(node_graph, batch.num_graphs),
+        **edge_geometry_arrays_for(batch, config.cutoff, config.num_rbf),
+    }
+    dims = {"num_nodes": int(batch.num_nodes), "num_graphs": int(batch.num_graphs)}
+    return inputs, dims
+
+
+def compile_plan(model, batch) -> tuple[ExecutionPlan, dict[str, np.ndarray]]:
+    """Trace one forward of ``model`` on ``batch`` into an :class:`ExecutionPlan`.
+
+    Returns ``(plan, outputs)`` where ``outputs`` are the verified
+    replay results for ``batch`` itself — compilation *is* this batch's
+    forward.  A cold bucket therefore pays three forward executions:
+    the traced forward, the interpreted schedule-learning replay, and
+    the generated production replay (both verified bit-exact against
+    the trace before the plan is admitted).
+
+    Raises :class:`PlanTraceError` when the forward cannot be captured
+    (activation checkpointing, a batch-shaped array the tracer cannot
+    account for, or a replay that fails bit-exact verification).
+    """
+    from repro.models.egnn import EdgeGeometry
+
+    if model.config.checkpoint_activations:
+        raise PlanTraceError("activation checkpointing has no replayable inference path")
+
+    inputs, dims = plan_inputs(model, batch)
+    tracer = PlanTracer(
+        dims=dims,
+        guard_dims=(batch.num_nodes, batch.num_edges, batch.num_graphs),
+        constants=[parameter.data for parameter in model.parameters()],
+    )
+    tracer.bind("atomic_numbers", inputs["atomic_numbers"])
+    tracer.bind("x0", inputs["x0"])
+    tracer.bind("node_graph", inputs["node_graph"], dim="num_graphs")
+    tracer.bind("inv_counts", inputs["inv_counts"])
+    tracer.bind("src", inputs["src"], dim="num_nodes")
+    tracer.bind("dst", inputs["dst"], dim="num_nodes")
+    for name in ("unit_vectors", "envelope", "rbf", "inv_degree"):
+        tracer.bind(name, inputs[name])
+
+    geometry = EdgeGeometry(
+        batch,
+        model.config.cutoff,
+        model.config.num_rbf,
+        arrays={name: inputs[name] for name in _GEOMETRY_INPUTS},
+    )
+    with no_grad(), tracing(tracer):
+        h = model.backbone.embedding(inputs["atomic_numbers"])
+        x = Tensor(inputs["x0"])
+        h, x = model.backbone.run_layers(h, x, geometry)
+        energy = model.energy_head(
+            h, inputs["node_graph"], batch.num_graphs, inv_counts=Tensor(inputs["inv_counts"])
+        )
+        forces = model.force_head(x)
+    tracer.mark_output("energy", energy.data)
+    tracer.mark_output("forces", forces.data)
+
+    plan = ExecutionPlan(
+        steps=tracer.steps,
+        num_slots=tracer.num_slots,
+        input_slots=tracer.inputs,
+        output_slots=tracer.outputs,
+        key=plan_key(batch),
+    )
+    # Two verification gates, both against the traced forward: the
+    # schedule-learning pass certifies the recorded step list, and a
+    # real replay certifies the *production* path — the generated
+    # function plus the arena it will actually run with.
+    learned = plan.learn_schedule(inputs, dims)
+    outputs = plan.replay(inputs, dims)
+    for name, traced in (("energy", energy.data), ("forces", forces.data)):
+        if not np.array_equal(learned[name], traced):
+            raise PlanTraceError(f"replayed {name!r} diverged from the traced forward")
+        if not np.array_equal(outputs[name], traced):
+            raise PlanTraceError(
+                f"generated replay of {name!r} diverged from the traced forward"
+            )
+    return plan, outputs
+
+
+def plan_key(batch) -> tuple:
+    """The cache key: autotuner shape buckets + dispatch mode.
+
+    Bucketing keeps each plan's arena shape-homogeneous and matches the
+    granularity of the autotune decisions frozen into the plan; the
+    backend and fusion components keep plans compiled under one dispatch
+    mode from replaying under another.
+    """
+    return (
+        bucket(batch.num_nodes),
+        bucket(batch.num_edges),
+        bucket(batch.num_graphs),
+        kernels.active_backend(),
+        kernels.fusion_enabled(),
+    )
+
+
+# ----------------------------------------------------------------------
+# the per-model cache
+# ----------------------------------------------------------------------
+@dataclass
+class PlanStats:
+    """Counters surfaced through serving telemetry and ``/v1/stats``."""
+
+    compiled: int = 0
+    hits: int = 0
+    misses: int = 0
+    fallbacks: int = 0
+
+    def as_dict(self) -> dict[str, float]:
+        served = self.hits + self.misses
+        return {
+            "plans_compiled": self.compiled,
+            "plan_hits": self.hits,
+            "plan_misses": self.misses,
+            "plan_fallbacks": self.fallbacks,
+            "plan_hit_rate": self.hits / served if served else 0.0,
+        }
+
+
+#: Cache marker for buckets whose compilation refused: stay unplanned.
+_FALLBACK = object()
+
+
+class PlanCache:
+    """Thread-safe per-model cache of compiled execution plans.
+
+    Owned by :class:`~repro.models.hydra.HydraModel`; ``run`` is the
+    single entry point the model's ``predict``/``serve`` consult.  A
+    compile race between two serving workers is benign — both compile,
+    the first insert wins, the loser's plan is discarded (its outputs
+    are still used for the request that triggered it).
+    """
+
+    def __init__(self, model) -> None:
+        self._model = model
+        self._plans: dict[tuple, object] = {}
+        self._lock = threading.Lock()
+        self._parameters: list | None = None  # traversal cached; model is fixed
+        self._param_ids: tuple[int, ...] | None = None
+        self.stats = PlanStats()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return sum(1 for plan in self._plans.values() if plan is not _FALLBACK)
+
+    def invalidate(self) -> None:
+        """Drop every plan (and fallback marker); next forwards recompile."""
+        with self._lock:
+            self._plans.clear()
+            self._param_ids = None
+
+    def telemetry(self) -> dict[str, float]:
+        payload = self.stats.as_dict()
+        payload["cached_plans"] = len(self)
+        return payload
+
+    def run(self, batch) -> dict[str, np.ndarray] | None:
+        """Planned outputs for ``batch``, or ``None`` → run unplanned."""
+        key = plan_key(batch)
+        parameters = self._parameters
+        if parameters is None:
+            parameters = self._parameters = self._model.parameters()
+        ids = tuple(id(parameter.data) for parameter in parameters)
+        # One locked section on the hot path: the parameter-rebind check
+        # (optimizers update in place, which baked references track for
+        # free; a rebound ``parameter.data`` drops every plan), the plan
+        # lookup, and the counter for whichever outcome this is.
+        with self._lock:
+            if self._param_ids is None:
+                self._param_ids = ids
+            elif ids != self._param_ids:
+                self._plans.clear()
+                self._param_ids = ids
+            plan = self._plans.get(key)
+            if plan is _FALLBACK:
+                self.stats.fallbacks += 1
+            elif plan is None:
+                self.stats.misses += 1
+            else:
+                self.stats.hits += 1
+        if plan is _FALLBACK:
+            return None
+        if plan is None:
+            try:
+                compiled, outputs = compile_plan(self._model, batch)
+            except PlanTraceError:
+                with self._lock:
+                    self.stats.fallbacks += 1
+                    self._plans.setdefault(key, _FALLBACK)
+                return None
+            with self._lock:
+                self.stats.compiled += 1
+                if self._plans.get(key) in (None, _FALLBACK):
+                    self._plans[key] = compiled
+            return outputs
+        inputs, dims = plan_inputs(self._model, batch)
+        return plan.replay(inputs, dims)

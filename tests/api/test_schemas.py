@@ -284,11 +284,27 @@ class TestGoldenFiles:
             ("predict_response.json", PredictResponse),
             ("error_overloaded.json", ErrorPayload),
             ("server_info.json", ServerInfo),
+            ("stats_snapshot.json", StatsSnapshot),
         ],
     )
     def test_parse_reemit_identity(self, name, schema):
         golden = json.loads((GOLDEN / name).read_text())
         assert schema.from_json_dict(golden).to_json_dict() == golden
+
+    def test_golden_stats_carry_plan_counters(self):
+        """The plans section is additive: new counters, same schema v1."""
+        golden = json.loads((GOLDEN / "stats_snapshot.json").read_text())
+        snapshot = StatsSnapshot.from_json_dict(golden)
+        plans = snapshot.models["default"]["plans"]
+        assert plans["enabled"] is True
+        assert {"plans_compiled", "plan_hits", "plan_misses"} <= plans.keys()
+
+    def test_stats_without_plans_section_still_parse(self):
+        """Snapshots from pre-plan servers must keep parsing (additive)."""
+        golden = json.loads((GOLDEN / "stats_snapshot.json").read_text())
+        del golden["models"]["default"]["plans"]
+        snapshot = StatsSnapshot.from_json_dict(golden)
+        assert "plans" not in snapshot.models["default"]
 
     def test_golden_request_structures_build_graphs(self):
         golden = json.loads((GOLDEN / "predict_request.json").read_text())

@@ -99,6 +99,9 @@ class TestRoutes:
         snapshot = StatsSnapshot.from_json_dict(payload)
         assert snapshot.models["tiny"]["serving"]["requests"] == 1
         assert "batching" in snapshot.models["tiny"]
+        plans = snapshot.models["tiny"]["plans"]
+        assert plans["enabled"] is True
+        assert plans["plans_compiled"] + plans["plan_fallbacks"] >= 1
 
 
 class TestErrorMapping:

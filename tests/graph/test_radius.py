@@ -190,6 +190,55 @@ class TestVectorizedEquivalence:
         assert shifts.shape == (0, 3)
 
 
+class TestShiftRangeMemoization:
+    """Repeated builds with one cell reuse the precomputed face geometry."""
+
+    def setup_method(self):
+        from repro.graph import radius
+
+        radius._SHIFT_RANGES_CACHE.clear()
+
+    def test_same_cell_bytes_reuse_cached_ranges(self):
+        from repro.graph.radius import _SHIFT_RANGES_CACHE, _shift_ranges
+
+        cell = np.array([[5.0, 0.0, 0.0], [1.5, 4.5, 0.0], [0.8, 1.1, 4.0]])
+        first = _shift_ranges(cell, (True, True, True), 2.4)
+        # A *copy* with the same bytes hits the same entry — the key is
+        # the cell's contents, not the array object.
+        second = _shift_ranges(cell.copy(), (True, True, True), 2.4)
+        assert all(a is b for a, b in zip(first, second))
+        assert len(_SHIFT_RANGES_CACHE) == 1
+
+    def test_cutoff_and_pbc_are_part_of_the_key(self):
+        from repro.graph.radius import _SHIFT_RANGES_CACHE, _shift_ranges
+
+        cell = np.diag([4.0, 4.0, 4.0])
+        _shift_ranges(cell, (True, True, True), 2.0)
+        _shift_ranges(cell, (True, True, True), 3.0)
+        _shift_ranges(cell, (True, False, True), 2.0)
+        assert len(_SHIFT_RANGES_CACHE) == 3
+
+    def test_memoized_build_edges_is_identical(self):
+        rng = np.random.default_rng(9)
+        cell = np.array([[5.0, 0.0, 0.0], [1.5, 4.5, 0.0], [0.8, 1.1, 4.0]])
+        positions = rng.uniform(0, 1, size=(10, 3)) @ cell
+        cold_edges, cold_shifts = periodic_radius_graph(
+            positions, cell, (True, True, True), 2.4
+        )
+        warm_edges, warm_shifts = periodic_radius_graph(
+            positions, cell, (True, True, True), 2.4
+        )
+        np.testing.assert_array_equal(cold_edges, warm_edges)
+        np.testing.assert_array_equal(cold_shifts, warm_shifts)
+
+    def test_cache_bound_is_enforced(self):
+        from repro.graph import radius
+
+        for index in range(radius._SHIFT_RANGES_CACHE_MAX + 8):
+            radius._shift_ranges(np.diag([4.0, 4.0, 4.0]), (True, True, True), 2.0 + index * 0.01)
+        assert len(radius._SHIFT_RANGES_CACHE) <= radius._SHIFT_RANGES_CACHE_MAX
+
+
 class TestMaxNeighbors:
     def test_cap_applies_per_destination(self):
         # A dense cluster: every atom sees all others without the cap.

@@ -290,7 +290,7 @@ class TestTelemetry:
 class TestFailurePropagation:
     def test_model_error_fails_waiters(self, graphs):
         class Broken:
-            def serve(self, batch):
+            def serve(self, batch, plan=True):
                 raise RuntimeError("backend down")
 
         service = PredictionService(HydraModel(CONFIG, seed=0))
