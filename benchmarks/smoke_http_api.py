@@ -45,8 +45,10 @@ def start_server(cache_path: str, *extra_args: str) -> tuple[subprocess.Popen, s
 
     Returns ``(process, base_url)`` once the CLI reports its ephemeral
     port.  Shared with ``tests/api/test_cli_http.py`` — the CLI's
-    "serving model ... on http://..." banner is load-bearing here, and
-    this helper is its single parser.
+    machine-readable ``bound_port=<port>`` line is load-bearing here
+    (the human banner is parsed only as a fallback), and this helper is
+    its single parser.  Binding port 0 and reading the kernel-assigned
+    port back means parallel CI jobs can never collide on a port.
     """
     env = dict(os.environ)
     src = str(Path(__file__).resolve().parents[1] / "src")
@@ -74,7 +76,10 @@ def start_server(cache_path: str, *extra_args: str) -> tuple[subprocess.Popen, s
     deadline = time.monotonic() + 60
     while True:
         line = process.stdout.readline()
-        match = re.search(r"on (http://[\d.]+:\d+)", line)
+        match = re.search(r"bound_port=(\d+)", line)
+        if match:
+            return process, f"http://127.0.0.1:{match.group(1)}"
+        match = re.search(r"on (http://[\d.]+:\d+)", line)  # pre-bound_port banner
         if match:
             return process, match.group(1)
         if not line or process.poll() is not None or time.monotonic() > deadline:

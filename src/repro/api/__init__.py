@@ -34,6 +34,7 @@ from repro.api.schemas import (
     StatsSnapshot,
     StructurePayload,
     TransportError,
+    UnavailableError,
     UnknownModelError,
     structures_from_json,
 )
@@ -61,6 +62,7 @@ __all__ = [
     "StatsSnapshot",
     "StructurePayload",
     "TransportError",
+    "UnavailableError",
     "UnknownModelError",
     "structures_from_json",
 ]

@@ -97,6 +97,19 @@ class RequestTimeout(ApiError):
     http_status = 504
 
 
+class UnavailableError(ApiError):
+    """No backend can take the request right now (draining or down).
+
+    Raised by the replica router when it is draining for shutdown or has
+    no healthy replica; unlike :class:`OverloadedError` (the service is
+    up but full — back off) this means "try another endpoint or wait for
+    the fleet to recover".
+    """
+
+    code = "unavailable"
+    http_status = 503
+
+
 class TransportError(ApiError):
     """The HTTP transport could not reach or understand the server."""
 
@@ -115,6 +128,7 @@ ERROR_TYPES = {
         OverloadedError,
         RequestTimeout,
         TransportError,
+        UnavailableError,
     )
 }
 
@@ -515,26 +529,76 @@ class StatsSnapshot:
 
     Each model's entry carries the service's telemetry sections
     (``serving``, ``result_cache``, ``buffer_pool``, ``batching``,
-    ``engine``) plus — additively since this revision, still schema
-    ``v1`` — a ``plans`` section with the execution-plan cache counters
-    (``enabled``, ``plans_compiled``, ``plan_hits``, ``plan_misses``,
-    ``plan_fallbacks``, ``plan_hit_rate``, ``cached_plans``).  Sections
-    are additive by contract: snapshots written before a section existed
-    keep parsing, and clients must tolerate unknown sections.
+    ``engine``) plus a ``plans`` section with the execution-plan cache
+    counters (``enabled``, ``plans_compiled``, ``plan_hits``,
+    ``plan_misses``, ``plan_fallbacks``, ``plan_hit_rate``,
+    ``cached_plans``).  Additive top-level fields, still schema ``v1``:
+
+    - ``uptime_s`` / ``pid`` — how long this server has been up and its
+      process id, which is what lets a client (or the replica
+      supervisor's tests) tell two replicas apart.
+    - ``replicas`` — present only on a replica *router's* snapshot: the
+      per-replica breakdown (health, in-flight, restarts, pid, and each
+      replica's own ``models`` telemetry), while ``models`` holds the
+      fleet-aggregated counters.
+    - ``router`` — the router's own counters (requests, rerouted,
+      rejected, proxy_errors, admitting).
+
+    Sections and fields are additive by contract: snapshots written
+    before a field existed keep parsing, and clients must tolerate
+    unknown sections inside each model entry.
     """
 
     models: dict[str, dict] = field(default_factory=dict)
+    uptime_s: float | None = None
+    pid: int | None = None
+    replicas: dict[str, dict] | None = None
+    router: dict | None = None
 
     def to_json_dict(self) -> dict:
-        return {"schema_version": SCHEMA_VERSION, "models": self.models}
+        payload: dict[str, Any] = {"schema_version": SCHEMA_VERSION, "models": self.models}
+        if self.uptime_s is not None:
+            payload["uptime_s"] = float(self.uptime_s)
+        if self.pid is not None:
+            payload["pid"] = int(self.pid)
+        if self.replicas is not None:
+            payload["replicas"] = self.replicas
+        if self.router is not None:
+            payload["router"] = self.router
+        return payload
 
     @classmethod
     def from_json_dict(cls, obj: dict) -> "StatsSnapshot":
-        _expect_keys(obj, {"schema_version", "models"}, set(), "stats")
+        _expect_keys(
+            obj,
+            {"schema_version", "models"},
+            {"uptime_s", "pid", "replicas", "router"},
+            "stats",
+        )
         _expect_version(obj, "stats")
         if not isinstance(obj["models"], dict):
             raise SchemaError("stats.models: expected an object keyed by model name")
-        return cls(models=obj["models"])
+        uptime_s = obj.get("uptime_s")
+        if uptime_s is not None and (
+            isinstance(uptime_s, bool) or not isinstance(uptime_s, (int, float))
+        ):
+            raise SchemaError("stats.uptime_s: expected a number")
+        pid = obj.get("pid")
+        if pid is not None and (isinstance(pid, bool) or not isinstance(pid, int)):
+            raise SchemaError("stats.pid: expected an int")
+        replicas = obj.get("replicas")
+        if replicas is not None and not isinstance(replicas, dict):
+            raise SchemaError("stats.replicas: expected an object keyed by replica id")
+        router = obj.get("router")
+        if router is not None and not isinstance(router, dict):
+            raise SchemaError("stats.router: expected an object")
+        return cls(
+            models=obj["models"],
+            uptime_s=None if uptime_s is None else float(uptime_s),
+            pid=pid,
+            replicas=replicas,
+            router=router,
+        )
 
 
 def structures_from_json(obj: Any) -> list[StructurePayload]:

@@ -36,7 +36,9 @@ concurrency with no extra locking here.
 from __future__ import annotations
 
 import json
+import os
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.api.schemas import (
@@ -89,6 +91,7 @@ class ApiGateway:
         self._services: dict[str, PredictionService] = {}
         self._lock = threading.Lock()
         self._closed = False
+        self._started_at = time.monotonic()
 
     # ------------------------------------------------------------------
     # model resolution
@@ -189,8 +192,13 @@ class ApiGateway:
     def stats(self) -> StatsSnapshot:
         with self._lock:
             services = dict(self._services)
+        # uptime_s/pid identify the process behind the numbers — the
+        # replica supervisor's stats aggregation and its restart tests
+        # both key on them.
         return StatsSnapshot(
-            models={name: service.telemetry() for name, service in services.items()}
+            models={name: service.telemetry() for name, service in services.items()},
+            uptime_s=round(time.monotonic() - self._started_at, 3),
+            pid=os.getpid(),
         )
 
     def healthz(self) -> dict:
@@ -353,6 +361,17 @@ class ApiServer:
     @property
     def port(self) -> int:
         return int(self._httpd.server_address[1])
+
+    @property
+    def bound_port(self) -> int:
+        """The OS-assigned listening port.
+
+        The socket is bound at construction, so this is always the real
+        port — with ``port=0`` it is the ephemeral one the kernel chose,
+        which is what the CLI's ``bound_port=`` stdout line, the CI
+        smoke, and the replica supervisor's startup handshake all read.
+        """
+        return self.port
 
     @property
     def url(self) -> str:

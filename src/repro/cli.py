@@ -21,8 +21,12 @@ Commands
     With ``--http PORT``: run the real HTTP prediction API
     (``POST /v1/predict``, ``GET /v1/models``/``healthz``/``stats``)
     over a :class:`~repro.serving.service.PredictionService`, shutting
-    down gracefully on SIGTERM/Ctrl-C.  With ``--selftest``: replay the
-    synthetic closed-loop serving session and print its telemetry.
+    down gracefully on SIGTERM/Ctrl-C.  Adding ``--replicas N`` scales
+    past the GIL: N replica worker processes (one engine each) behind
+    the async router, with health-checked restarts, SIGHUP rolling
+    restarts, and aggregated ``/v1/stats``.  With ``--selftest``:
+    replay the synthetic closed-loop serving session and print its
+    telemetry.
 """
 
 from __future__ import annotations
@@ -299,6 +303,10 @@ def _serve_http(args: argparse.Namespace) -> int:
         for signum in (signal.SIGINT, signal.SIGTERM)
     }
     server.start()
+    # Machine-readable port line for --http 0: the CI smoke, the replica
+    # supervisor's startup handshake, and any orchestrator parse this
+    # instead of scraping the human banner below.
+    print(f"bound_port={server.bound_port}", flush=True)
     print(
         f"serving model {args.model_name!r} on {server.url} "
         f"({args.workers} worker(s), budget {args.max_atoms} atoms / "
@@ -320,6 +328,111 @@ def _serve_http(args: argparse.Namespace) -> int:
         for signum, handler in previous.items():
             signal.signal(signum, handler)
     print("server stopped cleanly", flush=True)
+    return 0
+
+
+def _replica_args(args: argparse.Namespace) -> tuple[str, ...]:
+    """The per-replica ``repro serve`` argument list (fleet-uniform)."""
+    replica_args = [
+        "--workers",
+        str(args.workers),
+        "--max-atoms",
+        str(args.max_atoms),
+        "--max-graphs",
+        str(args.max_graphs),
+        "--max-pending",
+        str(args.max_pending),
+        "--flush-interval",
+        str(args.flush_interval),
+        "--model-name",
+        args.model_name,
+        "--seed",
+        str(args.seed),
+    ]
+    if args.checkpoint:
+        replica_args += ["--checkpoint", args.checkpoint]
+    else:
+        replica_args += ["--preset", args.preset]
+    if args.backend:
+        replica_args += ["--backend", args.backend]
+    if args.autotune_cache:
+        replica_args += ["--autotune-cache", args.autotune_cache]
+    if args.no_plan:
+        replica_args += ["--no-plan"]
+    return tuple(replica_args)
+
+
+def _serve_replicas(args: argparse.Namespace) -> int:
+    """Run the replica fleet: N worker processes behind the async router.
+
+    SIGTERM/SIGINT drain gracefully (router stops admitting, in-flight
+    requests finish, replicas exit 0); SIGHUP triggers a rolling restart
+    — each replica is drained, restarted, and re-admitted in turn, so a
+    new checkpoint or code deploy rolls out with zero dropped requests.
+    """
+    import signal
+    import threading
+
+    from repro.serving.replicas import ReplicaSpec, ReplicaStartupError, ReplicaSupervisor
+
+    supervisor = ReplicaSupervisor(
+        count=args.replicas,
+        spec=ReplicaSpec(args=_replica_args(args)),
+        host=args.host,
+        port=args.http,
+    )
+    try:
+        supervisor.start()
+    except (OSError, ValueError, ReplicaStartupError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        supervisor.close(drain_timeout_s=0.0)
+        return 2
+
+    stop = threading.Event()
+    rolling = threading.Event()
+
+    def _request_shutdown(signum, _frame) -> None:
+        print(f"received {signal.Signals(signum).name}", flush=True)
+        stop.set()
+
+    def _request_rolling_restart(_signum, _frame) -> None:
+        rolling.set()
+
+    handled = {signal.SIGINT: _request_shutdown, signal.SIGTERM: _request_shutdown}
+    if hasattr(signal, "SIGHUP"):
+        handled[signal.SIGHUP] = _request_rolling_restart
+    previous = {signum: signal.signal(signum, handler) for signum, handler in handled.items()}
+    print(f"bound_port={supervisor.bound_port}", flush=True)
+    pids = " ".join(str(pid) for pid in supervisor.pids().values())
+    print(
+        f"routing model {args.model_name!r} on {supervisor.url} across "
+        f"{args.replicas} replica(s) (pids: {pids}); SIGHUP = rolling restart",
+        flush=True,
+    )
+    print(
+        "endpoints: POST /v1/predict · GET /v1/models · GET /v1/healthz · GET /v1/stats",
+        flush=True,
+    )
+    try:
+        while not stop.wait(timeout=0.2):
+            if rolling.is_set():
+                rolling.clear()
+                print("rolling restart: draining and replacing replicas", flush=True)
+                new_pids = supervisor.rolling_restart()
+                print(
+                    "rolling restart complete (pids: "
+                    + " ".join(str(pid) for pid in new_pids.values())
+                    + ")",
+                    flush=True,
+                )
+        print(
+            "shutting down: draining in-flight requests, stopping replicas", flush=True
+        )
+    finally:
+        supervisor.close()
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+    print("supervisor stopped cleanly", flush=True)
     return 0
 
 
@@ -398,7 +511,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.http is not None and args.selftest:
         print("error: --http and --selftest are mutually exclusive", file=sys.stderr)
         return 2
+    if args.replicas < 0:
+        print("error: --replicas must be >= 0", file=sys.stderr)
+        return 2
+    if args.replicas > 0 and args.http is None:
+        print("error: --replicas requires --http PORT", file=sys.stderr)
+        return 2
     if args.http is not None:
+        if args.replicas > 0:
+            return _serve_replicas(args)
         return _serve_http(args)
     if args.selftest:
         return _serve_selftest(args)
@@ -478,6 +599,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve_parser.add_argument(
         "--host", default="127.0.0.1", help="bind address for --http (default: loopback)"
+    )
+    serve_parser.add_argument(
+        "--replicas",
+        type=int,
+        default=0,
+        metavar="N",
+        help="with --http: route across N replica worker processes "
+        "(one engine per process, GIL-free scaling); 0 = serve in-process "
+        "(default)",
     )
     serve_parser.add_argument(
         "--model-name",

@@ -3,7 +3,9 @@
 Structure-hash result cache → dynamic micro-batcher → fused
 ``HydraModel.serve`` forward, with a named-model registry and
 latency/throughput telemetry.  See :mod:`repro.serving.service` for the
-data flow.
+data flow.  :mod:`repro.serving.replicas` scales it past one process:
+a fork+exec replica supervisor and the async :mod:`~repro.serving.router`
+that load-balances ``/v1/predict`` across the fleet.
 """
 
 from repro.serving.batcher import (
@@ -18,6 +20,8 @@ from repro.serving.batcher import (
 from repro.serving.cache import CacheStats, ResultCache
 from repro.serving.hashing import structure_hash
 from repro.serving.registry import ModelRegistry, RegistryEntry
+from repro.serving.replicas import ReplicaSpec, ReplicaStartupError, ReplicaSupervisor
+from repro.serving.router import Router, aggregate_model_telemetry
 from repro.serving.service import PredictionResult, PredictionService, ServiceConfig
 from repro.serving.stats import ServingStats, StatsSummary, percentile
 
@@ -32,12 +36,17 @@ __all__ = [
     "PredictionResult",
     "PredictionService",
     "RegistryEntry",
+    "ReplicaSpec",
+    "ReplicaStartupError",
+    "ReplicaSupervisor",
     "ResultCache",
+    "Router",
     "ServeRequest",
     "ServiceConfig",
     "ServiceOverloaded",
     "ServingStats",
     "StatsSummary",
+    "aggregate_model_telemetry",
     "percentile",
     "structure_hash",
 ]

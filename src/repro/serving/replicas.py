@@ -1,0 +1,411 @@
+"""Multi-process replica serving: the supervisor behind the router.
+
+One Python process serves `/v1/predict` at roughly one core's worth of
+model forwards — every serving worker thread shares the GIL.  This
+module is the horizontal axis: :class:`ReplicaSupervisor` launches N
+independent **replica processes**, each a full ``repro serve --http 0``
+server with its own engine, :class:`~repro.serving.service.PredictionService`,
+plan cache, and autotune warm start from the shared JSON cache, and
+fronts them with the async :class:`~repro.serving.router.Router`.
+
+Process model
+-------------
+Replicas are spawned fork+exec (``subprocess.Popen`` of the CLI) rather
+than bare ``os.fork()``: the supervisor runs router and monitor threads,
+and forking a threaded process can duplicate held locks into the child —
+a fresh exec gives every replica a clean engine with nothing shared but
+the autotune cache file (whose saves are atomic and merging for exactly
+this reason).  Each child starts in its own session so a Ctrl-C against
+the supervisor's terminal doesn't race the children into shutdown before
+the router has drained.
+
+Startup handshake: the CLI prints ``bound_port=<port>`` once its
+listener is up *and* the model is warm (``ApiServer`` binds the
+ephemeral port; the gateway warms before the banner), so the supervisor
+registers a replica with the router the moment that line appears.
+
+Lifecycle
+---------
+- **Health.**  A monitor thread probes every replica's ``/v1/healthz``
+  each ``probe_interval_s`` and respawns any process that died —
+  ``kill -9`` a worker and the router reroutes its traffic while the
+  supervisor brings up a replacement.
+- **Graceful drain** (:meth:`ReplicaSupervisor.close`): the router stops
+  admitting (new predicts → 503), in-flight requests finish, then every
+  replica gets SIGTERM and takes its own graceful path (drain queue,
+  save autotune cache, exit 0).
+- **Rolling restart** (:meth:`ReplicaSupervisor.rolling_restart`): one
+  replica at a time is drained (router stops routing to it, its
+  in-flight requests complete), restarted, and re-admitted once healthy.
+  With ≥2 replicas no request fails; with 1 replica there is a brief
+  503 window — that is the price of a one-replica fleet, not a bug.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+import urllib.request
+from collections import deque
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.serving.router import Router
+
+#: The CLI's machine-readable startup line (also parsed by
+#: ``benchmarks/smoke_http_api.py``).
+_BOUND_PORT_RE = re.compile(r"bound_port=(\d+)")
+
+#: Replica stdout lines kept for crash diagnostics.
+_LOG_TAIL = 50
+
+
+class ReplicaStartupError(RuntimeError):
+    """A replica process failed to come up; carries its output tail."""
+
+
+@dataclass(frozen=True)
+class ReplicaSpec:
+    """How to launch one replica.
+
+    ``args`` is appended to ``repro serve --http 0 --host <host>`` — the
+    model and serving knobs (``--preset``/``--checkpoint``, ``--workers``,
+    ``--autotune-cache``, ...), identical for every replica in the fleet.
+    """
+
+    args: tuple[str, ...] = ()
+    startup_timeout_s: float = 120.0
+
+
+class _ReplicaHandle:
+    """Supervisor-side record of one replica process."""
+
+    def __init__(self, replica_id: int) -> None:
+        self.replica_id = replica_id
+        self.process: subprocess.Popen | None = None
+        self.port: int = 0
+        self.restarts = 0
+        self.stopping = False  # a deliberate stop; the monitor must not respawn
+        self.failed_probes = 0
+        self.log: deque[str] = deque(maxlen=_LOG_TAIL)
+        self._drainer: threading.Thread | None = None
+
+    @property
+    def pid(self) -> int:
+        return self.process.pid if self.process is not None else 0
+
+    def start_drainer(self) -> None:
+        """Consume the child's stdout so it can never block on a full pipe."""
+        process = self.process
+
+        def drain() -> None:
+            for line in process.stdout:
+                self.log.append(line.rstrip("\n"))
+
+        self._drainer = threading.Thread(
+            target=drain, name=f"replica-{self.replica_id}-stdout", daemon=True
+        )
+        self._drainer.start()
+
+
+class ReplicaSupervisor:
+    """N replica processes + the router + the health/restart loop."""
+
+    def __init__(
+        self,
+        count: int,
+        spec: ReplicaSpec,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        probe_interval_s: float = 0.5,
+        probe_failures_before_unhealthy: int = 3,
+    ) -> None:
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        self.count = int(count)
+        self.spec = spec
+        self.router = Router(host=host, port=port)
+        self.probe_interval_s = float(probe_interval_s)
+        self.probe_failures_before_unhealthy = int(probe_failures_before_unhealthy)
+        self._handles = [_ReplicaHandle(replica_id) for replica_id in range(self.count)]
+        self._mutate = threading.Lock()  # serializes restarts vs. the monitor
+        self._stop = threading.Event()
+        self._monitor: threading.Thread | None = None
+        self._started = False
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # address / introspection
+    # ------------------------------------------------------------------
+    @property
+    def bound_port(self) -> int:
+        return self.router.bound_port
+
+    @property
+    def url(self) -> str:
+        return self.router.url
+
+    def pids(self) -> dict[int, int]:
+        return {handle.replica_id: handle.pid for handle in self._handles}
+
+    def describe(self) -> dict:
+        """Supervisor + router view of the fleet (JSON-ready)."""
+        routing = self.router.snapshot()
+        return {
+            "replicas": {
+                handle.replica_id: {
+                    "pid": handle.pid,
+                    "port": handle.port,
+                    "restarts": handle.restarts,
+                    "alive": handle.process is not None and handle.process.poll() is None,
+                    "routing": routing.get(handle.replica_id),
+                }
+                for handle in self._handles
+            },
+            "admitting": self.router.admitting,
+        }
+
+    # ------------------------------------------------------------------
+    # spawn plumbing
+    # ------------------------------------------------------------------
+    def _command(self) -> list[str]:
+        return [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--http",
+            "0",
+            "--host",
+            self.router.replica_host,
+            *self.spec.args,
+        ]
+
+    def _environment(self) -> dict[str, str]:
+        env = dict(os.environ)
+        src_dir = str(Path(__file__).resolve().parents[2])
+        existing = env.get("PYTHONPATH")
+        if not existing or src_dir not in existing.split(os.pathsep):
+            env["PYTHONPATH"] = src_dir + (os.pathsep + existing if existing else "")
+        return env
+
+    def _spawn(self, handle: _ReplicaHandle) -> None:
+        """Launch one replica and block until it reports its bound port."""
+        process = subprocess.Popen(
+            self._command(),
+            env=self._environment(),
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            start_new_session=True,
+        )
+        deadline = time.monotonic() + self.spec.startup_timeout_s
+        port: int | None = None
+        while True:
+            line = process.stdout.readline()
+            if line:
+                handle.log.append(line.rstrip("\n"))
+                match = _BOUND_PORT_RE.search(line)
+                if match:
+                    port = int(match.group(1))
+                    break
+            if not line or process.poll() is not None or time.monotonic() > deadline:
+                process.kill()
+                process.wait()
+                tail = "\n".join(handle.log)
+                raise ReplicaStartupError(
+                    f"replica {handle.replica_id} never reported bound_port "
+                    f"(exit={process.poll()}):\n{tail}"
+                )
+        handle.process = process
+        handle.port = port
+        handle.stopping = False
+        handle.failed_probes = 0
+        handle.start_drainer()
+
+    def _terminate(self, handle: _ReplicaHandle, timeout_s: float = 30.0) -> None:
+        """SIGTERM one replica and wait for its graceful exit."""
+        process = handle.process
+        if process is None:
+            return
+        handle.stopping = True
+        if process.poll() is None:
+            try:
+                process.send_signal(signal.SIGTERM)
+            except (ProcessLookupError, OSError):
+                pass
+            try:
+                process.wait(timeout=timeout_s)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                process.wait()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "ReplicaSupervisor":
+        """Spawn every replica (in parallel), bind the router, start health."""
+        if self._started:
+            raise RuntimeError("supervisor already started")
+        self._started = True
+        errors: list[BaseException] = []
+
+        def spawn(handle: _ReplicaHandle) -> None:
+            try:
+                self._spawn(handle)
+            except BaseException as error:  # noqa: BLE001 - collected below
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=spawn, args=(handle,), daemon=True)
+            for handle in self._handles
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if errors:
+            self._kill_all()
+            raise ReplicaStartupError(
+                f"{len(errors)}/{self.count} replicas failed to start: {errors[0]}"
+            )
+        self.router.start()
+        for handle in self._handles:
+            self.router.set_replica(
+                handle.replica_id, handle.port, handle.pid, restarts=handle.restarts
+            )
+        self._monitor = threading.Thread(
+            target=self._monitor_loop, name="replica-monitor", daemon=True
+        )
+        self._monitor.start()
+        return self
+
+    def close(self, drain_timeout_s: float = 30.0) -> None:
+        """Graceful shutdown: stop admitting, drain, SIGTERM the fleet."""
+        if self._closed:
+            return
+        self._closed = True
+        self._stop.set()
+        if self._monitor is not None:
+            self._monitor.join(timeout=10.0)
+        self.router.stop_admitting()
+        self.router.wait_idle(drain_timeout_s)
+        with self._mutate:
+            for handle in self._handles:
+                handle.stopping = True
+                process = handle.process
+                if process is not None and process.poll() is None:
+                    try:
+                        process.send_signal(signal.SIGTERM)
+                    except (ProcessLookupError, OSError):
+                        pass
+            for handle in self._handles:
+                process = handle.process
+                if process is not None:
+                    try:
+                        process.wait(timeout=30.0)
+                    except subprocess.TimeoutExpired:
+                        process.kill()
+                        process.wait()
+        self.router.close()
+
+    def _kill_all(self) -> None:
+        for handle in self._handles:
+            process = handle.process
+            if process is not None and process.poll() is None:
+                process.kill()
+                process.wait()
+
+    def __enter__(self) -> "ReplicaSupervisor":
+        if not self._started:
+            self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # health + restart
+    # ------------------------------------------------------------------
+    def _probe(self, handle: _ReplicaHandle) -> bool:
+        url = f"http://{self.router.replica_host}:{handle.port}/v1/healthz"
+        try:
+            with urllib.request.urlopen(url, timeout=2.0) as response:
+                return json.loads(response.read()).get("status") == "ok"
+        except (OSError, ValueError):
+            return False
+
+    def _monitor_loop(self) -> None:
+        while not self._stop.wait(self.probe_interval_s):
+            for handle in self._handles:
+                if self._stop.is_set():
+                    return
+                with self._mutate:
+                    if handle.stopping:
+                        continue
+                    process = handle.process
+                    if process is not None and process.poll() is not None:
+                        # The process died underneath us: stop routing to
+                        # it and bring up a replacement in its slot.
+                        self.router.set_health(handle.replica_id, False)
+                        self._respawn(handle)
+                        continue
+                if self._probe(handle):
+                    handle.failed_probes = 0
+                    self.router.set_health(handle.replica_id, True)
+                else:
+                    handle.failed_probes += 1
+                    if handle.failed_probes >= self.probe_failures_before_unhealthy:
+                        self.router.set_health(handle.replica_id, False)
+
+    def _respawn(self, handle: _ReplicaHandle) -> None:
+        """Replace a dead replica's process (caller holds ``_mutate``)."""
+        try:
+            self._spawn(handle)
+        except ReplicaStartupError as error:
+            # Leave the slot unhealthy; the next monitor tick retries.
+            handle.log.append(f"respawn failed: {error}")
+            return
+        handle.restarts += 1
+        self.router.set_replica(
+            handle.replica_id, handle.port, handle.pid, restarts=handle.restarts
+        )
+
+    # ------------------------------------------------------------------
+    # rolling restart
+    # ------------------------------------------------------------------
+    def rolling_restart(self, drain_timeout_s: float = 60.0) -> dict[int, int]:
+        """Restart every replica one at a time without dropping requests.
+
+        Per replica: the router stops routing new requests to it, its
+        in-flight requests complete, it is SIGTERMed (graceful: drains
+        its own queue, saves the autotune cache), a replacement is
+        spawned in the same slot, and routing resumes once the new
+        process reports its port.  Returns {replica_id: new pid}.
+        """
+        new_pids: dict[int, int] = {}
+        for handle in self._handles:
+            with self._mutate:
+                self.router.set_draining(handle.replica_id, True)
+                deadline = time.monotonic() + drain_timeout_s
+                while (
+                    self.router.replica_in_flight(handle.replica_id) > 0
+                    and time.monotonic() < deadline
+                ):
+                    time.sleep(0.02)
+                self._terminate(handle)
+                self._spawn(handle)
+                handle.restarts += 1
+                self.router.set_replica(
+                    handle.replica_id, handle.port, handle.pid, restarts=handle.restarts
+                )
+                # set_replica builds a fresh (healthy, non-draining) entry,
+                # so the slot is immediately routable again.
+                new_pids[handle.replica_id] = handle.pid
+        return new_pids

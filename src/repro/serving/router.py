@@ -1,0 +1,709 @@
+"""Async front-end router: one listening socket, N replica backends.
+
+The GIL bounds a single Python process no matter how many serving
+worker threads it runs — model forwards are CPU-bound, so `/v1/predict`
+throughput plateaus at roughly one core.  The replica subsystem breaks
+that plateau by running N *processes* (see
+:mod:`repro.serving.replicas`) and putting this router in front:
+
+- **One socket in, N sockets out.**  Clients speak the ordinary v1
+  HTTP/JSON API to the router; the router forwards ``POST /v1/predict``
+  bodies *verbatim* to a replica's own :class:`~repro.api.server.ApiServer`
+  over loopback TCP and relays the response bytes back.  The v1 wire
+  schema **is** the inter-process protocol — no second serialization
+  layer, and anything a replica can say to a client it can say through
+  the router.
+- **Least-in-flight load balancing** with round-robin tie-breaking,
+  skipping replicas that are unhealthy or draining.
+- **Rerouting.**  A connection-level failure (refused, reset, truncated)
+  marks the replica unhealthy and retries the request on another one, so
+  a crashed worker costs a few milliseconds, not a failed request.
+  Timeouts are *not* rerouted — a slow model forward retried elsewhere
+  would double the load exactly when the fleet is slowest.
+- **Draining.**  :meth:`Router.stop_admitting` turns new predicts into
+  503s while in-flight ones finish (:meth:`Router.wait_idle`);
+  :meth:`Router.set_draining` does the same for a single replica, which
+  is what makes rolling restarts lossless.
+- **Aggregated telemetry.**  ``GET /v1/stats`` fans out to every live
+  replica, merges the per-model counters (:func:`aggregate_model_telemetry`
+  — plan counters included) and reports a per-replica breakdown plus the
+  router's own request/reroute/reject counters.
+
+The router is a single ``asyncio`` event loop on a daemon thread: it
+only shuffles bytes between sockets, so one async thread multiplexes
+every client connection without holding the GIL during I/O, and all the
+CPU-heavy work happens in the replica processes.  The replica table is
+guarded by one lock so the supervisor (plain threads) and the loop can
+both touch it.
+
+This module deliberately does **not** import :mod:`repro.api` — the api
+package sits on top of serving, and the few JSON envelopes the router
+authors itself (error bodies, health, aggregated stats) are spelled out
+inline against the same v1 contract the schemas pin.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+
+#: Mirrors ``repro.api.schemas.SCHEMA_VERSION`` (serving must not import
+#: api); ``tests/serving/test_replicas.py`` pins the two together.
+SCHEMA_VERSION = "v1"
+
+#: Mirrors ``repro.api.server.MAX_BODY_BYTES`` — the router must not
+#: buffer more than the replica behind it would accept.
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+@dataclass
+class ReplicaState:
+    """The router's view of one backend replica."""
+
+    replica_id: int
+    port: int
+    pid: int
+    healthy: bool = True
+    draining: bool = False
+    in_flight: int = 0
+    restarts: int = 0
+    started_at: float = field(default_factory=time.monotonic)
+
+    def describe(self) -> dict:
+        return {
+            "port": self.port,
+            "pid": self.pid,
+            "healthy": self.healthy,
+            "draining": self.draining,
+            "in_flight": self.in_flight,
+            "restarts": self.restarts,
+            "uptime_s": round(time.monotonic() - self.started_at, 3),
+        }
+
+
+def _error_body(code: str, message: str, status: int) -> bytes:
+    """A v1 ``ErrorPayload`` body, byte-compatible with the api package."""
+    return json.dumps(
+        {
+            "schema_version": SCHEMA_VERSION,
+            "error": {"code": code, "message": message, "status": status},
+        }
+    ).encode("utf-8")
+
+
+# ----------------------------------------------------------------------
+# Telemetry aggregation
+# ----------------------------------------------------------------------
+def _weighted_mean(pairs: list[tuple[float, float]]) -> float:
+    """Mean of (value, weight) pairs; 0.0 when nothing has weight."""
+    total = sum(weight for _, weight in pairs)
+    if total <= 0:
+        return 0.0
+    return sum(value * weight for value, weight in pairs) / total
+
+
+def aggregate_model_telemetry(per_replica: list[dict]) -> dict:
+    """Merge per-replica ``/v1/stats`` model sections into fleet totals.
+
+    Input: each element is one replica's ``models`` mapping (model name →
+    telemetry dict with ``serving``/``result_cache``/``buffer_pool``/
+    ``plans``/``batching``/``engine`` sections).  Counters are summed and
+    derived rates recomputed from the sums; latency percentiles are
+    request-weighted means of the replicas' percentiles (an
+    approximation — the exact fleet percentile would need the raw
+    per-request records, which stay replica-local by design).  Missing
+    sections are tolerated: replicas running older code simply
+    contribute nothing to the sections they lack.
+    """
+    by_model: dict[str, list[dict]] = {}
+    for models in per_replica:
+        for name, telemetry in models.items():
+            by_model.setdefault(name, []).append(telemetry)
+    return {name: _merge_model(entries) for name, entries in by_model.items()}
+
+
+def _merge_model(entries: list[dict]) -> dict:
+    def sec(entry: dict, section: str) -> dict:
+        value = entry.get(section)
+        return value if isinstance(value, dict) else {}
+
+    def total(section: str, key: str) -> float:
+        return sum(sec(entry, section).get(key, 0) or 0 for entry in entries)
+
+    requests = total("serving", "requests")
+    cache_hits = total("serving", "cache_hits")
+    batches = total("serving", "batches")
+    plan_hits = total("plans", "plan_hits")
+    plan_misses = total("plans", "plan_misses")
+    rc_hits = total("result_cache", "hits")
+    rc_misses = total("result_cache", "misses")
+    bp_hits = total("buffer_pool", "hits")
+    bp_misses = total("buffer_pool", "misses")
+    flush_reasons: dict[str, int] = {}
+    for entry in entries:
+        for reason, count in sec(entry, "batching").get("flush_reasons", {}).items():
+            flush_reasons[reason] = flush_reasons.get(reason, 0) + count
+
+    def latency(key: str) -> float:
+        return _weighted_mean(
+            [
+                (sec(entry, "serving").get(key, 0.0), sec(entry, "serving").get("requests", 0))
+                for entry in entries
+            ]
+        )
+
+    first = entries[0]
+    return {
+        "replica_count": len(entries),
+        "serving": {
+            "requests": int(requests),
+            "cache_hits": int(cache_hits),
+            "cache_hit_rate": cache_hits / requests if requests else 0.0,
+            "batches": int(batches),
+            "mean_batch_graphs": _weighted_mean(
+                [
+                    (
+                        sec(entry, "serving").get("mean_batch_graphs", 0.0),
+                        sec(entry, "serving").get("batches", 0),
+                    )
+                    for entry in entries
+                ]
+            ),
+            "mean_batch_atoms": _weighted_mean(
+                [
+                    (
+                        sec(entry, "serving").get("mean_batch_atoms", 0.0),
+                        sec(entry, "serving").get("batches", 0),
+                    )
+                    for entry in entries
+                ]
+            ),
+            "p50_latency_s": latency("p50_latency_s"),
+            "p95_latency_s": latency("p95_latency_s"),
+            "mean_latency_s": latency("mean_latency_s"),
+            "wall_time_s": max(
+                (sec(entry, "serving").get("wall_time_s", 0.0) for entry in entries),
+                default=0.0,
+            ),
+            "requests_per_s": total("serving", "requests_per_s"),
+            "atoms_per_s": total("serving", "atoms_per_s"),
+        },
+        "result_cache": {
+            "hits": int(rc_hits),
+            "misses": int(rc_misses),
+            "evictions": int(total("result_cache", "evictions")),
+            "hit_rate": rc_hits / (rc_hits + rc_misses) if (rc_hits + rc_misses) else 0.0,
+        },
+        "buffer_pool": {
+            "hits": int(bp_hits),
+            "misses": int(bp_misses),
+            "evictions": int(total("buffer_pool", "evictions")),
+            "hit_rate": bp_hits / (bp_hits + bp_misses) if (bp_hits + bp_misses) else 0.0,
+            "reserved_bytes": int(total("buffer_pool", "reserved_bytes")),
+            "idle_buffers": int(total("buffer_pool", "idle_buffers")),
+        },
+        "plans": {
+            "enabled": any(sec(entry, "plans").get("enabled", False) for entry in entries),
+            "plans_compiled": int(total("plans", "plans_compiled")),
+            "plan_hits": int(plan_hits),
+            "plan_misses": int(plan_misses),
+            "plan_fallbacks": int(total("plans", "plan_fallbacks")),
+            "plan_hit_rate": (
+                plan_hits / (plan_hits + plan_misses) if (plan_hits + plan_misses) else 0.0
+            ),
+            "cached_plans": int(total("plans", "cached_plans")),
+        },
+        "batching": {
+            # Config knobs are fleet-uniform (the supervisor launches
+            # every replica with the same args) — report the first's.
+            "max_atoms": sec(first, "batching").get("max_atoms"),
+            "max_graphs": sec(first, "batching").get("max_graphs"),
+            "flush_interval_s": sec(first, "batching").get("flush_interval_s"),
+            "max_pending": sec(first, "batching").get("max_pending"),
+            "rejected": int(total("batching", "rejected")),
+            "flush_reasons": flush_reasons,
+        },
+        "engine": {
+            "backend": sec(first, "engine").get("backend"),
+            "physical_units": sec(first, "engine").get("physical_units"),
+            "autotune_decisions": int(
+                max(
+                    (sec(entry, "engine").get("autotune_decisions", 0) for entry in entries),
+                    default=0,
+                )
+            ),
+        },
+    }
+
+
+# ----------------------------------------------------------------------
+# The router
+# ----------------------------------------------------------------------
+class Router:
+    """Asyncio HTTP front end load-balancing over a replica table.
+
+    Lifecycle mirrors :class:`~repro.api.server.ApiServer`: construct,
+    :meth:`start` (binds and serves from a daemon thread; the bound
+    ephemeral port is :attr:`bound_port`), :meth:`close`.  The replica
+    table is populated by the supervisor via :meth:`set_replica` /
+    :meth:`remove_replica` and steered with :meth:`set_health` /
+    :meth:`set_draining`.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        replica_host: str = "127.0.0.1",
+        proxy_timeout_s: float = 120.0,
+    ) -> None:
+        self.host = host
+        self.requested_port = int(port)
+        self.replica_host = replica_host
+        self.proxy_timeout_s = float(proxy_timeout_s)
+        self._replicas: dict[int, ReplicaState] = {}
+        self._lock = threading.Lock()
+        self._idle = threading.Condition(self._lock)
+        self._admitting = True
+        self._rr = 0  # tie-break cursor for equal in-flight counts
+        self._counters = {"requests": 0, "rerouted": 0, "rejected": 0, "proxy_errors": 0}
+        self._started_at = time.monotonic()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop_event: asyncio.Event | None = None
+        self._thread: threading.Thread | None = None
+        self._ready = threading.Event()
+        self._startup_error: BaseException | None = None
+        self._bound_port: int | None = None
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def bound_port(self) -> int:
+        if self._bound_port is None:
+            raise RuntimeError("router not started")
+        return self._bound_port
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.bound_port}"
+
+    def start(self) -> "Router":
+        if self._thread is not None:
+            raise RuntimeError("router already started")
+        self._thread = threading.Thread(target=self._run, name="replica-router", daemon=True)
+        self._thread.start()
+        if not self._ready.wait(timeout=15.0):
+            raise RuntimeError("router failed to start within 15s")
+        if self._startup_error is not None:
+            raise RuntimeError(f"router failed to bind: {self._startup_error}")
+        return self
+
+    def close(self) -> None:
+        """Stop the listener and join the loop thread (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._loop is not None and self._stop_event is not None:
+            try:
+                self._loop.call_soon_threadsafe(self._stop_event.set)
+            except RuntimeError:
+                pass  # loop already gone
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as error:  # noqa: BLE001 - surfaced via start()
+            self._startup_error = error
+            self._ready.set()
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        try:
+            server = await asyncio.start_server(
+                self._handle_connection, self.host, self.requested_port
+            )
+        except OSError as error:
+            self._startup_error = error
+            self._ready.set()
+            return
+        self._bound_port = int(server.sockets[0].getsockname()[1])
+        self._ready.set()
+        try:
+            await self._stop_event.wait()
+        finally:
+            server.close()
+            await server.wait_closed()
+
+    # ------------------------------------------------------------------
+    # replica table (supervisor-facing, thread-safe)
+    # ------------------------------------------------------------------
+    def set_replica(self, replica_id: int, port: int, pid: int, restarts: int = 0) -> None:
+        """Register (or replace, after a restart) one backend replica."""
+        with self._lock:
+            self._replicas[replica_id] = ReplicaState(
+                replica_id=replica_id, port=int(port), pid=int(pid), restarts=int(restarts)
+            )
+
+    def remove_replica(self, replica_id: int) -> None:
+        with self._lock:
+            self._replicas.pop(replica_id, None)
+
+    def set_health(self, replica_id: int, healthy: bool) -> None:
+        with self._lock:
+            state = self._replicas.get(replica_id)
+            if state is not None:
+                state.healthy = bool(healthy)
+
+    def set_draining(self, replica_id: int, draining: bool) -> None:
+        with self._lock:
+            state = self._replicas.get(replica_id)
+            if state is not None:
+                state.draining = bool(draining)
+
+    def replica_in_flight(self, replica_id: int) -> int:
+        with self._lock:
+            state = self._replicas.get(replica_id)
+            return state.in_flight if state is not None else 0
+
+    def total_in_flight(self) -> int:
+        with self._lock:
+            return sum(state.in_flight for state in self._replicas.values())
+
+    def snapshot(self) -> dict[int, dict]:
+        """Per-replica routing state (ids → describe dicts), for telemetry."""
+        with self._lock:
+            return {
+                replica_id: state.describe() for replica_id, state in self._replicas.items()
+            }
+
+    # ------------------------------------------------------------------
+    # admission / draining
+    # ------------------------------------------------------------------
+    @property
+    def admitting(self) -> bool:
+        with self._lock:
+            return self._admitting
+
+    def stop_admitting(self) -> None:
+        """New ``/v1/predict`` requests get 503; in-flight ones finish."""
+        with self._lock:
+            self._admitting = False
+
+    def resume_admitting(self) -> None:
+        with self._lock:
+            self._admitting = True
+
+    def wait_idle(self, timeout_s: float) -> bool:
+        """Block until no request is in flight; ``False`` on timeout."""
+        with self._idle:
+            return self._idle.wait_for(
+                lambda: sum(s.in_flight for s in self._replicas.values()) == 0,
+                timeout=timeout_s,
+            )
+
+    def _count(self, key: str, amount: int = 1) -> None:
+        with self._lock:
+            self._counters[key] += amount
+
+    def _acquire(self, exclude: set[int]) -> ReplicaState | None:
+        """Pick the least-loaded healthy replica and charge it one request."""
+        with self._lock:
+            candidates = [
+                state
+                for state in self._replicas.values()
+                if state.healthy and not state.draining and state.replica_id not in exclude
+            ]
+            if not candidates:
+                return None
+            lowest = min(state.in_flight for state in candidates)
+            ties = [state for state in candidates if state.in_flight == lowest]
+            self._rr += 1
+            chosen = ties[self._rr % len(ties)]
+            chosen.in_flight += 1
+            return chosen
+
+    def _release(self, state: ReplicaState) -> None:
+        with self._idle:
+            state.in_flight = max(0, state.in_flight - 1)
+            self._idle.notify_all()
+
+    # ------------------------------------------------------------------
+    # HTTP front end (loop thread)
+    # ------------------------------------------------------------------
+    async def _handle_connection(self, reader, writer) -> None:
+        try:
+            while True:
+                request = await self._read_request(reader)
+                if request is None:
+                    break
+                method, path, headers, body = request
+                keep_alive = headers.get("connection", "").lower() != "close"
+                try:
+                    status, payload = await self._dispatch(method, path, body)
+                except Exception as error:  # noqa: BLE001 - boundary
+                    status = 500
+                    payload = _error_body("internal_error", f"router error: {error}", 500)
+                await self._write_response(writer, status, payload, keep_alive)
+                if not keep_alive:
+                    break
+        except (
+            asyncio.IncompleteReadError,
+            asyncio.LimitOverrunError,
+            ConnectionError,
+            ValueError,
+            TimeoutError,
+        ):
+            pass  # malformed or dropped client connection; nothing to answer
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    @staticmethod
+    async def _read_request(reader) -> tuple[str, str, dict, bytes] | None:
+        request_line = await reader.readline()
+        if not request_line:
+            return None
+        try:
+            method, path, _version = request_line.decode("latin-1").split()
+        except ValueError:
+            raise ValueError(f"malformed request line: {request_line!r}") from None
+        headers: dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", 0) or 0)
+        if length < 0 or length > MAX_BODY_BYTES:
+            raise ValueError(f"invalid Content-Length {length}")
+        body = await reader.readexactly(length) if length else b""
+        return method.upper(), path, headers, body
+
+    @staticmethod
+    async def _write_response(writer, status: int, payload, keep_alive: bool) -> None:
+        body = json.dumps(payload).encode("utf-8") if isinstance(payload, dict) else payload
+        head = (
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n\r\n"
+        ).encode("latin-1")
+        writer.write(head + body)
+        await writer.drain()
+
+    async def _dispatch(self, method: str, path: str, body: bytes) -> tuple[int, object]:
+        if method == "POST" and path == "/v1/predict":
+            return await self._predict(body)
+        if method == "GET" and path == "/v1/healthz":
+            return 200, self.health_payload()
+        if method == "GET" and path == "/v1/stats":
+            return 200, await self.stats_payload()
+        if method == "GET" and path == "/v1/models":
+            return await self._proxy_any("GET", "/v1/models")
+        return 404, _error_body("not_found", f"no such endpoint: {method} {path}", 404)
+
+    async def _predict(self, body: bytes) -> tuple[int, bytes]:
+        if not self.admitting:
+            self._count("rejected")
+            return 503, _error_body(
+                "unavailable", "router is draining; not admitting new requests", 503
+            )
+        self._count("requests")
+        tried: set[int] = set()
+        while True:
+            state = self._acquire(tried)
+            if state is None:
+                self._count("proxy_errors")
+                return 503, _error_body(
+                    "unavailable",
+                    f"no healthy replica available ({len(tried)} tried)",
+                    503,
+                )
+            try:
+                return await asyncio.wait_for(
+                    self._proxy(state, "POST", "/v1/predict", body),
+                    timeout=self.proxy_timeout_s,
+                )
+            except (asyncio.TimeoutError, TimeoutError):
+                # The replica is alive but slow; retrying elsewhere would
+                # double the fleet's load exactly when it is slowest.
+                return 504, _error_body(
+                    "timeout",
+                    f"replica {state.replica_id} did not answer "
+                    f"within {self.proxy_timeout_s}s",
+                    504,
+                )
+            except (ConnectionError, asyncio.IncompleteReadError, OSError, ValueError):
+                # Connection-level failure: the replica is gone or
+                # incoherent.  Mark it down and reroute — the supervisor's
+                # health loop will restart it.
+                tried.add(state.replica_id)
+                self.set_health(state.replica_id, False)
+                self._count("rerouted")
+            finally:
+                self._release(state)
+
+    async def _proxy_any(self, method: str, path: str) -> tuple[int, bytes]:
+        state = self._acquire(set())
+        if state is None:
+            return 503, _error_body("unavailable", "no healthy replica available", 503)
+        try:
+            return await asyncio.wait_for(
+                self._proxy(state, method, path), timeout=self.proxy_timeout_s
+            )
+        except (
+            asyncio.TimeoutError,
+            TimeoutError,
+            ConnectionError,
+            asyncio.IncompleteReadError,
+            OSError,
+            ValueError,
+        ) as error:
+            self._count("proxy_errors")
+            return 502, _error_body(
+                "transport_error", f"replica {state.replica_id}: {error}", 502
+            )
+        finally:
+            self._release(state)
+
+    async def _proxy(
+        self, state: ReplicaState, method: str, path: str, body: bytes = b""
+    ) -> tuple[int, bytes]:
+        """Forward one request to a replica; returns (status, body bytes).
+
+        One connection per proxied request (``Connection: close``): on
+        loopback the handshake is microseconds, and it keeps the failure
+        model trivial — any I/O error here means *this* request, not a
+        pooled connection in an unknown state.
+        """
+        reader, writer = await asyncio.open_connection(self.replica_host, state.port)
+        try:
+            head = (
+                f"{method} {path} HTTP/1.1\r\n"
+                f"Host: {self.replica_host}:{state.port}\r\n"
+                "Accept: application/json\r\n"
+                "Content-Type: application/json\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                "Connection: close\r\n\r\n"
+            ).encode("latin-1")
+            writer.write(head + body)
+            await writer.drain()
+            status_line = await reader.readline()
+            parts = status_line.decode("latin-1").split(None, 2)
+            if len(parts) < 2 or not parts[1].isdigit():
+                raise ValueError(f"malformed status line from replica: {status_line!r}")
+            status = int(parts[1])
+            length: int | None = None
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                name, _, value = line.decode("latin-1").partition(":")
+                if name.strip().lower() == "content-length":
+                    length = int(value.strip())
+            payload = await (reader.readexactly(length) if length is not None else reader.read())
+            return status, payload
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    # ------------------------------------------------------------------
+    # router-authored endpoints
+    # ------------------------------------------------------------------
+    def health_payload(self) -> dict:
+        with self._lock:
+            replicas = {
+                str(replica_id): state.describe()
+                for replica_id, state in self._replicas.items()
+            }
+            admitting = self._admitting
+        healthy = sum(1 for entry in replicas.values() if entry["healthy"])
+        if not admitting:
+            status = "shutting_down"
+        elif healthy == len(replicas) and replicas:
+            status = "ok"
+        elif healthy:
+            status = "degraded"
+        else:
+            status = "unavailable"
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "status": status,
+            "role": "router",
+            "healthy_replicas": healthy,
+            "total_replicas": len(replicas),
+            "replicas": replicas,
+        }
+
+    async def stats_payload(self) -> dict:
+        """Fan out ``/v1/stats`` to every live replica and aggregate."""
+        with self._lock:
+            states = [s for s in self._replicas.values() if s.healthy]
+            table = {
+                str(replica_id): state.describe()
+                for replica_id, state in self._replicas.items()
+            }
+            counters = dict(self._counters)
+            admitting = self._admitting
+
+        async def fetch(state: ReplicaState):
+            try:
+                status, raw = await asyncio.wait_for(
+                    self._proxy(state, "GET", "/v1/stats"), timeout=self.proxy_timeout_s
+                )
+                if status != 200:
+                    return state.replica_id, None
+                return state.replica_id, json.loads(raw.decode("utf-8"))
+            except (ConnectionError, OSError, ValueError, TimeoutError):
+                return state.replica_id, None
+
+        fetched = await asyncio.gather(*(fetch(state) for state in states))
+        model_sections: list[dict] = []
+        for replica_id, snapshot in fetched:
+            entry = table.get(str(replica_id))
+            if entry is None:
+                continue
+            if snapshot is None:
+                entry["unreachable"] = True
+                continue
+            entry["replica_pid"] = snapshot.get("pid")
+            entry["replica_uptime_s"] = snapshot.get("uptime_s")
+            entry["models"] = snapshot.get("models", {})
+            model_sections.append(snapshot.get("models", {}))
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "models": aggregate_model_telemetry(model_sections),
+            "uptime_s": round(time.monotonic() - self._started_at, 3),
+            "pid": os.getpid(),
+            "replicas": table,
+            "router": {**counters, "admitting": admitting},
+        }
+
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    502: "Bad Gateway",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}

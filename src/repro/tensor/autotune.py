@@ -43,6 +43,8 @@ replicas via ``ServiceConfig(autotune_cache=...)``.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 import threading
 import time
 from dataclasses import dataclass
@@ -220,10 +222,44 @@ class Autotuner:
         return {"format": _FORMAT, "min_work": self.min_work, "decisions": decisions}
 
     def save(self, path: str | Path) -> Path:
-        """Write the decision cache to ``path`` as JSON."""
+        """Atomically write the decision cache to ``path``, merging on save.
+
+        N serving replicas share one warm-start file and shut down
+        concurrently, so a save must never leave the file half-written
+        (write to a temp file in the same directory, then ``os.replace``
+        — atomic on POSIX) and must not clobber decisions a sibling
+        replica learned: same-format decisions already in the file are
+        kept, with this process's own (fresher) measurements winning on
+        key collisions.  A corrupt or foreign file contributes nothing
+        to the merge and simply gets replaced.
+        """
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(json.dumps(self.as_dict(), indent=2, sort_keys=True) + "\n")
+        payload = self.as_dict()
+        if path.exists():
+            try:
+                existing = json.loads(path.read_text())
+            except (OSError, json.JSONDecodeError):
+                existing = None
+            if isinstance(existing, dict) and existing.get("format") == _FORMAT:
+                decisions = existing.get("decisions")
+                if isinstance(decisions, dict):
+                    merged = dict(decisions)
+                    merged.update(payload["decisions"])
+                    payload["decisions"] = merged
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=path.name + ".", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
         with self._lock:
             self._dirty = False
         return path

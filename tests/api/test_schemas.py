@@ -18,6 +18,7 @@ from repro.api import (
     ServerInfo,
     StatsSnapshot,
     StructurePayload,
+    UnavailableError,
     UnknownModelError,
     structures_from_json,
 )
@@ -253,6 +254,15 @@ class TestErrorPayload:
         assert SchemaError("x").http_status == 400
         assert UnknownModelError("x").http_status == 404
         assert OverloadedError("x").http_status == 429
+        assert UnavailableError("x").http_status == 503
+
+    def test_unavailable_round_trip(self):
+        """The draining router's 503 rebuilds to the typed error."""
+        payload = ErrorPayload.from_error(UnavailableError("draining"))
+        recovered = ErrorPayload.from_json_dict(wire_round_trip(payload.to_json_dict()))
+        error = recovered.to_error()
+        assert isinstance(error, UnavailableError)
+        assert error.http_status == 503
 
 
 class TestServerInfoAndStats:
@@ -267,6 +277,41 @@ class TestServerInfoAndStats:
         snapshot = StatsSnapshot(models={"a": {"serving": {"requests": 4}}})
         recovered = StatsSnapshot.from_json_dict(wire_round_trip(snapshot.to_json_dict()))
         assert recovered.models["a"]["serving"]["requests"] == 4
+
+    def test_stats_identity_fields_round_trip(self):
+        """uptime_s/pid/replicas/router are additive top-level fields."""
+        snapshot = StatsSnapshot(
+            models={"a": {}},
+            uptime_s=3.25,
+            pid=1234,
+            replicas={"0": {"healthy": True, "replica_pid": 77}},
+            router={"requests": 9, "admitting": True},
+        )
+        recovered = StatsSnapshot.from_json_dict(wire_round_trip(snapshot.to_json_dict()))
+        assert recovered.uptime_s == 3.25
+        assert recovered.pid == 1234
+        assert recovered.replicas["0"]["replica_pid"] == 77
+        assert recovered.router["admitting"] is True
+
+    def test_stats_identity_fields_are_optional(self):
+        """Snapshots from pre-uptime servers must keep parsing (additive)."""
+        recovered = StatsSnapshot.from_json_dict({"schema_version": "v1", "models": {}})
+        assert recovered.uptime_s is None
+        assert recovered.pid is None
+        assert recovered.replicas is None
+        assert recovered.router is None
+        assert "uptime_s" not in recovered.to_json_dict()
+
+    def test_stats_identity_fields_are_validated(self):
+        base = {"schema_version": "v1", "models": {}}
+        with pytest.raises(SchemaError, match="uptime_s"):
+            StatsSnapshot.from_json_dict({**base, "uptime_s": "soon"})
+        with pytest.raises(SchemaError, match="pid"):
+            StatsSnapshot.from_json_dict({**base, "pid": 1.5})
+        with pytest.raises(SchemaError, match="replicas"):
+            StatsSnapshot.from_json_dict({**base, "replicas": [1]})
+        with pytest.raises(SchemaError, match="router"):
+            StatsSnapshot.from_json_dict({**base, "router": "busy"})
 
 
 class TestGoldenFiles:

@@ -148,6 +148,46 @@ class TestPersistence:
         assert fresh.load(path) == 0
         assert len(fresh) == 0
 
+    def test_save_merges_sibling_decisions(self, tmp_path):
+        """Two replicas saving to one shared file union their decisions."""
+        path = tmp_path / "shared.json"
+        first = Autotuner()
+        first.record("linear", 5000, 128, numpy_s=1.5, parallel_s=0.5)
+        first.save(path)
+        second = Autotuner()
+        second.record("silu", 9000, 64, numpy_s=0.2, parallel_s=0.8)
+        second.save(path)  # must keep the sibling's linear decision
+        fresh = Autotuner()
+        assert fresh.load(path) == 2
+        assert fresh.lookup("linear", 5000, 128) == "parallel"
+        assert fresh.lookup("silu", 9000, 64) == "numpy"
+
+    def test_save_own_measurement_wins_collisions(self, tmp_path):
+        """On a shared key, the saving process's fresher decision lands."""
+        path = tmp_path / "shared.json"
+        stale = Autotuner()
+        stale.record("linear", 5000, 128, numpy_s=0.1, parallel_s=1.0)
+        stale.save(path)
+        fresher = Autotuner()
+        fresher.record("linear", 5000, 128, numpy_s=1.0, parallel_s=0.1)
+        fresher.save(path)
+        fresh = Autotuner()
+        assert fresh.load(path) == 1
+        assert fresh.lookup("linear", 5000, 128) == "parallel"
+
+    def test_save_replaces_corrupt_file_atomically(self, tmp_path):
+        """A truncated cache (killed replica mid-write of an old, pre-atomic
+        version) is replaced rather than crashing the save, and no temp
+        files are left behind."""
+        path = tmp_path / "shared.json"
+        path.write_text('{"format": "repro-autotune')  # torn write
+        tuner = Autotuner()
+        tuner.record("silu", 9000, 64, numpy_s=0.9, parallel_s=0.2)
+        tuner.save(path)
+        fresh = Autotuner()
+        assert fresh.load(path) == 1
+        assert [p.name for p in tmp_path.iterdir()] == ["shared.json"]
+
     def test_service_tolerates_old_format_cache(self, tmp_path):
         """ServiceConfig(autotune_cache=<v1 file>) must construct cleanly."""
         from repro.serving import PredictionService, ServiceConfig
