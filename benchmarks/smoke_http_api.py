@@ -8,7 +8,11 @@ tiny preset), then asserts the deployment contract end to end:
    (finite energy, `(n_atoms, 3)` finite forces),
 3. a burst beyond `--max-pending 1` returns 429 with a typed
    `overloaded` error body,
-4. SIGTERM exits 0 through the graceful path and saves the autotune
+4. a POSTed `/v1/relax` on a perturbed structure (second server, default
+   flush tick so relax steps are not throttled by the admission-control
+   preset above) returns 200 with a schema-valid, *converged*
+   `RelaxResponse`,
+5. SIGTERM exits 0 through the graceful path and saves the autotune
    cache for the next replica.
 
 Run:  PYTHONPATH=src python benchmarks/smoke_http_api.py
@@ -32,7 +36,7 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.api import PredictResponse
+from repro.api import PredictResponse, RelaxResponse
 
 WATER = {
     "atomic_numbers": [8, 1, 1],
@@ -146,7 +150,47 @@ def main() -> int:
             assert body["error"]["code"] == "overloaded", body
             print("admission control ok: burst rejected with 429/overloaded")
 
-        # 4. SIGTERM -> graceful exit 0 + autotune cache saved.
+        # 4. /v1/relax on a perturbed structure -> 200, schema-valid,
+        # converged.  A second server with the default flush tick: the
+        # admission-control server above runs --flush-interval 0.5, which
+        # would throttle every relax force evaluation to the batcher tick.
+        relax_cache = os.path.join(tempfile.mkdtemp(prefix="repro-smoke-"), "autotune.json")
+        relax_process, relax_url = start_server(relax_cache, "--workers", "1")
+        try:
+            perturbed = {
+                "atomic_numbers": WATER["atomic_numbers"],
+                "positions": [
+                    [x + 0.05, y - 0.03, z + 0.04]
+                    for x, y, z in WATER["positions"]
+                ],
+            }
+            request = urllib.request.Request(
+                relax_url + "/v1/relax",
+                data=json.dumps(
+                    {"schema_version": "v1", "structure": perturbed, "max_steps": 200}
+                ).encode(),
+                headers={"Content-Type": "application/json"},
+            )
+            with urllib.request.urlopen(request, timeout=120) as resp:
+                assert resp.status == 200, resp.status
+                relax_body = json.loads(resp.read())
+            relaxed = RelaxResponse.from_json_dict(relax_body)  # strict schema check
+            assert relaxed.result.converged, relax_body
+            assert relaxed.result.reason in ("fmax", "step"), relax_body
+            assert relaxed.result.energy <= relaxed.result.energy_initial
+            assert relaxed.result.positions.shape == (3, 3)
+            assert np.isfinite(relaxed.result.positions).all()
+            print(
+                f"relax ok: converged in {relaxed.result.steps} steps "
+                f"(reason={relaxed.result.reason}, "
+                f"dE={relaxed.result.energy - relaxed.result.energy_initial:+.6f}, "
+                f"{relaxed.result.neighbor_reuses} neighbor-list reuses)"
+            )
+        finally:
+            relax_process.terminate()
+            relax_process.communicate(timeout=60)
+
+        # 5. SIGTERM -> graceful exit 0 + autotune cache saved.
         process.send_signal(signal.SIGTERM)
         out, _ = process.communicate(timeout=60)
         assert process.returncode == 0, (process.returncode, out)

@@ -4,7 +4,10 @@ This package is the single surface through which structures get
 predicted, whatever the deployment shape:
 
 - :mod:`repro.api.schemas` — the ``v1`` wire contract: strict, typed,
-  bit-exact-float JSON payloads and the :class:`ApiError` taxonomy.
+  bit-exact-float JSON payloads and the :class:`ApiError` taxonomy —
+  plus the additive ``v2`` request schema (precomputed edges for
+  trusted trajectory clients) and the ``/v1/relax`` request/response
+  pair.
 - :mod:`repro.api.server` — :class:`ApiGateway` (transport-free request
   execution over a model registry) and :class:`ApiServer` (a stdlib
   threaded HTTP front end with JSON errors and graceful shutdown).
@@ -16,11 +19,12 @@ The CLI (``repro serve --http``, ``repro predict --input/--json``) is a
 thin shell over these pieces.
 """
 
-from repro.api.client import Client, HttpTransport, LocalTransport
+from repro.api.client import Client, ClientTrajectory, HttpTransport, LocalTransport
 from repro.api.schemas import (
     DEFAULT_CUTOFF,
     MAX_STRUCTURES_PER_REQUEST,
     SCHEMA_VERSION,
+    SUPPORTED_VERSIONS,
     ApiError,
     ErrorPayload,
     NotFound,
@@ -28,6 +32,9 @@ from repro.api.schemas import (
     PredictionPayload,
     PredictRequest,
     PredictResponse,
+    RelaxationPayload,
+    RelaxRequest,
+    RelaxResponse,
     RequestTimeout,
     SchemaError,
     ServerInfo,
@@ -45,6 +52,7 @@ __all__ = [
     "ApiGateway",
     "ApiServer",
     "Client",
+    "ClientTrajectory",
     "DEFAULT_CUTOFF",
     "ErrorPayload",
     "HttpTransport",
@@ -55,8 +63,12 @@ __all__ = [
     "PredictRequest",
     "PredictResponse",
     "PredictionPayload",
+    "RelaxRequest",
+    "RelaxResponse",
+    "RelaxationPayload",
     "RequestTimeout",
     "SCHEMA_VERSION",
+    "SUPPORTED_VERSIONS",
     "SchemaError",
     "ServerInfo",
     "StatsSnapshot",

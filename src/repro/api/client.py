@@ -32,10 +32,15 @@ import json
 import urllib.error
 import urllib.request
 
+import numpy as np
+
 from repro.api.schemas import (
+    DEFAULT_CUTOFF,
     ErrorPayload,
     PredictRequest,
     PredictResponse,
+    RelaxRequest,
+    RelaxResponse,
     ServerInfo,
     StatsSnapshot,
     StructurePayload,
@@ -43,7 +48,9 @@ from repro.api.schemas import (
 )
 from repro.api.server import ApiGateway
 from repro.graph.atoms import AtomGraph
+from repro.graph.radius import SkinNeighborList
 from repro.serving.registry import ModelRegistry
+from repro.serving.relax import RelaxResult
 from repro.serving.service import PredictionResult, ServiceConfig
 
 
@@ -57,16 +64,26 @@ class LocalTransport:
         config: ServiceConfig | None = None,
         workers: int = 1,
         default_model: str | None = None,
+        cutoff: float = DEFAULT_CUTOFF,
+        max_neighbors: int | None = None,
     ) -> None:
         if (registry is None) == (gateway is None):
             raise ValueError("pass exactly one of registry or gateway")
         self._owns_gateway = gateway is None
         self.gateway = gateway or ApiGateway(
-            registry, config=config, workers=workers, default_model=default_model
+            registry,
+            config=config,
+            workers=workers,
+            default_model=default_model,
+            cutoff=cutoff,
+            max_neighbors=max_neighbors,
         )
 
     def predict(self, request: PredictRequest) -> PredictResponse:
         return self.gateway.predict(request)
+
+    def relax(self, request: RelaxRequest) -> RelaxResponse:
+        return self.gateway.relax(request)
 
     def server_info(self) -> ServerInfo:
         return self.gateway.server_info()
@@ -123,6 +140,11 @@ class HttpTransport:
             self._request("POST", "/v1/predict", request.to_json_dict())
         )
 
+    def relax(self, request: RelaxRequest) -> RelaxResponse:
+        return RelaxResponse.from_json_dict(
+            self._request("POST", "/v1/relax", request.to_json_dict())
+        )
+
     def server_info(self) -> ServerInfo:
         return ServerInfo.from_json_dict(self._request("GET", "/v1/models"))
 
@@ -134,6 +156,63 @@ class HttpTransport:
 
     def close(self) -> None:
         """Nothing to release: urllib connections are per-request."""
+
+
+class ClientTrajectory:
+    """Client-side trajectory session: edges maintained locally, sent as v2.
+
+    The mirror image of the server's in-process
+    :class:`~repro.serving.relax.TrajectorySession` for remote clients:
+    the :class:`~repro.graph.radius.SkinNeighborList` lives *here*, next
+    to the process that owns the dynamics, and each :meth:`step` ships a
+    schema-v2 structure with the incrementally-maintained edges attached
+    — so a stateless server serves a stateful trajectory without
+    per-step neighbor searches on either side.  Works identically over
+    :class:`LocalTransport` and :class:`HttpTransport`.
+    """
+
+    def __init__(
+        self,
+        client: "Client",
+        atomic_numbers,
+        cell=None,
+        pbc: tuple[bool, bool, bool] = (False, False, False),
+        cutoff: float = DEFAULT_CUTOFF,
+        skin: float = 0.3,
+        max_neighbors: int | None = None,
+        model: str | None = None,
+    ) -> None:
+        self._client = client
+        self.atomic_numbers = np.asarray(atomic_numbers, dtype=np.int64)
+        self.cell = None if cell is None else np.asarray(cell, dtype=np.float64).reshape(3, 3)
+        self.pbc = tuple(bool(flag) for flag in pbc)
+        self.neighbor_list = SkinNeighborList(cutoff, skin, max_neighbors)
+        self.model = model
+        self.steps = 0
+
+    @property
+    def rebuilds(self) -> int:
+        return self.neighbor_list.rebuilds
+
+    @property
+    def reuses(self) -> int:
+        return self.neighbor_list.reuses
+
+    def step(self, positions) -> PredictionResult:
+        """Predict at ``positions``, reusing cached neighbor candidates."""
+        positions = np.asarray(positions, dtype=np.float64)
+        edge_index, edge_shift = self.neighbor_list.update(positions, self.cell, self.pbc)
+        payload = StructurePayload(
+            atomic_numbers=self.atomic_numbers,
+            positions=positions,
+            cell=self.cell,
+            pbc=self.pbc,
+            edge_index=edge_index,
+            edge_shift=edge_shift,
+        )
+        result = self._client.predict_one(payload, model=self.model)
+        self.steps += 1
+        return result
 
 
 class Client:
@@ -173,6 +252,62 @@ class Client:
 
     def predict_one(self, structure, model: str | None = None) -> PredictionResult:
         return self.predict([structure], model=model)[0]
+
+    # ------------------------------------------------------------------
+    # relaxation and trajectories
+    # ------------------------------------------------------------------
+    def relax(
+        self,
+        structure,
+        model: str | None = None,
+        *,
+        max_steps: int | None = None,
+        fmax: float | None = None,
+        max_step: float | None = None,
+        skin: float | None = None,
+    ) -> RelaxResult:
+        """Relax one graph or payload on the server's forces.
+
+        Unset knobs fall back to the server's defaults; returns the same
+        :class:`~repro.serving.relax.RelaxResult` the in-process
+        ``PredictionService.relax`` returns, over either transport.
+        """
+        payload = (
+            structure
+            if isinstance(structure, StructurePayload)
+            else StructurePayload.from_graph(structure)
+        )
+        request = RelaxRequest(
+            structure=payload,
+            model=model,
+            max_steps=max_steps,
+            fmax=fmax,
+            max_step=max_step,
+            skin=skin,
+        )
+        return self.transport.relax(request).to_result()
+
+    def trajectory(
+        self,
+        atomic_numbers,
+        cell=None,
+        pbc: tuple[bool, bool, bool] = (False, False, False),
+        cutoff: float = DEFAULT_CUTOFF,
+        skin: float = 0.3,
+        max_neighbors: int | None = None,
+        model: str | None = None,
+    ) -> ClientTrajectory:
+        """Open a client-side trajectory session (see :class:`ClientTrajectory`)."""
+        return ClientTrajectory(
+            self,
+            atomic_numbers,
+            cell=cell,
+            pbc=pbc,
+            cutoff=cutoff,
+            skin=skin,
+            max_neighbors=max_neighbors,
+            model=model,
+        )
 
     # ------------------------------------------------------------------
     # introspection

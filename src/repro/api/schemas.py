@@ -20,12 +20,18 @@ misinterpreting each other.  Two design rules:
   in-process.  The golden files under ``tests/api/golden/`` pin this
   encoding.
 
-Note what :class:`StructurePayload` does *not* carry: edges.
-Connectivity is derived (radius cutoff + periodic images), so the wire
+In schema ``v1`` a :class:`StructurePayload` does *not* carry edges:
+connectivity is derived (radius cutoff + periodic images), so the wire
 format ships only the physical inputs — positions, atomic numbers, cell,
 pbc — and both the server and the local transport rebuild edges with the
 same :func:`~repro.graph.radius.build_edges` call.  Clients on other
 stacks therefore cannot disagree with the server about neighbor lists.
+Schema ``v2`` is ``v1`` plus one optional ``edges`` block per structure
+for *trusted* clients — a trajectory session keeping a
+:class:`~repro.graph.radius.SkinNeighborList` hot client-side ships its
+incrementally-maintained edges and the server skips neighbor search
+entirely.  ``v2`` is additive: every ``v1`` body is a valid ``v2`` body,
+responses stay ``v1``.
 """
 
 from __future__ import annotations
@@ -38,9 +44,15 @@ import numpy as np
 
 from repro.graph.atoms import AtomGraph
 from repro.graph.radius import build_edges
+from repro.serving.relax import MAX_RELAX_STEPS, RelaxResult, RelaxSettings
 from repro.serving.service import PredictionResult
+from repro.tensor.core import DEFAULT_DTYPE
 
 SCHEMA_VERSION = "v1"
+
+#: Request versions the server accepts.  ``v2`` = ``v1`` + optional
+#: precomputed edges per structure; responses are always ``v1``.
+SUPPORTED_VERSIONS = ("v1", "v2")
 
 #: Neighbor-search cutoff (angstrom) used when a wire structure is turned
 #: into a graph; matches the data sources' default so served predictions
@@ -147,12 +159,16 @@ def _expect_keys(obj: dict, required: set[str], optional: set[str], where: str) 
         raise SchemaError(f"{where}: unknown key(s) {sorted(unknown)}")
 
 
-def _expect_version(obj: dict, where: str) -> None:
+def _expect_version(
+    obj: dict, where: str, supported: tuple[str, ...] = (SCHEMA_VERSION,)
+) -> str:
     version = obj.get("schema_version")
-    if version != SCHEMA_VERSION:
+    if version not in supported:
+        expected = supported[0] if len(supported) == 1 else f"one of {list(supported)}"
         raise SchemaError(
-            f"{where}: unsupported schema_version {version!r} (expected {SCHEMA_VERSION!r})"
+            f"{where}: unsupported schema_version {version!r} (expected {expected})"
         )
+    return version
 
 
 def _float_matrix(value: Any, shape: tuple[int | None, int], where: str) -> np.ndarray:
@@ -177,6 +193,39 @@ def _matrix_to_json(array: np.ndarray) -> list[list[float]]:
     return [[float(component) for component in row] for row in np.asarray(array)]
 
 
+def _edges_from_json(
+    obj: Any, n_atoms: int, periodic: bool, where: str
+) -> tuple[np.ndarray, np.ndarray]:
+    """Validate a v2 ``edges`` block into (edge_index, edge_shift) arrays."""
+    _expect_keys(obj, {"edge_index", "edge_shift"}, set(), where)
+    pairs = obj["edge_index"]
+    if (
+        not isinstance(pairs, list)
+        or len(pairs) != 2
+        or any(not isinstance(side, list) for side in pairs)
+        or len(pairs[0]) != len(pairs[1])
+    ):
+        raise SchemaError(f"{where}.edge_index: expected two equal-length index lists")
+    for side in pairs:
+        for value in side:
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise SchemaError(f"{where}.edge_index: non-integer index {value!r}")
+            if not 0 <= value < n_atoms:
+                raise SchemaError(
+                    f"{where}.edge_index: index {value} out of range [0, {n_atoms})"
+                )
+    count = len(pairs[0])
+    shift = _float_matrix(obj["edge_shift"], (count, 3), f"{where}.edge_shift")
+    if not periodic and count and bool(np.any(shift != 0.0)):
+        raise SchemaError(f"{where}.edge_shift: nonzero shift on a non-periodic structure")
+    # Cartesian image shifts live as DEFAULT_DTYPE in graphs; clients send
+    # values that originated as that dtype, so the narrowing cast is exact.
+    return (
+        np.asarray(pairs, dtype=np.int64).reshape(2, count),
+        shift.astype(DEFAULT_DTYPE),
+    )
+
+
 # ----------------------------------------------------------------------
 # Structures
 # ----------------------------------------------------------------------
@@ -184,32 +233,47 @@ def _matrix_to_json(array: np.ndarray) -> list[list[float]]:
 class StructurePayload:
     """One atomistic structure as it crosses the wire.
 
-    The edge-free projection of :class:`AtomGraph`: atomic numbers,
-    positions, and (for periodic systems) cell + pbc flags.  Conversion
-    back to a graph rebuilds connectivity with the server's cutoff.
+    The projection of :class:`AtomGraph` onto physical inputs: atomic
+    numbers, positions, and (for periodic systems) cell + pbc flags.
+    Conversion back to a graph rebuilds connectivity with the server's
+    cutoff — unless the payload carries a schema-v2 ``edges`` block
+    (trusted clients only), in which case :meth:`to_graph` uses those
+    edges verbatim and skips neighbor search.
     """
 
     atomic_numbers: np.ndarray
     positions: np.ndarray
     cell: np.ndarray | None = None
     pbc: tuple[bool, bool, bool] = (False, False, False)
+    edge_index: np.ndarray | None = None
+    edge_shift: np.ndarray | None = None
 
     @classmethod
-    def from_graph(cls, graph: AtomGraph) -> "StructurePayload":
+    def from_graph(cls, graph: AtomGraph, include_edges: bool = False) -> "StructurePayload":
         return cls(
             atomic_numbers=np.asarray(graph.atomic_numbers, dtype=np.int64),
             positions=np.asarray(graph.positions, dtype=np.float64),
             cell=None if graph.cell is None else np.asarray(graph.cell, dtype=np.float64),
             pbc=tuple(bool(flag) for flag in graph.pbc),
+            edge_index=np.asarray(graph.edge_index) if include_edges else None,
+            edge_shift=np.asarray(graph.edge_shift) if include_edges else None,
         )
+
+    @property
+    def has_edges(self) -> bool:
+        return self.edge_index is not None
 
     def to_graph(
         self, cutoff: float = DEFAULT_CUTOFF, max_neighbors: int | None = None
     ) -> AtomGraph:
         """Rebuild the model-input graph (neighbor search included)."""
-        edge_index, edge_shift = build_edges(
-            self.positions, cutoff, self.cell, self.pbc, max_neighbors
-        )
+        if self.edge_index is not None and self.edge_shift is not None:
+            edge_index = np.asarray(self.edge_index, dtype=np.int64)
+            edge_shift = np.asarray(self.edge_shift, dtype=DEFAULT_DTYPE)
+        else:
+            edge_index, edge_shift = build_edges(
+                self.positions, cutoff, self.cell, self.pbc, max_neighbors
+            )
         return AtomGraph(
             atomic_numbers=self.atomic_numbers,
             positions=self.positions,
@@ -229,11 +293,24 @@ class StructurePayload:
             payload["cell"] = _matrix_to_json(self.cell)
         if any(self.pbc):
             payload["pbc"] = [bool(flag) for flag in self.pbc]
+        if self.edge_index is not None and self.edge_shift is not None:
+            payload["edges"] = {
+                "edge_index": [
+                    [int(index) for index in side] for side in np.asarray(self.edge_index)
+                ],
+                "edge_shift": _matrix_to_json(self.edge_shift),
+            }
         return payload
 
     @classmethod
-    def from_json_dict(cls, obj: dict, where: str = "structure") -> "StructurePayload":
-        _expect_keys(obj, {"atomic_numbers", "positions"}, {"cell", "pbc"}, where)
+    def from_json_dict(
+        cls, obj: dict, where: str = "structure", allow_edges: bool = False
+    ) -> "StructurePayload":
+        _expect_keys(obj, {"atomic_numbers", "positions"}, {"cell", "pbc", "edges"}, where)
+        if obj.get("edges") is not None and not allow_edges:
+            raise SchemaError(
+                f"{where}.edges: precomputed edges require schema_version 'v2'"
+            )
         numbers = obj["atomic_numbers"]
         if (
             not isinstance(numbers, list)
@@ -259,11 +336,18 @@ class StructurePayload:
             pbc = (flags[0], flags[1], flags[2])
         if any(pbc) and cell is None:
             raise SchemaError(f"{where}: pbc set but no cell given")
+        edge_index = edge_shift = None
+        if obj.get("edges") is not None:
+            edge_index, edge_shift = _edges_from_json(
+                obj["edges"], len(numbers), any(pbc), f"{where}.edges"
+            )
         return cls(
             atomic_numbers=np.asarray(numbers, dtype=np.int64),
             positions=positions,
             cell=cell,
             pbc=pbc,
+            edge_index=edge_index,
+            edge_shift=edge_shift,
         )
 
 
@@ -284,8 +368,11 @@ class PredictRequest:
         return cls(structures=[StructurePayload.from_graph(g) for g in graphs], model=model)
 
     def to_json_dict(self) -> dict:
+        # Emit the lowest version that can carry the payload: v2 only
+        # when some structure ships precomputed edges.
+        version = "v2" if any(s.has_edges for s in self.structures) else SCHEMA_VERSION
         payload: dict[str, Any] = {
-            "schema_version": SCHEMA_VERSION,
+            "schema_version": version,
             "structures": [structure.to_json_dict() for structure in self.structures],
         }
         if self.model is not None:
@@ -295,7 +382,7 @@ class PredictRequest:
     @classmethod
     def from_json_dict(cls, obj: dict) -> "PredictRequest":
         _expect_keys(obj, {"schema_version", "structures"}, {"model"}, "request")
-        _expect_version(obj, "request")
+        version = _expect_version(obj, "request", supported=SUPPORTED_VERSIONS)
         structures = obj["structures"]
         if not isinstance(structures, list) or not structures:
             raise SchemaError("request.structures: expected a non-empty list")
@@ -309,7 +396,11 @@ class PredictRequest:
             raise SchemaError("request.model: expected a string")
         return cls(
             structures=[
-                StructurePayload.from_json_dict(entry, where=f"request.structures[{index}]")
+                StructurePayload.from_json_dict(
+                    entry,
+                    where=f"request.structures[{index}]",
+                    allow_edges=(version == "v2"),
+                )
                 for index, entry in enumerate(structures)
             ],
             model=model,
@@ -447,6 +538,256 @@ class PredictResponse:
 
 
 # ----------------------------------------------------------------------
+# Relax request / response
+# ----------------------------------------------------------------------
+#: ``reason`` values a relax response may carry.
+RELAX_REASONS = ("fmax", "step", "max_steps")
+
+
+@dataclass
+class RelaxRequest:
+    """``POST /v1/relax`` body: one structure plus optional relax knobs.
+
+    Unset knobs take the server's :class:`~repro.serving.relax.RelaxSettings`
+    defaults; the neighbor cutoff is always the server's (clients cannot
+    request connectivity the model was not trained on).
+    """
+
+    structure: StructurePayload
+    model: str | None = None
+    max_steps: int | None = None
+    fmax: float | None = None
+    max_step: float | None = None
+    skin: float | None = None
+
+    def to_settings(self, cutoff: float, max_neighbors: int | None = None) -> RelaxSettings:
+        """Server-side settings: request overrides on top of defaults."""
+        overrides = {
+            name: value
+            for name in ("max_steps", "fmax", "max_step", "skin")
+            if (value := getattr(self, name)) is not None
+        }
+        return RelaxSettings(cutoff=cutoff, max_neighbors=max_neighbors, **overrides)
+
+    def to_json_dict(self) -> dict:
+        version = "v2" if self.structure.has_edges else SCHEMA_VERSION
+        payload: dict[str, Any] = {
+            "schema_version": version,
+            "structure": self.structure.to_json_dict(),
+        }
+        if self.model is not None:
+            payload["model"] = self.model
+        for name in ("max_steps", "fmax", "max_step", "skin"):
+            value = getattr(self, name)
+            if value is not None:
+                payload[name] = value
+        return payload
+
+    @classmethod
+    def from_json_dict(cls, obj: dict) -> "RelaxRequest":
+        _expect_keys(
+            obj,
+            {"schema_version", "structure"},
+            {"model", "max_steps", "fmax", "max_step", "skin"},
+            "relax request",
+        )
+        version = _expect_version(obj, "relax request", supported=SUPPORTED_VERSIONS)
+        model = obj.get("model")
+        if model is not None and not isinstance(model, str):
+            raise SchemaError("relax request.model: expected a string")
+        max_steps = obj.get("max_steps")
+        if max_steps is not None:
+            if isinstance(max_steps, bool) or not isinstance(max_steps, int):
+                raise SchemaError("relax request.max_steps: expected an int")
+            if not 1 <= max_steps <= MAX_RELAX_STEPS:
+                raise SchemaError(
+                    f"relax request.max_steps: must be in [1, {MAX_RELAX_STEPS}]"
+                )
+        for name in ("fmax", "max_step", "skin"):
+            value = obj.get(name)
+            if value is None:
+                continue
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise SchemaError(f"relax request.{name}: expected a number")
+            if not (math.isfinite(value) and value > 0):
+                raise SchemaError(f"relax request.{name}: must be positive and finite")
+        return cls(
+            structure=StructurePayload.from_json_dict(
+                obj["structure"],
+                where="relax request.structure",
+                allow_edges=(version == "v2"),
+            ),
+            model=model,
+            max_steps=max_steps,
+            fmax=None if obj.get("fmax") is None else float(obj["fmax"]),
+            max_step=None if obj.get("max_step") is None else float(obj["max_step"]),
+            skin=None if obj.get("skin") is None else float(obj["skin"]),
+        )
+
+
+@dataclass
+class RelaxationPayload:
+    """One relaxation outcome as it crosses the wire.
+
+    Mirrors :class:`~repro.serving.relax.RelaxResult` field for field,
+    including the skin-list counters — a client can tell how much of the
+    descent rode the incremental neighbor-list path.
+    """
+
+    converged: bool
+    reason: str
+    steps: int
+    energy: float
+    energy_initial: float
+    fmax: float
+    positions: np.ndarray
+    forces: np.ndarray
+    n_atoms: int
+    physical_units: bool
+    neighbor_rebuilds: int
+    neighbor_reuses: int
+
+    @classmethod
+    def from_result(cls, result: RelaxResult) -> "RelaxationPayload":
+        return cls(
+            converged=result.converged,
+            reason=result.reason,
+            steps=result.steps,
+            energy=float(result.energy),
+            energy_initial=float(result.energy_initial),
+            fmax=float(result.fmax),
+            positions=np.asarray(result.positions, dtype=np.float64),
+            forces=np.asarray(result.forces, dtype=np.float64),
+            n_atoms=result.n_atoms,
+            physical_units=result.physical_units,
+            neighbor_rebuilds=result.neighbor_rebuilds,
+            neighbor_reuses=result.neighbor_reuses,
+        )
+
+    def to_result(self) -> RelaxResult:
+        """Rebuild the in-process result type clients already consume."""
+        return RelaxResult(
+            converged=self.converged,
+            reason=self.reason,
+            steps=self.steps,
+            energy=self.energy,
+            energy_initial=self.energy_initial,
+            fmax=self.fmax,
+            positions=np.asarray(self.positions, dtype=np.float64),
+            forces=np.asarray(self.forces, dtype=np.float64),
+            n_atoms=self.n_atoms,
+            physical_units=self.physical_units,
+            neighbor_rebuilds=self.neighbor_rebuilds,
+            neighbor_reuses=self.neighbor_reuses,
+        )
+
+    def to_json_dict(self) -> dict:
+        return {
+            "converged": bool(self.converged),
+            "reason": self.reason,
+            "steps": int(self.steps),
+            "energy": float(self.energy),
+            "energy_initial": float(self.energy_initial),
+            "fmax": float(self.fmax),
+            "positions": _matrix_to_json(self.positions),
+            "forces": _matrix_to_json(self.forces),
+            "n_atoms": int(self.n_atoms),
+            "physical_units": bool(self.physical_units),
+            "neighbor_rebuilds": int(self.neighbor_rebuilds),
+            "neighbor_reuses": int(self.neighbor_reuses),
+        }
+
+    @classmethod
+    def from_json_dict(cls, obj: dict, where: str = "relaxation") -> "RelaxationPayload":
+        _expect_keys(
+            obj,
+            {
+                "converged",
+                "reason",
+                "steps",
+                "energy",
+                "energy_initial",
+                "fmax",
+                "positions",
+                "forces",
+                "n_atoms",
+                "physical_units",
+                "neighbor_rebuilds",
+                "neighbor_reuses",
+            },
+            set(),
+            where,
+        )
+        for flag in ("converged", "physical_units"):
+            if not isinstance(obj[flag], bool):
+                raise SchemaError(f"{where}.{flag}: expected a boolean")
+        if obj["reason"] not in RELAX_REASONS:
+            raise SchemaError(f"{where}.reason: expected one of {list(RELAX_REASONS)}")
+        for name in ("steps", "n_atoms", "neighbor_rebuilds", "neighbor_reuses"):
+            value = obj[name]
+            if isinstance(value, bool) or not isinstance(value, int) or value < 0:
+                raise SchemaError(f"{where}.{name}: expected a non-negative int")
+        if obj["n_atoms"] < 1:
+            raise SchemaError(f"{where}.n_atoms: expected a positive int")
+        for name in ("energy", "energy_initial", "fmax"):
+            value = obj[name]
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise SchemaError(f"{where}.{name}: expected a number")
+            if not math.isfinite(value):
+                raise SchemaError(f"{where}.{name}: non-finite value {value!r}")
+        n_atoms = obj["n_atoms"]
+        return cls(
+            converged=obj["converged"],
+            reason=obj["reason"],
+            steps=obj["steps"],
+            energy=float(obj["energy"]),
+            energy_initial=float(obj["energy_initial"]),
+            fmax=float(obj["fmax"]),
+            positions=_float_matrix(obj["positions"], (n_atoms, 3), f"{where}.positions"),
+            forces=_float_matrix(obj["forces"], (n_atoms, 3), f"{where}.forces"),
+            n_atoms=n_atoms,
+            physical_units=obj["physical_units"],
+            neighbor_rebuilds=obj["neighbor_rebuilds"],
+            neighbor_reuses=obj["neighbor_reuses"],
+        )
+
+
+@dataclass
+class RelaxResponse:
+    """``POST /v1/relax`` success body."""
+
+    model: str
+    result: RelaxationPayload
+
+    @classmethod
+    def from_result(cls, model: str, result: RelaxResult) -> "RelaxResponse":
+        return cls(model=model, result=RelaxationPayload.from_result(result))
+
+    def to_result(self) -> RelaxResult:
+        return self.result.to_result()
+
+    def to_json_dict(self) -> dict:
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "model": self.model,
+            "result": self.result.to_json_dict(),
+        }
+
+    @classmethod
+    def from_json_dict(cls, obj: dict) -> "RelaxResponse":
+        _expect_keys(obj, {"schema_version", "model", "result"}, set(), "relax response")
+        _expect_version(obj, "relax response")
+        if not isinstance(obj["model"], str):
+            raise SchemaError("relax response.model: expected a string")
+        return cls(
+            model=obj["model"],
+            result=RelaxationPayload.from_json_dict(
+                obj["result"], where="relax response.result"
+            ),
+        )
+
+
+# ----------------------------------------------------------------------
 # Errors, server info, stats
 # ----------------------------------------------------------------------
 @dataclass
@@ -494,6 +835,7 @@ class ServerInfo:
     default_model: str | None = None
     endpoints: tuple[str, ...] = (
         "POST /v1/predict",
+        "POST /v1/relax",
         "GET /v1/models",
         "GET /v1/healthz",
         "GET /v1/stats",
@@ -529,10 +871,13 @@ class StatsSnapshot:
 
     Each model's entry carries the service's telemetry sections
     (``serving``, ``result_cache``, ``buffer_pool``, ``batching``,
-    ``engine``) plus a ``plans`` section with the execution-plan cache
+    ``engine``), a ``plans`` section with the execution-plan cache
     counters (``enabled``, ``plans_compiled``, ``plan_hits``,
     ``plan_misses``, ``plan_fallbacks``, ``plan_hit_rate``,
-    ``cached_plans``).  Additive top-level fields, still schema ``v1``:
+    ``cached_plans``), and a ``relax`` section with trajectory-workload
+    counters (``sessions``, ``steps``, ``converged``,
+    ``neighbor_rebuilds``, ``neighbor_reuses``, ``neighbor_reuse_rate``).
+    Additive top-level fields, still schema ``v1``:
 
     - ``uptime_s`` / ``pid`` — how long this server has been up and its
       process id, which is what lets a client (or the replica

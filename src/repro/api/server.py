@@ -16,6 +16,8 @@ Two layers, deliberately separated:
   ==========================  ======================================
   ``POST /v1/predict``        400 invalid body · 404 unknown model ·
                               429 overloaded · 504 timeout
+  ``POST /v1/relax``          same error mapping; body is a
+                              :class:`~repro.api.schemas.RelaxRequest`
   ``GET /v1/models``          :class:`~repro.api.schemas.ServerInfo`
   ``GET /v1/healthz``         liveness probe
   ``GET /v1/stats``           :class:`~repro.api.schemas.StatsSnapshot`
@@ -41,6 +43,8 @@ import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
+import numpy as np
+
 from repro.api.schemas import (
     DEFAULT_CUTOFF,
     MAX_STRUCTURES_PER_REQUEST,
@@ -50,12 +54,15 @@ from repro.api.schemas import (
     PredictRequest,
     PredictResponse,
     NotFound,
+    RelaxRequest,
+    RelaxResponse,
     RequestTimeout,
     SchemaError,
     ServerInfo,
     StatsSnapshot,
     UnknownModelError,
 )
+from repro.graph.atoms import AtomGraph
 from repro.serving.batcher import ServiceOverloaded
 from repro.serving.registry import ModelRegistry
 from repro.serving.service import PredictionService, ServiceConfig
@@ -183,6 +190,41 @@ class ApiGateway:
             raise RequestTimeout(str(error)) from error
         return PredictResponse.from_results(name, results)
 
+    def relax(self, request: RelaxRequest) -> RelaxResponse:
+        """Relax one structure on served forces; raises typed errors.
+
+        The relax session's skin neighbor list owns connectivity for the
+        whole descent, so the request structure's edges (if any) are not
+        searched here — the graph hands over only the physical inputs.
+        Every force evaluation inside rides the same micro-batcher and
+        plan cache as ``/v1/predict`` traffic.
+        """
+        name = self.resolve_model(request.model)
+        try:
+            settings = request.to_settings(self.cutoff, self.max_neighbors)
+        except ValueError as error:
+            # LocalTransport callers skip wire validation; map the
+            # dataclass's ValueError onto the same 400 HTTP callers get.
+            raise SchemaError(str(error)) from error
+        service = self._service(name)
+        structure = request.structure
+        graph = AtomGraph(
+            atomic_numbers=structure.atomic_numbers,
+            positions=structure.positions,
+            edge_index=np.zeros((2, 0), dtype=np.int64),
+            edge_shift=np.zeros((0, 3)),
+            cell=structure.cell,
+            pbc=structure.pbc,
+            source="api",
+        )
+        try:
+            result = service.relax(graph, settings)
+        except ServiceOverloaded as error:
+            raise OverloadedError(str(error)) from error
+        except TimeoutError as error:
+            raise RequestTimeout(str(error)) from error
+        return RelaxResponse.from_result(name, result)
+
     def server_info(self) -> ServerInfo:
         return ServerInfo(
             models=self.registry.describe(),
@@ -294,11 +336,14 @@ class _ApiRequestHandler(BaseHTTPRequestHandler):
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib naming
         try:
-            if self.path != "/v1/predict":
+            if self.path == "/v1/predict":
+                request = PredictRequest.from_json_dict(self._read_json_body())
+                self._send_json(200, self.server.gateway.predict(request).to_json_dict())
+            elif self.path == "/v1/relax":
+                relax = RelaxRequest.from_json_dict(self._read_json_body())
+                self._send_json(200, self.server.gateway.relax(relax).to_json_dict())
+            else:
                 raise NotFound(f"no such endpoint: POST {self.path}")
-            request = PredictRequest.from_json_dict(self._read_json_body())
-            response = self.server.gateway.predict(request)
-            self._send_json(200, response.to_json_dict())
         except ApiError as error:
             self._send_error_payload(error)
         except Exception as error:  # noqa: BLE001 - boundary: no HTML tracebacks

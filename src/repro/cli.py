@@ -19,7 +19,8 @@ Commands
     corpus; prints a table or, with ``--json``, a v1 ``PredictResponse``.
 ``serve``
     With ``--http PORT``: run the real HTTP prediction API
-    (``POST /v1/predict``, ``GET /v1/models``/``healthz``/``stats``)
+    (``POST /v1/predict``, ``POST /v1/relax``,
+    ``GET /v1/models``/``healthz``/``stats``)
     over a :class:`~repro.serving.service.PredictionService`, shutting
     down gracefully on SIGTERM/Ctrl-C.  Adding ``--replicas N`` scales
     past the GIL: N replica worker processes (one engine each) behind
@@ -315,7 +316,8 @@ def _serve_http(args: argparse.Namespace) -> int:
         flush=True,
     )
     print(
-        "endpoints: POST /v1/predict · GET /v1/models · GET /v1/healthz · GET /v1/stats",
+        "endpoints: POST /v1/predict · POST /v1/relax · GET /v1/models · "
+        "GET /v1/healthz · GET /v1/stats",
         flush=True,
     )
     try:
@@ -410,7 +412,8 @@ def _serve_replicas(args: argparse.Namespace) -> int:
         flush=True,
     )
     print(
-        "endpoints: POST /v1/predict · GET /v1/models · GET /v1/healthz · GET /v1/stats",
+        "endpoints: POST /v1/predict · POST /v1/relax · GET /v1/models · "
+        "GET /v1/healthz · GET /v1/stats",
         flush=True,
     )
     try:

@@ -3,16 +3,24 @@
 from repro.graph.atoms import AtomGraph
 from repro.graph.batch import GraphBatch, batch_iterator, collate
 from repro.graph.features import SpeciesVocabulary, cosine_cutoff, gaussian_rbf
-from repro.graph.radius import build_edges, periodic_radius_graph, radius_graph
+from repro.graph.radius import (
+    SkinNeighborList,
+    build_edges,
+    canonicalize_edges,
+    periodic_radius_graph,
+    radius_graph,
+)
 from repro.graph.stats import CorpusStats, corpus_stats, degree_histogram
 
 __all__ = [
     "AtomGraph",
     "CorpusStats",
     "GraphBatch",
+    "SkinNeighborList",
     "SpeciesVocabulary",
     "batch_iterator",
     "build_edges",
+    "canonicalize_edges",
     "collate",
     "corpus_stats",
     "cosine_cutoff",

@@ -77,27 +77,20 @@ def _shift_ranges(cell: np.ndarray, pbc: tuple[bool, bool, bool], cutoff: float)
     return ranges
 
 
-def periodic_radius_graph(
+def _periodic_neighbors(
     positions: np.ndarray,
     cell: np.ndarray,
     pbc: tuple[bool, bool, bool],
     cutoff: float,
-) -> tuple[np.ndarray, np.ndarray]:
-    """Directed edges under periodic boundary conditions.
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Periodic pairs within ``cutoff`` as ``(src, dst, shift_cart64)``.
 
-    Each atom is connected to every periodic image of every atom (including
-    its own images, but not itself at zero shift) within ``cutoff``.
-    Returns ``(edge_index, edge_shift)`` where ``edge_shift`` is the
-    Cartesian shift applied to the *source* atom, in ``DEFAULT_DTYPE``
-    (float32) like the open-boundary path -- the search itself runs in
-    float64.
+    The shared search behind :func:`periodic_radius_graph` (which casts
+    the shifts to ``DEFAULT_DTYPE``) and :class:`SkinNeighborList` (which
+    keeps the float64 rows so its distance re-filter reproduces the
+    KD-tree's arithmetic exactly).
     """
-    positions = np.asarray(positions, dtype=np.float64)
-    cell = np.asarray(cell, dtype=np.float64).reshape(3, 3)
     n = positions.shape[0]
-    if n == 0:
-        return np.zeros((2, 0), dtype=np.int64), np.zeros((0, 3), dtype=DEFAULT_DTYPE)
-
     ranges = _shift_ranges(cell, pbc, cutoff)
     shifts_int = np.array(np.meshgrid(*ranges, indexing="ij")).reshape(3, -1).T
     shifts_cart = shifts_int @ cell  # (s, 3)
@@ -121,7 +114,11 @@ def periodic_radius_graph(
     counts = np.fromiter(map(len, neighbor_lists), dtype=np.int64, count=n)
     total = int(counts.sum())
     if total == 0:
-        return np.zeros((2, 0), dtype=np.int64), np.zeros((0, 3), dtype=DEFAULT_DTYPE)
+        return (
+            np.zeros(0, dtype=np.int64),
+            np.zeros(0, dtype=np.int64),
+            np.zeros((0, 3), dtype=np.float64),
+        )
     hits = np.fromiter(chain.from_iterable(neighbor_lists), dtype=np.int64, count=total)
     dst_atoms = np.repeat(np.arange(n, dtype=np.int64), counts)
     src_atoms = source_atom[hits]
@@ -130,10 +127,33 @@ def periodic_radius_graph(
     zero_image = int(np.flatnonzero((shifts_int == 0).all(axis=1))[0])
     keep = ~((src_atoms == dst_atoms) & (images == zero_image))
     src_atoms, dst_atoms, images = src_atoms[keep], dst_atoms[keep], images[keep]
+    return src_atoms, dst_atoms, shifts_cart[images]
+
+
+def periodic_radius_graph(
+    positions: np.ndarray,
+    cell: np.ndarray,
+    pbc: tuple[bool, bool, bool],
+    cutoff: float,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Directed edges under periodic boundary conditions.
+
+    Each atom is connected to every periodic image of every atom (including
+    its own images, but not itself at zero shift) within ``cutoff``.
+    Returns ``(edge_index, edge_shift)`` where ``edge_shift`` is the
+    Cartesian shift applied to the *source* atom, in ``DEFAULT_DTYPE``
+    (float32) like the open-boundary path -- the search itself runs in
+    float64.
+    """
+    positions = np.asarray(positions, dtype=np.float64)
+    cell = np.asarray(cell, dtype=np.float64).reshape(3, 3)
+    if positions.shape[0] == 0:
+        return np.zeros((2, 0), dtype=np.int64), np.zeros((0, 3), dtype=DEFAULT_DTYPE)
+    src_atoms, dst_atoms, shift64 = _periodic_neighbors(positions, cell, pbc, cutoff)
     if src_atoms.size == 0:
         return np.zeros((2, 0), dtype=np.int64), np.zeros((0, 3), dtype=DEFAULT_DTYPE)
     edge_index = np.stack([src_atoms, dst_atoms])
-    return edge_index, shifts_cart[images].astype(DEFAULT_DTYPE)
+    return edge_index, shift64.astype(DEFAULT_DTYPE)
 
 
 def trim_max_neighbors(
@@ -186,3 +206,141 @@ def build_edges(
             positions, edge_index, edge_shift, max_neighbors
         )
     return edge_index, edge_shift
+
+
+def canonicalize_edges(
+    edge_index: np.ndarray, edge_shift: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sort edges into the canonical total order ``(dst, src, shift)``.
+
+    Neighbor searches are order-unstable: the KD-tree's traversal order
+    depends on the tree it built, so the *same* edge set comes back in
+    different sequences from different constructions.  Trajectory serving
+    needs a construction-independent order — it is what lets the
+    incremental :class:`SkinNeighborList` path be compared bit-for-bit
+    against a from-scratch :func:`build_edges`, and what makes structure
+    hashes and traced-plan inputs deterministic along a trajectory.
+    ``(src, dst, image)`` triples are unique, so the order is total.
+    """
+    if edge_index.shape[1] == 0:
+        return edge_index, edge_shift
+    order = np.lexsort(
+        (edge_shift[:, 2], edge_shift[:, 1], edge_shift[:, 0], edge_index[0], edge_index[1])
+    )
+    return edge_index[:, order], edge_shift[order]
+
+
+class SkinNeighborList:
+    """Verlet-style skin list: build once at ``cutoff + skin``, re-filter after.
+
+    The trajectory-serving workload (relaxation, MD) presents the same
+    structure over and over with tiny displacements.  Rebuilding the
+    radius graph from scratch each step repays the KD-tree construction
+    for information that barely changed, so this list:
+
+    1. **builds** the candidate graph at ``cutoff + skin`` (a superset of
+       every edge that can become relevant while atoms move less than
+       ``skin / 2``), remembering the positions it was built at, and
+    2. **reuses** it on later calls while ``2 * max_displacement < skin``
+       holds, re-filtering candidates by exact distance at the current
+       positions — a handful of vector ops instead of a tree build.
+
+    The re-filter reproduces the KD-tree's arithmetic exactly (same
+    float64 replicated offsets, same squared-distance comparison), so
+    after :func:`canonicalize_edges` ordering the incremental result is
+    **bit-identical** to a from-scratch :func:`build_edges` at every
+    step — pinned by ``tests/graph/test_skin_list.py``.
+
+    The cache invalidates itself whenever the candidate set could be
+    stale: displacement past the skin bound, a different atom count, a
+    changed cell, pbc flags, ``cutoff``, or ``skin``.  ``rebuilds`` and
+    ``reuses`` count how the trade-off played out (surfaced in serving
+    telemetry and ``/v1/stats``).
+    """
+
+    def __init__(
+        self,
+        cutoff: float,
+        skin: float = 0.3,
+        max_neighbors: int | None = None,
+    ) -> None:
+        if cutoff <= 0.0:
+            raise ValueError(f"cutoff must be positive, got {cutoff}")
+        if skin <= 0.0:
+            raise ValueError(f"skin must be positive, got {skin}")
+        self.cutoff = float(cutoff)
+        self.skin = float(skin)
+        self.max_neighbors = max_neighbors
+        self.rebuilds = 0
+        self.reuses = 0
+        self._ref_positions: np.ndarray | None = None
+        self._ref_key: tuple | None = None  # (n, cell bytes, pbc, cutoff, skin)
+        self._cand_src: np.ndarray | None = None
+        self._cand_dst: np.ndarray | None = None
+        self._cand_shift64: np.ndarray | None = None  # float64, for exact re-filter
+        self._cand_shift32: np.ndarray | None = None  # DEFAULT_DTYPE, for output
+
+    def _state_key(self, n: int, cell: np.ndarray | None, pbc: tuple) -> tuple:
+        cell_bytes = None if cell is None else cell.tobytes()
+        return (n, cell_bytes, tuple(bool(flag) for flag in pbc), self.cutoff, self.skin)
+
+    def _needs_rebuild(self, positions: np.ndarray, key: tuple) -> bool:
+        if self._ref_positions is None or key != self._ref_key:
+            return True
+        displacement = positions - self._ref_positions
+        max_disp_sq = float((displacement * displacement).sum(axis=1).max())
+        return 4.0 * max_disp_sq >= self.skin * self.skin  # 2 * max_disp >= skin
+
+    def _rebuild(self, positions: np.ndarray, cell: np.ndarray | None, pbc: tuple) -> None:
+        radius = self.cutoff + self.skin
+        if cell is None or not any(pbc):
+            edge_index, _ = radius_graph(positions, radius)
+            src, dst = edge_index
+            shift64 = np.zeros((src.shape[0], 3), dtype=np.float64)
+        else:
+            src, dst, shift64 = _periodic_neighbors(positions, cell, pbc, radius)
+        self._cand_src, self._cand_dst, self._cand_shift64 = src, dst, shift64
+        self._cand_shift32 = shift64.astype(DEFAULT_DTYPE)
+        self._ref_positions = positions.copy()
+        self.rebuilds += 1
+
+    def update(
+        self,
+        positions: np.ndarray,
+        cell: np.ndarray | None = None,
+        pbc: tuple[bool, bool, bool] = (False, False, False),
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Edges within ``cutoff`` at ``positions``, in canonical order.
+
+        Same ``(edge_index, edge_shift)`` contract as :func:`build_edges`
+        (``DEFAULT_DTYPE`` shifts, optional ``max_neighbors`` trim), but
+        the order is canonical — deterministic across the incremental
+        and from-scratch construction paths.
+        """
+        positions = np.asarray(positions, dtype=np.float64)
+        if cell is not None:
+            cell = np.asarray(cell, dtype=np.float64).reshape(3, 3)
+        key = self._state_key(positions.shape[0], cell, pbc)
+        if self._needs_rebuild(positions, key):
+            self._rebuild(positions, cell, pbc)
+            self._ref_key = key
+        else:
+            self.reuses += 1
+        src, dst, shift64 = self._cand_src, self._cand_dst, self._cand_shift64
+        if src.size == 0:
+            edge_index = np.zeros((2, 0), dtype=np.int64)
+            edge_shift = np.zeros((0, 3), dtype=DEFAULT_DTYPE)
+        else:
+            # Exact KD-tree arithmetic: the replicated source the tree
+            # stored is positions[src] + shift, and membership compares
+            # squared distance against cutoff**2 (scipy's <= convention).
+            delta = positions[dst] - (positions[src] + shift64)
+            within = (delta * delta).sum(axis=1) <= self.cutoff * self.cutoff
+            edge_index = np.stack([src[within], dst[within]])
+            edge_shift = self._cand_shift32[within]
+        edge_index, edge_shift = canonicalize_edges(edge_index, edge_shift)
+        if self.max_neighbors is not None:
+            edge_index, edge_shift = trim_max_neighbors(
+                positions, edge_index, edge_shift, self.max_neighbors
+            )
+        return edge_index, edge_shift

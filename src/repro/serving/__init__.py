@@ -20,6 +20,13 @@ from repro.serving.batcher import (
 from repro.serving.cache import CacheStats, ResultCache
 from repro.serving.hashing import structure_hash
 from repro.serving.registry import ModelRegistry, RegistryEntry
+from repro.serving.relax import (
+    MAX_RELAX_STEPS,
+    RelaxResult,
+    RelaxSettings,
+    TrajectorySession,
+    relax_positions,
+)
 from repro.serving.replicas import ReplicaSpec, ReplicaStartupError, ReplicaSupervisor
 from repro.serving.router import Router, aggregate_model_telemetry
 from repro.serving.service import PredictionResult, PredictionService, ServiceConfig
@@ -30,12 +37,15 @@ __all__ = [
     "FLUSH_CLOSE",
     "FLUSH_GRAPHS",
     "FLUSH_TIMEOUT",
+    "MAX_RELAX_STEPS",
     "CacheStats",
     "MicroBatcher",
     "ModelRegistry",
     "PredictionResult",
     "PredictionService",
     "RegistryEntry",
+    "RelaxResult",
+    "RelaxSettings",
     "ReplicaSpec",
     "ReplicaStartupError",
     "ReplicaSupervisor",
@@ -46,7 +56,9 @@ __all__ = [
     "ServiceOverloaded",
     "ServingStats",
     "StatsSummary",
+    "TrajectorySession",
     "aggregate_model_telemetry",
     "percentile",
+    "relax_positions",
     "structure_hash",
 ]

@@ -111,8 +111,8 @@ def aggregate_model_telemetry(per_replica: list[dict]) -> dict:
 
     Input: each element is one replica's ``models`` mapping (model name →
     telemetry dict with ``serving``/``result_cache``/``buffer_pool``/
-    ``plans``/``batching``/``engine`` sections).  Counters are summed and
-    derived rates recomputed from the sums; latency percentiles are
+    ``plans``/``relax``/``batching``/``engine`` sections).  Counters are
+    summed and derived rates recomputed from the sums; latency percentiles are
     request-weighted means of the replicas' percentiles (an
     approximation — the exact fleet percentile would need the raw
     per-request records, which stay replica-local by design).  Missing
@@ -143,6 +143,8 @@ def _merge_model(entries: list[dict]) -> dict:
     rc_misses = total("result_cache", "misses")
     bp_hits = total("buffer_pool", "hits")
     bp_misses = total("buffer_pool", "misses")
+    nl_rebuilds = total("relax", "neighbor_rebuilds")
+    nl_reuses = total("relax", "neighbor_reuses")
     flush_reasons: dict[str, int] = {}
     for entry in entries:
         for reason, count in sec(entry, "batching").get("flush_reasons", {}).items():
@@ -226,6 +228,16 @@ def _merge_model(entries: list[dict]) -> dict:
             "max_pending": sec(first, "batching").get("max_pending"),
             "rejected": int(total("batching", "rejected")),
             "flush_reasons": flush_reasons,
+        },
+        "relax": {
+            "sessions": int(total("relax", "sessions")),
+            "steps": int(total("relax", "steps")),
+            "converged": int(total("relax", "converged")),
+            "neighbor_rebuilds": int(nl_rebuilds),
+            "neighbor_reuses": int(nl_reuses),
+            "neighbor_reuse_rate": (
+                nl_reuses / (nl_rebuilds + nl_reuses) if (nl_rebuilds + nl_reuses) else 0.0
+            ),
         },
         "engine": {
             "backend": sec(first, "engine").get("backend"),
@@ -506,8 +518,8 @@ class Router:
         await writer.drain()
 
     async def _dispatch(self, method: str, path: str, body: bytes) -> tuple[int, object]:
-        if method == "POST" and path == "/v1/predict":
-            return await self._predict(body)
+        if method == "POST" and path in ("/v1/predict", "/v1/relax"):
+            return await self._post(path, body)
         if method == "GET" and path == "/v1/healthz":
             return 200, self.health_payload()
         if method == "GET" and path == "/v1/stats":
@@ -516,7 +528,10 @@ class Router:
             return await self._proxy_any("GET", "/v1/models")
         return 404, _error_body("not_found", f"no such endpoint: {method} {path}", 404)
 
-    async def _predict(self, body: bytes) -> tuple[int, bytes]:
+    async def _post(self, path: str, body: bytes) -> tuple[int, bytes]:
+        # One body, one replica: a relax request pins its whole descent to
+        # the replica it lands on (the trajectory's plan bucket stays hot
+        # there), exactly like a predict pins its one forward.
         if not self.admitting:
             self._count("rejected")
             return 503, _error_body(
@@ -535,7 +550,7 @@ class Router:
                 )
             try:
                 return await asyncio.wait_for(
-                    self._proxy(state, "POST", "/v1/predict", body),
+                    self._proxy(state, "POST", path, body),
                     timeout=self.proxy_timeout_s,
                 )
             except (asyncio.TimeoutError, TimeoutError):

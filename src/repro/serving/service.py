@@ -44,6 +44,7 @@ from repro.models.hydra import HydraModel
 from repro.serving.batcher import MicroBatcher, ServeRequest, first_chunk_size
 from repro.serving.cache import ResultCache
 from repro.serving.hashing import structure_hash
+from repro.serving.relax import RelaxResult, RelaxSettings, TrajectorySession, relax_positions
 from repro.serving.stats import ServingStats, StatsSummary
 from repro.tensor.allocator import BufferPool, use_pool
 from repro.tensor.autotune import default_autotuner
@@ -127,6 +128,14 @@ class PredictionService:
         self._workers: list[threading.Thread] = []
         self._flush_reasons: dict[str, int] = {}  # accumulated across sessions
         self._rejected = 0  # admission-control rejections, accumulated likewise
+        # Trajectory-workload counters (relax loops + trajectory sessions);
+        # written from whichever thread runs the loop, hence the lock.
+        self._relax_lock = threading.Lock()
+        self._relax_sessions = 0
+        self._relax_steps = 0
+        self._relax_converged = 0
+        self._neighbor_rebuilds = 0
+        self._neighbor_reuses = 0
         # No model lock: the engine's grad mode, pool stack, and kernel
         # dispatch are thread-local, and the shared BufferPool is
         # internally locked, so N workers run N model forwards truly
@@ -304,6 +313,65 @@ class PredictionService:
         self._save_autotune_cache()
         return results
 
+    # ------------------------------------------------------------------
+    # trajectory workloads (relaxation, MD-style sessions)
+    # ------------------------------------------------------------------
+    def _record_trajectory_step(self, rebuilds: int, reuses: int) -> None:
+        with self._relax_lock:
+            self._relax_steps += 1
+            self._neighbor_rebuilds += rebuilds
+            self._neighbor_reuses += reuses
+
+    def trajectory(
+        self,
+        atomic_numbers,
+        cell=None,
+        pbc: tuple[bool, bool, bool] = (False, False, False),
+        cutoff: float = 5.0,
+        skin: float = 0.3,
+        max_neighbors: int | None = None,
+    ) -> TrajectorySession:
+        """Open a trajectory session: consecutive predicts, graphs reused.
+
+        Each ``session.step(positions)`` builds edges through a
+        :class:`~repro.graph.radius.SkinNeighborList` (from scratch only
+        when displacements exceed the skin bound) and predicts through
+        this service — micro-batcher, result cache, and plan cache
+        included.  Sessions keep one shape bucket hot, so plan replays
+        dominate after the first step.
+        """
+        with self._relax_lock:
+            self._relax_sessions += 1
+        return TrajectorySession(
+            self.predict,
+            atomic_numbers,
+            cell=cell,
+            pbc=pbc,
+            cutoff=cutoff,
+            skin=skin,
+            max_neighbors=max_neighbors,
+            on_step=self._record_trajectory_step,
+        )
+
+    def relax(self, graph: AtomGraph, settings: RelaxSettings | None = None) -> RelaxResult:
+        """Relax ``graph``'s geometry on served forces (see :mod:`.relax`).
+
+        Every force evaluation is a regular :meth:`predict` — in served
+        mode it rides the micro-batcher alongside interactive traffic,
+        and consecutive steps replay the same traced plan bucket.  The
+        input graph's edges are ignored; the relax session's skin list
+        owns connectivity for the whole descent.
+        """
+        result = relax_positions(self.predict, graph, settings)
+        with self._relax_lock:
+            self._relax_sessions += 1
+            self._relax_steps += result.steps
+            if result.converged:
+                self._relax_converged += 1
+            self._neighbor_rebuilds += result.neighbor_rebuilds
+            self._neighbor_reuses += result.neighbor_reuses
+        return result
+
     def _chunk_by_budget(self, requests: list[ServeRequest]) -> list[list[ServeRequest]]:
         """Partition requests exactly as the batcher's flush would.
 
@@ -449,6 +517,21 @@ class PredictionService:
             payload.update(plans.telemetry())
         return payload
 
+    def _relax_telemetry(self) -> dict:
+        """Relax/trajectory counters, including skin-list hit rates."""
+        with self._relax_lock:
+            rebuilds = self._neighbor_rebuilds
+            reuses = self._neighbor_reuses
+            updates = rebuilds + reuses
+            return {
+                "sessions": self._relax_sessions,
+                "steps": self._relax_steps,
+                "converged": self._relax_converged,
+                "neighbor_rebuilds": rebuilds,
+                "neighbor_reuses": reuses,
+                "neighbor_reuse_rate": (reuses / updates) if updates else 0.0,
+            }
+
     def telemetry(self) -> dict:
         """JSON-ready stats: serving, result cache, buffer pool, plans, engine."""
         from repro.tensor.kernels import active_backend
@@ -461,6 +544,7 @@ class PredictionService:
             "result_cache": self.cache.stats.as_dict(),
             "buffer_pool": self.pool.snapshot(),
             "plans": self._plan_telemetry(),
+            "relax": self._relax_telemetry(),
             "batching": {
                 "max_atoms": self.config.max_atoms,
                 "max_graphs": self.config.max_graphs,
