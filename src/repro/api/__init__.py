@@ -21,11 +21,13 @@ thin shell over these pieces.
 
 from repro.api.client import Client, ClientTrajectory, HttpTransport, LocalTransport
 from repro.api.schemas import (
+    DEADLINE_HEADER,
     DEFAULT_CUTOFF,
     MAX_STRUCTURES_PER_REQUEST,
     SCHEMA_VERSION,
     SUPPORTED_VERSIONS,
     ApiError,
+    DeadlineExceededError,
     ErrorPayload,
     NotFound,
     OverloadedError,
@@ -53,7 +55,9 @@ __all__ = [
     "ApiServer",
     "Client",
     "ClientTrajectory",
+    "DEADLINE_HEADER",
     "DEFAULT_CUTOFF",
+    "DeadlineExceededError",
     "ErrorPayload",
     "HttpTransport",
     "LocalTransport",

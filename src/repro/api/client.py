@@ -29,13 +29,17 @@ Usage::
 from __future__ import annotations
 
 import json
-import urllib.error
-import urllib.request
+import random
+import time
+import urllib.parse
+from http.client import HTTPConnection, HTTPException
 
 import numpy as np
 
 from repro.api.schemas import (
+    DEADLINE_HEADER,
     DEFAULT_CUTOFF,
+    DeadlineExceededError,
     ErrorPayload,
     PredictRequest,
     PredictResponse,
@@ -45,12 +49,13 @@ from repro.api.schemas import (
     StatsSnapshot,
     StructurePayload,
     TransportError,
+    UnavailableError,
 )
 from repro.api.server import ApiGateway
 from repro.graph.atoms import AtomGraph
 from repro.graph.radius import SkinNeighborList
 from repro.serving.registry import ModelRegistry
-from repro.serving.relax import RelaxResult
+from repro.serving.relax import RelaxResult, RelaxSettings
 from repro.serving.service import PredictionResult, ServiceConfig
 
 
@@ -101,39 +106,132 @@ class LocalTransport:
 
 
 class HttpTransport:
-    """v1 JSON over HTTP via urllib — no third-party client dependency."""
+    """v1 JSON over stdlib ``http.client`` — timeouts, retries, deadlines.
 
-    def __init__(self, base_url: str, timeout_s: float = 60.0) -> None:
+    Resilience contract:
+
+    - **Socket timeouts.** ``connect_timeout_s`` bounds the TCP connect;
+      ``read_timeout_s`` (default: the legacy ``timeout_s``) bounds each
+      read.  A server that accepts the connection and then goes silent
+      can no longer hang the client forever.
+    - **Bounded retries.** Connection failures, read timeouts, corrupted
+      response bodies, and typed 503s (:class:`UnavailableError` — the
+      fleet is draining or momentarily has no healthy replica) are
+      retried up to ``retries`` times with exponential backoff plus
+      jitter.  4xx errors, plain 500s, and 504s are **never** retried:
+      they are verdicts, not glitches.  Retrying ambiguous read failures
+      is safe because predict is idempotent — results are keyed by
+      structure hash, so a duplicate execution returns identical bytes.
+    - **Deadline propagation.** A ``deadline_ms`` in the request body is
+      also stamped onto the :data:`~repro.api.schemas.DEADLINE_HEADER`
+      with the *remaining* budget, recomputed per attempt — a retry
+      after 80 ms of a 200 ms budget advertises ~120 ms.  When the
+      budget runs out between attempts, the client raises
+      :class:`DeadlineExceededError` itself instead of burning a doomed
+      attempt.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout_s: float = 60.0,
+        connect_timeout_s: float = 5.0,
+        read_timeout_s: float | None = None,
+        retries: int = 2,
+        backoff_s: float = 0.05,
+        backoff_max_s: float = 2.0,
+    ) -> None:
         self.base_url = base_url.rstrip("/")
+        split = urllib.parse.urlsplit(self.base_url)
+        if split.scheme != "http" or not split.hostname:
+            raise ValueError(f"HttpTransport expects an http://host[:port] URL, got {base_url!r}")
+        self._host = split.hostname
+        self._port = split.port or 80
+        self._path_prefix = split.path.rstrip("/")
         self.timeout_s = float(timeout_s)
+        self.connect_timeout_s = float(connect_timeout_s)
+        self.read_timeout_s = self.timeout_s if read_timeout_s is None else float(read_timeout_s)
+        self.retries = int(retries)
+        self.backoff_s = float(backoff_s)
+        self.backoff_max_s = float(backoff_max_s)
+        self.retried = 0  # attempts beyond the first, across all requests
 
+    # ------------------------------------------------------------------
+    # one attempt
+    # ------------------------------------------------------------------
+    def _attempt(
+        self, method: str, path: str, data: bytes | None, headers: dict, deadline: float | None
+    ) -> dict:
+        if deadline is not None:
+            remaining_ms = (deadline - time.monotonic()) * 1000.0
+            if remaining_ms <= 0:
+                raise DeadlineExceededError(
+                    f"deadline expired client-side before sending {method} {path}"
+                )
+            headers = dict(headers, **{DEADLINE_HEADER: f"{remaining_ms:.1f}"})
+        connection = HTTPConnection(self._host, self._port, timeout=self.connect_timeout_s)
+        try:
+            try:
+                connection.connect()
+                # Connect succeeded under its own (short) bound; reads
+                # get the separate, longer budget.
+                connection.sock.settimeout(self.read_timeout_s)
+                connection.request(method, self._path_prefix + path, body=data, headers=headers)
+                response = connection.getresponse()
+                status = response.status
+                body = response.read()
+            except TimeoutError as err:  # socket.timeout is an alias since 3.10
+                raise TransportError(
+                    f"timed out talking to {self.base_url} ({method} {path}): {err or 'timeout'}"
+                ) from err
+            except (OSError, HTTPException) as err:
+                raise TransportError(f"cannot reach {self.base_url}: {err!r}") from err
+        finally:
+            connection.close()
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as err:
+            raise TransportError(f"non-JSON response from {method} {path}: {err}") from err
+        if status == 200:
+            return payload
+        try:
+            error_payload = ErrorPayload.from_json_dict(payload)
+        except Exception:  # noqa: BLE001 - non-conforming error body
+            raise TransportError(f"HTTP {status} from {method} {path}: {body[:200]!r}") from None
+        # Re-raise the *typed* error the server raised, so HTTP and
+        # local callers catch identical exception classes.
+        raise error_payload.to_error()
+
+    # ------------------------------------------------------------------
+    # retry loop
+    # ------------------------------------------------------------------
     def _request(self, method: str, path: str, payload: dict | None = None) -> dict:
         data = None
         headers = {"Accept": "application/json"}
         if payload is not None:
             data = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
-        request = urllib.request.Request(
-            self.base_url + path, data=data, headers=headers, method=method
-        )
-        try:
-            with urllib.request.urlopen(request, timeout=self.timeout_s) as response:
-                return json.loads(response.read().decode("utf-8"))
-        except urllib.error.HTTPError as err:
-            body = err.read().decode("utf-8", errors="replace")
+        deadline_ms = payload.get("deadline_ms") if payload else None
+        deadline = None if deadline_ms is None else time.monotonic() + deadline_ms / 1000.0
+        attempt = 0
+        while True:
             try:
-                error_payload = ErrorPayload.from_json_dict(json.loads(body))
-            except Exception:  # noqa: BLE001 - non-JSON error body
-                raise TransportError(
-                    f"HTTP {err.code} from {method} {path}: {body[:200]!r}"
-                ) from err
-            # Re-raise the *typed* error the server raised, so HTTP and
-            # local callers catch identical exception classes.
-            raise error_payload.to_error() from err
-        except urllib.error.URLError as err:
-            raise TransportError(f"cannot reach {self.base_url}: {err.reason}") from err
-        except json.JSONDecodeError as err:
-            raise TransportError(f"non-JSON response from {method} {path}: {err}") from err
+                return self._attempt(method, path, data, headers, deadline)
+            except (TransportError, UnavailableError) as err:
+                if attempt >= self.retries:
+                    raise
+                attempt += 1
+                self.retried += 1
+                # Exponential backoff with full jitter: concurrent
+                # clients retrying a recovering fleet must not stampede
+                # it in lockstep.
+                delay = min(self.backoff_max_s, self.backoff_s * (2.0 ** (attempt - 1)))
+                delay *= random.uniform(0.5, 1.5)
+                if deadline is not None and time.monotonic() + delay >= deadline:
+                    raise DeadlineExceededError(
+                        f"deadline expired during retry backoff for {method} {path}"
+                    ) from err
+                time.sleep(delay)
 
     def predict(self, request: PredictRequest) -> PredictResponse:
         return PredictResponse.from_json_dict(
@@ -227,9 +325,13 @@ class Client:
         return cls(LocalTransport(registry, **kwargs))
 
     @classmethod
-    def http(cls, base_url: str, timeout_s: float = 60.0) -> "Client":
-        """Remote client for an :class:`~repro.api.server.ApiServer` URL."""
-        return cls(HttpTransport(base_url, timeout_s=timeout_s))
+    def http(cls, base_url: str, timeout_s: float = 60.0, **kwargs) -> "Client":
+        """Remote client for an :class:`~repro.api.server.ApiServer` URL.
+
+        Extra kwargs go to :class:`HttpTransport` (``connect_timeout_s``,
+        ``read_timeout_s``, ``retries``, ``backoff_s``, ...).
+        """
+        return cls(HttpTransport(base_url, timeout_s=timeout_s, **kwargs))
 
     # ------------------------------------------------------------------
     # prediction
@@ -245,13 +347,25 @@ class Client:
             for item in structures
         ]
 
-    def predict(self, structures, model: str | None = None) -> list[PredictionResult]:
-        """Predict for graphs or payloads (one or many); results in order."""
-        request = PredictRequest(structures=self._as_payloads(structures), model=model)
+    def predict(
+        self, structures, model: str | None = None, deadline_ms: float | None = None
+    ) -> list[PredictionResult]:
+        """Predict for graphs or payloads (one or many); results in order.
+
+        ``deadline_ms`` is the end-to-end latency budget: still-unserved
+        work past it is dropped server-side with a typed
+        :class:`~repro.api.schemas.DeadlineExceededError` (504) instead
+        of executing.
+        """
+        request = PredictRequest(
+            structures=self._as_payloads(structures), model=model, deadline_ms=deadline_ms
+        )
         return self.transport.predict(request).to_results()
 
-    def predict_one(self, structure, model: str | None = None) -> PredictionResult:
-        return self.predict([structure], model=model)[0]
+    def predict_one(
+        self, structure, model: str | None = None, deadline_ms: float | None = None
+    ) -> PredictionResult:
+        return self.predict([structure], model=model, deadline_ms=deadline_ms)[0]
 
     # ------------------------------------------------------------------
     # relaxation and trajectories
@@ -265,27 +379,88 @@ class Client:
         fmax: float | None = None,
         max_step: float | None = None,
         skin: float | None = None,
+        deadline_ms: float | None = None,
+        chunk_steps: int | None = None,
     ) -> RelaxResult:
         """Relax one graph or payload on the server's forces.
 
         Unset knobs fall back to the server's defaults; returns the same
         :class:`~repro.serving.relax.RelaxResult` the in-process
         ``PredictionService.relax`` returns, over either transport.
+
+        With ``chunk_steps``, the descent is driven as a sequence of
+        bounded ``/v1/relax`` segments, each starting from the last
+        segment's **accepted** positions.  That makes a long descent
+        resumable: if the replica serving it dies mid-segment, the
+        transport's retry re-runs only that segment on a healthy replica
+        — completed steps are never repeated, because their positions
+        already live client-side.  ``deadline_ms`` applies per segment.
         """
         payload = (
             structure
             if isinstance(structure, StructurePayload)
             else StructurePayload.from_graph(structure)
         )
-        request = RelaxRequest(
-            structure=payload,
-            model=model,
-            max_steps=max_steps,
-            fmax=fmax,
-            max_step=max_step,
-            skin=skin,
+        if chunk_steps is None:
+            request = RelaxRequest(
+                structure=payload,
+                model=model,
+                max_steps=max_steps,
+                fmax=fmax,
+                max_step=max_step,
+                skin=skin,
+                deadline_ms=deadline_ms,
+            )
+            return self.transport.relax(request).to_result()
+        if chunk_steps < 1:
+            raise ValueError("chunk_steps must be >= 1")
+
+        total = max_steps if max_steps is not None else RelaxSettings().max_steps
+        remaining = total
+        first: RelaxResult | None = None
+        steps = rebuilds = reuses = 0
+        while True:
+            request = RelaxRequest(
+                structure=payload,
+                model=model,
+                max_steps=min(chunk_steps, remaining),
+                fmax=fmax,
+                max_step=max_step,
+                skin=skin,
+                deadline_ms=deadline_ms,
+            )
+            segment = self.transport.relax(request).to_result()
+            if first is None:
+                first = segment
+            steps += segment.steps
+            rebuilds += segment.neighbor_rebuilds
+            reuses += segment.neighbor_reuses
+            remaining -= segment.steps
+            if segment.converged or remaining <= 0:
+                break
+            # Resume the next segment from the accepted positions; the
+            # old payload's edges (if any) are stale for the new
+            # geometry, so the server's skin list rebuilds from scratch.
+            payload = StructurePayload(
+                atomic_numbers=payload.atomic_numbers,
+                positions=segment.positions,
+                cell=payload.cell,
+                pbc=payload.pbc,
+            )
+        return RelaxResult(
+            converged=segment.converged,
+            reason=segment.reason,
+            steps=steps,
+            energy=segment.energy,
+            energy_initial=first.energy_initial,
+            fmax=segment.fmax,
+            positions=segment.positions,
+            forces=segment.forces,
+            n_atoms=segment.n_atoms,
+            physical_units=segment.physical_units,
+            neighbor_rebuilds=rebuilds,
+            neighbor_reuses=reuses,
         )
-        return self.transport.relax(request).to_result()
 
     def trajectory(
         self,

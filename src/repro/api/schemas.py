@@ -109,6 +109,20 @@ class RequestTimeout(ApiError):
     http_status = 504
 
 
+class DeadlineExceededError(ApiError):
+    """The request's propagated deadline expired before it was served.
+
+    Distinct from :class:`RequestTimeout` (the server's own wait bound):
+    this is the *client's* budget, carried as ``deadline_ms`` in the
+    body and ``X-Repro-Deadline-Ms`` on the wire, expiring somewhere on
+    the path.  The server drops expired work instead of executing it, so
+    receiving this guarantees no forward was burned on your behalf.
+    """
+
+    code = "deadline_exceeded"
+    http_status = 504
+
+
 class UnavailableError(ApiError):
     """No backend can take the request right now (draining or down).
 
@@ -139,10 +153,32 @@ ERROR_TYPES = {
         NotFound,
         OverloadedError,
         RequestTimeout,
+        DeadlineExceededError,
         TransportError,
         UnavailableError,
     )
 }
+
+#: HTTP header carrying the request's *remaining* deadline budget in
+#: milliseconds (gRPC-timeout style: relative, re-stamped per hop).  The
+#: header wins over the body's ``deadline_ms`` so proxies can decrement
+#: the budget without re-serializing the body.
+DEADLINE_HEADER = "X-Repro-Deadline-Ms"
+
+#: Bound on ``deadline_ms`` — anything longer than an hour is a config
+#: error, not a latency budget.
+MAX_DEADLINE_MS = 3_600_000.0
+
+
+def validate_deadline_ms(value, where: str) -> float | None:
+    """Validate an optional ``deadline_ms`` value (body field or header)."""
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise SchemaError(f"{where}: expected a number of milliseconds")
+    if not (math.isfinite(value) and 0 < value <= MAX_DEADLINE_MS):
+        raise SchemaError(f"{where}: must be in (0, {MAX_DEADLINE_MS:.0f}] ms")
+    return float(value)
 
 
 # ----------------------------------------------------------------------
@@ -360,6 +396,11 @@ class PredictRequest:
 
     structures: list[StructurePayload]
     model: str | None = None
+    #: Optional latency budget in milliseconds, relative to send time
+    #: (additive v1 field).  Work still unserved when it runs out is
+    #: dropped with a typed ``deadline_exceeded`` 504 instead of
+    #: executing; see :data:`DEADLINE_HEADER` for the hop-by-hop form.
+    deadline_ms: float | None = None
 
     @classmethod
     def from_graphs(
@@ -377,11 +418,13 @@ class PredictRequest:
         }
         if self.model is not None:
             payload["model"] = self.model
+        if self.deadline_ms is not None:
+            payload["deadline_ms"] = float(self.deadline_ms)
         return payload
 
     @classmethod
     def from_json_dict(cls, obj: dict) -> "PredictRequest":
-        _expect_keys(obj, {"schema_version", "structures"}, {"model"}, "request")
+        _expect_keys(obj, {"schema_version", "structures"}, {"model", "deadline_ms"}, "request")
         version = _expect_version(obj, "request", supported=SUPPORTED_VERSIONS)
         structures = obj["structures"]
         if not isinstance(structures, list) or not structures:
@@ -404,6 +447,7 @@ class PredictRequest:
                 for index, entry in enumerate(structures)
             ],
             model=model,
+            deadline_ms=validate_deadline_ms(obj.get("deadline_ms"), "request.deadline_ms"),
         )
 
 
@@ -559,6 +603,9 @@ class RelaxRequest:
     fmax: float | None = None
     max_step: float | None = None
     skin: float | None = None
+    #: Optional latency budget in ms (see :class:`PredictRequest`);
+    #: a descent re-checks it before every force evaluation.
+    deadline_ms: float | None = None
 
     def to_settings(self, cutoff: float, max_neighbors: int | None = None) -> RelaxSettings:
         """Server-side settings: request overrides on top of defaults."""
@@ -577,7 +624,7 @@ class RelaxRequest:
         }
         if self.model is not None:
             payload["model"] = self.model
-        for name in ("max_steps", "fmax", "max_step", "skin"):
+        for name in ("max_steps", "fmax", "max_step", "skin", "deadline_ms"):
             value = getattr(self, name)
             if value is not None:
                 payload[name] = value
@@ -588,7 +635,7 @@ class RelaxRequest:
         _expect_keys(
             obj,
             {"schema_version", "structure"},
-            {"model", "max_steps", "fmax", "max_step", "skin"},
+            {"model", "max_steps", "fmax", "max_step", "skin", "deadline_ms"},
             "relax request",
         )
         version = _expect_version(obj, "relax request", supported=SUPPORTED_VERSIONS)
@@ -622,6 +669,9 @@ class RelaxRequest:
             fmax=None if obj.get("fmax") is None else float(obj["fmax"]),
             max_step=None if obj.get("max_step") is None else float(obj["max_step"]),
             skin=None if obj.get("skin") is None else float(obj["skin"]),
+            deadline_ms=validate_deadline_ms(
+                obj.get("deadline_ms"), "relax request.deadline_ms"
+            ),
         )
 
 
@@ -887,7 +937,10 @@ class StatsSnapshot:
       replica's own ``models`` telemetry), while ``models`` holds the
       fleet-aggregated counters.
     - ``router`` — the router's own counters (requests, rerouted,
-      rejected, proxy_errors, admitting).
+      rejected, proxy_errors, breaker_opens, deadline_expired,
+      admitting).
+    - ``watchdog`` — also router-only: the supervisor's hung-replica
+      escalation counters (hung_detected, sigterm, sigkill, respawns).
 
     Sections and fields are additive by contract: snapshots written
     before a field existed keep parsing, and clients must tolerate
@@ -899,6 +952,7 @@ class StatsSnapshot:
     pid: int | None = None
     replicas: dict[str, dict] | None = None
     router: dict | None = None
+    watchdog: dict | None = None
 
     def to_json_dict(self) -> dict:
         payload: dict[str, Any] = {"schema_version": SCHEMA_VERSION, "models": self.models}
@@ -910,6 +964,8 @@ class StatsSnapshot:
             payload["replicas"] = self.replicas
         if self.router is not None:
             payload["router"] = self.router
+        if self.watchdog is not None:
+            payload["watchdog"] = self.watchdog
         return payload
 
     @classmethod
@@ -917,7 +973,7 @@ class StatsSnapshot:
         _expect_keys(
             obj,
             {"schema_version", "models"},
-            {"uptime_s", "pid", "replicas", "router"},
+            {"uptime_s", "pid", "replicas", "router", "watchdog"},
             "stats",
         )
         _expect_version(obj, "stats")
@@ -937,12 +993,16 @@ class StatsSnapshot:
         router = obj.get("router")
         if router is not None and not isinstance(router, dict):
             raise SchemaError("stats.router: expected an object")
+        watchdog = obj.get("watchdog")
+        if watchdog is not None and not isinstance(watchdog, dict):
+            raise SchemaError("stats.watchdog: expected an object")
         return cls(
             models=obj["models"],
             uptime_s=None if uptime_s is None else float(uptime_s),
             pid=pid,
             replicas=replicas,
             router=router,
+            watchdog=watchdog,
         )
 
 

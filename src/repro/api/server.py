@@ -46,9 +46,11 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 import numpy as np
 
 from repro.api.schemas import (
+    DEADLINE_HEADER,
     DEFAULT_CUTOFF,
     MAX_STRUCTURES_PER_REQUEST,
     ApiError,
+    DeadlineExceededError,
     ErrorPayload,
     OverloadedError,
     PredictRequest,
@@ -61,9 +63,11 @@ from repro.api.schemas import (
     ServerInfo,
     StatsSnapshot,
     UnknownModelError,
+    validate_deadline_ms,
 )
 from repro.graph.atoms import AtomGraph
-from repro.serving.batcher import ServiceOverloaded
+from repro.serving.batcher import DeadlineExceeded, ServiceOverloaded
+from repro.serving.faults import FaultPlan
 from repro.serving.registry import ModelRegistry
 from repro.serving.service import PredictionService, ServiceConfig
 
@@ -88,6 +92,7 @@ class ApiGateway:
         default_model: str | None = None,
         cutoff: float = DEFAULT_CUTOFF,
         max_neighbors: int | None = None,
+        faults: FaultPlan | None = None,
     ) -> None:
         self.registry = registry
         self.config = config or ServiceConfig()
@@ -95,10 +100,49 @@ class ApiGateway:
         self.default_model = default_model
         self.cutoff = float(cutoff)
         self.max_neighbors = max_neighbors
+        # Fault injection: explicit plan, or whatever REPRO_FAULT_SPEC
+        # prescribes (how replica subprocesses inherit the chaos plan).
+        self.faults = faults if faults is not None else FaultPlan.from_env()
         self._services: dict[str, PredictionService] = {}
         self._lock = threading.Lock()
         self._closed = False
         self._started_at = time.monotonic()
+        # In-flight request ages, for the hung-replica watchdog: healthz
+        # reports the oldest in-flight request so the supervisor can
+        # tell "busy" (ages churn) from "wedged" (one age grows without
+        # bound while the probe itself still answers).
+        self._inflight: dict[int, float] = {}
+        self._inflight_seq = 0
+        self._inflight_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # request bookkeeping
+    # ------------------------------------------------------------------
+    def _begin_request(self) -> int:
+        with self._inflight_lock:
+            self._inflight_seq += 1
+            token = self._inflight_seq
+            self._inflight[token] = time.monotonic()
+        return token
+
+    def _end_request(self, token: int) -> None:
+        with self._inflight_lock:
+            self._inflight.pop(token, None)
+
+    def _inflight_snapshot(self) -> tuple[int, float]:
+        """(count, age of the oldest in-flight request in seconds)."""
+        now = time.monotonic()
+        with self._inflight_lock:
+            if not self._inflight:
+                return 0, 0.0
+            return len(self._inflight), round(now - min(self._inflight.values()), 3)
+
+    @staticmethod
+    def _deadline_from_ms(deadline_ms: float | None) -> float | None:
+        """Stamp a relative ms budget as an absolute monotonic instant."""
+        if deadline_ms is None:
+            return None
+        return time.monotonic() + deadline_ms / 1000.0
 
     # ------------------------------------------------------------------
     # model resolution
@@ -157,7 +201,9 @@ class ApiGateway:
     # ------------------------------------------------------------------
     # endpoints
     # ------------------------------------------------------------------
-    def predict(self, request: PredictRequest) -> PredictResponse:
+    def predict(
+        self, request: PredictRequest, deadline_ms: float | None = None
+    ) -> PredictResponse:
         """Execute one wire request; raises typed :class:`ApiError`\\ s.
 
         Admission is all-or-nothing at the request level: if any
@@ -165,6 +211,11 @@ class ApiGateway:
         request maps to 429 and the client retries it wholesale —
         structures admitted before the rejection still complete and
         populate the result cache, so the retry is cheaper.
+
+        ``deadline_ms`` is the hop-level override (the HTTP handler
+        passes the ``X-Repro-Deadline-Ms`` header here); it wins over
+        the body's ``deadline_ms``.  Either way the budget is stamped
+        against the monotonic clock *now*, at admission.
         """
         # Size limits are enforced here, not only in from_json_dict, so
         # LocalTransport callers get the same contract (and the same
@@ -176,54 +227,79 @@ class ApiGateway:
                 f"request.structures: at most {MAX_STRUCTURES_PER_REQUEST} structures "
                 f"per request, got {len(request.structures)}"
             )
-        name = self.resolve_model(request.model)
-        service = self._service(name)
-        graphs = [
-            payload.to_graph(self.cutoff, self.max_neighbors)
-            for payload in request.structures
-        ]
+        deadline = self._deadline_from_ms(
+            deadline_ms if deadline_ms is not None else request.deadline_ms
+        )
+        token = self._begin_request()
         try:
-            results = service.predict_many(graphs)
-        except ServiceOverloaded as error:
-            raise OverloadedError(str(error)) from error
-        except TimeoutError as error:
-            raise RequestTimeout(str(error)) from error
-        return PredictResponse.from_results(name, results)
+            if self.faults is not None:
+                self.faults.on_request()
+            name = self.resolve_model(request.model)
+            service = self._service(name)
+            graphs = [
+                payload.to_graph(self.cutoff, self.max_neighbors)
+                for payload in request.structures
+            ]
+            try:
+                results = service.predict_many(graphs, deadline=deadline)
+            except DeadlineExceeded as error:
+                raise DeadlineExceededError(str(error)) from error
+            except ServiceOverloaded as error:
+                raise OverloadedError(str(error)) from error
+            except TimeoutError as error:
+                raise RequestTimeout(str(error)) from error
+            return PredictResponse.from_results(name, results)
+        finally:
+            self._end_request(token)
 
-    def relax(self, request: RelaxRequest) -> RelaxResponse:
+    def relax(
+        self, request: RelaxRequest, deadline_ms: float | None = None
+    ) -> RelaxResponse:
         """Relax one structure on served forces; raises typed errors.
 
         The relax session's skin neighbor list owns connectivity for the
         whole descent, so the request structure's edges (if any) are not
         searched here — the graph hands over only the physical inputs.
         Every force evaluation inside rides the same micro-batcher and
-        plan cache as ``/v1/predict`` traffic.
+        plan cache as ``/v1/predict`` traffic, and the deadline (header
+        override or body field) is re-checked before each one.
         """
-        name = self.resolve_model(request.model)
-        try:
-            settings = request.to_settings(self.cutoff, self.max_neighbors)
-        except ValueError as error:
-            # LocalTransport callers skip wire validation; map the
-            # dataclass's ValueError onto the same 400 HTTP callers get.
-            raise SchemaError(str(error)) from error
-        service = self._service(name)
-        structure = request.structure
-        graph = AtomGraph(
-            atomic_numbers=structure.atomic_numbers,
-            positions=structure.positions,
-            edge_index=np.zeros((2, 0), dtype=np.int64),
-            edge_shift=np.zeros((0, 3)),
-            cell=structure.cell,
-            pbc=structure.pbc,
-            source="api",
+        deadline = self._deadline_from_ms(
+            deadline_ms if deadline_ms is not None else request.deadline_ms
         )
+        token = self._begin_request()
         try:
-            result = service.relax(graph, settings)
-        except ServiceOverloaded as error:
-            raise OverloadedError(str(error)) from error
-        except TimeoutError as error:
-            raise RequestTimeout(str(error)) from error
-        return RelaxResponse.from_result(name, result)
+            if self.faults is not None:
+                self.faults.on_request()
+            name = self.resolve_model(request.model)
+            try:
+                settings = request.to_settings(self.cutoff, self.max_neighbors)
+            except ValueError as error:
+                # LocalTransport callers skip wire validation; map the
+                # dataclass's ValueError onto the same 400 HTTP callers get.
+                raise SchemaError(str(error)) from error
+            service = self._service(name)
+            structure = request.structure
+            graph = AtomGraph(
+                atomic_numbers=structure.atomic_numbers,
+                positions=structure.positions,
+                edge_index=np.zeros((2, 0), dtype=np.int64),
+                edge_shift=np.zeros((0, 3)),
+                cell=structure.cell,
+                pbc=structure.pbc,
+                source="api",
+            )
+            try:
+                result = service.relax(graph, settings, deadline=deadline)
+            except DeadlineExceeded as error:
+                raise DeadlineExceededError(str(error)) from error
+            except ServiceOverloaded as error:
+                raise OverloadedError(str(error)) from error
+            except TimeoutError as error:
+                raise RequestTimeout(str(error)) from error
+            return RelaxResponse.from_result(name, result)
+        finally:
+            self._end_request(token)
 
     def server_info(self) -> ServerInfo:
         return ServerInfo(
@@ -247,11 +323,17 @@ class ApiGateway:
         with self._lock:
             active = sorted(self._services)
             closed = self._closed
+        inflight, oldest_s = self._inflight_snapshot()
         return {
             "schema_version": "v1",
             "status": "shutting_down" if closed else "ok",
             "models": self.registry.names(),
             "active_services": active,
+            # Watchdog inputs: the probe thread runs in its own handler
+            # thread, so a wedged predict cannot block these numbers
+            # from being reported — that is the whole trick.
+            "inflight": inflight,
+            "oldest_inflight_s": oldest_s,
         }
 
     def close(self) -> None:
@@ -334,14 +416,54 @@ class _ApiRequestHandler(BaseHTTPRequestHandler):
         except Exception as error:  # noqa: BLE001 - boundary: no HTML tracebacks
             self._send_error_payload(ApiError(f"internal error: {error}"))
 
+    def _deadline_header_ms(self) -> float | None:
+        """Parse ``X-Repro-Deadline-Ms`` (wins over the body field)."""
+        raw = self.headers.get(DEADLINE_HEADER)
+        if raw is None:
+            return None
+        try:
+            return validate_deadline_ms(float(raw), DEADLINE_HEADER)
+        except (ValueError, SchemaError) as err:
+            # Rejecting before the body is read leaves bytes on the
+            # socket; drop the connection like _read_json_body does.
+            self.close_connection = True
+            if isinstance(err, SchemaError):
+                raise
+            raise SchemaError(f"{DEADLINE_HEADER}: expected a number, got {raw!r}") from None
+
+    def _send_success(self, payload: dict) -> None:
+        """Send a 200, running the body through fault corruption if armed.
+
+        Corruption happens at the byte layer, after serialization — the
+        client sees garbage on an otherwise-healthy connection, which is
+        exactly the failure a flaky proxy or truncated read produces.
+        Only predict/relax successes are eligible; error bodies and the
+        probe endpoints stay clean so the watchdog's view stays honest.
+        """
+        faults = self.server.gateway.faults
+        body = json.dumps(payload).encode("utf-8")
+        if faults is not None:
+            body = faults.corrupt(body)
+        self.send_response(200)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
     def do_POST(self) -> None:  # noqa: N802 - stdlib naming
         try:
             if self.path == "/v1/predict":
+                deadline_ms = self._deadline_header_ms()
                 request = PredictRequest.from_json_dict(self._read_json_body())
-                self._send_json(200, self.server.gateway.predict(request).to_json_dict())
+                self._send_success(
+                    self.server.gateway.predict(request, deadline_ms=deadline_ms).to_json_dict()
+                )
             elif self.path == "/v1/relax":
+                deadline_ms = self._deadline_header_ms()
                 relax = RelaxRequest.from_json_dict(self._read_json_body())
-                self._send_json(200, self.server.gateway.relax(relax).to_json_dict())
+                self._send_success(
+                    self.server.gateway.relax(relax, deadline_ms=deadline_ms).to_json_dict()
+                )
             else:
                 raise NotFound(f"no such endpoint: POST {self.path}")
         except ApiError as error:
@@ -382,6 +504,7 @@ class ApiServer:
         cutoff: float = DEFAULT_CUTOFF,
         max_neighbors: int | None = None,
         verbose: bool = False,
+        faults: FaultPlan | None = None,
     ) -> None:
         self.gateway = ApiGateway(
             registry,
@@ -390,6 +513,7 @@ class ApiServer:
             default_model=default_model,
             cutoff=cutoff,
             max_neighbors=max_neighbors,
+            faults=faults,
         )
         self._httpd = _GatewayHTTPServer((host, port), self.gateway, verbose)
         self._thread: threading.Thread | None = None

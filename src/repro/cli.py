@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 
@@ -270,8 +271,16 @@ def _serve_http(args: argparse.Namespace) -> int:
 
     from repro.api import ApiServer
     from repro.serving import ModelRegistry
+    from repro.serving.faults import FAULT_SPEC_ENV, FaultPlan
 
     try:
+        # --fault-spec takes precedence over REPRO_FAULT_SPEC; routing it
+        # through the environment keeps the replica-id lookup in one
+        # place (fleet children get the spec as an argument here but
+        # their slot number from REPRO_REPLICA_ID).
+        if getattr(args, "fault_spec", None):
+            os.environ[FAULT_SPEC_ENV] = args.fault_spec
+        faults = FaultPlan.from_env()
         model, normalizer = _load_serving_model(args)
         registry = ModelRegistry()
         registry.register_model(args.model_name, model, normalizer=normalizer)
@@ -284,6 +293,7 @@ def _serve_http(args: argparse.Namespace) -> int:
             config=_service_config(args),
             workers=args.workers,
             default_model=args.model_name,
+            faults=faults,
         )
         # Eagerly start the served model's service: a typo'd --backend or
         # corrupt --autotune-cache must fail the process here, not 500
@@ -320,6 +330,8 @@ def _serve_http(args: argparse.Namespace) -> int:
         "GET /v1/healthz · GET /v1/stats",
         flush=True,
     )
+    if faults is not None:
+        print(f"fault injection armed: {json.dumps(faults.describe())}", flush=True)
     try:
         stop.wait()
         print(
@@ -361,6 +373,11 @@ def _replica_args(args: argparse.Namespace) -> tuple[str, ...]:
         replica_args += ["--autotune-cache", args.autotune_cache]
     if args.no_plan:
         replica_args += ["--no-plan"]
+    if args.fault_spec:
+        # Each replica re-parses the spec against its own REPRO_REPLICA_ID
+        # (set by the supervisor), so replica-targeted clauses land on
+        # exactly the slot they name.
+        replica_args += ["--fault-spec", args.fault_spec]
     return tuple(replica_args)
 
 
@@ -375,19 +392,27 @@ def _serve_replicas(args: argparse.Namespace) -> int:
     import signal
     import threading
 
+    from repro.serving.faults import FaultPlan
     from repro.serving.replicas import ReplicaSpec, ReplicaStartupError, ReplicaSupervisor
 
-    supervisor = ReplicaSupervisor(
-        count=args.replicas,
-        spec=ReplicaSpec(args=_replica_args(args)),
-        host=args.host,
-        port=args.http,
-    )
+    supervisor = None
     try:
+        if args.fault_spec:
+            # Fail a typo'd spec here, before spawning N processes that
+            # would each die on it.
+            FaultPlan.parse(args.fault_spec)
+        supervisor = ReplicaSupervisor(
+            count=args.replicas,
+            spec=ReplicaSpec(args=_replica_args(args)),
+            host=args.host,
+            port=args.http,
+            max_request_age_s=args.max_request_age,
+        )
         supervisor.start()
     except (OSError, ValueError, ReplicaStartupError) as error:
         print(f"error: {error}", file=sys.stderr)
-        supervisor.close(drain_timeout_s=0.0)
+        if supervisor is not None:
+            supervisor.close(drain_timeout_s=0.0)
         return 2
 
     stop = threading.Event()
@@ -643,6 +668,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve_parser.add_argument(
         "--flush-interval", type=float, default=0.005, help="timeout tick in seconds"
+    )
+    serve_parser.add_argument(
+        "--fault-spec",
+        default=None,
+        metavar="SPEC",
+        help="fault injection for chaos testing, e.g. "
+        "'delay:ms=50:prob=0.1,crash:after=20:replica=1' "
+        "(kinds: delay, wedge, crash, corrupt; see repro.serving.faults)",
+    )
+    serve_parser.add_argument(
+        "--max-request-age",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="with --replicas: watchdog restarts a replica whose oldest "
+        "in-flight request exceeds this age (0 = disabled, the default — "
+        "long relax descents legitimately hold a request)",
     )
     serve_parser.set_defaults(func=_cmd_serve)
     return parser

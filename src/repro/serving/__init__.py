@@ -13,11 +13,13 @@ from repro.serving.batcher import (
     FLUSH_CLOSE,
     FLUSH_GRAPHS,
     FLUSH_TIMEOUT,
+    DeadlineExceeded,
     MicroBatcher,
     ServeRequest,
     ServiceOverloaded,
 )
 from repro.serving.cache import CacheStats, ResultCache
+from repro.serving.faults import FaultPlan, FaultSpecError
 from repro.serving.hashing import structure_hash
 from repro.serving.registry import ModelRegistry, RegistryEntry
 from repro.serving.relax import (
@@ -39,6 +41,9 @@ __all__ = [
     "FLUSH_TIMEOUT",
     "MAX_RELAX_STEPS",
     "CacheStats",
+    "DeadlineExceeded",
+    "FaultPlan",
+    "FaultSpecError",
     "MicroBatcher",
     "ModelRegistry",
     "PredictionResult",

@@ -45,6 +45,16 @@ class ServiceOverloaded(RuntimeError):
     """
 
 
+class DeadlineExceeded(RuntimeError):
+    """The request's deadline passed before (or while) it was served.
+
+    Raised instead of executing a forward whose result nobody is still
+    waiting for: the batcher drops expired entries at dequeue, and the
+    relax loop checks between force evaluations.  The HTTP front end
+    maps this to 504 with code ``deadline_exceeded``.
+    """
+
+
 @dataclass
 class ServeRequest:
     """One enqueued structure, with its completion signal.
@@ -56,6 +66,9 @@ class ServeRequest:
     graph: AtomGraph
     key: str
     submitted_at: float = field(default_factory=time.monotonic)
+    #: Absolute ``time.monotonic()`` instant after which serving this
+    #: request is wasted work (``None``: no deadline).
+    deadline: float | None = None
     _done: threading.Event = field(default_factory=threading.Event, repr=False)
     _result: object = None
     _error: BaseException | None = None
@@ -63,6 +76,9 @@ class ServeRequest:
     @property
     def n_atoms(self) -> int:
         return self.graph.n_atoms
+
+    def expired(self, now: float | None = None) -> bool:
+        return self.deadline is not None and (now or time.monotonic()) >= self.deadline
 
     def resolve(self, result) -> None:
         self._result = result
@@ -135,6 +151,7 @@ class MicroBatcher:
         self.flush_interval_s = float(flush_interval_s)
         self.max_pending = int(max_pending)
         self.rejected = 0  # admission-control rejections (telemetry)
+        self.expired = 0  # deadline-expired drops (telemetry)
         self._pending: list[ServeRequest] = []
         self._pending_atoms = 0
         self._closed = False
@@ -149,6 +166,13 @@ class MicroBatcher:
         with self._cond:
             if self._closed:
                 raise RuntimeError("cannot submit to a closed MicroBatcher")
+            if request.expired():
+                # Expired on arrival: reject before it occupies queue
+                # space a live request could use.
+                self.expired += 1
+                raise DeadlineExceeded(
+                    f"request {request.key[:12]} arrived past its deadline"
+                )
             if self.max_pending and len(self._pending) >= self.max_pending:
                 self.rejected += 1
                 raise ServiceOverloaded(
@@ -200,6 +224,30 @@ class MicroBatcher:
         self._pending_atoms -= sum(request.n_atoms for request in batch)
         return batch
 
+    def _drop_expired(self, now: float) -> None:
+        """Fail and remove pending requests whose deadline has passed.
+
+        Runs at every dequeue decision: an expired entry never reaches a
+        worker, so no forward is burned on a result the caller has
+        already given up on.  The waiting client is released immediately
+        with :class:`DeadlineExceeded` rather than at flush time.
+        """
+        kept = []
+        for request in self._pending:
+            if request.expired(now):
+                self.expired += 1
+                self._pending_atoms -= request.n_atoms
+                request.fail(
+                    DeadlineExceeded(
+                        f"request {request.key[:12]} expired after waiting "
+                        f"{now - request.submitted_at:.3f}s in the queue"
+                    )
+                )
+            else:
+                kept.append(request)
+        if len(kept) != len(self._pending):
+            self._pending[:] = kept
+
     def next_batch(self) -> list[ServeRequest] | None:
         """Block until a batch is ready; ``None`` once closed and drained.
 
@@ -209,6 +257,7 @@ class MicroBatcher:
         with self._cond:
             while True:
                 now = time.monotonic()
+                self._drop_expired(now)
                 reason = self._flush_reason(now)
                 if reason is not None:
                     self.flush_reasons[reason] = self.flush_reasons.get(reason, 0) + 1

@@ -1,0 +1,264 @@
+"""Fault injection: make the failure paths testable on demand.
+
+Every resilience mechanism in the serving stack — the retrying client,
+the router's reroute + circuit breaker, the supervisor's hung-replica
+watchdog, deadline propagation — exists to survive failures that are
+rare and hard to stage by accident.  This module stages them on purpose:
+a :class:`FaultPlan` is parsed from a small spec grammar (CLI
+``--fault-spec`` or the ``REPRO_FAULT_SPEC`` environment variable, which
+is how replica subprocesses inherit the plan) and consulted by the API
+gateway on every ``predict``/``relax`` request.
+
+Spec grammar — comma-separated clauses, each ``kind:key=value:...``::
+
+    delay:ms=200                     every request sleeps 200 ms
+    delay:ms=200:prob=0.5            ... with probability 0.5
+    wedge:after=5                    requests hang forever from the 5th on
+    crash:after=8                    the process exits hard on the 8th request
+    corrupt:after=3                  response bodies are corrupted from the 3rd on
+    corrupt:prob=0.2                 ... or probabilistically
+
+Any clause may add ``replica=K`` to target one member of a fleet: the
+replica supervisor exports each child's slot as ``REPRO_REPLICA_ID``,
+and clauses whose ``replica`` does not match the running process are
+inert.  ``wedge:after=3:replica=0,crash:after=5:replica=1`` therefore
+wedges replica 0, crashes replica 1, and leaves the rest of the fleet
+clean — the chaos-smoke configuration.
+
+Counting is per-process and per-plan: ``after=N`` triggers on the Nth
+``predict``/``relax`` request this process has seen (1-based) and stays
+triggered for every later request (a wedged server stays wedged; a
+corrupting server keeps corrupting).  ``crash`` fires exactly once, by
+nature.  Probabilistic clauses draw from a seeded RNG (``seed=K``
+clause key, default 0) so chaos runs are reproducible.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import threading
+import time
+from dataclasses import dataclass
+
+#: Environment variable replica subprocesses read their plan from.
+FAULT_SPEC_ENV = "REPRO_FAULT_SPEC"
+
+#: Environment variable the replica supervisor sets to the child's slot.
+REPLICA_ID_ENV = "REPRO_REPLICA_ID"
+
+#: Exit status of a ``crash`` fault — distinguishable from clean exits
+#: and from Python tracebacks (1) in supervisor logs and chaos asserts.
+CRASH_EXIT_CODE = 86
+
+#: How a ``wedge`` hangs: an Event nobody sets, waited in bounded slices
+#: so a daemon thread still dies with its process.
+_WEDGE_SLICE_S = 3600.0
+
+KINDS = ("delay", "wedge", "crash", "corrupt")
+
+
+class FaultSpecError(ValueError):
+    """The ``--fault-spec`` string does not parse; message names the clause."""
+
+
+@dataclass(frozen=True)
+class FaultClause:
+    """One parsed clause of a fault spec."""
+
+    kind: str  # "delay" | "wedge" | "crash" | "corrupt"
+    after: int | None = None  # trigger from the Nth request on (1-based)
+    prob: float | None = None  # trigger probability per request
+    ms: float | None = None  # delay duration (delay only)
+    replica: int | None = None  # restrict to one fleet slot
+
+    def applies_to(self, replica_id: int | None) -> bool:
+        return self.replica is None or self.replica == replica_id
+
+    def triggers(self, request_index: int, rng: random.Random) -> bool:
+        """Whether this clause fires for the ``request_index``-th request."""
+        if self.after is not None and request_index < self.after:
+            return False
+        if self.prob is not None and rng.random() >= self.prob:
+            return False
+        return True
+
+
+def _parse_clause(text: str) -> FaultClause:
+    parts = [part.strip() for part in text.split(":")]
+    kind = parts[0]
+    if kind not in KINDS:
+        raise FaultSpecError(f"unknown fault kind {kind!r} (expected one of {KINDS})")
+    keys: dict[str, float] = {}
+    for part in parts[1:]:
+        name, sep, value = part.partition("=")
+        if not sep:
+            raise FaultSpecError(f"fault clause {text!r}: expected key=value, got {part!r}")
+        if name not in ("after", "prob", "ms", "replica", "seed"):
+            raise FaultSpecError(f"fault clause {text!r}: unknown key {name!r}")
+        try:
+            keys[name] = float(value)
+        except ValueError:
+            raise FaultSpecError(
+                f"fault clause {text!r}: non-numeric value for {name!r}"
+            ) from None
+    if kind == "delay" and "ms" not in keys:
+        raise FaultSpecError(f"fault clause {text!r}: delay requires ms=<duration>")
+    if kind != "delay" and "ms" in keys:
+        raise FaultSpecError(f"fault clause {text!r}: ms= only applies to delay")
+    if kind in ("wedge", "crash") and "after" not in keys:
+        raise FaultSpecError(f"fault clause {text!r}: {kind} requires after=<N>")
+    after = keys.get("after")
+    if after is not None and (after < 1 or after != int(after)):
+        raise FaultSpecError(f"fault clause {text!r}: after must be a positive integer")
+    prob = keys.get("prob")
+    if prob is not None and not 0.0 < prob <= 1.0:
+        raise FaultSpecError(f"fault clause {text!r}: prob must be in (0, 1]")
+    replica = keys.get("replica")
+    if replica is not None and replica != int(replica):
+        raise FaultSpecError(f"fault clause {text!r}: replica must be an integer")
+    return FaultClause(
+        kind=kind,
+        after=None if after is None else int(after),
+        prob=prob,
+        ms=keys.get("ms"),
+        replica=None if replica is None else int(replica),
+    )
+
+
+class FaultPlan:
+    """A parsed fault spec, bound to this process's replica identity.
+
+    The gateway calls :meth:`on_request` once per ``predict``/``relax``
+    (delay, wedge, and crash faults act there) and the HTTP layer runs
+    success bodies through :meth:`corrupt` (corruption is a wire fault —
+    in-process transports never see it).  Thread-safe; the request
+    counter is shared across all server threads, mirroring "the Nth
+    request this process serves".
+    """
+
+    def __init__(
+        self, clauses: tuple[FaultClause, ...], replica_id: int | None = None, seed: int = 0
+    ) -> None:
+        self.clauses = tuple(
+            clause for clause in clauses if clause.applies_to(replica_id)
+        )
+        self.replica_id = replica_id
+        self._lock = threading.Lock()
+        self._requests = 0
+        self._rng = random.Random(seed)
+        self.triggered: dict[str, int] = {}  # kind -> fire count (telemetry)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def parse(cls, spec: str, replica_id: int | None = None) -> "FaultPlan":
+        """Parse a spec string; raises :class:`FaultSpecError` on junk."""
+        clauses = []
+        seed = 0
+        for chunk in spec.split(","):
+            chunk = chunk.strip()
+            if not chunk:
+                continue
+            clause = _parse_clause(chunk)
+            clauses.append(clause)
+        # A process-wide seed may ride on any clause (last one wins).
+        for chunk in spec.split(","):
+            for part in chunk.split(":")[1:]:
+                name, _, value = part.partition("=")
+                if name.strip() == "seed":
+                    seed = int(float(value))
+        if not clauses:
+            raise FaultSpecError("empty fault spec")
+        return cls(tuple(clauses), replica_id=replica_id, seed=seed)
+
+    @classmethod
+    def from_env(cls, environ: dict | None = None) -> "FaultPlan | None":
+        """The plan the environment prescribes, or ``None`` for a clean run."""
+        environ = os.environ if environ is None else environ
+        spec = environ.get(FAULT_SPEC_ENV)
+        if not spec:
+            return None
+        replica_raw = environ.get(REPLICA_ID_ENV)
+        replica_id = int(replica_raw) if replica_raw and replica_raw.lstrip("-").isdigit() else None
+        return cls.parse(spec, replica_id=replica_id)
+
+    # ------------------------------------------------------------------
+    # injection points
+    # ------------------------------------------------------------------
+    def _fired(self, kind: str) -> None:
+        self.triggered[kind] = self.triggered.get(kind, 0) + 1
+
+    def on_request(self) -> None:
+        """Run request-path faults for the next request (gateway hook).
+
+        Order: delay, then crash (the process dies), then wedge (never
+        returns) — crash before wedge so a plan naming both still
+        crashes.  Only clauses matching this process's replica id were
+        kept at construction.
+        """
+        with self._lock:
+            self._requests += 1
+            index = self._requests
+            active = [
+                clause for clause in self.clauses if clause.triggers(index, self._rng)
+            ]
+        for clause in active:
+            if clause.kind == "delay":
+                self._fired("delay")
+                time.sleep(clause.ms / 1000.0)
+        for clause in active:
+            if clause.kind == "crash":
+                self._fired("crash")
+                # Hard exit: no graceful drain, no atexit — the point is
+                # to look exactly like a segfault to the supervisor.
+                os._exit(CRASH_EXIT_CODE)
+        for clause in active:
+            if clause.kind == "wedge":
+                self._fired("wedge")
+                event = threading.Event()
+                while True:  # hangs until the watchdog kills the process
+                    event.wait(_WEDGE_SLICE_S)
+
+    def corrupt(self, body: bytes) -> bytes:
+        """Corrupt a success response body if a corrupt clause fires.
+
+        Uses the same request counter the request-path faults advanced,
+        so ``corrupt:after=N`` aligns with "the Nth request served".
+        """
+        with self._lock:
+            index = self._requests
+            active = any(
+                clause.kind == "corrupt" and clause.triggers(index, self._rng)
+                for clause in self.clauses
+            )
+        if not active or not body:
+            return body
+        self._fired("corrupt")
+        # Truncate and prepend junk: fails JSON parsing loudly rather
+        # than producing subtly-wrong numbers a client might trust.
+        return b"\x00CORRUPT" + body[: max(0, len(body) // 2)]
+
+    def describe(self) -> dict:
+        """JSON-ready summary for banners and telemetry."""
+        with self._lock:
+            return {
+                "replica_id": self.replica_id,
+                "clauses": [
+                    {
+                        key: value
+                        for key, value in (
+                            ("kind", clause.kind),
+                            ("after", clause.after),
+                            ("prob", clause.prob),
+                            ("ms", clause.ms),
+                            ("replica", clause.replica),
+                        )
+                        if value is not None
+                    }
+                    for clause in self.clauses
+                ],
+                "requests_seen": self._requests,
+                "triggered": dict(self.triggered),
+            }

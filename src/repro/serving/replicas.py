@@ -30,6 +30,17 @@ Lifecycle
   each ``probe_interval_s`` and respawns any process that died —
   ``kill -9`` a worker and the router reroutes its traffic while the
   supervisor brings up a replacement.
+- **Hung-replica watchdog.**  A crashed process is easy; a *wedged* one
+  — alive, accepting connections, never finishing a request — is the
+  dangerous failure, because it looks healthy to a liveness probe.  Two
+  signals catch it: the healthz payload reports the age of the oldest
+  in-flight request (``max_request_age_s``), and the probe itself has a
+  deadline (``probe_timeout_s``; ``probe_failures_before_restart``
+  consecutive misses mean the server loop is gone even if the process
+  isn't).  Either way the watchdog escalates: SIGTERM, a short grace,
+  SIGKILL, respawn — and the kill resets the wedged replica's hung
+  proxied connections, which the router then reroutes, so waiting
+  clients get answers instead of timeouts.
 - **Graceful drain** (:meth:`ReplicaSupervisor.close`): the router stops
   admitting (new predicts → 503), in-flight requests finish, then every
   replica gets SIGTERM and takes its own graceful path (drain queue,
@@ -125,14 +136,41 @@ class ReplicaSupervisor:
         port: int = 0,
         probe_interval_s: float = 0.5,
         probe_failures_before_unhealthy: int = 3,
+        probe_timeout_s: float = 2.0,
+        max_request_age_s: float = 0.0,
+        probe_failures_before_restart: int = 20,
+        term_grace_s: float = 5.0,
+        breaker_failure_threshold: int = 2,
+        breaker_reset_s: float = 1.0,
     ) -> None:
         if count < 1:
             raise ValueError("count must be >= 1")
         self.count = int(count)
         self.spec = spec
-        self.router = Router(host=host, port=port)
+        self.router = Router(
+            host=host,
+            port=port,
+            breaker_failure_threshold=breaker_failure_threshold,
+            breaker_reset_s=breaker_reset_s,
+        )
         self.probe_interval_s = float(probe_interval_s)
         self.probe_failures_before_unhealthy = int(probe_failures_before_unhealthy)
+        self.probe_timeout_s = float(probe_timeout_s)
+        #: A replica whose oldest in-flight request is older than this is
+        #: declared hung and restarted.  0 disables the age check — the
+        #: right default when long relax descents legitimately hold one
+        #: request for minutes; deployments that cap request latency
+        #: should set it just above their slowest legal request.
+        self.max_request_age_s = float(max_request_age_s)
+        #: Consecutive probe *timeouts/refusals* before the watchdog
+        #: concludes the serving loop itself is gone and restarts the
+        #: process even though it is technically alive.  0 disables.
+        self.probe_failures_before_restart = int(probe_failures_before_restart)
+        self.term_grace_s = float(term_grace_s)
+        #: Watchdog escalation counters (JSON-ready via describe(), and
+        #: surfaced over HTTP in the router's ``/v1/stats`` payload).
+        self.watchdog = {"hung_detected": 0, "sigterm": 0, "sigkill": 0, "respawns": 0}
+        self.router.watchdog_counters = lambda: self.watchdog
         self._handles = [_ReplicaHandle(replica_id) for replica_id in range(self.count)]
         self._mutate = threading.Lock()  # serializes restarts vs. the monitor
         self._stop = threading.Event()
@@ -169,6 +207,7 @@ class ReplicaSupervisor:
                 for handle in self._handles
             },
             "admitting": self.router.admitting,
+            "watchdog": dict(self.watchdog),
         }
 
     # ------------------------------------------------------------------
@@ -187,19 +226,22 @@ class ReplicaSupervisor:
             *self.spec.args,
         ]
 
-    def _environment(self) -> dict[str, str]:
+    def _environment(self, replica_id: int) -> dict[str, str]:
         env = dict(os.environ)
         src_dir = str(Path(__file__).resolve().parents[2])
         existing = env.get("PYTHONPATH")
         if not existing or src_dir not in existing.split(os.pathsep):
             env["PYTHONPATH"] = src_dir + (os.pathsep + existing if existing else "")
+        # The child's fleet slot, so per-replica fault clauses
+        # (``wedge:after=3:replica=0``) know whether they apply.
+        env["REPRO_REPLICA_ID"] = str(replica_id)
         return env
 
     def _spawn(self, handle: _ReplicaHandle) -> None:
         """Launch one replica and block until it reports its bound port."""
         process = subprocess.Popen(
             self._command(),
-            env=self._environment(),
+            env=self._environment(handle.replica_id),
             stdout=subprocess.PIPE,
             stderr=subprocess.STDOUT,
             text=True,
@@ -333,13 +375,16 @@ class ReplicaSupervisor:
     # ------------------------------------------------------------------
     # health + restart
     # ------------------------------------------------------------------
-    def _probe(self, handle: _ReplicaHandle) -> bool:
+    def _probe(self, handle: _ReplicaHandle) -> tuple[bool, float]:
+        """(healthz ok?, age of the replica's oldest in-flight request)."""
         url = f"http://{self.router.replica_host}:{handle.port}/v1/healthz"
         try:
-            with urllib.request.urlopen(url, timeout=2.0) as response:
-                return json.loads(response.read()).get("status") == "ok"
+            with urllib.request.urlopen(url, timeout=self.probe_timeout_s) as response:
+                payload = json.loads(response.read())
+                oldest = payload.get("oldest_inflight_s") or 0.0
+                return payload.get("status") == "ok", float(oldest)
         except (OSError, ValueError):
-            return False
+            return False, 0.0
 
     def _monitor_loop(self) -> None:
         while not self._stop.wait(self.probe_interval_s):
@@ -356,13 +401,70 @@ class ReplicaSupervisor:
                         self.router.set_health(handle.replica_id, False)
                         self._respawn(handle)
                         continue
-                if self._probe(handle):
+                ok, oldest_inflight_s = self._probe(handle)
+                if ok and (
+                    self.max_request_age_s > 0
+                    and oldest_inflight_s > self.max_request_age_s
+                ):
+                    # Wedged: the probe answers (the HTTP loop is fine)
+                    # but some request has been stuck far longer than any
+                    # legal one — the dangerous failure a liveness probe
+                    # alone cannot see.
+                    self.router.set_health(handle.replica_id, False)
+                    with self._mutate:
+                        if not handle.stopping:
+                            self._escalate(
+                                handle,
+                                f"oldest in-flight request is {oldest_inflight_s:.1f}s old "
+                                f"(max {self.max_request_age_s:.1f}s)",
+                            )
+                    continue
+                if ok:
                     handle.failed_probes = 0
                     self.router.set_health(handle.replica_id, True)
                 else:
                     handle.failed_probes += 1
                     if handle.failed_probes >= self.probe_failures_before_unhealthy:
                         self.router.set_health(handle.replica_id, False)
+                    if (
+                        self.probe_failures_before_restart > 0
+                        and handle.failed_probes >= self.probe_failures_before_restart
+                    ):
+                        # The process is alive but its server loop has
+                        # stopped answering probes entirely.
+                        with self._mutate:
+                            if not handle.stopping:
+                                self._escalate(
+                                    handle,
+                                    f"{handle.failed_probes} consecutive healthz "
+                                    f"probes missed their {self.probe_timeout_s:.1f}s deadline",
+                                )
+
+    def _escalate(self, handle: _ReplicaHandle, reason: str) -> None:
+        """Kill a hung replica — SIGTERM, grace, SIGKILL — then respawn.
+
+        Caller holds ``_mutate``.  The kill is what un-wedges waiting
+        clients: the replica's hung proxied connections reset, and the
+        router's connection-error path reroutes them to healthy peers.
+        """
+        self.watchdog["hung_detected"] += 1
+        handle.log.append(f"watchdog: restarting replica {handle.replica_id}: {reason}")
+        process = handle.process
+        if process is not None and process.poll() is None:
+            try:
+                process.send_signal(signal.SIGTERM)
+                self.watchdog["sigterm"] += 1
+            except (ProcessLookupError, OSError):
+                pass
+            try:
+                process.wait(timeout=self.term_grace_s)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                self.watchdog["sigkill"] += 1
+                process.wait()
+        self.watchdog["respawns"] += 1
+        handle.failed_probes = 0
+        self._respawn(handle)
 
     def _respawn(self, handle: _ReplicaHandle) -> None:
         """Replace a dead replica's process (caller holds ``_mutate``)."""

@@ -49,6 +49,7 @@ import json
 import os
 import threading
 import time
+from collections.abc import Callable
 from dataclasses import dataclass, field
 
 #: Mirrors ``repro.api.schemas.SCHEMA_VERSION`` (serving must not import
@@ -58,6 +59,18 @@ SCHEMA_VERSION = "v1"
 #: Mirrors ``repro.api.server.MAX_BODY_BYTES`` — the router must not
 #: buffer more than the replica behind it would accept.
 MAX_BODY_BYTES = 64 * 1024 * 1024
+
+#: Mirrors ``repro.api.schemas.DEADLINE_HEADER`` (serving must not
+#: import api); pinned together by ``tests/serving/test_replicas.py``.
+DEADLINE_HEADER = "X-Repro-Deadline-Ms"
+
+#: Circuit-breaker states.  ``closed`` = normal traffic; ``open`` =
+#: repeated connection failures, no traffic until the reset window
+#: elapses; ``half-open`` = exactly one live request is probing whether
+#: the replica recovered.
+BREAKER_CLOSED = "closed"
+BREAKER_OPEN = "open"
+BREAKER_HALF_OPEN = "half-open"
 
 
 @dataclass
@@ -72,6 +85,9 @@ class ReplicaState:
     in_flight: int = 0
     restarts: int = 0
     started_at: float = field(default_factory=time.monotonic)
+    breaker: str = BREAKER_CLOSED
+    breaker_failures: int = 0  # consecutive connection failures
+    breaker_opened_at: float = 0.0
 
     def describe(self) -> dict:
         return {
@@ -81,6 +97,7 @@ class ReplicaState:
             "draining": self.draining,
             "in_flight": self.in_flight,
             "restarts": self.restarts,
+            "breaker": self.breaker,
             "uptime_s": round(time.monotonic() - self.started_at, 3),
         }
 
@@ -227,6 +244,7 @@ def _merge_model(entries: list[dict]) -> dict:
             "flush_interval_s": sec(first, "batching").get("flush_interval_s"),
             "max_pending": sec(first, "batching").get("max_pending"),
             "rejected": int(total("batching", "rejected")),
+            "expired": int(total("batching", "expired")),
             "flush_reasons": flush_reasons,
         },
         "relax": {
@@ -272,18 +290,36 @@ class Router:
         port: int = 0,
         replica_host: str = "127.0.0.1",
         proxy_timeout_s: float = 120.0,
+        breaker_failure_threshold: int = 2,
+        breaker_reset_s: float = 1.0,
     ) -> None:
         self.host = host
         self.requested_port = int(port)
         self.replica_host = replica_host
         self.proxy_timeout_s = float(proxy_timeout_s)
+        if breaker_failure_threshold < 1:
+            raise ValueError("breaker_failure_threshold must be >= 1")
+        self.breaker_failure_threshold = int(breaker_failure_threshold)
+        self.breaker_reset_s = float(breaker_reset_s)
         self._replicas: dict[int, ReplicaState] = {}
         self._lock = threading.Lock()
         self._idle = threading.Condition(self._lock)
         self._admitting = True
         self._rr = 0  # tie-break cursor for equal in-flight counts
-        self._counters = {"requests": 0, "rerouted": 0, "rejected": 0, "proxy_errors": 0}
+        self._counters = {
+            "requests": 0,
+            "rerouted": 0,
+            "rejected": 0,
+            "proxy_errors": 0,
+            "breaker_opens": 0,
+            "deadline_expired": 0,
+        }
         self._started_at = time.monotonic()
+        #: Optional supervisor hook: a callable returning the watchdog
+        #: escalation counters to surface in ``/v1/stats``.  The router
+        #: never escalates on its own — the supervisor owns SIGTERM/
+        #: SIGKILL — so the counters are injected rather than computed.
+        self.watchdog_counters: Callable[[], dict] | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
         self._stop_event: asyncio.Event | None = None
         self._thread: threading.Thread | None = None
@@ -427,13 +463,52 @@ class Router:
         with self._lock:
             self._counters[key] += amount
 
+    def _breaker_admits(self, state: ReplicaState, now: float) -> bool:
+        """Whether the replica's circuit breaker lets a request through.
+
+        Caller holds the lock.  An ``open`` breaker becomes eligible
+        once the reset window has elapsed; if this replica is then
+        chosen, :meth:`_acquire` flips it to ``half-open`` and the
+        admitted request *is* the recovery probe — while it is in
+        flight every other request routes elsewhere.
+        """
+        if state.breaker == BREAKER_CLOSED:
+            return True
+        if state.breaker == BREAKER_OPEN:
+            return now - state.breaker_opened_at >= self.breaker_reset_s
+        return False  # half-open: one probe at a time
+
+    def _record_success(self, state: ReplicaState) -> None:
+        """A proxied exchange completed: the replica is reachable."""
+        with self._lock:
+            state.breaker_failures = 0
+            if state.breaker != BREAKER_CLOSED:
+                state.breaker = BREAKER_CLOSED
+
+    def _record_failure(self, state: ReplicaState) -> None:
+        """A proxied exchange failed at the connection level."""
+        with self._lock:
+            state.breaker_failures += 1
+            was_open = state.breaker != BREAKER_CLOSED
+            if was_open or state.breaker_failures >= self.breaker_failure_threshold:
+                # A failed half-open probe re-opens immediately (the
+                # replica is still down); a closed breaker opens once
+                # the consecutive-failure threshold is reached.
+                state.breaker = BREAKER_OPEN
+                state.breaker_opened_at = time.monotonic()
+                self._counters["breaker_opens"] += 1
+
     def _acquire(self, exclude: set[int]) -> ReplicaState | None:
         """Pick the least-loaded healthy replica and charge it one request."""
+        now = time.monotonic()
         with self._lock:
             candidates = [
                 state
                 for state in self._replicas.values()
-                if state.healthy and not state.draining and state.replica_id not in exclude
+                if state.healthy
+                and not state.draining
+                and state.replica_id not in exclude
+                and self._breaker_admits(state, now)
             ]
             if not candidates:
                 return None
@@ -441,6 +516,11 @@ class Router:
             ties = [state for state in candidates if state.in_flight == lowest]
             self._rr += 1
             chosen = ties[self._rr % len(ties)]
+            if chosen.breaker != BREAKER_CLOSED:
+                # Only the replica actually receiving the request flips
+                # to half-open; unchosen open candidates stay open so
+                # they never strand a probeless half-open state.
+                chosen.breaker = BREAKER_HALF_OPEN
             chosen.in_flight += 1
             return chosen
 
@@ -461,7 +541,7 @@ class Router:
                 method, path, headers, body = request
                 keep_alive = headers.get("connection", "").lower() != "close"
                 try:
-                    status, payload = await self._dispatch(method, path, body)
+                    status, payload = await self._dispatch(method, path, headers, body)
                 except Exception as error:  # noqa: BLE001 - boundary
                     status = 500
                     payload = _error_body("internal_error", f"router error: {error}", 500)
@@ -517,18 +597,39 @@ class Router:
         writer.write(head + body)
         await writer.drain()
 
-    async def _dispatch(self, method: str, path: str, body: bytes) -> tuple[int, object]:
+    async def _dispatch(
+        self, method: str, path: str, headers: dict, body: bytes
+    ) -> tuple[int, object]:
         if method == "POST" and path in ("/v1/predict", "/v1/relax"):
-            return await self._post(path, body)
+            return await self._post(path, headers, body)
         if method == "GET" and path == "/v1/healthz":
-            return 200, self.health_payload()
+            payload = self.health_payload()
+            if payload["status"] == "unavailable":
+                # Zero healthy replicas: a typed 503 so load balancers
+                # and the retrying client both read it unambiguously.
+                return 503, _error_body(
+                    "unavailable",
+                    f"no healthy replica ({payload['total_replicas']} registered)",
+                    503,
+                )
+            return 200, payload
         if method == "GET" and path == "/v1/stats":
-            return 200, await self.stats_payload()
+            payload = await self.stats_payload()
+            if not payload["models"] and not any(
+                entry["healthy"] for entry in payload["replicas"].values()
+            ):
+                return 503, _error_body(
+                    "unavailable",
+                    f"no healthy replica to aggregate stats from "
+                    f"({len(payload['replicas'])} registered)",
+                    503,
+                )
+            return 200, payload
         if method == "GET" and path == "/v1/models":
             return await self._proxy_any("GET", "/v1/models")
         return 404, _error_body("not_found", f"no such endpoint: {method} {path}", 404)
 
-    async def _post(self, path: str, body: bytes) -> tuple[int, bytes]:
+    async def _post(self, path: str, headers: dict, body: bytes) -> tuple[int, bytes]:
         # One body, one replica: a relax request pins its whole descent to
         # the replica it lands on (the trajectory's plan bucket stays hot
         # there), exactly like a predict pins its one forward.
@@ -538,8 +639,35 @@ class Router:
                 "unavailable", "router is draining; not admitting new requests", 503
             )
         self._count("requests")
+        # Deadline budget: stamp the header's remaining milliseconds on
+        # arrival; each forwarding attempt re-advertises what is left.
+        # A malformed value is forwarded untouched so the replica
+        # rejects it with its typed 400 (the router never authors 400s).
+        deadline = None
+        forward_raw = headers.get(DEADLINE_HEADER.lower())
+        if forward_raw is not None:
+            try:
+                deadline = time.monotonic() + float(forward_raw) / 1000.0
+                forward_raw = None
+            except ValueError:
+                pass
         tried: set[int] = set()
         while True:
+            extra_headers = {}
+            timeout_s = self.proxy_timeout_s
+            if forward_raw is not None:
+                extra_headers[DEADLINE_HEADER] = forward_raw
+            elif deadline is not None:
+                remaining_s = deadline - time.monotonic()
+                if remaining_s <= 0:
+                    self._count("deadline_expired")
+                    return 504, _error_body(
+                        "deadline_exceeded",
+                        "deadline expired at the router before a replica answered",
+                        504,
+                    )
+                extra_headers[DEADLINE_HEADER] = f"{remaining_s * 1000.0:.1f}"
+                timeout_s = min(timeout_s, remaining_s)
             state = self._acquire(tried)
             if state is None:
                 self._count("proxy_errors")
@@ -549,11 +677,20 @@ class Router:
                     503,
                 )
             try:
-                return await asyncio.wait_for(
-                    self._proxy(state, "POST", path, body),
-                    timeout=self.proxy_timeout_s,
+                status, payload = await asyncio.wait_for(
+                    self._proxy(state, "POST", path, body, extra_headers=extra_headers),
+                    timeout=timeout_s,
                 )
+                self._record_success(state)
+                return status, payload
             except (asyncio.TimeoutError, TimeoutError):
+                if deadline is not None and time.monotonic() >= deadline:
+                    self._count("deadline_expired")
+                    return 504, _error_body(
+                        "deadline_exceeded",
+                        f"deadline expired while replica {state.replica_id} was serving",
+                        504,
+                    )
                 # The replica is alive but slow; retrying elsewhere would
                 # double the fleet's load exactly when it is slowest.
                 return 504, _error_body(
@@ -564,10 +701,12 @@ class Router:
                 )
             except (ConnectionError, asyncio.IncompleteReadError, OSError, ValueError):
                 # Connection-level failure: the replica is gone or
-                # incoherent.  Mark it down and reroute — the supervisor's
-                # health loop will restart it.
+                # incoherent.  Mark it down, feed its circuit breaker,
+                # and reroute — the supervisor's health loop (or the
+                # breaker's half-open probe) will bring it back.
                 tried.add(state.replica_id)
                 self.set_health(state.replica_id, False)
+                self._record_failure(state)
                 self._count("rerouted")
             finally:
                 self._release(state)
@@ -577,9 +716,11 @@ class Router:
         if state is None:
             return 503, _error_body("unavailable", "no healthy replica available", 503)
         try:
-            return await asyncio.wait_for(
+            result = await asyncio.wait_for(
                 self._proxy(state, method, path), timeout=self.proxy_timeout_s
             )
+            self._record_success(state)
+            return result
         except (
             asyncio.TimeoutError,
             TimeoutError,
@@ -596,7 +737,12 @@ class Router:
             self._release(state)
 
     async def _proxy(
-        self, state: ReplicaState, method: str, path: str, body: bytes = b""
+        self,
+        state: ReplicaState,
+        method: str,
+        path: str,
+        body: bytes = b"",
+        extra_headers: dict | None = None,
     ) -> tuple[int, bytes]:
         """Forward one request to a replica; returns (status, body bytes).
 
@@ -607,12 +753,16 @@ class Router:
         """
         reader, writer = await asyncio.open_connection(self.replica_host, state.port)
         try:
+            forwarded = "".join(
+                f"{name}: {value}\r\n" for name, value in (extra_headers or {}).items()
+            )
             head = (
                 f"{method} {path} HTTP/1.1\r\n"
                 f"Host: {self.replica_host}:{state.port}\r\n"
                 "Accept: application/json\r\n"
                 "Content-Type: application/json\r\n"
                 f"Content-Length: {len(body)}\r\n"
+                f"{forwarded}"
                 "Connection: close\r\n\r\n"
             ).encode("latin-1")
             writer.write(head + body)
@@ -702,7 +852,7 @@ class Router:
             entry["replica_uptime_s"] = snapshot.get("uptime_s")
             entry["models"] = snapshot.get("models", {})
             model_sections.append(snapshot.get("models", {}))
-        return {
+        payload = {
             "schema_version": SCHEMA_VERSION,
             "models": aggregate_model_telemetry(model_sections),
             "uptime_s": round(time.monotonic() - self._started_at, 3),
@@ -710,6 +860,9 @@ class Router:
             "replicas": table,
             "router": {**counters, "admitting": admitting},
         }
+        if self.watchdog_counters is not None:
+            payload["watchdog"] = dict(self.watchdog_counters())
+        return payload
 
 
 _REASONS = {

@@ -41,7 +41,12 @@ from repro.data.normalize import Normalizer
 from repro.graph.atoms import AtomGraph
 from repro.graph.batch import collate
 from repro.models.hydra import HydraModel
-from repro.serving.batcher import MicroBatcher, ServeRequest, first_chunk_size
+from repro.serving.batcher import (
+    DeadlineExceeded,
+    MicroBatcher,
+    ServeRequest,
+    first_chunk_size,
+)
 from repro.serving.cache import ResultCache
 from repro.serving.hashing import structure_hash
 from repro.serving.relax import RelaxResult, RelaxSettings, TrajectorySession, relax_positions
@@ -128,6 +133,7 @@ class PredictionService:
         self._workers: list[threading.Thread] = []
         self._flush_reasons: dict[str, int] = {}  # accumulated across sessions
         self._rejected = 0  # admission-control rejections, accumulated likewise
+        self._expired = 0  # deadline-expired drops, accumulated likewise
         # Trajectory-workload counters (relax loops + trajectory sessions);
         # written from whichever thread runs the loop, hence the lock.
         self._relax_lock = threading.Lock()
@@ -226,6 +232,7 @@ class PredictionService:
             for reason, count in self._batcher.flush_reasons.items():
                 self._flush_reasons[reason] = self._flush_reasons.get(reason, 0) + count
             self._rejected += self._batcher.rejected
+            self._expired += self._batcher.expired
             self._workers.clear()
             self._batcher = None
         self._save_autotune_cache()
@@ -253,11 +260,15 @@ class PredictionService:
     # ------------------------------------------------------------------
     # client API
     # ------------------------------------------------------------------
-    def submit(self, graph: AtomGraph) -> ServeRequest:
+    def submit(self, graph: AtomGraph, deadline: float | None = None) -> ServeRequest:
         """Enqueue one structure (served mode); returns its handle.
 
         Cache hits are resolved immediately — the returned request is
-        already ``done()`` and never enters the batcher.
+        already ``done()`` and never enters the batcher.  ``deadline``
+        is an absolute ``time.monotonic()`` instant; entries still
+        queued past it are dropped at dequeue with
+        :class:`~repro.serving.batcher.DeadlineExceeded` instead of
+        burning a forward.
         """
         # Capture the batcher once: a concurrent stop() nulls the
         # attribute, and the capture turns that race into the clean
@@ -267,30 +278,37 @@ class PredictionService:
         if batcher is None:
             raise RuntimeError("submit() requires a started service; use predict()")
         key = structure_hash(graph, self.config.hash_decimals)
-        request = ServeRequest(graph=graph, key=key)
+        request = ServeRequest(graph=graph, key=key, deadline=deadline)
         payload = self.cache.get(key)
         if payload is not None:
+            # A hit is instant — it beats any deadline that hasn't
+            # already passed at the transport layer.
             request.resolve(self._hit_result(key, graph, payload))
             self.stats.record_request(latency_s=0.0, cached=True, batch_graphs=1)
             return request
         batcher.submit(request)
         return request
 
-    def predict(self, graph: AtomGraph) -> PredictionResult:
+    def predict(self, graph: AtomGraph, deadline: float | None = None) -> PredictionResult:
         """Serve one structure, blocking until its result is ready."""
         if self.running:
-            return self.submit(graph).wait(self.config.request_timeout_s)
-        return self.predict_many([graph])[0]
+            return self.submit(graph, deadline=deadline).wait(self.config.request_timeout_s)
+        return self.predict_many([graph], deadline=deadline)[0]
 
-    def predict_many(self, graphs: list[AtomGraph]) -> list[PredictionResult]:
+    def predict_many(
+        self, graphs: list[AtomGraph], deadline: float | None = None
+    ) -> list[PredictionResult]:
         """Serve a list of structures; results come back in input order.
 
         Inline mode chunks cache misses by the batching budgets and
         executes them on the calling thread; served mode fans them out
-        to the dispatch workers.
+        to the dispatch workers.  With a ``deadline`` (absolute
+        monotonic instant), expired work is dropped before execution —
+        per-entry at the batcher's dequeue in served mode, per-chunk at
+        chunk boundaries inline.
         """
         if self.running:
-            requests = [self.submit(graph) for graph in graphs]
+            requests = [self.submit(graph, deadline=deadline) for graph in graphs]
             return [request.wait(self.config.request_timeout_s) for request in requests]
 
         results: list[PredictionResult | None] = [None] * len(graphs)
@@ -302,9 +320,20 @@ class PredictionService:
                 results[index] = self._hit_result(key, graph, payload)
                 self.stats.record_request(latency_s=0.0, cached=True, batch_graphs=1)
             else:
-                misses.append((index, ServeRequest(graph=graph, key=key)))
+                misses.append(
+                    (index, ServeRequest(graph=graph, key=key, deadline=deadline))
+                )
 
         for chunk in self._chunk_by_budget([request for _, request in misses]):
+            if deadline is not None and time.monotonic() >= deadline:
+                error = DeadlineExceeded(
+                    "deadline expired between inline chunks; remaining structures dropped"
+                )
+                self._expired += sum(1 for request in chunk if not request.done())
+                for request in chunk:
+                    if not request.done():
+                        request.fail(error)
+                continue
             self._execute(chunk)
         for index, request in misses:
             results[index] = request.wait(timeout=0)
@@ -353,16 +382,34 @@ class PredictionService:
             on_step=self._record_trajectory_step,
         )
 
-    def relax(self, graph: AtomGraph, settings: RelaxSettings | None = None) -> RelaxResult:
+    def relax(
+        self,
+        graph: AtomGraph,
+        settings: RelaxSettings | None = None,
+        deadline: float | None = None,
+    ) -> RelaxResult:
         """Relax ``graph``'s geometry on served forces (see :mod:`.relax`).
 
         Every force evaluation is a regular :meth:`predict` — in served
         mode it rides the micro-batcher alongside interactive traffic,
         and consecutive steps replay the same traced plan bucket.  The
         input graph's edges are ignored; the relax session's skin list
-        owns connectivity for the whole descent.
+        owns connectivity for the whole descent.  A ``deadline``
+        (absolute monotonic instant) is re-checked before every force
+        evaluation, so a long descent stops between steps rather than
+        holding a worker past its budget.
         """
-        result = relax_positions(self.predict, graph, settings)
+        predict = self.predict
+        if deadline is not None:
+
+            def predict(graph, _deadline=deadline):  # noqa: F811 — deadline-guarded shim
+                if time.monotonic() >= _deadline:
+                    with self._relax_lock:
+                        self._expired += 1
+                    raise DeadlineExceeded("relax deadline expired between force evaluations")
+                return self.predict(graph, deadline=_deadline)
+
+        result = relax_positions(predict, graph, settings)
         with self._relax_lock:
             self._relax_sessions += 1
             self._relax_steps += result.steps
@@ -551,6 +598,7 @@ class PredictionService:
                 "flush_interval_s": self.config.flush_interval_s,
                 "max_pending": self.config.max_pending,
                 "rejected": self._rejected + (batcher.rejected if batcher is not None else 0),
+                "expired": self._expired + (batcher.expired if batcher is not None else 0),
                 "flush_reasons": self._all_flush_reasons(),
             },
             "engine": {

@@ -8,16 +8,26 @@ the same assertions against both transports (parametrized fixture), and
 pins both against a plain ``PredictionService`` reference.
 """
 
+import http.server
+import json
+import socket
+import threading
+import time
+
 import numpy as np
 import pytest
 
 from repro.api import (
     ApiServer,
     Client,
+    DEADLINE_HEADER,
     DEFAULT_CUTOFF,
+    DeadlineExceededError,
+    HttpTransport,
     OverloadedError,
     SchemaError,
     StructurePayload,
+    TransportError,
     UnknownModelError,
 )
 from repro.models import HydraModel, ModelConfig
@@ -133,3 +143,212 @@ def test_overload_raises_overloaded_error(mode):
             with Client.http(server.url) as client:
                 with pytest.raises(OverloadedError, match="queue full"):
                     client.predict(graphs)
+
+
+# ----------------------------------------------------------------------
+# HTTP transport resilience: timeouts, retries, deadlines
+# ----------------------------------------------------------------------
+class _ScriptedServer:
+    """A real HTTP listener whose per-request behavior is a scripted list.
+
+    Each entry is ``(status, body_dict)``; the last entry repeats
+    forever.  Records every request's path and headers so tests can
+    assert what the transport actually sent.
+    """
+
+    def __init__(self, script):
+        self.script = list(script)
+        self.requests: list[tuple[str, dict]] = []
+        outer = self
+
+        class Handler(http.server.BaseHTTPRequestHandler):
+            def _serve(self):
+                index = min(len(outer.requests), len(outer.script) - 1)
+                outer.requests.append((self.path, dict(self.headers)))
+                status, body = outer.script[index]
+                data = json.dumps(body).encode("utf-8")
+                self.send_response(status)
+                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Length", str(len(data)))
+                self.end_headers()
+                self.wfile.write(data)
+
+            do_GET = do_POST = _serve
+
+            def log_message(self, *_args):
+                pass
+
+        self.httpd = http.server.ThreadingHTTPServer(("127.0.0.1", 0), Handler)
+        self.url = f"http://127.0.0.1:{self.httpd.server_address[1]}"
+        threading.Thread(target=self.httpd.serve_forever, daemon=True).start()
+
+    def stop(self):
+        self.httpd.shutdown()
+        self.httpd.server_close()
+
+
+def _error_503():
+    return 503, {
+        "schema_version": "v1",
+        "error": {"code": "unavailable", "message": "fleet draining", "status": 503},
+    }
+
+
+class TestHttpResilience:
+    def test_silent_socket_hits_read_timeout_not_forever(self):
+        """A server that accepts the connection and never answers must
+        fail the request within read_timeout_s, not hang the client."""
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        port = listener.getsockname()[1]
+        transport = HttpTransport(
+            f"http://127.0.0.1:{port}",
+            connect_timeout_s=2.0,
+            read_timeout_s=0.2,
+            retries=0,
+        )
+        start = time.monotonic()
+        try:
+            with pytest.raises(TransportError, match="timed out"):
+                transport.healthz()
+        finally:
+            listener.close()
+        assert time.monotonic() - start < 5.0
+
+    def test_retries_typed_503_then_succeeds(self):
+        server = _ScriptedServer([_error_503(), _error_503(), (200, {"status": "ok"})])
+        try:
+            transport = HttpTransport(server.url, retries=2, backoff_s=0.005)
+            assert transport.healthz() == {"status": "ok"}
+        finally:
+            server.stop()
+        assert len(server.requests) == 3
+        assert transport.retried == 2
+
+    def test_retries_connection_refused_then_succeeds(self):
+        # Reserve a port, point the transport at it while nothing
+        # listens (attempt 1: connection refused), then bring the server
+        # up before the retry lands.
+        probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        transport = HttpTransport(
+            f"http://127.0.0.1:{port}", retries=4, backoff_s=0.1, backoff_max_s=0.1
+        )
+        result: dict = {}
+
+        def call():
+            result["payload"] = transport.healthz()
+
+        caller = threading.Thread(target=call)
+        caller.start()
+        time.sleep(0.05)  # let at least one attempt fail
+        httpd = http.server.ThreadingHTTPServer(("127.0.0.1", port), _OkHandler)
+        threading.Thread(target=httpd.serve_forever, daemon=True).start()
+        try:
+            caller.join(timeout=10.0)
+            assert not caller.is_alive()
+        finally:
+            httpd.shutdown()
+            httpd.server_close()
+        assert result["payload"] == {"status": "ok"}
+        assert transport.retried >= 1
+
+    def test_4xx_is_a_verdict_not_a_glitch(self):
+        """Client errors must surface immediately — exactly one request."""
+        server = _ScriptedServer(
+            [
+                (
+                    400,
+                    {
+                        "schema_version": "v1",
+                        "error": {"code": "invalid_request", "message": "bad field", "status": 400},
+                    },
+                )
+            ]
+        )
+        try:
+            transport = HttpTransport(server.url, retries=3, backoff_s=0.005)
+            with pytest.raises(SchemaError, match="bad field"):
+                transport.healthz()
+        finally:
+            server.stop()
+        assert len(server.requests) == 1
+        assert transport.retried == 0
+
+    def test_corrupted_body_is_retried(self):
+        """Garbage bytes where JSON should be reads as a transport
+        glitch: predict is idempotent, so re-asking is safe."""
+
+        class _CorruptOnce:
+            served = 0
+
+        outer = _CorruptOnce()
+
+        class Handler(http.server.BaseHTTPRequestHandler):
+            def do_GET(self):
+                outer.served += 1
+                if outer.served == 1:
+                    data = b"\x00CORRUPT{this is not json"
+                else:
+                    data = json.dumps({"status": "ok"}).encode("utf-8")
+                self.send_response(200)
+                self.send_header("Content-Length", str(len(data)))
+                self.end_headers()
+                self.wfile.write(data)
+
+            def log_message(self, *_args):
+                pass
+
+        httpd = http.server.ThreadingHTTPServer(("127.0.0.1", 0), Handler)
+        threading.Thread(target=httpd.serve_forever, daemon=True).start()
+        try:
+            transport = HttpTransport(
+                f"http://127.0.0.1:{httpd.server_address[1]}", retries=2, backoff_s=0.005
+            )
+            assert transport.healthz() == {"status": "ok"}
+            assert transport.retried == 1
+        finally:
+            httpd.shutdown()
+            httpd.server_close()
+
+    def test_deadline_header_advertises_remaining_budget(self):
+        server = _ScriptedServer([(200, {"schema_version": "v1", "results": []})])
+        try:
+            transport = HttpTransport(server.url, retries=0)
+            transport._request("POST", "/v1/predict", {"deadline_ms": 5000.0})
+        finally:
+            server.stop()
+        (_, headers), = server.requests
+        advertised = float(headers[DEADLINE_HEADER])
+        assert 0.0 < advertised <= 5000.0
+
+    def test_deadline_expires_client_side_during_backoff(self):
+        """When the budget cannot survive the backoff sleep, the client
+        raises the typed deadline error instead of burning a doomed
+        attempt against a dead endpoint."""
+        probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        transport = HttpTransport(
+            f"http://127.0.0.1:{port}", retries=5, backoff_s=10.0, backoff_max_s=10.0
+        )
+        start = time.monotonic()
+        with pytest.raises(DeadlineExceededError):
+            transport._request("POST", "/v1/predict", {"deadline_ms": 200.0})
+        assert time.monotonic() - start < 5.0  # it did not sleep the full backoff
+
+
+class _OkHandler(http.server.BaseHTTPRequestHandler):
+    def do_GET(self):
+        data = json.dumps({"status": "ok"}).encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def log_message(self, *_args):
+        pass

@@ -244,6 +244,7 @@ class TestRouter:
         pinned here: drift would fork the wire contract."""
         assert router_module.SCHEMA_VERSION == schemas.SCHEMA_VERSION
         assert router_module.MAX_BODY_BYTES == server.MAX_BODY_BYTES
+        assert router_module.DEADLINE_HEADER == schemas.DEADLINE_HEADER
 
     def test_load_balances_across_replicas(self, two_fakes):
         router, fakes = two_fakes
@@ -349,7 +350,17 @@ class TestRouter:
         router.set_health(0, False)
         assert get(router.url + "/v1/healthz")[1]["status"] == "degraded"
         router.set_health(1, False)
-        assert get(router.url + "/v1/healthz")[1]["status"] == "unavailable"
+        # Zero healthy replicas: load balancers keying on the status code
+        # must see a failing probe, not a 200 that says "unavailable".
+        with pytest.raises(urllib.error.HTTPError) as caught:
+            get(router.url + "/v1/healthz")
+        assert caught.value.code == 503
+        body = json.loads(caught.value.read())
+        assert body["error"]["code"] == "unavailable"
+        with pytest.raises(urllib.error.HTTPError) as caught:
+            get(router.url + "/v1/stats")
+        assert caught.value.code == 503
+        assert json.loads(caught.value.read())["error"]["code"] == "unavailable"
         router.set_health(0, True)
         router.stop_admitting()
         assert get(router.url + "/v1/healthz")[1]["status"] == "shutting_down"
