@@ -12,7 +12,10 @@ tiny preset), then asserts the deployment contract end to end:
    flush tick so relax steps are not throttled by the admission-control
    preset above) returns 200 with a schema-valid, *converged*
    `RelaxResponse`,
-5. SIGTERM exits 0 through the graceful path and saves the autotune
+5. a POSTed `/v1/md` (same second server) streams NDJSON: schema-valid
+   `frame` lines in step order, ending with exactly one terminal
+   `summary` line that parses as a schema-valid `MDResponse`,
+6. SIGTERM exits 0 through the graceful path and saves the autotune
    cache for the next replica.
 
 Run:  PYTHONPATH=src python benchmarks/smoke_http_api.py
@@ -36,7 +39,7 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.api import PredictResponse, RelaxResponse
+from repro.api import MDFramePayload, MDResponse, PredictResponse, RelaxResponse
 
 WATER = {
     "atomic_numbers": [8, 1, 1],
@@ -186,11 +189,54 @@ def main() -> int:
                 f"dE={relaxed.result.energy - relaxed.result.energy_initial:+.6f}, "
                 f"{relaxed.result.neighbor_reuses} neighbor-list reuses)"
             )
+
+            # 5. /v1/md -> a streamed NDJSON trajectory: schema-valid
+            # frame lines in step order, one terminal summary line.
+            request = urllib.request.Request(
+                relax_url + "/v1/md",
+                data=json.dumps(
+                    {
+                        "schema_version": "v1",
+                        "structure": WATER,
+                        "n_steps": 20,
+                        "timestep_fs": 0.5,
+                        "thermostat": "langevin",
+                        "temperature_k": 300.0,
+                        "seed": 7,
+                        "frame_interval": 5,
+                    }
+                ).encode(),
+                headers={"Content-Type": "application/json"},
+            )
+            with urllib.request.urlopen(request, timeout=120) as resp:
+                assert resp.status == 200, resp.status
+                content_type = resp.headers["Content-Type"]
+                assert content_type == "application/x-ndjson", content_type
+                lines = [json.loads(line) for line in resp.read().splitlines()]
+            assert len(lines) >= 2, lines
+            assert all("frame" in line for line in lines[:-1]), lines
+            frames = [MDFramePayload.from_json_dict(line) for line in lines[:-1]]
+            assert [frame.step for frame in frames] == [0, 5, 10, 15, 20], frames
+            for frame in frames:  # strict schema check per streamed line
+                assert frame.positions.shape == (3, 3)
+                assert np.isfinite(frame.positions).all()
+                assert np.isfinite(frame.velocities).all()
+                assert math.isfinite(frame.energy)
+            assert "summary" in lines[-1], lines[-1]
+            md_summary = MDResponse.from_json_dict(lines[-1])  # strict schema check
+            assert md_summary.result.steps == 20, lines[-1]
+            assert md_summary.result.final_step == 20, lines[-1]
+            assert md_summary.result.thermostat == "langevin", lines[-1]
+            print(
+                f"md ok: streamed {len(frames)} frames over 20 langevin steps "
+                f"(T_final={md_summary.result.temperature_k:.0f}K, "
+                f"{md_summary.result.neighbor_reuses} neighbor-list reuses)"
+            )
         finally:
             relax_process.terminate()
             relax_process.communicate(timeout=60)
 
-        # 5. SIGTERM -> graceful exit 0 + autotune cache saved.
+        # 6. SIGTERM -> graceful exit 0 + autotune cache saved.
         process.send_signal(signal.SIGTERM)
         out, _ = process.communicate(timeout=60)
         assert process.returncode == 0, (process.returncode, out)

@@ -6,8 +6,8 @@ predicted, whatever the deployment shape:
 - :mod:`repro.api.schemas` — the ``v1`` wire contract: strict, typed,
   bit-exact-float JSON payloads and the :class:`ApiError` taxonomy —
   plus the additive ``v2`` request schema (precomputed edges for
-  trusted trajectory clients) and the ``/v1/relax`` request/response
-  pair.
+  trusted trajectory clients), the ``/v1/relax`` request/response pair,
+  and the ``/v1/md`` request + streamed frame/summary line schemas.
 - :mod:`repro.api.server` — :class:`ApiGateway` (transport-free request
   execution over a model registry) and :class:`ApiServer` (a stdlib
   threaded HTTP front end with JSON errors and graceful shutdown).
@@ -19,7 +19,7 @@ The CLI (``repro serve --http``, ``repro predict --input/--json``) is a
 thin shell over these pieces.
 """
 
-from repro.api.client import Client, ClientTrajectory, HttpTransport, LocalTransport
+from repro.api.client import Client, ClientTrajectory, HttpTransport, LocalTransport, MDRun
 from repro.api.schemas import (
     DEADLINE_HEADER,
     DEFAULT_CUTOFF,
@@ -29,6 +29,11 @@ from repro.api.schemas import (
     ApiError,
     DeadlineExceededError,
     ErrorPayload,
+    MDDivergedError,
+    MDFramePayload,
+    MDRequest,
+    MDResponse,
+    MDResultPayload,
     NotFound,
     OverloadedError,
     PredictionPayload,
@@ -62,6 +67,12 @@ __all__ = [
     "HttpTransport",
     "LocalTransport",
     "MAX_STRUCTURES_PER_REQUEST",
+    "MDDivergedError",
+    "MDFramePayload",
+    "MDRequest",
+    "MDResponse",
+    "MDResultPayload",
+    "MDRun",
     "NotFound",
     "OverloadedError",
     "PredictRequest",

@@ -41,6 +41,9 @@ from repro.api.schemas import (
     DEFAULT_CUTOFF,
     DeadlineExceededError,
     ErrorPayload,
+    MDFramePayload,
+    MDRequest,
+    MDResponse,
     PredictRequest,
     PredictResponse,
     RelaxRequest,
@@ -54,6 +57,7 @@ from repro.api.schemas import (
 from repro.api.server import ApiGateway
 from repro.graph.atoms import AtomGraph
 from repro.graph.radius import SkinNeighborList
+from repro.serving.md import MDFrame, MDResult, MDSettings
 from repro.serving.registry import ModelRegistry
 from repro.serving.relax import RelaxResult, RelaxSettings
 from repro.serving.service import PredictionResult, ServiceConfig
@@ -89,6 +93,24 @@ class LocalTransport:
 
     def relax(self, request: RelaxRequest) -> RelaxResponse:
         return self.gateway.relax(request)
+
+    def md(self, request: MDRequest):
+        """Stream one MD segment: ``("frame", MDFramePayload)`` events
+        ending with ``("summary", MDResponse)`` — the in-process twin of
+        the HTTP transport's NDJSON line stream.  Typed errors raise out
+        of the iterator exactly where the HTTP client would meet the
+        terminal ``error`` line.
+        """
+        model, events = self.gateway.md(request)
+
+        def stream():
+            for kind, payload in events:
+                if kind == "frame":
+                    yield ("frame", MDFramePayload.from_frame(payload))
+                else:
+                    yield ("summary", MDResponse.from_result(model, payload))
+
+        return stream()
 
     def server_info(self) -> ServerInfo:
         return self.gateway.server_info()
@@ -243,6 +265,124 @@ class HttpTransport:
             self._request("POST", "/v1/relax", request.to_json_dict())
         )
 
+    # ------------------------------------------------------------------
+    # MD streaming
+    # ------------------------------------------------------------------
+    def _open_md_stream(self, data: bytes, headers: dict, deadline: float | None):
+        """One connection attempt for ``POST /v1/md``; returns it streaming.
+
+        Returns ``(connection, response)`` with the 200 status already
+        consumed, leaving the NDJSON body to be read line by line.
+        Non-200 responses are fully read here and re-raised as the typed
+        error the server sent, exactly like :meth:`_attempt`.
+        """
+        if deadline is not None:
+            remaining_ms = (deadline - time.monotonic()) * 1000.0
+            if remaining_ms <= 0:
+                raise DeadlineExceededError(
+                    "deadline expired client-side before sending POST /v1/md"
+                )
+            headers = dict(headers, **{DEADLINE_HEADER: f"{remaining_ms:.1f}"})
+        connection = HTTPConnection(self._host, self._port, timeout=self.connect_timeout_s)
+        try:
+            try:
+                connection.connect()
+                connection.sock.settimeout(self.read_timeout_s)
+                connection.request(
+                    "POST", self._path_prefix + "/v1/md", body=data, headers=headers
+                )
+                response = connection.getresponse()
+            except TimeoutError as err:
+                raise TransportError(
+                    f"timed out talking to {self.base_url} (POST /v1/md): {err or 'timeout'}"
+                ) from err
+            except (OSError, HTTPException) as err:
+                raise TransportError(f"cannot reach {self.base_url}: {err!r}") from err
+            if response.status == 200:
+                return connection, response
+            body = response.read()
+            try:
+                error_payload = ErrorPayload.from_json_dict(json.loads(body.decode("utf-8")))
+            except Exception:  # noqa: BLE001 - non-conforming error body
+                raise TransportError(
+                    f"HTTP {response.status} from POST /v1/md: {body[:200]!r}"
+                ) from None
+            raise error_payload.to_error()
+        except BaseException:
+            connection.close()
+            raise
+
+    def md(self, request: MDRequest):
+        """Stream ``POST /v1/md``: ``("frame", ...)``/``("summary", ...)``.
+
+        Opening the stream gets the same bounded retries as
+        :meth:`_request` — nothing has executed yet, so a reconnection
+        is free.  Once bytes are flowing there is exactly one attempt:
+        a dead connection mid-run surfaces as :class:`TransportError`
+        (as does a stream that ends without a terminal ``summary`` or
+        ``error`` line), and the *caller* decides whether to resume from
+        the last frame — that is :meth:`Client.md`'s ``chunk_steps``
+        job, because only the caller holds the frames.
+        """
+        payload = request.to_json_dict()
+        data = json.dumps(payload).encode("utf-8")
+        headers = {"Accept": "application/x-ndjson", "Content-Type": "application/json"}
+        deadline_ms = payload.get("deadline_ms")
+        deadline = None if deadline_ms is None else time.monotonic() + deadline_ms / 1000.0
+        attempt = 0
+        while True:
+            try:
+                connection, response = self._open_md_stream(data, headers, deadline)
+                break
+            except (TransportError, UnavailableError) as err:
+                if attempt >= self.retries:
+                    raise
+                attempt += 1
+                self.retried += 1
+                delay = min(self.backoff_max_s, self.backoff_s * (2.0 ** (attempt - 1)))
+                delay *= random.uniform(0.5, 1.5)
+                if deadline is not None and time.monotonic() + delay >= deadline:
+                    raise DeadlineExceededError(
+                        "deadline expired during retry backoff for POST /v1/md"
+                    ) from err
+                time.sleep(delay)
+        try:
+            terminal = False
+            while True:
+                try:
+                    line = response.readline()
+                except TimeoutError as err:
+                    raise TransportError(
+                        f"timed out reading md stream from {self.base_url}"
+                    ) from err
+                except (OSError, HTTPException) as err:
+                    raise TransportError(f"md stream from {self.base_url} died: {err!r}") from err
+                if not line:
+                    break
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    obj = json.loads(line.decode("utf-8"))
+                except (UnicodeDecodeError, json.JSONDecodeError) as err:
+                    raise TransportError(f"non-JSON md stream line: {err}") from err
+                if "frame" in obj:
+                    yield ("frame", MDFramePayload.from_json_dict(obj))
+                elif "summary" in obj:
+                    terminal = True
+                    yield ("summary", MDResponse.from_json_dict(obj))
+                elif "error" in obj:
+                    raise ErrorPayload.from_json_dict(obj).to_error()
+                else:
+                    raise TransportError(f"unrecognized md stream line: {line[:200]!r}")
+            if not terminal:
+                # The socket closed cleanly but the protocol did not
+                # finish — a mid-run replica death looks exactly like
+                # this, so it must be retryable, not a verdict.
+                raise TransportError("md stream ended without a terminal summary line")
+        finally:
+            connection.close()
+
     def server_info(self) -> ServerInfo:
         return ServerInfo.from_json_dict(self._request("GET", "/v1/models"))
 
@@ -311,6 +451,140 @@ class ClientTrajectory:
         result = self._client.predict_one(payload, model=self.model)
         self.steps += 1
         return result
+
+
+class MDRun:
+    """A (possibly chunked, resumable) MD run: iterate it for frames.
+
+    Yields :class:`~repro.serving.md.MDFrame` objects in step order;
+    after exhaustion, :attr:`result` holds the aggregated
+    :class:`~repro.serving.md.MDResult`.  With ``chunk_steps``, the run
+    is driven as bounded ``/v1/md`` segments, each resumed from the
+    previous segment's final frame (positions + velocities +
+    ``step_offset``) — and because the server's thermostat noise is
+    keyed by absolute step index, the chunked trajectory is
+    **bit-identical** to an uninterrupted one.  A segment that dies
+    mid-stream (:class:`TransportError` — replica killed, socket cut) is
+    resumed from the last received frame; completed steps are never
+    repeated.  Typed server verdicts (schema errors, divergence,
+    deadline expiry) are never resumed.  ``deadline_ms`` applies per
+    segment.  :attr:`resumes` counts mid-stream recoveries.
+    """
+
+    #: Consecutive zero-progress transport failures tolerated before the
+    #: run gives up — distinguishes "replica restarting" from "down".
+    MAX_STALLED_RESUMES = 3
+
+    def __init__(
+        self,
+        transport,
+        structure: StructurePayload,
+        model: str | None,
+        knobs: dict,
+        velocities: np.ndarray | None,
+        deadline_ms: float | None,
+        chunk_steps: int | None,
+    ) -> None:
+        self._transport = transport
+        self._structure = structure
+        self._model = model
+        self._knobs = knobs
+        self._velocities = velocities
+        self._deadline_ms = deadline_ms
+        self._chunk_steps = chunk_steps
+        self.result: MDResult | None = None
+        self.resumes = 0
+
+    def __iter__(self):
+        knobs = self._knobs
+        total = knobs.get("n_steps") or MDSettings().n_steps
+        interval = knobs.get("frame_interval") or 1
+        offset0 = knobs.get("step_offset") or 0
+        final_step = offset0 + total
+        structure = self._structure
+        velocities = self._velocities
+        done = 0
+        stalled = 0
+        frames = 0
+        rebuilds = reuses = 0
+        last: MDFramePayload | None = None
+        summary: MDResponse | None = None
+        while done < total:
+            segment = min(self._chunk_steps or total, total - done)
+            request = MDRequest(
+                structure=structure,
+                model=self._model,
+                velocities=velocities,
+                deadline_ms=self._deadline_ms,
+                **dict(knobs, n_steps=segment, step_offset=offset0 + done),
+            )
+            progressed = False
+            try:
+                for kind, payload in self._transport.md(request):
+                    if kind == "frame":
+                        last = payload
+                        progressed = True
+                        # A chunk's always-emitted final frame is a
+                        # resume point, not necessarily a trajectory
+                        # sample: suppress it unless the uninterrupted
+                        # run would have emitted it too.
+                        if payload.step % interval == 0 or payload.step == final_step:
+                            frames += 1
+                            yield payload.to_frame()
+                    else:
+                        summary = payload
+            except TransportError:
+                if self._chunk_steps is None:
+                    raise  # no chunking, no resume protocol — a verdict
+                if progressed:
+                    stalled = 0
+                else:
+                    stalled += 1
+                    if stalled > self.MAX_STALLED_RESUMES:
+                        raise
+                self.resumes += 1
+                if last is not None:
+                    done = last.step - offset0
+                    structure = StructurePayload(
+                        atomic_numbers=structure.atomic_numbers,
+                        positions=last.positions,
+                        cell=structure.cell,
+                        pbc=structure.pbc,
+                    )
+                    velocities = last.velocities
+                continue
+            stalled = 0
+            segment_result = summary.to_result()
+            done += segment_result.steps
+            rebuilds += segment_result.neighbor_rebuilds
+            reuses += segment_result.neighbor_reuses
+            if done < total:
+                structure = StructurePayload(
+                    atomic_numbers=structure.atomic_numbers,
+                    positions=last.positions,
+                    cell=structure.cell,
+                    pbc=structure.pbc,
+                )
+                velocities = last.velocities
+        final = summary.to_result()
+        self.result = MDResult(
+            steps=done,
+            first_step=offset0,
+            final_step=final.final_step,
+            frames=frames,
+            energy=final.energy,
+            kinetic_energy=final.kinetic_energy,
+            temperature_k=final.temperature_k,
+            thermostat=final.thermostat,
+            n_atoms=final.n_atoms,
+            physical_units=final.physical_units,
+            neighbor_rebuilds=rebuilds,
+            neighbor_reuses=reuses,
+        )
+
+    def frames(self) -> list[MDFrame]:
+        """Drain the run and return every frame (small runs, tests)."""
+        return list(self)
 
 
 class Client:
@@ -460,6 +734,71 @@ class Client:
             physical_units=segment.physical_units,
             neighbor_rebuilds=rebuilds,
             neighbor_reuses=reuses,
+        )
+
+    # ------------------------------------------------------------------
+    # molecular dynamics
+    # ------------------------------------------------------------------
+    def md(
+        self,
+        structure,
+        model: str | None = None,
+        *,
+        n_steps: int | None = None,
+        timestep_fs: float | None = None,
+        thermostat: str | None = None,
+        temperature_k: float | None = None,
+        friction: float | None = None,
+        tau_fs: float | None = None,
+        seed: int | None = None,
+        frame_interval: int | None = None,
+        step_offset: int | None = None,
+        velocities=None,
+        skin: float | None = None,
+        deadline_ms: float | None = None,
+        chunk_steps: int | None = None,
+    ) -> MDRun:
+        """Run server-side MD on one graph or payload; iterate for frames.
+
+        Returns an :class:`MDRun` — iterate it for
+        :class:`~repro.serving.md.MDFrame` snapshots (thinned by
+        ``frame_interval``); afterwards ``run.result`` holds the
+        aggregated :class:`~repro.serving.md.MDResult`.  Unset knobs
+        fall back to the server's :class:`~repro.serving.md.MDSettings`
+        defaults.  Identical over both transports, bit for bit.
+
+        With ``chunk_steps``, the run is a sequence of bounded segments
+        resumed from the last frame's positions + velocities — which
+        both survives a replica dying mid-run (the segment is resumed on
+        a healthy replica, trajectory unchanged) and keeps each request
+        inside a ``deadline_ms`` budget, which applies per segment.
+        """
+        payload = (
+            structure
+            if isinstance(structure, StructurePayload)
+            else StructurePayload.from_graph(structure)
+        )
+        if chunk_steps is not None and chunk_steps < 1:
+            raise ValueError("chunk_steps must be >= 1")
+        return MDRun(
+            self.transport,
+            payload,
+            model,
+            knobs={
+                "n_steps": n_steps,
+                "timestep_fs": timestep_fs,
+                "thermostat": thermostat,
+                "temperature_k": temperature_k,
+                "friction": friction,
+                "tau_fs": tau_fs,
+                "seed": seed,
+                "frame_interval": frame_interval,
+                "step_offset": step_offset,
+                "skin": skin,
+            },
+            velocities=None if velocities is None else np.asarray(velocities, dtype=np.float64),
+            deadline_ms=deadline_ms,
+            chunk_steps=chunk_steps,
         )
 
     def trajectory(

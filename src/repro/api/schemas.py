@@ -44,6 +44,14 @@ import numpy as np
 
 from repro.graph.atoms import AtomGraph
 from repro.graph.radius import build_edges
+from repro.serving.md import (
+    MAX_MD_STEP_OFFSET,
+    MAX_MD_STEPS,
+    MD_THERMOSTATS,
+    MDFrame,
+    MDResult,
+    MDSettings,
+)
 from repro.serving.relax import MAX_RELAX_STEPS, RelaxResult, RelaxSettings
 from repro.serving.service import PredictionResult
 from repro.tensor.core import DEFAULT_DTYPE
@@ -143,6 +151,20 @@ class TransportError(ApiError):
     http_status = 502
 
 
+class MDDivergedError(ApiError):
+    """The MD integration blew up (non-finite positions or velocities).
+
+    A verdict, not a transient: the requested ``timestep_fs`` is too
+    large for the served force field, so retrying or resuming the same
+    run is pointless.  Streaming responses deliver this as a terminal
+    ``error`` line (the 200 status is already on the wire when the blowup
+    happens mid-run).
+    """
+
+    code = "md_diverged"
+    http_status = 500
+
+
 #: code → class, for rebuilding the typed error client-side.
 ERROR_TYPES = {
     cls.code: cls
@@ -156,6 +178,7 @@ ERROR_TYPES = {
         DeadlineExceededError,
         TransportError,
         UnavailableError,
+        MDDivergedError,
     )
 }
 
@@ -838,6 +861,414 @@ class RelaxResponse:
 
 
 # ----------------------------------------------------------------------
+# MD request / streamed frames / terminal summary
+# ----------------------------------------------------------------------
+@dataclass
+class MDRequest:
+    """``POST /v1/md`` body: one structure plus optional integrator knobs.
+
+    Unset knobs take the server's :class:`~repro.serving.md.MDSettings`
+    defaults; like relax, the neighbor cutoff is always the server's.
+    ``velocities`` (internal units, same shape as positions) and
+    ``step_offset`` are the resume channel: a chunked client re-submits
+    the last frame's positions + velocities with ``step_offset`` set to
+    that frame's step, and the seeded step-indexed thermostat noise makes
+    the resumed trajectory bit-identical to an uninterrupted one.
+    ``deadline_ms`` is re-checked between force evaluations, so one
+    request never holds a worker past its budget — long runs should
+    chunk client-side (``Client.md(chunk_steps=...)``).
+    """
+
+    structure: StructurePayload
+    model: str | None = None
+    n_steps: int | None = None
+    timestep_fs: float | None = None
+    thermostat: str | None = None
+    temperature_k: float | None = None
+    friction: float | None = None
+    tau_fs: float | None = None
+    seed: int | None = None
+    frame_interval: int | None = None
+    step_offset: int | None = None
+    velocities: np.ndarray | None = None
+    skin: float | None = None
+    deadline_ms: float | None = None
+
+    _KNOBS = (
+        "n_steps",
+        "timestep_fs",
+        "thermostat",
+        "temperature_k",
+        "friction",
+        "tau_fs",
+        "seed",
+        "frame_interval",
+        "step_offset",
+        "skin",
+    )
+
+    def to_settings(self, cutoff: float, max_neighbors: int | None = None) -> MDSettings:
+        """Server-side settings: request overrides on top of defaults."""
+        overrides = {
+            name: value
+            for name in self._KNOBS
+            if (value := getattr(self, name)) is not None
+        }
+        return MDSettings(
+            cutoff=cutoff,
+            max_neighbors=max_neighbors,
+            velocities=self.velocities,
+            **overrides,
+        )
+
+    def to_json_dict(self) -> dict:
+        version = "v2" if self.structure.has_edges else SCHEMA_VERSION
+        payload: dict[str, Any] = {
+            "schema_version": version,
+            "structure": self.structure.to_json_dict(),
+        }
+        if self.model is not None:
+            payload["model"] = self.model
+        for name in self._KNOBS + ("deadline_ms",):
+            value = getattr(self, name)
+            if value is not None:
+                payload[name] = value
+        if self.velocities is not None:
+            payload["velocities"] = _matrix_to_json(self.velocities)
+        return payload
+
+    @classmethod
+    def from_json_dict(cls, obj: dict) -> "MDRequest":
+        _expect_keys(
+            obj,
+            {"schema_version", "structure"},
+            set(cls._KNOBS) | {"model", "velocities", "deadline_ms"},
+            "md request",
+        )
+        version = _expect_version(obj, "md request", supported=SUPPORTED_VERSIONS)
+        model = obj.get("model")
+        if model is not None and not isinstance(model, str):
+            raise SchemaError("md request.model: expected a string")
+        bounds = {
+            "n_steps": (1, MAX_MD_STEPS),
+            "seed": (0, 2**63 - 1),
+            "frame_interval": (1, MAX_MD_STEPS),
+            "step_offset": (0, MAX_MD_STEP_OFFSET),
+        }
+        for name, (low, high) in bounds.items():
+            value = obj.get(name)
+            if value is None:
+                continue
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise SchemaError(f"md request.{name}: expected an int")
+            if not low <= value <= high:
+                raise SchemaError(f"md request.{name}: must be in [{low}, {high}]")
+        for name in ("timestep_fs", "friction", "tau_fs", "skin"):
+            value = obj.get(name)
+            if value is None:
+                continue
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise SchemaError(f"md request.{name}: expected a number")
+            if not (math.isfinite(value) and value > 0):
+                raise SchemaError(f"md request.{name}: must be positive and finite")
+        thermostat = obj.get("thermostat")
+        if thermostat is not None and thermostat not in MD_THERMOSTATS:
+            raise SchemaError(
+                f"md request.thermostat: expected one of {list(MD_THERMOSTATS)}"
+            )
+        temperature_k = obj.get("temperature_k")
+        if temperature_k is not None:
+            if isinstance(temperature_k, bool) or not isinstance(temperature_k, (int, float)):
+                raise SchemaError("md request.temperature_k: expected a number")
+            if not (math.isfinite(temperature_k) and temperature_k >= 0):
+                raise SchemaError("md request.temperature_k: must be finite and >= 0")
+        structure = StructurePayload.from_json_dict(
+            obj["structure"], where="md request.structure", allow_edges=(version == "v2")
+        )
+        velocities = None
+        if obj.get("velocities") is not None:
+            velocities = _float_matrix(
+                obj["velocities"],
+                (len(structure.atomic_numbers), 3),
+                "md request.velocities",
+            )
+        return cls(
+            structure=structure,
+            model=model,
+            n_steps=obj.get("n_steps"),
+            timestep_fs=None if obj.get("timestep_fs") is None else float(obj["timestep_fs"]),
+            thermostat=thermostat,
+            temperature_k=None if temperature_k is None else float(temperature_k),
+            friction=None if obj.get("friction") is None else float(obj["friction"]),
+            tau_fs=None if obj.get("tau_fs") is None else float(obj["tau_fs"]),
+            seed=obj.get("seed"),
+            frame_interval=obj.get("frame_interval"),
+            step_offset=obj.get("step_offset"),
+            velocities=velocities,
+            skin=None if obj.get("skin") is None else float(obj["skin"]),
+            deadline_ms=validate_deadline_ms(obj.get("deadline_ms"), "md request.deadline_ms"),
+        )
+
+
+@dataclass
+class MDFramePayload:
+    """One streamed trajectory snapshot (an NDJSON ``frame`` line).
+
+    Mirrors :class:`~repro.serving.md.MDFrame`.  Positions are Å;
+    velocities are internal units, serialized as plain JSON numbers —
+    bit-exact for float64 — so resuming a chunked run from the last
+    frame reproduces the uninterrupted trajectory exactly.
+    """
+
+    step: int
+    energy: float
+    kinetic_energy: float
+    temperature_k: float
+    positions: np.ndarray
+    velocities: np.ndarray
+
+    @classmethod
+    def from_frame(cls, frame: MDFrame) -> "MDFramePayload":
+        return cls(
+            step=int(frame.step),
+            energy=float(frame.energy),
+            kinetic_energy=float(frame.kinetic_energy),
+            temperature_k=float(frame.temperature_k),
+            positions=np.asarray(frame.positions, dtype=np.float64),
+            velocities=np.asarray(frame.velocities, dtype=np.float64),
+        )
+
+    def to_frame(self) -> MDFrame:
+        """Rebuild the in-process frame type clients already consume."""
+        return MDFrame(
+            step=self.step,
+            energy=self.energy,
+            kinetic_energy=self.kinetic_energy,
+            temperature_k=self.temperature_k,
+            positions=np.asarray(self.positions, dtype=np.float64),
+            velocities=np.asarray(self.velocities, dtype=np.float64),
+        )
+
+    def to_json_dict(self) -> dict:
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "frame": {
+                "step": int(self.step),
+                "energy": float(self.energy),
+                "kinetic_energy": float(self.kinetic_energy),
+                "temperature_k": float(self.temperature_k),
+                "positions": _matrix_to_json(self.positions),
+                "velocities": _matrix_to_json(self.velocities),
+            },
+        }
+
+    @classmethod
+    def from_json_dict(cls, obj: dict) -> "MDFramePayload":
+        _expect_keys(obj, {"schema_version", "frame"}, set(), "md frame")
+        _expect_version(obj, "md frame")
+        body = obj["frame"]
+        _expect_keys(
+            body,
+            {"step", "energy", "kinetic_energy", "temperature_k", "positions", "velocities"},
+            set(),
+            "md frame.frame",
+        )
+        step = body["step"]
+        if isinstance(step, bool) or not isinstance(step, int) or step < 0:
+            raise SchemaError("md frame.frame.step: expected a non-negative int")
+        for name in ("energy", "kinetic_energy", "temperature_k"):
+            value = body[name]
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise SchemaError(f"md frame.frame.{name}: expected a number")
+            if not math.isfinite(value):
+                raise SchemaError(f"md frame.frame.{name}: non-finite value {value!r}")
+        positions = _float_matrix(body["positions"], (None, 3), "md frame.frame.positions")
+        velocities = _float_matrix(
+            body["velocities"], (len(positions), 3), "md frame.frame.velocities"
+        )
+        return cls(
+            step=step,
+            energy=float(body["energy"]),
+            kinetic_energy=float(body["kinetic_energy"]),
+            temperature_k=float(body["temperature_k"]),
+            positions=positions,
+            velocities=velocities,
+        )
+
+
+@dataclass
+class MDResultPayload:
+    """Terminal MD summary as it crosses the wire.
+
+    Mirrors :class:`~repro.serving.md.MDResult` field for field,
+    including the skin-list counters — reported identically to the relax
+    payload so clients read one vocabulary.
+    """
+
+    steps: int
+    first_step: int
+    final_step: int
+    frames: int
+    energy: float
+    kinetic_energy: float
+    temperature_k: float
+    thermostat: str
+    n_atoms: int
+    physical_units: bool
+    neighbor_rebuilds: int
+    neighbor_reuses: int
+
+    @classmethod
+    def from_result(cls, result: MDResult) -> "MDResultPayload":
+        return cls(
+            steps=int(result.steps),
+            first_step=int(result.first_step),
+            final_step=int(result.final_step),
+            frames=int(result.frames),
+            energy=float(result.energy),
+            kinetic_energy=float(result.kinetic_energy),
+            temperature_k=float(result.temperature_k),
+            thermostat=result.thermostat,
+            n_atoms=int(result.n_atoms),
+            physical_units=bool(result.physical_units),
+            neighbor_rebuilds=int(result.neighbor_rebuilds),
+            neighbor_reuses=int(result.neighbor_reuses),
+        )
+
+    def to_result(self) -> MDResult:
+        return MDResult(
+            steps=self.steps,
+            first_step=self.first_step,
+            final_step=self.final_step,
+            frames=self.frames,
+            energy=self.energy,
+            kinetic_energy=self.kinetic_energy,
+            temperature_k=self.temperature_k,
+            thermostat=self.thermostat,
+            n_atoms=self.n_atoms,
+            physical_units=self.physical_units,
+            neighbor_rebuilds=self.neighbor_rebuilds,
+            neighbor_reuses=self.neighbor_reuses,
+        )
+
+    def to_json_dict(self) -> dict:
+        return {
+            "steps": int(self.steps),
+            "first_step": int(self.first_step),
+            "final_step": int(self.final_step),
+            "frames": int(self.frames),
+            "energy": float(self.energy),
+            "kinetic_energy": float(self.kinetic_energy),
+            "temperature_k": float(self.temperature_k),
+            "thermostat": self.thermostat,
+            "n_atoms": int(self.n_atoms),
+            "physical_units": bool(self.physical_units),
+            "neighbor_rebuilds": int(self.neighbor_rebuilds),
+            "neighbor_reuses": int(self.neighbor_reuses),
+        }
+
+    @classmethod
+    def from_json_dict(cls, obj: dict, where: str = "md summary") -> "MDResultPayload":
+        _expect_keys(
+            obj,
+            {
+                "steps",
+                "first_step",
+                "final_step",
+                "frames",
+                "energy",
+                "kinetic_energy",
+                "temperature_k",
+                "thermostat",
+                "n_atoms",
+                "physical_units",
+                "neighbor_rebuilds",
+                "neighbor_reuses",
+            },
+            set(),
+            where,
+        )
+        for name in (
+            "steps",
+            "first_step",
+            "final_step",
+            "frames",
+            "n_atoms",
+            "neighbor_rebuilds",
+            "neighbor_reuses",
+        ):
+            value = obj[name]
+            if isinstance(value, bool) or not isinstance(value, int) or value < 0:
+                raise SchemaError(f"{where}.{name}: expected a non-negative int")
+        if obj["n_atoms"] < 1:
+            raise SchemaError(f"{where}.n_atoms: expected a positive int")
+        if obj["thermostat"] not in MD_THERMOSTATS:
+            raise SchemaError(f"{where}.thermostat: expected one of {list(MD_THERMOSTATS)}")
+        if not isinstance(obj["physical_units"], bool):
+            raise SchemaError(f"{where}.physical_units: expected a boolean")
+        for name in ("energy", "kinetic_energy", "temperature_k"):
+            value = obj[name]
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise SchemaError(f"{where}.{name}: expected a number")
+            if not math.isfinite(value):
+                raise SchemaError(f"{where}.{name}: non-finite value {value!r}")
+        return cls(
+            steps=obj["steps"],
+            first_step=obj["first_step"],
+            final_step=obj["final_step"],
+            frames=obj["frames"],
+            energy=float(obj["energy"]),
+            kinetic_energy=float(obj["kinetic_energy"]),
+            temperature_k=float(obj["temperature_k"]),
+            thermostat=obj["thermostat"],
+            n_atoms=obj["n_atoms"],
+            physical_units=obj["physical_units"],
+            neighbor_rebuilds=obj["neighbor_rebuilds"],
+            neighbor_reuses=obj["neighbor_reuses"],
+        )
+
+
+@dataclass
+class MDResponse:
+    """``POST /v1/md`` terminal summary (the stream's last NDJSON line).
+
+    The ``summary`` key is the stream-integrity marker: a well-formed
+    MD stream is zero or more ``frame`` lines followed by exactly one
+    line carrying ``summary`` (success) or ``error`` (typed failure).  A
+    stream that ends without either was truncated mid-run, and clients
+    treat it as a transport error (and resume from the last frame).
+    """
+
+    model: str
+    result: MDResultPayload
+
+    @classmethod
+    def from_result(cls, model: str, result: MDResult) -> "MDResponse":
+        return cls(model=model, result=MDResultPayload.from_result(result))
+
+    def to_result(self) -> MDResult:
+        return self.result.to_result()
+
+    def to_json_dict(self) -> dict:
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "model": self.model,
+            "summary": self.result.to_json_dict(),
+        }
+
+    @classmethod
+    def from_json_dict(cls, obj: dict) -> "MDResponse":
+        _expect_keys(obj, {"schema_version", "model", "summary"}, set(), "md response")
+        _expect_version(obj, "md response")
+        if not isinstance(obj["model"], str):
+            raise SchemaError("md response.model: expected a string")
+        return cls(
+            model=obj["model"],
+            result=MDResultPayload.from_json_dict(obj["summary"], where="md response.summary"),
+        )
+
+
+# ----------------------------------------------------------------------
 # Errors, server info, stats
 # ----------------------------------------------------------------------
 @dataclass
@@ -886,6 +1317,7 @@ class ServerInfo:
     endpoints: tuple[str, ...] = (
         "POST /v1/predict",
         "POST /v1/relax",
+        "POST /v1/md",
         "GET /v1/models",
         "GET /v1/healthz",
         "GET /v1/stats",
@@ -924,9 +1356,12 @@ class StatsSnapshot:
     ``engine``), a ``plans`` section with the execution-plan cache
     counters (``enabled``, ``plans_compiled``, ``plan_hits``,
     ``plan_misses``, ``plan_fallbacks``, ``plan_hit_rate``,
-    ``cached_plans``), and a ``relax`` section with trajectory-workload
+    ``cached_plans``), a ``relax`` section with trajectory-workload
     counters (``sessions``, ``steps``, ``converged``,
-    ``neighbor_rebuilds``, ``neighbor_reuses``, ``neighbor_reuse_rate``).
+    ``neighbor_rebuilds``, ``neighbor_reuses``, ``neighbor_reuse_rate``),
+    and an ``md`` section with molecular-dynamics counters (``sessions``,
+    ``steps``, ``steps_per_s``, the same skin-list trio as ``relax``,
+    and a ``thermostats`` breakdown by kind).
     Additive top-level fields, still schema ``v1``:
 
     - ``uptime_s`` / ``pid`` — how long this server has been up and its

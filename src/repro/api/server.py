@@ -18,6 +18,10 @@ Two layers, deliberately separated:
                               429 overloaded · 504 timeout
   ``POST /v1/relax``          same error mapping; body is a
                               :class:`~repro.api.schemas.RelaxRequest`
+  ``POST /v1/md``             same error mapping *before* streaming
+                              starts; then a chunked NDJSON stream of
+                              ``frame`` lines ending with one
+                              ``summary`` (or typed ``error``) line
   ``GET /v1/models``          :class:`~repro.api.schemas.ServerInfo`
   ``GET /v1/healthz``         liveness probe
   ``GET /v1/stats``           :class:`~repro.api.schemas.StatsSnapshot`
@@ -52,6 +56,10 @@ from repro.api.schemas import (
     ApiError,
     DeadlineExceededError,
     ErrorPayload,
+    MDDivergedError,
+    MDFramePayload,
+    MDRequest,
+    MDResponse,
     OverloadedError,
     PredictRequest,
     PredictResponse,
@@ -68,6 +76,7 @@ from repro.api.schemas import (
 from repro.graph.atoms import AtomGraph
 from repro.serving.batcher import DeadlineExceeded, ServiceOverloaded
 from repro.serving.faults import FaultPlan
+from repro.serving.md import MDDiverged
 from repro.serving.registry import ModelRegistry
 from repro.serving.service import PredictionService, ServiceConfig
 
@@ -301,6 +310,71 @@ class ApiGateway:
         finally:
             self._end_request(token)
 
+    def md(self, request: MDRequest, deadline_ms: float | None = None):
+        """Run one MD segment; returns ``(model_name, events)``.
+
+        Validation is split around the streaming boundary.  Everything
+        checkable *before* the first integration step — schema-level
+        settings, model resolution, velocity shape — raises here, so the
+        HTTP layer can still answer with a typed 4xx/5xx status.  The
+        returned ``events`` generator yields ``("frame", MDFrame)`` then
+        ``("result", MDResult)``; failures *during* integration (deadline
+        expiry, overload, divergence) raise typed errors out of the
+        generator, which the HTTP layer turns into a terminal ``error``
+        line on the already-open stream.  Like relax, the session's skin
+        neighbor list owns connectivity — the request structure hands
+        over only physical inputs.
+        """
+        deadline = self._deadline_from_ms(
+            deadline_ms if deadline_ms is not None else request.deadline_ms
+        )
+        if self.faults is not None:
+            self.faults.on_request()
+        name = self.resolve_model(request.model)
+        try:
+            settings = request.to_settings(self.cutoff, self.max_neighbors)
+        except ValueError as error:
+            # LocalTransport callers skip wire validation; map the
+            # dataclass's ValueError onto the same 400 HTTP callers get.
+            raise SchemaError(str(error)) from error
+        structure = request.structure
+        if settings.velocities is not None and settings.velocities.shape != tuple(
+            np.asarray(structure.positions).shape
+        ):
+            raise SchemaError(
+                f"md request.velocities: shape {settings.velocities.shape} does not "
+                f"match positions shape {np.asarray(structure.positions).shape}"
+            )
+        service = self._service(name)
+        graph = AtomGraph(
+            atomic_numbers=structure.atomic_numbers,
+            positions=structure.positions,
+            edge_index=np.zeros((2, 0), dtype=np.int64),
+            edge_shift=np.zeros((0, 3)),
+            cell=structure.cell,
+            pbc=structure.pbc,
+            source="api",
+        )
+
+        def events():
+            token = self._begin_request()
+            try:
+                yield from service.md(graph, settings, deadline=deadline)
+            except MDDiverged as error:
+                raise MDDivergedError(str(error)) from error
+            except DeadlineExceeded as error:
+                raise DeadlineExceededError(str(error)) from error
+            except ServiceOverloaded as error:
+                raise OverloadedError(str(error)) from error
+            except TimeoutError as error:
+                raise RequestTimeout(str(error)) from error
+            except ValueError as error:
+                raise SchemaError(str(error)) from error
+            finally:
+                self._end_request(token)
+
+        return name, events()
+
     def server_info(self) -> ServerInfo:
         return ServerInfo(
             models=self.registry.describe(),
@@ -450,6 +524,50 @@ class _ApiRequestHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    def _stream_md(self, model: str, events) -> None:
+        """Stream MD frames as NDJSON; the last line is the verdict.
+
+        No ``Content-Length`` — the stream's length is unknown up front,
+        so framing is read-to-EOF under ``Connection: close`` (which the
+        stdlib transport and the replica router's buffering proxy both
+        already handle).  Each line flushes as it is produced, so a
+        client watches frames arrive while the run integrates.  A typed
+        error mid-run becomes a terminal ``error`` line: the 200 status
+        is on the wire by then, and a missing summary/error line is how
+        clients detect truncation.
+        """
+        self.close_connection = True
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.send_header("Connection", "close")
+        self.end_headers()
+        try:
+            try:
+                for kind, payload in events:
+                    if kind == "frame":
+                        line = MDFramePayload.from_frame(payload).to_json_dict()
+                    else:
+                        line = MDResponse.from_result(model, payload).to_json_dict()
+                    self.wfile.write(json.dumps(line).encode("utf-8") + b"\n")
+                    self.wfile.flush()
+            except ApiError as error:
+                self.wfile.write(
+                    json.dumps(ErrorPayload.from_error(error).to_json_dict()).encode("utf-8")
+                    + b"\n"
+                )
+            except Exception as error:  # noqa: BLE001 - boundary: no HTML tracebacks
+                self.wfile.write(
+                    json.dumps(
+                        ErrorPayload.from_error(ApiError(f"internal error: {error}")).to_json_dict()
+                    ).encode("utf-8")
+                    + b"\n"
+                )
+        except OSError:
+            # The client hung up mid-stream; there is no one left to
+            # tell, and the events generator's finally already released
+            # the in-flight token.
+            pass
+
     def do_POST(self) -> None:  # noqa: N802 - stdlib naming
         try:
             if self.path == "/v1/predict":
@@ -464,6 +582,14 @@ class _ApiRequestHandler(BaseHTTPRequestHandler):
                 self._send_success(
                     self.server.gateway.relax(relax, deadline_ms=deadline_ms).to_json_dict()
                 )
+            elif self.path == "/v1/md":
+                deadline_ms = self._deadline_header_ms()
+                md = MDRequest.from_json_dict(self._read_json_body())
+                # Pre-stream failures (bad knobs, unknown model) raise
+                # here and become ordinary typed statuses; once
+                # _stream_md starts, failures ride the stream instead.
+                model, events = self.server.gateway.md(md, deadline_ms=deadline_ms)
+                self._stream_md(model, events)
             else:
                 raise NotFound(f"no such endpoint: POST {self.path}")
         except ApiError as error:

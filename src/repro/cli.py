@@ -19,7 +19,7 @@ Commands
     corpus; prints a table or, with ``--json``, a v1 ``PredictResponse``.
 ``serve``
     With ``--http PORT``: run the real HTTP prediction API
-    (``POST /v1/predict``, ``POST /v1/relax``,
+    (``POST /v1/predict``, ``POST /v1/relax``, ``POST /v1/md``,
     ``GET /v1/models``/``healthz``/``stats``)
     over a :class:`~repro.serving.service.PredictionService`, shutting
     down gracefully on SIGTERM/Ctrl-C.  Adding ``--replicas N`` scales
@@ -326,7 +326,7 @@ def _serve_http(args: argparse.Namespace) -> int:
         flush=True,
     )
     print(
-        "endpoints: POST /v1/predict · POST /v1/relax · GET /v1/models · "
+        "endpoints: POST /v1/predict · POST /v1/relax · POST /v1/md · GET /v1/models · "
         "GET /v1/healthz · GET /v1/stats",
         flush=True,
     )
@@ -437,7 +437,7 @@ def _serve_replicas(args: argparse.Namespace) -> int:
         flush=True,
     )
     print(
-        "endpoints: POST /v1/predict · POST /v1/relax · GET /v1/models · "
+        "endpoints: POST /v1/predict · POST /v1/relax · POST /v1/md · GET /v1/models · "
         "GET /v1/healthz · GET /v1/stats",
         flush=True,
     )

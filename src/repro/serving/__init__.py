@@ -21,6 +21,19 @@ from repro.serving.batcher import (
 from repro.serving.cache import CacheStats, ResultCache
 from repro.serving.faults import FaultPlan, FaultSpecError
 from repro.serving.hashing import structure_hash
+from repro.serving.md import (
+    ATOMIC_MASSES,
+    MAX_MD_STEPS,
+    MD_THERMOSTATS,
+    MDDiverged,
+    MDFrame,
+    MDResult,
+    MDSession,
+    MDSettings,
+    atomic_masses,
+    maxwell_boltzmann_velocities,
+    run_md,
+)
 from repro.serving.registry import ModelRegistry, RegistryEntry
 from repro.serving.relax import (
     MAX_RELAX_STEPS,
@@ -35,15 +48,23 @@ from repro.serving.service import PredictionResult, PredictionService, ServiceCo
 from repro.serving.stats import ServingStats, StatsSummary, percentile
 
 __all__ = [
+    "ATOMIC_MASSES",
     "FLUSH_ATOMS",
     "FLUSH_CLOSE",
     "FLUSH_GRAPHS",
     "FLUSH_TIMEOUT",
+    "MAX_MD_STEPS",
     "MAX_RELAX_STEPS",
+    "MD_THERMOSTATS",
     "CacheStats",
     "DeadlineExceeded",
     "FaultPlan",
     "FaultSpecError",
+    "MDDiverged",
+    "MDFrame",
+    "MDResult",
+    "MDSession",
+    "MDSettings",
     "MicroBatcher",
     "ModelRegistry",
     "PredictionResult",
@@ -63,7 +84,10 @@ __all__ = [
     "StatsSummary",
     "TrajectorySession",
     "aggregate_model_telemetry",
+    "atomic_masses",
+    "maxwell_boltzmann_velocities",
     "percentile",
     "relax_positions",
+    "run_md",
     "structure_hash",
 ]

@@ -1,0 +1,421 @@
+"""Server-side molecular dynamics: velocity Verlet plus seeded thermostats.
+
+Relaxation (PR 7) made the serving stack a geometry optimizer; this
+module makes it a *simulation service*.  An :class:`MDSession` holds the
+integrator state — positions, velocities, per-element masses — and
+drives consecutive force evaluations through the same
+``predict(graph) -> result`` callable relaxation uses, so every step
+rides the micro-batcher, the result cache, and the traced plan bucket,
+and the session's :class:`~repro.serving.relax.TrajectorySession` reuses
+its :class:`~repro.graph.radius.SkinNeighborList` between steps.
+
+Integrators and units:
+
+- **NVE** (``thermostat="none"``): plain velocity Verlet.  The served
+  force head is a direct prediction, not an energy gradient, so exact
+  conservation is a property of the *force field*, not the integrator —
+  the physics tests pin the drift bound on an analytically conservative
+  field.
+- **Langevin NVT**: velocity Verlet followed by an
+  Ornstein–Uhlenbeck kick ``v ← c1·v + sqrt((1 − c1²)·kB·T/m)·ξ`` with
+  ``c1 = exp(−friction·dt)``.
+- **Berendsen NVT**: velocity Verlet followed by the weak-coupling
+  rescale ``λ = sqrt(1 + (dt/τ)(T₀/T − 1))``.
+
+Everything is **deterministic given** ``seed`` — and more: the Langevin
+noise for integration step ``k`` is drawn from a fresh
+``default_rng([seed, stream, k])`` keyed by the *absolute* step index,
+so a run resumed at ``step_offset=k`` (positions + velocities from the
+last frame, re-submitted over the bit-exact wire format) reproduces the
+uninterrupted trajectory bit for bit.  That is what makes
+``Client.md(chunk_steps=...)`` resume exact across replica restarts.
+
+Units are ASE-style: positions in Å, energies in the model's energy
+unit (eV when the service denormalizes), masses in amu, and wire
+``timestep_fs`` in femtoseconds (converted internally via :data:`FS`).
+Velocities are carried — in frames and on the wire — in internal units
+(Å per internal time unit) so resume round-trips involve no unit
+conversion and stay bit-exact.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+import numpy as np
+
+from repro.graph.atoms import AtomGraph
+from repro.serving.relax import TrajectorySession
+
+#: Boltzmann constant in eV/K (CODATA); pairs with amu masses and Å
+#: positions so one internal time unit is ``Å·sqrt(amu/eV)``.
+KB = 8.617333262e-5
+
+#: One femtosecond in internal time units (ASE's ``units.fs``).
+FS = 0.09822694788464063
+
+#: Hard server-side bound on integration steps per request — an MD call
+#: is one bounded unit of work; longer runs chunk client-side
+#: (``Client.md(chunk_steps=...)``), which also makes them resumable.
+MAX_MD_STEPS = 10_000
+
+#: Bound on ``step_offset`` (the absolute index a resumed chunk starts
+#: at) — generous for any real trajectory, small enough to stay an int.
+MAX_MD_STEP_OFFSET = 1_000_000_000
+
+#: Thermostats a request may name.  ``"none"`` is NVE.
+MD_THERMOSTATS = ("none", "langevin", "berendsen")
+
+#: Coordinate magnitude (Å) past which a run is declared diverged even
+#: while still finite — ~10 cm, far beyond any physical structure but
+#: far below where the neighbor-list KD tree overflows.
+_MAX_COORDINATE = 1e9
+
+#: Sub-stream tags for the seeded RNG: Maxwell–Boltzmann initialization
+#: draws from ``[seed, 0]``; Langevin noise for absolute step ``k``
+#: draws from ``[seed, 1, k]`` (step-keyed so chunked resume is exact).
+_INIT_STREAM = 0
+_NOISE_STREAM = 1
+
+#: Standard atomic weights (amu) indexed by atomic number 1..118
+#: (index 0 is a placeholder).  CIAAW conventional values; radioactive
+#: elements carry their most stable isotope's mass.
+ATOMIC_MASSES = np.array(
+    [
+        0.0,  # Z=0 placeholder
+        1.008, 4.002602, 6.94, 9.0121831, 10.81, 12.011, 14.007, 15.999,
+        18.998403163, 20.1797, 22.98976928, 24.305, 26.9815385, 28.085,
+        30.973761998, 32.06, 35.45, 39.948, 39.0983, 40.078, 44.955908,
+        47.867, 50.9415, 51.9961, 54.938044, 55.845, 58.933194, 58.6934,
+        63.546, 65.38, 69.723, 72.630, 74.921595, 78.971, 79.904, 83.798,
+        85.4678, 87.62, 88.90584, 91.224, 92.90637, 95.95, 97.90721,
+        101.07, 102.90550, 106.42, 107.8682, 112.414, 114.818, 118.710,
+        121.760, 127.60, 126.90447, 131.293, 132.90545196, 137.327,
+        138.90547, 140.116, 140.90766, 144.242, 144.91276, 150.36,
+        151.964, 157.25, 158.92535, 162.500, 164.93033, 167.259,
+        168.93422, 173.045, 174.9668, 178.49, 180.94788, 183.84, 186.207,
+        190.23, 192.217, 195.084, 196.966569, 200.592, 204.38, 207.2,
+        208.98040, 208.98243, 209.98715, 222.01758, 223.01974, 226.02541,
+        227.02775, 232.0377, 231.03588, 238.02891, 237.04817, 244.06421,
+        243.06138, 247.07035, 247.07031, 251.07959, 252.0830, 257.09511,
+        258.09843, 259.1010, 262.110, 267.122, 268.126, 271.134, 272.138,
+        270.134, 276.152, 281.165, 280.165, 285.177, 284.178, 289.190,
+        288.193, 293.204, 292.207, 294.214,
+    ],
+    dtype=np.float64,
+)
+
+
+class MDDiverged(RuntimeError):
+    """The integration blew up (non-finite positions or velocities).
+
+    Almost always a too-large ``timestep_fs`` for the served force
+    field; the gateway maps this onto the typed ``md_diverged`` error so
+    streaming clients get a verdict line instead of a NaN frame.
+    """
+
+
+def atomic_masses(atomic_numbers) -> np.ndarray:
+    """Per-atom masses (amu) for an atomic-number array."""
+    numbers = np.asarray(atomic_numbers, dtype=np.int64)
+    if numbers.size == 0:
+        raise ValueError("atomic_numbers must be non-empty")
+    if np.any((numbers < 1) | (numbers >= len(ATOMIC_MASSES))):
+        raise ValueError(f"element numbers must be in [1, {len(ATOMIC_MASSES) - 1}]")
+    return ATOMIC_MASSES[numbers]
+
+
+def maxwell_boltzmann_velocities(
+    atomic_numbers, temperature_k: float, seed: int = 0
+) -> np.ndarray:
+    """Seeded Maxwell–Boltzmann velocities (internal units), COM-free.
+
+    Deterministic given ``seed`` (a dedicated sub-stream, disjoint from
+    the Langevin noise streams).  The center-of-mass drift is removed so
+    the structure does not migrate; the tiny resulting temperature
+    deficit is left uncorrected — thermostats absorb it within a few
+    coupling times.
+    """
+    masses = atomic_masses(atomic_numbers)[:, None]
+    rng = np.random.default_rng([int(seed), _INIT_STREAM])
+    velocities = rng.standard_normal((len(masses), 3)) * np.sqrt(
+        KB * float(temperature_k) / masses
+    )
+    return velocities - (masses * velocities).sum(axis=0) / masses.sum()
+
+
+@dataclass(frozen=True)
+class MDSettings:
+    """Knobs for one MD run; wire requests override a subset."""
+
+    n_steps: int = 100  # integration steps this request executes
+    timestep_fs: float = 1.0  # integration timestep in femtoseconds
+    thermostat: str = "none"  # "none" (NVE) | "langevin" | "berendsen"
+    temperature_k: float | None = None  # NVT target; also seeds MB init
+    friction: float = 0.01  # Langevin friction, 1/fs
+    tau_fs: float = 100.0  # Berendsen coupling time, fs
+    seed: int = 0  # RNG seed (MB init + Langevin noise streams)
+    frame_interval: int = 1  # emit a frame every Nth absolute step
+    step_offset: int = 0  # absolute index of the first step (resume)
+    velocities: np.ndarray | None = None  # (n, 3) initial, internal units
+    skin: float = 0.3  # Verlet skin for the incremental neighbor list
+    cutoff: float = 5.0  # neighbor-search cutoff (the gateway passes its own)
+    max_neighbors: int | None = None
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.n_steps <= MAX_MD_STEPS:
+            raise ValueError(f"n_steps must be in [1, {MAX_MD_STEPS}]")
+        for name in ("timestep_fs", "friction", "tau_fs", "skin", "cutoff"):
+            value = getattr(self, name)
+            if not (np.isfinite(value) and value > 0.0):
+                raise ValueError(f"{name} must be a positive finite number, got {value}")
+        if self.thermostat not in MD_THERMOSTATS:
+            raise ValueError(f"thermostat must be one of {list(MD_THERMOSTATS)}")
+        if self.thermostat != "none" and self.temperature_k is None:
+            raise ValueError(f"thermostat {self.thermostat!r} requires temperature_k")
+        if self.temperature_k is not None and not (
+            np.isfinite(self.temperature_k) and self.temperature_k >= 0.0
+        ):
+            raise ValueError(f"temperature_k must be finite and >= 0, got {self.temperature_k}")
+        if not 0 <= int(self.seed):
+            raise ValueError("seed must be a non-negative integer")
+        if self.frame_interval < 1:
+            raise ValueError("frame_interval must be >= 1")
+        if not 0 <= self.step_offset <= MAX_MD_STEP_OFFSET:
+            raise ValueError(f"step_offset must be in [0, {MAX_MD_STEP_OFFSET}]")
+
+
+@dataclass(frozen=True)
+class MDFrame:
+    """One trajectory snapshot: consistent (x, v, E) at an absolute step.
+
+    ``energy`` is the served potential energy; ``kinetic_energy`` and
+    ``temperature_k`` derive from the velocities (3N degrees of
+    freedom).  Positions are Å; velocities are internal units so a
+    resumed chunk restarts from them bit-exactly.
+    """
+
+    step: int
+    energy: float
+    kinetic_energy: float
+    temperature_k: float
+    positions: np.ndarray  # (n, 3)
+    velocities: np.ndarray  # (n, 3)
+
+
+@dataclass(frozen=True)
+class MDResult:
+    """Terminal summary of one MD run (the stream's last event)."""
+
+    steps: int  # integration steps executed this request
+    first_step: int  # == settings.step_offset
+    final_step: int  # == first_step + steps
+    frames: int  # frames emitted (thinned by frame_interval)
+    energy: float  # final potential energy
+    kinetic_energy: float
+    temperature_k: float
+    thermostat: str
+    n_atoms: int
+    physical_units: bool
+    neighbor_rebuilds: int
+    neighbor_reuses: int
+
+
+class MDSession:
+    """Velocity-Verlet integrator state over a :class:`TrajectorySession`.
+
+    Owns positions, velocities, masses, and the step counter; every
+    force evaluation flows through ``predict`` (the service's cached,
+    batched, plan-replaying path), and graph edges come from the
+    trajectory session's skin list — rebuilt only when atoms have moved
+    past the skin bound.
+    """
+
+    def __init__(
+        self,
+        predict: Callable[[AtomGraph], object],
+        graph: AtomGraph,
+        settings: MDSettings | None = None,
+        on_step: Callable[[int, int], None] | None = None,
+    ) -> None:
+        self.settings = settings = settings or MDSettings()
+        self.trajectory = TrajectorySession(
+            predict,
+            graph.atomic_numbers,
+            cell=graph.cell,
+            pbc=graph.pbc,
+            cutoff=settings.cutoff,
+            skin=settings.skin,
+            max_neighbors=settings.max_neighbors,
+            on_step=on_step,
+        )
+        self.masses = atomic_masses(graph.atomic_numbers)
+        self._m = self.masses[:, None]
+        self.n_atoms = int(len(self.masses))
+        self.positions = np.asarray(graph.positions, dtype=np.float64).copy()
+        if settings.velocities is not None:
+            velocities = np.asarray(settings.velocities, dtype=np.float64)
+            if velocities.shape != self.positions.shape:
+                raise ValueError(
+                    f"velocities shape {velocities.shape} != positions shape "
+                    f"{self.positions.shape}"
+                )
+            self.velocities = velocities.copy()
+        elif settings.temperature_k is not None and settings.temperature_k > 0.0:
+            self.velocities = maxwell_boltzmann_velocities(
+                graph.atomic_numbers, settings.temperature_k, seed=settings.seed
+            )
+        else:
+            self.velocities = np.zeros_like(self.positions)
+        self.step_index = settings.step_offset
+        self._dt = settings.timestep_fs * FS
+        # Langevin OU coefficients are pure functions of the settings, so
+        # a resumed chunk recomputes the identical values.
+        self._ou_decay = math.exp(-settings.friction * settings.timestep_fs)
+        self._ou_sigma = np.sqrt(
+            (1.0 - self._ou_decay**2)
+            * KB
+            * (settings.temperature_k or 0.0)
+            / self._m
+        )
+        self.energy, self._forces, self._last = self._evaluate(self.positions)
+
+    # ------------------------------------------------------------------
+    # observables
+    # ------------------------------------------------------------------
+    @property
+    def rebuilds(self) -> int:
+        return self.trajectory.rebuilds
+
+    @property
+    def reuses(self) -> int:
+        return self.trajectory.reuses
+
+    @property
+    def steps(self) -> int:
+        """Integration steps completed by this session."""
+        return self.step_index - self.settings.step_offset
+
+    @property
+    def kinetic_energy(self) -> float:
+        return 0.5 * float((self._m * self.velocities * self.velocities).sum())
+
+    @property
+    def temperature_k(self) -> float:
+        return 2.0 * self.kinetic_energy / (3.0 * self.n_atoms * KB)
+
+    @property
+    def physical_units(self) -> bool:
+        return bool(getattr(self._last, "physical_units", False))
+
+    def frame(self) -> MDFrame:
+        kinetic = self.kinetic_energy
+        return MDFrame(
+            step=self.step_index,
+            energy=self.energy,
+            kinetic_energy=kinetic,
+            temperature_k=2.0 * kinetic / (3.0 * self.n_atoms * KB),
+            positions=self.positions.copy(),
+            velocities=self.velocities.copy(),
+        )
+
+    def result(self, frames: int) -> MDResult:
+        return MDResult(
+            steps=self.steps,
+            first_step=self.settings.step_offset,
+            final_step=self.step_index,
+            frames=frames,
+            energy=self.energy,
+            kinetic_energy=self.kinetic_energy,
+            temperature_k=self.temperature_k,
+            thermostat=self.settings.thermostat,
+            n_atoms=self.n_atoms,
+            physical_units=self.physical_units,
+            neighbor_rebuilds=self.rebuilds,
+            neighbor_reuses=self.reuses,
+        )
+
+    # ------------------------------------------------------------------
+    # integration
+    # ------------------------------------------------------------------
+    def _evaluate(self, positions: np.ndarray):
+        result = self.trajectory.step(positions)
+        return float(result.energy), np.asarray(result.forces, dtype=np.float64), result
+
+    def step(self) -> None:
+        """Advance one velocity-Verlet step (+ thermostat), in place."""
+        settings = self.settings
+        half_kick = 0.5 * self._dt / self._m
+        velocities = self.velocities + half_kick * self._forces
+        positions = self.positions + self._dt * velocities
+        # Bound the magnitude, not just finiteness: runaway-but-finite
+        # coordinates would overflow the neighbor-list KD tree first.
+        if not np.all(np.isfinite(positions)) or np.abs(positions).max() > _MAX_COORDINATE:
+            raise MDDiverged(
+                f"diverged positions at step {self.step_index + 1}; "
+                f"timestep_fs={settings.timestep_fs} is too large for this force field"
+            )
+        self.energy, self._forces, self._last = self._evaluate(positions)
+        velocities = velocities + half_kick * self._forces
+        if settings.thermostat == "langevin":
+            # Noise keyed by the absolute step index: a resumed chunk
+            # draws the exact numbers the uninterrupted run would have.
+            noise = np.random.default_rng(
+                [settings.seed, _NOISE_STREAM, self.step_index]
+            ).standard_normal(positions.shape)
+            velocities = self._ou_decay * velocities + self._ou_sigma * noise
+        elif settings.thermostat == "berendsen":
+            kinetic = 0.5 * float((self._m * velocities * velocities).sum())
+            current = 2.0 * kinetic / (3.0 * self.n_atoms * KB)
+            if current > 0.0:
+                scale = 1.0 + (settings.timestep_fs / settings.tau_fs) * (
+                    settings.temperature_k / current - 1.0
+                )
+                velocities = velocities * math.sqrt(max(scale, 0.0))
+        if not np.all(np.isfinite(velocities)):
+            raise MDDiverged(
+                f"non-finite velocities at step {self.step_index + 1}; "
+                f"timestep_fs={settings.timestep_fs} is too large for this force field"
+            )
+        self.positions = positions
+        self.velocities = velocities
+        self.step_index += 1
+
+
+def run_md(
+    predict: Callable[[AtomGraph], object],
+    graph: AtomGraph,
+    settings: MDSettings | None = None,
+    on_step: Callable[[int, int], None] | None = None,
+) -> Iterator[tuple[str, MDFrame | MDResult]]:
+    """Run one MD segment as a stream of ``("frame", ...)`` events.
+
+    Yields ``("frame", MDFrame)`` for every emitted snapshot and ends
+    with one ``("result", MDResult)``.  Frame thinning is keyed on the
+    *absolute* step index (``step % frame_interval == 0``), plus the
+    segment's initial state (only when ``step_offset == 0`` — a resumed
+    segment's start was the previous segment's final frame) and always
+    the segment's final step (which is what a chunked client resumes
+    from).  Chunked and uninterrupted runs therefore emit the same
+    interval frames, bit for bit.
+
+    ``predict`` must return an object with ``energy`` and ``forces``
+    attributes — a :class:`~repro.serving.service.PredictionResult` in
+    production.  The input graph's edges are ignored; the session's
+    skin list owns connectivity for the whole run.
+    """
+    settings = settings or MDSettings()
+    session = MDSession(predict, graph, settings, on_step=on_step)
+    frames = 0
+    if settings.step_offset == 0:
+        frames += 1
+        yield ("frame", session.frame())
+    final = settings.step_offset + settings.n_steps
+    while session.step_index < final:
+        session.step()
+        if session.step_index % settings.frame_interval == 0 or session.step_index == final:
+            frames += 1
+            yield ("frame", session.frame())
+    yield ("result", session.result(frames))

@@ -8,11 +8,13 @@ that plateau by running N *processes* (see
 
 - **One socket in, N sockets out.**  Clients speak the ordinary v1
   HTTP/JSON API to the router; the router forwards ``POST /v1/predict``
+  (and ``/v1/relax`` / ``/v1/md``, each pinned whole to one replica)
   bodies *verbatim* to a replica's own :class:`~repro.api.server.ApiServer`
   over loopback TCP and relays the response bytes back.  The v1 wire
   schema **is** the inter-process protocol — no second serialization
   layer, and anything a replica can say to a client it can say through
-  the router.
+  the router (an md frame stream arrives buffered, re-framed with
+  ``Content-Length``; the client's line reader accepts both framings).
 - **Least-in-flight load balancing** with round-robin tie-breaking,
   skipping replicas that are unhealthy or draining.
 - **Rerouting.**  A connection-level failure (refused, reset, truncated)
@@ -128,7 +130,7 @@ def aggregate_model_telemetry(per_replica: list[dict]) -> dict:
 
     Input: each element is one replica's ``models`` mapping (model name →
     telemetry dict with ``serving``/``result_cache``/``buffer_pool``/
-    ``plans``/``relax``/``batching``/``engine`` sections).  Counters are
+    ``plans``/``relax``/``md``/``batching``/``engine`` sections).  Counters are
     summed and derived rates recomputed from the sums; latency percentiles are
     request-weighted means of the replicas' percentiles (an
     approximation — the exact fleet percentile would need the raw
@@ -162,10 +164,16 @@ def _merge_model(entries: list[dict]) -> dict:
     bp_misses = total("buffer_pool", "misses")
     nl_rebuilds = total("relax", "neighbor_rebuilds")
     nl_reuses = total("relax", "neighbor_reuses")
+    md_rebuilds = total("md", "neighbor_rebuilds")
+    md_reuses = total("md", "neighbor_reuses")
     flush_reasons: dict[str, int] = {}
     for entry in entries:
         for reason, count in sec(entry, "batching").get("flush_reasons", {}).items():
             flush_reasons[reason] = flush_reasons.get(reason, 0) + count
+    md_thermostats: dict[str, int] = {}
+    for entry in entries:
+        for kind, count in sec(entry, "md").get("thermostats", {}).items():
+            md_thermostats[kind] = md_thermostats.get(kind, 0) + count
 
     def latency(key: str) -> float:
         return _weighted_mean(
@@ -256,6 +264,19 @@ def _merge_model(entries: list[dict]) -> dict:
             "neighbor_reuse_rate": (
                 nl_reuses / (nl_rebuilds + nl_reuses) if (nl_rebuilds + nl_reuses) else 0.0
             ),
+        },
+        "md": {
+            "sessions": int(total("md", "sessions")),
+            "steps": int(total("md", "steps")),
+            # Fleet throughput is the sum of per-replica rates (replicas
+            # integrate concurrently), same stance as requests_per_s.
+            "steps_per_s": total("md", "steps_per_s"),
+            "neighbor_rebuilds": int(md_rebuilds),
+            "neighbor_reuses": int(md_reuses),
+            "neighbor_reuse_rate": (
+                md_reuses / (md_rebuilds + md_reuses) if (md_rebuilds + md_reuses) else 0.0
+            ),
+            "thermostats": md_thermostats,
         },
         "engine": {
             "backend": sec(first, "engine").get("backend"),
@@ -600,7 +621,7 @@ class Router:
     async def _dispatch(
         self, method: str, path: str, headers: dict, body: bytes
     ) -> tuple[int, object]:
-        if method == "POST" and path in ("/v1/predict", "/v1/relax"):
+        if method == "POST" and path in ("/v1/predict", "/v1/relax", "/v1/md"):
             return await self._post(path, headers, body)
         if method == "GET" and path == "/v1/healthz":
             payload = self.health_payload()
@@ -630,9 +651,10 @@ class Router:
         return 404, _error_body("not_found", f"no such endpoint: {method} {path}", 404)
 
     async def _post(self, path: str, headers: dict, body: bytes) -> tuple[int, bytes]:
-        # One body, one replica: a relax request pins its whole descent to
-        # the replica it lands on (the trajectory's plan bucket stays hot
-        # there), exactly like a predict pins its one forward.
+        # One body, one replica: a relax request pins its whole descent —
+        # and an md request its whole segment — to the replica it lands
+        # on (the trajectory's plan bucket and skin neighbor list stay
+        # hot there), exactly like a predict pins its one forward.
         if not self.admitting:
             self._count("rejected")
             return 503, _error_body(

@@ -49,6 +49,7 @@ from repro.serving.batcher import (
 )
 from repro.serving.cache import ResultCache
 from repro.serving.hashing import structure_hash
+from repro.serving.md import MDSettings, run_md
 from repro.serving.relax import RelaxResult, RelaxSettings, TrajectorySession, relax_positions
 from repro.serving.stats import ServingStats, StatsSummary
 from repro.tensor.allocator import BufferPool, use_pool
@@ -142,6 +143,14 @@ class PredictionService:
         self._relax_converged = 0
         self._neighbor_rebuilds = 0
         self._neighbor_reuses = 0
+        # MD-workload counters, guarded by the same lock (MD steps run on
+        # whichever thread drains the frame stream).
+        self._md_sessions = 0
+        self._md_steps = 0
+        self._md_seconds = 0.0
+        self._md_rebuilds = 0
+        self._md_reuses = 0
+        self._md_thermostats: dict[str, int] = {}
         # No model lock: the engine's grad mode, pool stack, and kernel
         # dispatch are thread-local, and the shared BufferPool is
         # internally locked, so N workers run N model forwards truly
@@ -419,6 +428,61 @@ class PredictionService:
             self._neighbor_reuses += result.neighbor_reuses
         return result
 
+    def md(
+        self,
+        graph: AtomGraph,
+        settings: MDSettings | None = None,
+        deadline: float | None = None,
+    ):
+        """Run molecular dynamics on served forces (see :mod:`.md`).
+
+        A generator of ``("frame", MDFrame)`` events ending with one
+        ``("result", MDResult)`` — drained lazily so the HTTP layer can
+        stream frames as they are produced.  Like :meth:`relax`, every
+        force evaluation is a regular :meth:`predict` (micro-batcher,
+        result cache, and plan bucket included) and the session's skin
+        neighbor list persists across steps.  A ``deadline`` (absolute
+        monotonic instant) is re-checked before every force evaluation,
+        so a long run stops between steps rather than holding a worker
+        past its budget — chunked clients resume from the last frame.
+        """
+        predict = self.predict
+        if deadline is not None:
+
+            def predict(graph, _deadline=deadline):  # noqa: F811 — deadline-guarded shim
+                if time.monotonic() >= _deadline:
+                    with self._relax_lock:
+                        self._expired += 1
+                    raise DeadlineExceeded("md deadline expired between force evaluations")
+                return self.predict(graph, deadline=_deadline)
+
+        settings = settings or MDSettings()
+        with self._relax_lock:
+            self._md_sessions += 1
+            key = settings.thermostat
+            self._md_thermostats[key] = self._md_thermostats.get(key, 0) + 1
+
+        evals = [0]  # session force evaluations == steps + 1 (initial eval)
+
+        def record_step(rebuilds: int, reuses: int) -> None:
+            evals[0] += 1
+            with self._relax_lock:
+                self._md_rebuilds += rebuilds
+                self._md_reuses += reuses
+
+        def events():
+            start = time.perf_counter()
+            try:
+                yield from run_md(predict, graph, settings, on_step=record_step)
+            finally:
+                # Counted from force evaluations, not the terminal result,
+                # so a deadline-aborted run still records its progress.
+                with self._relax_lock:
+                    self._md_steps += max(0, evals[0] - 1)
+                    self._md_seconds += time.perf_counter() - start
+
+        return events()
+
     def _chunk_by_budget(self, requests: list[ServeRequest]) -> list[list[ServeRequest]]:
         """Partition requests exactly as the batcher's flush would.
 
@@ -579,6 +643,22 @@ class PredictionService:
                 "neighbor_reuse_rate": (reuses / updates) if updates else 0.0,
             }
 
+    def _md_telemetry(self) -> dict:
+        """MD counters — skin-list fields mirror the relax section."""
+        with self._relax_lock:
+            rebuilds = self._md_rebuilds
+            reuses = self._md_reuses
+            updates = rebuilds + reuses
+            return {
+                "sessions": self._md_sessions,
+                "steps": self._md_steps,
+                "steps_per_s": (self._md_steps / self._md_seconds) if self._md_seconds else 0.0,
+                "neighbor_rebuilds": rebuilds,
+                "neighbor_reuses": reuses,
+                "neighbor_reuse_rate": (reuses / updates) if updates else 0.0,
+                "thermostats": dict(self._md_thermostats),
+            }
+
     def telemetry(self) -> dict:
         """JSON-ready stats: serving, result cache, buffer pool, plans, engine."""
         from repro.tensor.kernels import active_backend
@@ -592,6 +672,7 @@ class PredictionService:
             "buffer_pool": self.pool.snapshot(),
             "plans": self._plan_telemetry(),
             "relax": self._relax_telemetry(),
+            "md": self._md_telemetry(),
             "batching": {
                 "max_atoms": self.config.max_atoms,
                 "max_graphs": self.config.max_graphs,

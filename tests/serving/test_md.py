@@ -1,0 +1,376 @@
+"""Molecular dynamics: integrator physics, determinism, telemetry."""
+
+import numpy as np
+import pytest
+
+from repro.graph import AtomGraph, build_edges
+from repro.models import HydraModel, ModelConfig
+from repro.serving import (
+    ATOMIC_MASSES,
+    MAX_MD_STEPS,
+    MDDiverged,
+    MDSession,
+    MDSettings,
+    PredictionService,
+    atomic_masses,
+    maxwell_boltzmann_velocities,
+    run_md,
+)
+from repro.serving.md import KB
+from repro.serving.router import aggregate_model_telemetry
+
+CONFIG = ModelConfig(hidden_dim=16, num_layers=2)
+CUTOFF = 4.0
+
+
+@pytest.fixture(scope="module")
+def model():
+    return HydraModel(CONFIG, seed=0)
+
+
+def make_graph(n=12, seed=0, spread=4.0):
+    rng = np.random.default_rng(seed)
+    positions = rng.uniform(0.0, spread, size=(n, 3))
+    numbers = rng.integers(1, 9, size=n)
+    edge_index, edge_shift = build_edges(positions, CUTOFF)
+    return AtomGraph(
+        atomic_numbers=numbers,
+        positions=positions,
+        edge_index=edge_index,
+        edge_shift=edge_shift,
+        source="test",
+    )
+
+
+class _HarmonicResult:
+    """Analytic conservative field: E = k/2 |x|², F = -k x."""
+
+    def __init__(self, positions, k=1.0):
+        x = np.asarray(positions, dtype=np.float64)
+        self.energy = 0.5 * k * float((x * x).sum())
+        self.forces = -k * x
+        self.physical_units = True
+
+
+def harmonic_predict(graph):
+    return _HarmonicResult(graph.positions)
+
+
+def run_frames(predict, graph, settings):
+    """(frames, result) from one run_md drain."""
+    events = list(run_md(predict, graph, settings))
+    kinds = [kind for kind, _ in events]
+    assert kinds[-1] == "result" and kinds.count("result") == 1
+    return [payload for kind, payload in events if kind == "frame"], events[-1][1]
+
+
+def assert_frames_identical(lhs, rhs):
+    assert [f.step for f in lhs] == [f.step for f in rhs]
+    for a, b in zip(lhs, rhs):
+        assert np.array_equal(a.positions, b.positions)
+        assert np.array_equal(a.velocities, b.velocities)
+        assert a.energy == b.energy
+        assert a.kinetic_energy == b.kinetic_energy
+
+
+class TestMasses:
+    def test_table_covers_the_periodic_table(self):
+        assert len(ATOMIC_MASSES) == 119  # Z=0 placeholder + 1..118
+        assert ATOMIC_MASSES[1] == pytest.approx(1.008)
+        assert ATOMIC_MASSES[8] == pytest.approx(15.999)
+        assert np.all(ATOMIC_MASSES[1:] > 0)
+
+    def test_lookup_and_rejection(self):
+        masses = atomic_masses([1, 6, 8])
+        assert masses.shape == (3,)
+        assert masses[1] == ATOMIC_MASSES[6]
+        with pytest.raises(ValueError):
+            atomic_masses([0])
+        with pytest.raises(ValueError):
+            atomic_masses([119])
+        with pytest.raises(ValueError):
+            atomic_masses([])
+
+
+class TestMaxwellBoltzmann:
+    def test_seeded_and_com_free(self):
+        numbers = np.array([8, 1, 1, 6, 6, 7, 7, 8, 1, 1], dtype=np.int64)
+        v1 = maxwell_boltzmann_velocities(numbers, 300.0, seed=5)
+        v2 = maxwell_boltzmann_velocities(numbers, 300.0, seed=5)
+        assert np.array_equal(v1, v2)
+        assert not np.array_equal(v1, maxwell_boltzmann_velocities(numbers, 300.0, seed=6))
+        drift = (atomic_masses(numbers)[:, None] * v1).sum(axis=0)
+        assert np.allclose(drift, 0.0, atol=1e-12)
+
+    def test_temperature_scale(self):
+        # Many atoms → the sampled temperature lands near the target.
+        numbers = np.full(2000, 18, dtype=np.int64)
+        v = maxwell_boltzmann_velocities(numbers, 300.0, seed=0)
+        kinetic = 0.5 * float((atomic_masses(numbers)[:, None] * v * v).sum())
+        temperature = 2.0 * kinetic / (3.0 * len(numbers) * KB)
+        assert temperature == pytest.approx(300.0, rel=0.1)
+
+
+class TestMDSettings:
+    def test_rejects_out_of_range_n_steps(self):
+        with pytest.raises(ValueError):
+            MDSettings(n_steps=0)
+        with pytest.raises(ValueError):
+            MDSettings(n_steps=MAX_MD_STEPS + 1)
+
+    @pytest.mark.parametrize("field", ["timestep_fs", "friction", "tau_fs", "skin", "cutoff"])
+    def test_rejects_non_positive_floats(self, field):
+        with pytest.raises(ValueError):
+            MDSettings(**{field: 0.0})
+
+    def test_rejects_unknown_thermostat_and_missing_temperature(self):
+        with pytest.raises(ValueError):
+            MDSettings(thermostat="nose-hoover")
+        with pytest.raises(ValueError):
+            MDSettings(thermostat="langevin")  # no temperature_k
+        MDSettings(thermostat="langevin", temperature_k=300.0)  # fine
+
+    def test_rejects_bad_frame_interval_and_offset(self):
+        with pytest.raises(ValueError):
+            MDSettings(frame_interval=0)
+        with pytest.raises(ValueError):
+            MDSettings(step_offset=-1)
+
+
+class TestNVEPhysics:
+    def test_total_energy_drift_is_bounded(self):
+        # The served force head is a direct prediction, not an energy
+        # gradient, so conservation is only meaningful on an analytically
+        # conservative field — which isolates the *integrator*.
+        graph = make_graph(seed=1)
+        settings = MDSettings(n_steps=300, timestep_fs=0.5, thermostat="none")
+        frames, result = run_frames(harmonic_predict, graph, settings)
+        total = [f.energy + f.kinetic_energy for f in frames]
+        assert result.steps == 300
+        # Velocity Verlet is symplectic: total energy oscillates within a
+        # band, it does not drift.  1% of the initial energy over 300
+        # steps is a loose bound for this timestep.
+        assert max(total) - min(total) < 0.01 * abs(total[0])
+
+    def test_zero_velocity_start_and_frame_interval(self):
+        graph = make_graph(seed=2)
+        settings = MDSettings(n_steps=20, timestep_fs=0.5, frame_interval=7)
+        frames, result = run_frames(harmonic_predict, graph, settings)
+        # Initial frame, interval frames, and the always-emitted final.
+        assert [f.step for f in frames] == [0, 7, 14, 20]
+        assert result.frames == 4
+        assert frames[0].kinetic_energy == 0.0
+
+
+class TestThermostats:
+    def test_langevin_bit_identical_across_runs(self, model):
+        service = PredictionService(model)
+        graph = make_graph(seed=3)
+        settings = MDSettings(
+            n_steps=40,
+            timestep_fs=0.5,
+            thermostat="langevin",
+            temperature_k=300.0,
+            seed=11,
+            cutoff=CUTOFF,
+        )
+        frames_a, _ = run_frames(service.predict, graph, settings)
+        frames_b, _ = run_frames(service.predict, graph, settings)
+        assert_frames_identical(frames_a, frames_b)
+
+    def test_langevin_seed_changes_trajectory(self):
+        graph = make_graph(seed=3)
+
+        def settings(seed):
+            return MDSettings(
+                n_steps=10, thermostat="langevin", temperature_k=300.0, seed=seed
+            )
+
+        frames_a, _ = run_frames(harmonic_predict, graph, settings(1))
+        frames_b, _ = run_frames(harmonic_predict, graph, settings(2))
+        assert not np.array_equal(frames_a[-1].positions, frames_b[-1].positions)
+
+    def test_langevin_equilibrates_near_target(self):
+        # Start cold on a soft harmonic well; strong coupling pulls the
+        # instantaneous temperature up toward the target band.
+        graph = make_graph(n=40, seed=4, spread=1.0)
+        settings = MDSettings(
+            n_steps=400,
+            timestep_fs=1.0,
+            thermostat="langevin",
+            temperature_k=300.0,
+            friction=0.2,
+            seed=0,
+        )
+        frames, _ = run_frames(harmonic_predict, graph, settings)
+        tail = [f.temperature_k for f in frames[-100:]]
+        assert 100.0 < float(np.mean(tail)) < 600.0
+
+    def test_berendsen_cools_toward_target(self):
+        graph = make_graph(seed=5, spread=1.0)
+        hot = maxwell_boltzmann_velocities(graph.atomic_numbers, 1200.0, seed=1)
+        settings = MDSettings(
+            n_steps=200,
+            timestep_fs=1.0,
+            thermostat="berendsen",
+            temperature_k=300.0,
+            tau_fs=20.0,
+            velocities=hot,
+        )
+        frames, result = run_frames(harmonic_predict, graph, settings)
+        assert result.thermostat == "berendsen"
+        # Weak-coupling rescale drags T toward the target from above.
+        assert frames[-1].temperature_k < frames[0].temperature_k
+        assert frames[-1].temperature_k < 700.0
+
+    def test_berendsen_is_deterministic(self):
+        graph = make_graph(seed=6)
+        settings = MDSettings(
+            n_steps=30, thermostat="berendsen", temperature_k=300.0, seed=9
+        )
+        frames_a, _ = run_frames(harmonic_predict, graph, settings)
+        frames_b, _ = run_frames(harmonic_predict, graph, settings)
+        assert_frames_identical(frames_a, frames_b)
+
+
+class TestChunkedResume:
+    @pytest.mark.parametrize("thermostat", ["none", "langevin", "berendsen"])
+    def test_resume_matches_uninterrupted(self, thermostat):
+        graph = make_graph(seed=7)
+        kwargs = {"thermostat": thermostat}
+        if thermostat != "none":
+            kwargs["temperature_k"] = 300.0
+        full_settings = MDSettings(
+            n_steps=50, timestep_fs=0.5, seed=13, frame_interval=5, **kwargs
+        )
+        full_frames, full_result = run_frames(harmonic_predict, graph, full_settings)
+
+        first_settings = MDSettings(
+            n_steps=20, timestep_fs=0.5, seed=13, frame_interval=5, **kwargs
+        )
+        first_frames, _ = run_frames(harmonic_predict, graph, first_settings)
+        last = first_frames[-1]
+        resumed_graph = AtomGraph(
+            atomic_numbers=graph.atomic_numbers,
+            positions=last.positions,
+            edge_index=np.zeros((2, 0), dtype=np.int64),
+            edge_shift=np.zeros((0, 3)),
+            source="test",
+        )
+        second_settings = MDSettings(
+            n_steps=30,
+            timestep_fs=0.5,
+            seed=13,
+            frame_interval=5,
+            step_offset=20,
+            velocities=last.velocities,
+            **kwargs,
+        )
+        second_frames, second_result = run_frames(
+            harmonic_predict, resumed_graph, second_settings
+        )
+        # The resumed segment emits no initial frame (its start *was*
+        # the previous segment's final frame); concatenation therefore
+        # reproduces the uninterrupted frame sequence bit for bit.
+        assert_frames_identical(full_frames, first_frames + second_frames)
+        assert second_result.first_step == 20
+        assert second_result.final_step == full_result.final_step
+
+    def test_step_offset_shifts_the_noise_stream(self):
+        graph = make_graph(seed=8)
+
+        def settings(offset):
+            return MDSettings(
+                n_steps=10,
+                thermostat="langevin",
+                temperature_k=300.0,
+                seed=4,
+                step_offset=offset,
+                velocities=np.zeros((graph.n_atoms, 3)),
+            )
+
+        frames_a, _ = run_frames(harmonic_predict, graph, settings(0))
+        frames_b, _ = run_frames(harmonic_predict, graph, settings(100))
+        assert not np.array_equal(frames_a[-1].positions, frames_b[-1].positions)
+
+
+class TestDivergence:
+    def test_blowup_raises_md_diverged(self):
+        graph = make_graph(seed=9)
+
+        class _Explosive:
+            def __init__(self, positions):
+                x = np.asarray(positions, dtype=np.float64)
+                self.energy = float((x * x).sum())
+                self.forces = 1e12 * x  # anti-restoring: exponential blow-up
+
+        with pytest.raises(MDDiverged):
+            for _ in run_md(lambda g: _Explosive(g.positions), graph, MDSettings(n_steps=50)):
+                pass
+
+    def test_velocity_shape_mismatch_rejected(self):
+        graph = make_graph(seed=9)
+        settings = MDSettings(velocities=np.zeros((3, 3)))
+        with pytest.raises(ValueError):
+            MDSession(harmonic_predict, graph, settings)
+
+
+class TestServiceTelemetry:
+    def test_md_section_counts_sessions_steps_and_skin_reuse(self, model):
+        service = PredictionService(model)
+        graph = make_graph(seed=10)
+        settings = MDSettings(n_steps=25, timestep_fs=0.5, cutoff=CUTOFF)
+        events = service.md(graph, settings)
+        frames = [payload for kind, payload in events if kind == "frame"]
+        assert len(frames) == 26
+        md = service.telemetry()["md"]
+        assert md["sessions"] == 1
+        assert md["steps"] == 25
+        assert md["steps_per_s"] > 0
+        # Sub-angstrom MD displacements stay inside the skin bound, so
+        # reuses dominate rebuilds — same counters the relax section has.
+        assert md["neighbor_rebuilds"] >= 1
+        assert md["neighbor_reuses"] > md["neighbor_rebuilds"]
+        assert md["neighbor_reuse_rate"] > 0.5
+        assert md["thermostats"] == {"none": 1}
+        relax = service.telemetry()["relax"]
+        assert set(md) >= {"neighbor_rebuilds", "neighbor_reuses", "neighbor_reuse_rate"}
+        assert set(relax) >= {"neighbor_rebuilds", "neighbor_reuses", "neighbor_reuse_rate"}
+
+    def test_fleet_aggregation_merges_md_sections(self):
+        replica = {
+            "md": {
+                "sessions": 2,
+                "steps": 100,
+                "steps_per_s": 50.0,
+                "neighbor_rebuilds": 10,
+                "neighbor_reuses": 90,
+                "neighbor_reuse_rate": 0.9,
+                "thermostats": {"langevin": 2},
+            }
+        }
+        other = {
+            "md": {
+                "sessions": 1,
+                "steps": 60,
+                "steps_per_s": 30.0,
+                "neighbor_rebuilds": 30,
+                "neighbor_reuses": 20,
+                "neighbor_reuse_rate": 0.4,
+                "thermostats": {"langevin": 1, "berendsen": 1},
+            }
+        }
+        merged = aggregate_model_telemetry([{"demo": replica}, {"demo": other}])["demo"]
+        md = merged["md"]
+        assert md["sessions"] == 3
+        assert md["steps"] == 160
+        assert md["steps_per_s"] == pytest.approx(80.0)
+        assert md["neighbor_rebuilds"] == 40
+        assert md["neighbor_reuses"] == 110
+        assert md["neighbor_reuse_rate"] == pytest.approx(110 / 150)
+        assert md["thermostats"] == {"langevin": 3, "berendsen": 1}
+
+    def test_aggregation_tolerates_replicas_without_md(self):
+        merged = aggregate_model_telemetry([{"demo": {}}, {"demo": {"md": {"sessions": 1}}}])
+        assert merged["demo"]["md"]["sessions"] == 1
+        assert merged["demo"]["md"]["thermostats"] == {}
