@@ -21,9 +21,13 @@ thin shell over these pieces.
 
 from repro.api.client import Client, ClientTrajectory, HttpTransport, LocalTransport, MDRun
 from repro.api.schemas import (
+    CLIENT_HEADER,
     DEADLINE_HEADER,
     DEFAULT_CUTOFF,
+    DEFAULT_PRIORITY,
     MAX_STRUCTURES_PER_REQUEST,
+    PRIORITY_HEADER,
+    PRIORITY_LANES,
     SCHEMA_VERSION,
     SUPPORTED_VERSIONS,
     ApiError,
@@ -58,10 +62,12 @@ __all__ = [
     "ApiError",
     "ApiGateway",
     "ApiServer",
+    "CLIENT_HEADER",
     "Client",
     "ClientTrajectory",
     "DEADLINE_HEADER",
     "DEFAULT_CUTOFF",
+    "DEFAULT_PRIORITY",
     "DeadlineExceededError",
     "ErrorPayload",
     "HttpTransport",
@@ -75,6 +81,8 @@ __all__ = [
     "MDRun",
     "NotFound",
     "OverloadedError",
+    "PRIORITY_HEADER",
+    "PRIORITY_LANES",
     "PredictRequest",
     "PredictResponse",
     "PredictionPayload",

@@ -37,8 +37,10 @@ from http.client import HTTPConnection, HTTPException
 import numpy as np
 
 from repro.api.schemas import (
+    CLIENT_HEADER,
     DEADLINE_HEADER,
     DEFAULT_CUTOFF,
+    PRIORITY_HEADER,
     DeadlineExceededError,
     ErrorPayload,
     MDFramePayload,
@@ -144,6 +146,12 @@ class HttpTransport:
       they are verdicts, not glitches.  Retrying ambiguous read failures
       is safe because predict is idempotent — results are keyed by
       structure hash, so a duplicate execution returns identical bytes.
+    - **Honest backoff.** When a retryable rejection carries the
+      server's ``retry_after_s`` hint (error body, or the ``Retry-After``
+      response header when the body lacks one), the retry sleeps exactly
+      that long — capped at ``backoff_max_s`` — instead of guessing with
+      jittered exponential backoff.  The server knows when the bucket
+      refills or the queue drains; the client does not.
     - **Deadline propagation.** A ``deadline_ms`` in the request body is
       also stamped onto the :data:`~repro.api.schemas.DEADLINE_HEADER`
       with the *remaining* budget, recomputed per attempt — a retry
@@ -202,6 +210,7 @@ class HttpTransport:
                 response = connection.getresponse()
                 status = response.status
                 body = response.read()
+                retry_after_raw = response.getheader("Retry-After")
             except TimeoutError as err:  # socket.timeout is an alias since 3.10
                 raise TransportError(
                     f"timed out talking to {self.base_url} ({method} {path}): {err or 'timeout'}"
@@ -222,17 +231,59 @@ class HttpTransport:
             raise TransportError(f"HTTP {status} from {method} {path}: {body[:200]!r}") from None
         # Re-raise the *typed* error the server raised, so HTTP and
         # local callers catch identical exception classes.
-        raise error_payload.to_error()
+        raise self._with_retry_hint(error_payload.to_error(), retry_after_raw)
+
+    @staticmethod
+    def _with_retry_hint(error, retry_after_raw: str | None):
+        """Backfill ``retry_after_s`` from the header if the body lacked it.
+
+        The JSON body's hint is more precise (fractional seconds); the
+        header is the fallback for proxies that strip unknown body
+        fields but relay standard headers.
+        """
+        if getattr(error, "retry_after_s", None) is None and retry_after_raw is not None:
+            try:
+                error.retry_after_s = float(retry_after_raw)
+            except ValueError:
+                pass  # an HTTP-date Retry-After; nothing this client emits
+        return error
 
     # ------------------------------------------------------------------
     # retry loop
     # ------------------------------------------------------------------
+    def _identity_headers(self, payload: dict | None) -> dict:
+        """Stamp the body's ``client_id``/``priority`` onto the headers.
+
+        The router sheds by lane and accounts by client *without parsing
+        bodies* — the headers are how that stays cheap.  The server
+        treats headers as the hop-level override, and they mirror the
+        body here, so the two layers always agree.
+        """
+        headers: dict = {}
+        if payload:
+            if payload.get("client_id") is not None:
+                headers[CLIENT_HEADER] = payload["client_id"]
+            if payload.get("priority") is not None:
+                headers[PRIORITY_HEADER] = payload["priority"]
+        return headers
+
+    def _retry_delay(self, attempt: int, err) -> float:
+        """The server's hint when it gave one, jittered backoff otherwise."""
+        hint = getattr(err, "retry_after_s", None)
+        if hint is not None and hint > 0:
+            return min(self.backoff_max_s, float(hint))
+        # Exponential backoff with full jitter: concurrent clients
+        # retrying a recovering fleet must not stampede it in lockstep.
+        delay = min(self.backoff_max_s, self.backoff_s * (2.0 ** (attempt - 1)))
+        return delay * random.uniform(0.5, 1.5)
+
     def _request(self, method: str, path: str, payload: dict | None = None) -> dict:
         data = None
         headers = {"Accept": "application/json"}
         if payload is not None:
             data = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
+            headers.update(self._identity_headers(payload))
         deadline_ms = payload.get("deadline_ms") if payload else None
         deadline = None if deadline_ms is None else time.monotonic() + deadline_ms / 1000.0
         attempt = 0
@@ -244,11 +295,7 @@ class HttpTransport:
                     raise
                 attempt += 1
                 self.retried += 1
-                # Exponential backoff with full jitter: concurrent
-                # clients retrying a recovering fleet must not stampede
-                # it in lockstep.
-                delay = min(self.backoff_max_s, self.backoff_s * (2.0 ** (attempt - 1)))
-                delay *= random.uniform(0.5, 1.5)
+                delay = self._retry_delay(attempt, err)
                 if deadline is not None and time.monotonic() + delay >= deadline:
                     raise DeadlineExceededError(
                         f"deadline expired during retry backoff for {method} {path}"
@@ -301,13 +348,14 @@ class HttpTransport:
             if response.status == 200:
                 return connection, response
             body = response.read()
+            retry_after_raw = response.getheader("Retry-After")
             try:
                 error_payload = ErrorPayload.from_json_dict(json.loads(body.decode("utf-8")))
             except Exception:  # noqa: BLE001 - non-conforming error body
                 raise TransportError(
                     f"HTTP {response.status} from POST /v1/md: {body[:200]!r}"
                 ) from None
-            raise error_payload.to_error()
+            raise self._with_retry_hint(error_payload.to_error(), retry_after_raw)
         except BaseException:
             connection.close()
             raise
@@ -327,6 +375,7 @@ class HttpTransport:
         payload = request.to_json_dict()
         data = json.dumps(payload).encode("utf-8")
         headers = {"Accept": "application/x-ndjson", "Content-Type": "application/json"}
+        headers.update(self._identity_headers(payload))
         deadline_ms = payload.get("deadline_ms")
         deadline = None if deadline_ms is None else time.monotonic() + deadline_ms / 1000.0
         attempt = 0
@@ -339,8 +388,7 @@ class HttpTransport:
                     raise
                 attempt += 1
                 self.retried += 1
-                delay = min(self.backoff_max_s, self.backoff_s * (2.0 ** (attempt - 1)))
-                delay *= random.uniform(0.5, 1.5)
+                delay = self._retry_delay(attempt, err)
                 if deadline is not None and time.monotonic() + delay >= deadline:
                     raise DeadlineExceededError(
                         "deadline expired during retry backoff for POST /v1/md"
@@ -484,6 +532,8 @@ class MDRun:
         velocities: np.ndarray | None,
         deadline_ms: float | None,
         chunk_steps: int | None,
+        client_id: str | None = None,
+        priority: str | None = None,
     ) -> None:
         self._transport = transport
         self._structure = structure
@@ -492,6 +542,8 @@ class MDRun:
         self._velocities = velocities
         self._deadline_ms = deadline_ms
         self._chunk_steps = chunk_steps
+        self._client_id = client_id
+        self._priority = priority
         self.result: MDResult | None = None
         self.resumes = 0
 
@@ -516,6 +568,8 @@ class MDRun:
                 model=self._model,
                 velocities=velocities,
                 deadline_ms=self._deadline_ms,
+                client_id=self._client_id,
+                priority=self._priority,
                 **dict(knobs, n_steps=segment, step_offset=offset0 + done),
             )
             progressed = False
@@ -622,24 +676,48 @@ class Client:
         ]
 
     def predict(
-        self, structures, model: str | None = None, deadline_ms: float | None = None
+        self,
+        structures,
+        model: str | None = None,
+        deadline_ms: float | None = None,
+        client_id: str | None = None,
+        priority: str | None = None,
     ) -> list[PredictionResult]:
         """Predict for graphs or payloads (one or many); results in order.
 
         ``deadline_ms`` is the end-to-end latency budget: still-unserved
         work past it is dropped server-side with a typed
         :class:`~repro.api.schemas.DeadlineExceededError` (504) instead
-        of executing.
+        of executing.  ``client_id`` opts into per-client quota
+        accounting; ``priority`` picks the scheduling lane
+        (``interactive``/``bulk``/``background``) — unset means
+        anonymous, interactive, byte-identical to the pre-admission
+        contract.
         """
         request = PredictRequest(
-            structures=self._as_payloads(structures), model=model, deadline_ms=deadline_ms
+            structures=self._as_payloads(structures),
+            model=model,
+            deadline_ms=deadline_ms,
+            client_id=client_id,
+            priority=priority,
         )
         return self.transport.predict(request).to_results()
 
     def predict_one(
-        self, structure, model: str | None = None, deadline_ms: float | None = None
+        self,
+        structure,
+        model: str | None = None,
+        deadline_ms: float | None = None,
+        client_id: str | None = None,
+        priority: str | None = None,
     ) -> PredictionResult:
-        return self.predict([structure], model=model, deadline_ms=deadline_ms)[0]
+        return self.predict(
+            [structure],
+            model=model,
+            deadline_ms=deadline_ms,
+            client_id=client_id,
+            priority=priority,
+        )[0]
 
     # ------------------------------------------------------------------
     # relaxation and trajectories
@@ -655,6 +733,8 @@ class Client:
         skin: float | None = None,
         deadline_ms: float | None = None,
         chunk_steps: int | None = None,
+        client_id: str | None = None,
+        priority: str | None = None,
     ) -> RelaxResult:
         """Relax one graph or payload on the server's forces.
 
@@ -684,6 +764,8 @@ class Client:
                 max_step=max_step,
                 skin=skin,
                 deadline_ms=deadline_ms,
+                client_id=client_id,
+                priority=priority,
             )
             return self.transport.relax(request).to_result()
         if chunk_steps < 1:
@@ -702,6 +784,8 @@ class Client:
                 max_step=max_step,
                 skin=skin,
                 deadline_ms=deadline_ms,
+                client_id=client_id,
+                priority=priority,
             )
             segment = self.transport.relax(request).to_result()
             if first is None:
@@ -757,6 +841,8 @@ class Client:
         skin: float | None = None,
         deadline_ms: float | None = None,
         chunk_steps: int | None = None,
+        client_id: str | None = None,
+        priority: str | None = None,
     ) -> MDRun:
         """Run server-side MD on one graph or payload; iterate for frames.
 
@@ -799,6 +885,8 @@ class Client:
             velocities=None if velocities is None else np.asarray(velocities, dtype=np.float64),
             deadline_ms=deadline_ms,
             chunk_steps=chunk_steps,
+            client_id=client_id,
+            priority=priority,
         )
 
     def trajectory(

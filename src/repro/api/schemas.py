@@ -52,6 +52,7 @@ from repro.serving.md import (
     MDResult,
     MDSettings,
 )
+from repro.serving.batcher import DEFAULT_LANE, LANES
 from repro.serving.relax import MAX_RELAX_STEPS, RelaxResult, RelaxSettings
 from repro.serving.service import PredictionResult
 from repro.tensor.core import DEFAULT_DTYPE
@@ -80,6 +81,9 @@ class ApiError(Exception):
 
     code = "internal_error"
     http_status = 500
+    #: Honest backoff hint (seconds) on retryable rejections; instances
+    #: carrying one shadow this class default.
+    retry_after_s: float | None = None
 
 
 class SchemaError(ApiError):
@@ -202,6 +206,47 @@ def validate_deadline_ms(value, where: str) -> float | None:
     if not (math.isfinite(value) and 0 < value <= MAX_DEADLINE_MS):
         raise SchemaError(f"{where}: must be in (0, {MAX_DEADLINE_MS:.0f}] ms")
     return float(value)
+
+
+#: HTTP header carrying the request's ``client_id`` for quota accounting
+#: (additive; the header wins over the body field so front doors can
+#: attribute traffic without parsing bodies).
+CLIENT_HEADER = "X-Repro-Client"
+
+#: HTTP header carrying the request's priority lane.  Like
+#: :data:`CLIENT_HEADER` it mirrors a body field so the router can make
+#: lane-level shedding decisions without parsing request bodies.
+PRIORITY_HEADER = "X-Repro-Priority"
+
+#: Valid ``priority`` values, highest priority first (the batcher's
+#: scheduling lanes; see :mod:`repro.serving.batcher`).
+PRIORITY_LANES = LANES
+
+#: Lane used when a request carries no ``priority``.
+DEFAULT_PRIORITY = DEFAULT_LANE
+
+#: Bound on ``client_id`` length — it is an accounting key, not a payload.
+MAX_CLIENT_ID_CHARS = 128
+
+
+def validate_client_id(value, where: str) -> str | None:
+    """Validate an optional ``client_id`` value (body field or header)."""
+    if value is None:
+        return None
+    if not isinstance(value, str) or not value:
+        raise SchemaError(f"{where}: expected a non-empty string")
+    if len(value) > MAX_CLIENT_ID_CHARS:
+        raise SchemaError(f"{where}: at most {MAX_CLIENT_ID_CHARS} characters")
+    return value
+
+
+def validate_priority(value, where: str) -> str | None:
+    """Validate an optional ``priority`` lane (body field or header)."""
+    if value is None:
+        return None
+    if not isinstance(value, str) or value not in PRIORITY_LANES:
+        raise SchemaError(f"{where}: expected one of {list(PRIORITY_LANES)}")
+    return value
 
 
 # ----------------------------------------------------------------------
@@ -424,6 +469,12 @@ class PredictRequest:
     #: dropped with a typed ``deadline_exceeded`` 504 instead of
     #: executing; see :data:`DEADLINE_HEADER` for the hop-by-hop form.
     deadline_ms: float | None = None
+    #: Optional caller identity for per-client quota accounting
+    #: (additive v1 field; :data:`CLIENT_HEADER` is the header form).
+    client_id: str | None = None
+    #: Optional priority lane (additive v1 field; one of
+    #: :data:`PRIORITY_LANES`, default ``interactive`` server-side).
+    priority: str | None = None
 
     @classmethod
     def from_graphs(
@@ -443,11 +494,20 @@ class PredictRequest:
             payload["model"] = self.model
         if self.deadline_ms is not None:
             payload["deadline_ms"] = float(self.deadline_ms)
+        if self.client_id is not None:
+            payload["client_id"] = self.client_id
+        if self.priority is not None:
+            payload["priority"] = self.priority
         return payload
 
     @classmethod
     def from_json_dict(cls, obj: dict) -> "PredictRequest":
-        _expect_keys(obj, {"schema_version", "structures"}, {"model", "deadline_ms"}, "request")
+        _expect_keys(
+            obj,
+            {"schema_version", "structures"},
+            {"model", "deadline_ms", "client_id", "priority"},
+            "request",
+        )
         version = _expect_version(obj, "request", supported=SUPPORTED_VERSIONS)
         structures = obj["structures"]
         if not isinstance(structures, list) or not structures:
@@ -471,6 +531,8 @@ class PredictRequest:
             ],
             model=model,
             deadline_ms=validate_deadline_ms(obj.get("deadline_ms"), "request.deadline_ms"),
+            client_id=validate_client_id(obj.get("client_id"), "request.client_id"),
+            priority=validate_priority(obj.get("priority"), "request.priority"),
         )
 
 
@@ -629,6 +691,10 @@ class RelaxRequest:
     #: Optional latency budget in ms (see :class:`PredictRequest`);
     #: a descent re-checks it before every force evaluation.
     deadline_ms: float | None = None
+    #: Optional identity / lane (see :class:`PredictRequest`); one relax
+    #: is one admission decision, not one per force evaluation.
+    client_id: str | None = None
+    priority: str | None = None
 
     def to_settings(self, cutoff: float, max_neighbors: int | None = None) -> RelaxSettings:
         """Server-side settings: request overrides on top of defaults."""
@@ -647,7 +713,7 @@ class RelaxRequest:
         }
         if self.model is not None:
             payload["model"] = self.model
-        for name in ("max_steps", "fmax", "max_step", "skin", "deadline_ms"):
+        for name in ("max_steps", "fmax", "max_step", "skin", "deadline_ms", "client_id", "priority"):
             value = getattr(self, name)
             if value is not None:
                 payload[name] = value
@@ -658,7 +724,7 @@ class RelaxRequest:
         _expect_keys(
             obj,
             {"schema_version", "structure"},
-            {"model", "max_steps", "fmax", "max_step", "skin", "deadline_ms"},
+            {"model", "max_steps", "fmax", "max_step", "skin", "deadline_ms", "client_id", "priority"},
             "relax request",
         )
         version = _expect_version(obj, "relax request", supported=SUPPORTED_VERSIONS)
@@ -695,6 +761,8 @@ class RelaxRequest:
             deadline_ms=validate_deadline_ms(
                 obj.get("deadline_ms"), "relax request.deadline_ms"
             ),
+            client_id=validate_client_id(obj.get("client_id"), "relax request.client_id"),
+            priority=validate_priority(obj.get("priority"), "relax request.priority"),
         )
 
 
@@ -893,6 +961,10 @@ class MDRequest:
     velocities: np.ndarray | None = None
     skin: float | None = None
     deadline_ms: float | None = None
+    #: Optional identity / lane (see :class:`PredictRequest`); one MD run
+    #: is one admission decision, not one per force evaluation.
+    client_id: str | None = None
+    priority: str | None = None
 
     _KNOBS = (
         "n_steps",
@@ -929,7 +1001,7 @@ class MDRequest:
         }
         if self.model is not None:
             payload["model"] = self.model
-        for name in self._KNOBS + ("deadline_ms",):
+        for name in self._KNOBS + ("deadline_ms", "client_id", "priority"):
             value = getattr(self, name)
             if value is not None:
                 payload[name] = value
@@ -942,7 +1014,7 @@ class MDRequest:
         _expect_keys(
             obj,
             {"schema_version", "structure"},
-            set(cls._KNOBS) | {"model", "velocities", "deadline_ms"},
+            set(cls._KNOBS) | {"model", "velocities", "deadline_ms", "client_id", "priority"},
             "md request",
         )
         version = _expect_version(obj, "md request", supported=SUPPORTED_VERSIONS)
@@ -1007,6 +1079,8 @@ class MDRequest:
             velocities=velocities,
             skin=None if obj.get("skin") is None else float(obj["skin"]),
             deadline_ms=validate_deadline_ms(obj.get("deadline_ms"), "md request.deadline_ms"),
+            client_id=validate_client_id(obj.get("client_id"), "md request.client_id"),
+            priority=validate_priority(obj.get("priority"), "md request.priority"),
         )
 
 
@@ -1278,34 +1352,64 @@ class ErrorPayload:
     code: str
     message: str
     status: int
+    #: Honest backoff hint in seconds, carried on retryable rejections
+    #: (429/503) alongside the HTTP ``Retry-After`` header — in the body
+    #: too so the hint survives transports that drop response headers
+    #: (additive v1 field).
+    retry_after_s: float | None = None
 
     @classmethod
     def from_error(cls, error: ApiError) -> "ErrorPayload":
-        return cls(code=error.code, message=str(error), status=error.http_status)
+        retry_after = getattr(error, "retry_after_s", None)
+        return cls(
+            code=error.code,
+            message=str(error),
+            status=error.http_status,
+            retry_after_s=None if retry_after is None else float(retry_after),
+        )
 
     def to_error(self) -> ApiError:
         """Rebuild the typed exception (client side of the contract)."""
         error_type = ERROR_TYPES.get(self.code, ApiError)
         error = error_type(self.message)
+        if self.retry_after_s is not None:
+            error.retry_after_s = float(self.retry_after_s)
         return error
 
     def to_json_dict(self) -> dict:
-        return {
-            "schema_version": SCHEMA_VERSION,
-            "error": {"code": self.code, "message": self.message, "status": self.status},
+        body: dict[str, Any] = {
+            "code": self.code,
+            "message": self.message,
+            "status": self.status,
         }
+        if self.retry_after_s is not None:
+            body["retry_after_s"] = float(self.retry_after_s)
+        return {"schema_version": SCHEMA_VERSION, "error": body}
 
     @classmethod
     def from_json_dict(cls, obj: dict) -> "ErrorPayload":
         _expect_keys(obj, {"schema_version", "error"}, set(), "error payload")
         _expect_version(obj, "error payload")
         body = obj["error"]
-        _expect_keys(body, {"code", "message", "status"}, set(), "error payload.error")
+        _expect_keys(
+            body, {"code", "message", "status"}, {"retry_after_s"}, "error payload.error"
+        )
         if not isinstance(body["code"], str) or not isinstance(body["message"], str):
             raise SchemaError("error payload: code and message must be strings")
         if isinstance(body["status"], bool) or not isinstance(body["status"], int):
             raise SchemaError("error payload: status must be an int")
-        return cls(code=body["code"], message=body["message"], status=body["status"])
+        retry_after = body.get("retry_after_s")
+        if retry_after is not None:
+            if isinstance(retry_after, bool) or not isinstance(retry_after, (int, float)):
+                raise SchemaError("error payload: retry_after_s must be a number")
+            if not (math.isfinite(retry_after) and retry_after >= 0):
+                raise SchemaError("error payload: retry_after_s must be finite and >= 0")
+        return cls(
+            code=body["code"],
+            message=body["message"],
+            status=body["status"],
+            retry_after_s=None if retry_after is None else float(retry_after),
+        )
 
 
 @dataclass

@@ -50,9 +50,12 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 import numpy as np
 
 from repro.api.schemas import (
+    CLIENT_HEADER,
     DEADLINE_HEADER,
     DEFAULT_CUTOFF,
+    DEFAULT_PRIORITY,
     MAX_STRUCTURES_PER_REQUEST,
+    PRIORITY_HEADER,
     ApiError,
     DeadlineExceededError,
     ErrorPayload,
@@ -71,9 +74,12 @@ from repro.api.schemas import (
     ServerInfo,
     StatsSnapshot,
     UnknownModelError,
+    validate_client_id,
     validate_deadline_ms,
+    validate_priority,
 )
 from repro.graph.atoms import AtomGraph
+from repro.serving.admission import retry_after_header
 from repro.serving.batcher import DeadlineExceeded, ServiceOverloaded
 from repro.serving.faults import FaultPlan
 from repro.serving.md import MDDiverged
@@ -83,6 +89,18 @@ from repro.serving.service import PredictionService, ServiceConfig
 #: Request bodies above this are rejected before JSON parsing; at ~100
 #: bytes per atom on the wire this is far beyond any sane micro-batch.
 MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+def _as_overloaded(error: ServiceOverloaded) -> OverloadedError:
+    """Map the service's 429 onto the wire type, hint included.
+
+    Quota and brownout rejections carry an honest ``retry_after_s``; it
+    must survive the translation so the HTTP layer can emit a truthful
+    ``Retry-After`` header (and the error body its JSON twin).
+    """
+    mapped = OverloadedError(str(error))
+    mapped.retry_after_s = getattr(error, "retry_after_s", None)
+    return mapped
 
 
 class ApiGateway:
@@ -153,6 +171,20 @@ class ApiGateway:
             return None
         return time.monotonic() + deadline_ms / 1000.0
 
+    @staticmethod
+    def _identity(request, client_id: str | None, priority: str | None) -> tuple:
+        """Resolve ``(client_id, lane)``: hop-level override wins over body.
+
+        Mirrors the deadline contract — the HTTP handler passes the
+        ``X-Repro-Client``/``X-Repro-Priority`` headers here, and they
+        win over the body's ``client_id``/``priority`` fields; either
+        may also be absent (anonymous, default lane).
+        """
+        if client_id is None:
+            client_id = getattr(request, "client_id", None)
+        lane = priority if priority is not None else getattr(request, "priority", None)
+        return client_id, lane if lane is not None else DEFAULT_PRIORITY
+
     # ------------------------------------------------------------------
     # model resolution
     # ------------------------------------------------------------------
@@ -211,7 +243,11 @@ class ApiGateway:
     # endpoints
     # ------------------------------------------------------------------
     def predict(
-        self, request: PredictRequest, deadline_ms: float | None = None
+        self,
+        request: PredictRequest,
+        deadline_ms: float | None = None,
+        client_id: str | None = None,
+        priority: str | None = None,
     ) -> PredictResponse:
         """Execute one wire request; raises typed :class:`ApiError`\\ s.
 
@@ -239,6 +275,7 @@ class ApiGateway:
         deadline = self._deadline_from_ms(
             deadline_ms if deadline_ms is not None else request.deadline_ms
         )
+        client_id, lane = self._identity(request, client_id, priority)
         token = self._begin_request()
         try:
             if self.faults is not None:
@@ -250,11 +287,13 @@ class ApiGateway:
                 for payload in request.structures
             ]
             try:
-                results = service.predict_many(graphs, deadline=deadline)
+                results = service.predict_many(
+                    graphs, deadline=deadline, lane=lane, client_id=client_id
+                )
             except DeadlineExceeded as error:
                 raise DeadlineExceededError(str(error)) from error
             except ServiceOverloaded as error:
-                raise OverloadedError(str(error)) from error
+                raise _as_overloaded(error) from error
             except TimeoutError as error:
                 raise RequestTimeout(str(error)) from error
             return PredictResponse.from_results(name, results)
@@ -262,7 +301,11 @@ class ApiGateway:
             self._end_request(token)
 
     def relax(
-        self, request: RelaxRequest, deadline_ms: float | None = None
+        self,
+        request: RelaxRequest,
+        deadline_ms: float | None = None,
+        client_id: str | None = None,
+        priority: str | None = None,
     ) -> RelaxResponse:
         """Relax one structure on served forces; raises typed errors.
 
@@ -276,6 +319,7 @@ class ApiGateway:
         deadline = self._deadline_from_ms(
             deadline_ms if deadline_ms is not None else request.deadline_ms
         )
+        client_id, lane = self._identity(request, client_id, priority)
         token = self._begin_request()
         try:
             if self.faults is not None:
@@ -299,18 +343,26 @@ class ApiGateway:
                 source="api",
             )
             try:
-                result = service.relax(graph, settings, deadline=deadline)
+                result = service.relax(
+                    graph, settings, deadline=deadline, lane=lane, client_id=client_id
+                )
             except DeadlineExceeded as error:
                 raise DeadlineExceededError(str(error)) from error
             except ServiceOverloaded as error:
-                raise OverloadedError(str(error)) from error
+                raise _as_overloaded(error) from error
             except TimeoutError as error:
                 raise RequestTimeout(str(error)) from error
             return RelaxResponse.from_result(name, result)
         finally:
             self._end_request(token)
 
-    def md(self, request: MDRequest, deadline_ms: float | None = None):
+    def md(
+        self,
+        request: MDRequest,
+        deadline_ms: float | None = None,
+        client_id: str | None = None,
+        priority: str | None = None,
+    ):
         """Run one MD segment; returns ``(model_name, events)``.
 
         Validation is split around the streaming boundary.  Everything
@@ -328,6 +380,7 @@ class ApiGateway:
         deadline = self._deadline_from_ms(
             deadline_ms if deadline_ms is not None else request.deadline_ms
         )
+        client_id, lane = self._identity(request, client_id, priority)
         if self.faults is not None:
             self.faults.on_request()
         name = self.resolve_model(request.model)
@@ -359,13 +412,15 @@ class ApiGateway:
         def events():
             token = self._begin_request()
             try:
-                yield from service.md(graph, settings, deadline=deadline)
+                yield from service.md(
+                    graph, settings, deadline=deadline, lane=lane, client_id=client_id
+                )
             except MDDiverged as error:
                 raise MDDivergedError(str(error)) from error
             except DeadlineExceeded as error:
                 raise DeadlineExceededError(str(error)) from error
             except ServiceOverloaded as error:
-                raise OverloadedError(str(error)) from error
+                raise _as_overloaded(error) from error
             except TimeoutError as error:
                 raise RequestTimeout(str(error)) from error
             except ValueError as error:
@@ -393,6 +448,33 @@ class ApiGateway:
             pid=os.getpid(),
         )
 
+    def _saturation_snapshot(self) -> dict:
+        """Process-wide load gauges: the worst service wins.
+
+        Queue depths sum (total backlog behind this replica); brownout
+        reports the highest level of any served model, because the
+        router's front-door shed must react to the most degraded lane
+        set, not the average.
+        """
+        with self._lock:
+            services = list(self._services.values())
+        merged = {
+            "queue_depth": 0,
+            "estimated_wait_s": 0.0,
+            "brownout_level": 0,
+            "brownout_state": "normal",
+        }
+        for service in services:
+            gauges = service.saturation()
+            merged["queue_depth"] += gauges["queue_depth"]
+            merged["estimated_wait_s"] = max(
+                merged["estimated_wait_s"], gauges["estimated_wait_s"]
+            )
+            if gauges["brownout_level"] > merged["brownout_level"]:
+                merged["brownout_level"] = gauges["brownout_level"]
+                merged["brownout_state"] = gauges["brownout_state"]
+        return merged
+
     def healthz(self) -> dict:
         with self._lock:
             active = sorted(self._services)
@@ -408,6 +490,10 @@ class ApiGateway:
             # from being reported — that is the whole trick.
             "inflight": inflight,
             "oldest_inflight_s": oldest_s,
+            # Saturation inputs: the supervisor relays these to the
+            # router, which sheds low-priority lanes at the front door
+            # for replicas already in brownout.
+            "saturation": self._saturation_snapshot(),
         }
 
     def close(self) -> None:
@@ -433,11 +519,15 @@ class _ApiRequestHandler(BaseHTTPRequestHandler):
         if self.server.verbose:
             super().log_message(format, *args)
 
-    def _send_json(self, status: int, payload: dict) -> None:
+    def _send_json(
+        self, status: int, payload: dict, extra_headers: dict | None = None
+    ) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (extra_headers or {}).items():
+            self.send_header(name, value)
         if self.close_connection:
             # Advertise the drop (set when a rejected request left unread
             # body bytes on the socket) so clients don't try to reuse a
@@ -447,7 +537,15 @@ class _ApiRequestHandler(BaseHTTPRequestHandler):
         self.wfile.write(body)
 
     def _send_error_payload(self, error: ApiError) -> None:
-        self._send_json(error.http_status, ErrorPayload.from_error(error).to_json_dict())
+        # Every retryable rejection (429 overloaded, 503 unavailable)
+        # carries a Retry-After header — the server's honest hint when it
+        # has one, the protocol-minimum "1" when it does not.
+        headers: dict | None = None
+        if error.http_status in (429, 503):
+            headers = {"Retry-After": retry_after_header(getattr(error, "retry_after_s", None))}
+        self._send_json(
+            error.http_status, ErrorPayload.from_error(error).to_json_dict(), headers
+        )
 
     def _read_json_body(self) -> dict:
         # Rejections below leave the body unread on the socket, which
@@ -504,6 +602,30 @@ class _ApiRequestHandler(BaseHTTPRequestHandler):
             if isinstance(err, SchemaError):
                 raise
             raise SchemaError(f"{DEADLINE_HEADER}: expected a number, got {raw!r}") from None
+
+    def _client_header(self) -> str | None:
+        """Parse ``X-Repro-Client`` (wins over the body's ``client_id``)."""
+        raw = self.headers.get(CLIENT_HEADER)
+        if raw is None:
+            return None
+        try:
+            return validate_client_id(raw, CLIENT_HEADER)
+        except SchemaError:
+            # Same keep-alive discipline as the deadline header: the body
+            # is still unread, so the connection must drop.
+            self.close_connection = True
+            raise
+
+    def _priority_header(self) -> str | None:
+        """Parse ``X-Repro-Priority`` (wins over the body's ``priority``)."""
+        raw = self.headers.get(PRIORITY_HEADER)
+        if raw is None:
+            return None
+        try:
+            return validate_priority(raw, PRIORITY_HEADER)
+        except SchemaError:
+            self.close_connection = True
+            raise
 
     def _send_success(self, payload: dict) -> None:
         """Send a 200, running the body through fault corruption if armed.
@@ -572,23 +694,44 @@ class _ApiRequestHandler(BaseHTTPRequestHandler):
         try:
             if self.path == "/v1/predict":
                 deadline_ms = self._deadline_header_ms()
+                client_id = self._client_header()
+                priority = self._priority_header()
                 request = PredictRequest.from_json_dict(self._read_json_body())
                 self._send_success(
-                    self.server.gateway.predict(request, deadline_ms=deadline_ms).to_json_dict()
+                    self.server.gateway.predict(
+                        request,
+                        deadline_ms=deadline_ms,
+                        client_id=client_id,
+                        priority=priority,
+                    ).to_json_dict()
                 )
             elif self.path == "/v1/relax":
                 deadline_ms = self._deadline_header_ms()
+                client_id = self._client_header()
+                priority = self._priority_header()
                 relax = RelaxRequest.from_json_dict(self._read_json_body())
                 self._send_success(
-                    self.server.gateway.relax(relax, deadline_ms=deadline_ms).to_json_dict()
+                    self.server.gateway.relax(
+                        relax,
+                        deadline_ms=deadline_ms,
+                        client_id=client_id,
+                        priority=priority,
+                    ).to_json_dict()
                 )
             elif self.path == "/v1/md":
                 deadline_ms = self._deadline_header_ms()
+                client_id = self._client_header()
+                priority = self._priority_header()
                 md = MDRequest.from_json_dict(self._read_json_body())
                 # Pre-stream failures (bad knobs, unknown model) raise
                 # here and become ordinary typed statuses; once
                 # _stream_md starts, failures ride the stream instead.
-                model, events = self.server.gateway.md(md, deadline_ms=deadline_ms)
+                model, events = self.server.gateway.md(
+                    md,
+                    deadline_ms=deadline_ms,
+                    client_id=client_id,
+                    priority=priority,
+                )
                 self._stream_md(model, events)
             else:
                 raise NotFound(f"no such endpoint: POST {self.path}")

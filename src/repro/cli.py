@@ -255,6 +255,13 @@ def _service_config(args: argparse.Namespace):
         backend=args.backend,
         autotune_cache=args.autotune_cache,
         plan=not args.no_plan,
+        client_rate=args.client_rate,
+        client_burst=args.client_burst,
+        client_concurrency=args.client_concurrency,
+        brownout_enter_s=args.brownout_enter,
+        brownout_exit_s=args.brownout_exit,
+        brownout_dwell_s=args.brownout_dwell,
+        lane_aging_s=args.lane_aging,
     )
 
 
@@ -362,7 +369,21 @@ def _replica_args(args: argparse.Namespace) -> tuple[str, ...]:
         args.model_name,
         "--seed",
         str(args.seed),
+        "--client-rate",
+        str(args.client_rate),
+        "--client-burst",
+        str(args.client_burst),
+        "--client-concurrency",
+        str(args.client_concurrency),
+        "--brownout-enter",
+        str(args.brownout_enter),
+        "--brownout-exit",
+        str(args.brownout_exit),
+        "--brownout-dwell",
+        str(args.brownout_dwell),
     ]
+    if args.lane_aging is not None:
+        replica_args += ["--lane-aging", str(args.lane_aging)]
     if args.checkpoint:
         replica_args += ["--checkpoint", args.checkpoint]
     else:
@@ -668,6 +689,61 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve_parser.add_argument(
         "--flush-interval", type=float, default=0.005, help="timeout tick in seconds"
+    )
+    serve_parser.add_argument(
+        "--client-rate",
+        type=float,
+        default=0.0,
+        metavar="PER_S",
+        help="per-client token-bucket refill in structures/s, keyed on the "
+        "request's client_id (0 = no rate quotas, the default; anonymous "
+        "requests are exempt)",
+    )
+    serve_parser.add_argument(
+        "--client-burst",
+        type=float,
+        default=0.0,
+        metavar="N",
+        help="per-client bucket capacity (0 derives 2x --client-rate)",
+    )
+    serve_parser.add_argument(
+        "--client-concurrency",
+        type=int,
+        default=0,
+        metavar="N",
+        help="per-client in-flight structure bound (0 = unbounded)",
+    )
+    serve_parser.add_argument(
+        "--brownout-enter",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="queue-age p95 that enters brownout shedding — background lane "
+        "first, then bulk, never interactive (0 = disabled, the default)",
+    )
+    serve_parser.add_argument(
+        "--brownout-exit",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="queue-age p95 that exits brownout (0 derives half of "
+        "--brownout-enter)",
+    )
+    serve_parser.add_argument(
+        "--brownout-dwell",
+        type=float,
+        default=0.25,
+        metavar="SECONDS",
+        help="minimum seconds between brownout level transitions (hysteresis)",
+    )
+    serve_parser.add_argument(
+        "--lane-aging",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="anti-starvation bound for the weighted-fair lanes: a queued "
+        "request older than this is served next regardless of lane "
+        "(default: 10 flush intervals, floored at 50 ms)",
     )
     serve_parser.add_argument(
         "--fault-spec",

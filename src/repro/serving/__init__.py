@@ -8,11 +8,26 @@ a fork+exec replica supervisor and the async :mod:`~repro.serving.router`
 that load-balances ``/v1/predict`` across the fleet.
 """
 
+from repro.serving.admission import (
+    BROWNOUT_STATES,
+    AdmissionConfig,
+    AdmissionController,
+    AdmissionLease,
+    BrownoutController,
+    BrownoutShed,
+    QuotaExceeded,
+    TokenBucket,
+    merge_admission_telemetry,
+    retry_after_header,
+)
 from repro.serving.batcher import (
+    DEFAULT_LANE,
     FLUSH_ATOMS,
     FLUSH_CLOSE,
     FLUSH_GRAPHS,
     FLUSH_TIMEOUT,
+    LANE_WEIGHTS,
+    LANES,
     DeadlineExceeded,
     MicroBatcher,
     ServeRequest,
@@ -49,13 +64,22 @@ from repro.serving.stats import ServingStats, StatsSummary, percentile
 
 __all__ = [
     "ATOMIC_MASSES",
+    "BROWNOUT_STATES",
+    "DEFAULT_LANE",
     "FLUSH_ATOMS",
     "FLUSH_CLOSE",
     "FLUSH_GRAPHS",
     "FLUSH_TIMEOUT",
+    "LANES",
+    "LANE_WEIGHTS",
     "MAX_MD_STEPS",
     "MAX_RELAX_STEPS",
     "MD_THERMOSTATS",
+    "AdmissionConfig",
+    "AdmissionController",
+    "AdmissionLease",
+    "BrownoutController",
+    "BrownoutShed",
     "CacheStats",
     "DeadlineExceeded",
     "FaultPlan",
@@ -69,6 +93,7 @@ __all__ = [
     "ModelRegistry",
     "PredictionResult",
     "PredictionService",
+    "QuotaExceeded",
     "RegistryEntry",
     "RelaxResult",
     "RelaxSettings",
@@ -82,12 +107,15 @@ __all__ = [
     "ServiceOverloaded",
     "ServingStats",
     "StatsSummary",
+    "TokenBucket",
     "TrajectorySession",
     "aggregate_model_telemetry",
     "atomic_masses",
     "maxwell_boltzmann_velocities",
+    "merge_admission_telemetry",
     "percentile",
     "relax_positions",
+    "retry_after_header",
     "run_md",
     "structure_hash",
 ]

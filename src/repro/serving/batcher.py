@@ -19,22 +19,45 @@ size + queue delay); atoms-not-graphs as the primary budget is what a
 variable-size graph workload needs, since forward cost tracks nodes and
 edges, not graph count.
 
+**Priority lanes.**  The queue is split into three lanes —
+``interactive``, ``bulk``, ``background`` — scheduled by weighted fair
+queueing: each lane carries a virtual clock that advances by
+``1/weight`` per dequeued request, and batches are filled from the lane
+with the smallest clock.  With the default 8:3:1 weights a saturated
+queue serves 8 interactive structures for every 3 bulk and 1 background,
+while an idle lane costs nothing.  Two guarantees hold regardless of
+weights: requests are FIFO *within* a lane, and a request whose queue
+age exceeds the aging bound is served next no matter its lane — so
+background work is throttled under load, never starved.
+
 **Admission control.** An optional ``max_pending`` bounds the queue
 depth: once that many structures are waiting, :meth:`MicroBatcher.submit`
 raises :class:`ServiceOverloaded` instead of enqueueing.  Rejecting at
 the door keeps a slow consumer from growing an unbounded backlog whose
 requests would all time out anyway — the client gets an immediate,
 retryable signal (HTTP 429 at the API layer) while in-flight work keeps
-its latency bound.
+its latency bound.  Deadline shedding is equally eager: a request whose
+``deadline`` has already passed — or whose *predicted* queue wait
+(pending work over the measured drain rate) would outlive it — is
+rejected at submit with :class:`DeadlineExceeded` instead of being
+discovered dead at dequeue.
 """
 
 from __future__ import annotations
 
 import threading
 import time
+from collections import deque
 from dataclasses import dataclass, field
 
 from repro.graph.atoms import AtomGraph
+
+#: Priority lanes, highest priority first.  The tuple order doubles as
+#: the tie-break when two lanes' virtual clocks are equal.
+LANES = ("interactive", "bulk", "background")
+DEFAULT_LANE = "interactive"
+#: Weighted-fair shares under saturation (idle lanes cost nothing).
+LANE_WEIGHTS = {"interactive": 8, "bulk": 3, "background": 1}
 
 
 class ServiceOverloaded(RuntimeError):
@@ -42,16 +65,21 @@ class ServiceOverloaded(RuntimeError):
 
     Retryable by construction — the queue was full *now*; nothing about
     the request itself was wrong.  The HTTP front end maps this to 429.
+    Subclasses in :mod:`repro.serving.admission` carry an honest
+    ``retry_after_s`` hint; this base sets it to ``None``.
     """
+
+    retry_after_s: float | None = None
 
 
 class DeadlineExceeded(RuntimeError):
     """The request's deadline passed before (or while) it was served.
 
     Raised instead of executing a forward whose result nobody is still
-    waiting for: the batcher drops expired entries at dequeue, and the
-    relax loop checks between force evaluations.  The HTTP front end
-    maps this to 504 with code ``deadline_exceeded``.
+    waiting for: the batcher sheds at submit (already expired, or
+    predicted to expire while queued), drops expired entries at dequeue,
+    and the relax loop checks between force evaluations.  The HTTP
+    front end maps this to 504 with code ``deadline_exceeded``.
     """
 
 
@@ -69,6 +97,13 @@ class ServeRequest:
     #: Absolute ``time.monotonic()`` instant after which serving this
     #: request is wasted work (``None``: no deadline).
     deadline: float | None = None
+    #: Scheduling lane (see :data:`LANES`); FIFO within a lane.
+    lane: str = DEFAULT_LANE
+    #: Caller identity for quota accounting (``None``: anonymous).
+    client_id: str | None = None
+    #: Invoked exactly once when the request completes (either way) —
+    #: the hook admission leases use to release concurrency slots.
+    on_done: object = field(default=None, repr=False, compare=False)
     _done: threading.Event = field(default_factory=threading.Event, repr=False)
     _result: object = None
     _error: BaseException | None = None
@@ -80,13 +115,20 @@ class ServeRequest:
     def expired(self, now: float | None = None) -> bool:
         return self.deadline is not None and (now or time.monotonic()) >= self.deadline
 
+    def _fire_done(self) -> None:
+        callback, self.on_done = self.on_done, None
+        if callback is not None:
+            callback()
+
     def resolve(self, result) -> None:
         self._result = result
         self._done.set()
+        self._fire_done()
 
     def fail(self, error: BaseException) -> None:
         self._error = error
         self._done.set()
+        self._fire_done()
 
     def done(self) -> bool:
         return self._done.is_set()
@@ -139,6 +181,9 @@ class MicroBatcher:
         max_graphs: int = 64,
         flush_interval_s: float = 0.005,
         max_pending: int = 0,
+        lane_aging_s: float | None = None,
+        workers: int = 1,
+        on_dequeue_wait=None,
     ) -> None:
         if max_atoms < 1 or max_graphs < 1:
             raise ValueError("max_atoms and max_graphs must be >= 1")
@@ -146,14 +191,39 @@ class MicroBatcher:
             raise ValueError("flush_interval_s must be >= 0")
         if max_pending < 0:
             raise ValueError("max_pending must be >= 0 (0 disables admission control)")
+        if lane_aging_s is not None and lane_aging_s < 0:
+            raise ValueError("lane_aging_s must be >= 0")
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
         self.max_atoms = int(max_atoms)
         self.max_graphs = int(max_graphs)
         self.flush_interval_s = float(flush_interval_s)
         self.max_pending = int(max_pending)
+        #: A request older than this jumps the weighted-fair schedule —
+        #: the anti-starvation bound.  Defaults to 10 flush intervals
+        #: (floored at 50 ms so a zero flush interval keeps a real bound).
+        self.lane_aging_s = (
+            float(lane_aging_s)
+            if lane_aging_s is not None
+            else max(0.05, 10.0 * self.flush_interval_s)
+        )
+        #: Consumer-thread count — the queue-wait estimator's drain
+        #: concurrency hint, set by the service at start().
+        self.workers = int(workers)
+        #: Called with each dequeued request's queue age (seconds); the
+        #: brownout controller's saturation signal.
+        self.on_dequeue_wait = on_dequeue_wait
         self.rejected = 0  # admission-control rejections (telemetry)
         self.expired = 0  # deadline-expired drops (telemetry)
-        self._pending: list[ServeRequest] = []
+        self.shed_predicted = 0  # predicted-wait submit rejections (telemetry)
+        self._lanes: dict[str, deque[ServeRequest]] = {lane: deque() for lane in LANES}
+        self._virtual: dict[str, float] = {lane: 0.0 for lane in LANES}
+        self._vtime = 0.0  # virtual clock of the most recent dequeue
+        self._pending_count = 0
         self._pending_atoms = 0
+        #: EWMA of measured per-graph service time (record_service), the
+        #: basis of the predicted-wait shed at submit.
+        self._per_graph_s: float | None = None
         self._closed = False
         self._cond = threading.Condition()
         self.flush_reasons: dict[str, int] = {}
@@ -163,23 +233,47 @@ class MicroBatcher:
     # ------------------------------------------------------------------
     def submit(self, request: ServeRequest) -> None:
         """Enqueue one request, or reject it if the queue is at capacity."""
+        if request.lane not in self._lanes:
+            raise ValueError(f"unknown lane {request.lane!r}; expected one of {LANES}")
         with self._cond:
             if self._closed:
                 raise RuntimeError("cannot submit to a closed MicroBatcher")
-            if request.expired():
+            now = time.monotonic()
+            if request.expired(now):
                 # Expired on arrival: reject before it occupies queue
                 # space a live request could use.
                 self.expired += 1
                 raise DeadlineExceeded(
                     f"request {request.key[:12]} arrived past its deadline"
                 )
-            if self.max_pending and len(self._pending) >= self.max_pending:
+            if self.max_pending and self._pending_count >= self.max_pending:
                 self.rejected += 1
                 raise ServiceOverloaded(
-                    f"pending queue full ({len(self._pending)}/{self.max_pending} "
+                    f"pending queue full ({self._pending_count}/{self.max_pending} "
                     "structures); retry later"
                 )
-            self._pending.append(request)
+            if request.deadline is not None:
+                # Predicted-wait shed: if the measured drain rate says the
+                # queue ahead of this request already outlives its
+                # deadline, fail now instead of discovering it at dequeue.
+                wait = self._estimated_wait_locked()
+                if wait > 0.0 and now + wait >= request.deadline:
+                    self.shed_predicted += 1
+                    self.expired += 1
+                    raise DeadlineExceeded(
+                        f"request {request.key[:12]} predicted to wait {wait:.3f}s "
+                        "in the queue, past its deadline; shed at submit"
+                    )
+            lane = self._lanes[request.lane]
+            if not lane:
+                # A lane waking from idle starts at the current virtual
+                # clock — it competes fairly from now, it does not cash
+                # in credit accumulated while empty.
+                self._virtual[request.lane] = max(
+                    self._virtual[request.lane], self._vtime
+                )
+            lane.append(request)
+            self._pending_count += 1
             self._pending_atoms += request.n_atoms
             self._cond.notify_all()
 
@@ -192,36 +286,117 @@ class MicroBatcher:
     @property
     def pending_graphs(self) -> int:
         with self._cond:
-            return len(self._pending)
+            return self._pending_count
 
     @property
     def pending_atoms(self) -> int:
         with self._cond:
             return self._pending_atoms
 
+    def lane_depths(self) -> dict[str, int]:
+        """Current queue depth per lane (telemetry)."""
+        with self._cond:
+            return {lane: len(queue) for lane, queue in self._lanes.items()}
+
+    # ------------------------------------------------------------------
+    # queue-wait estimation
+    # ------------------------------------------------------------------
+    def record_service(self, graphs: int, duration_s: float) -> None:
+        """Feed one executed batch's timing into the drain-rate EWMA."""
+        per_graph = float(duration_s) / max(1, int(graphs))
+        with self._cond:
+            if self._per_graph_s is None:
+                self._per_graph_s = per_graph
+            else:
+                self._per_graph_s = 0.7 * self._per_graph_s + 0.3 * per_graph
+
+    def _estimated_wait_locked(self) -> float:
+        if self._per_graph_s is None or not self._pending_count:
+            return 0.0
+        return self._pending_count * self._per_graph_s / max(1, self.workers)
+
+    @property
+    def estimated_wait_s(self) -> float:
+        """Predicted queue wait for a request arriving right now."""
+        with self._cond:
+            return self._estimated_wait_locked()
+
     # ------------------------------------------------------------------
     # consumer side
     # ------------------------------------------------------------------
+    def _oldest_submitted_locked(self) -> float | None:
+        oldest: float | None = None
+        for queue in self._lanes.values():
+            if queue and (oldest is None or queue[0].submitted_at < oldest):
+                oldest = queue[0].submitted_at
+        return oldest
+
     def _flush_reason(self, now: float) -> str | None:
         """Why the queue should flush right now (``None``: keep waiting)."""
-        if not self._pending:
+        if not self._pending_count:
             return None
         if self._pending_atoms >= self.max_atoms:
             return FLUSH_ATOMS
-        if len(self._pending) >= self.max_graphs:
+        if self._pending_count >= self.max_graphs:
             return FLUSH_GRAPHS
-        if now - self._pending[0].submitted_at >= self.flush_interval_s:
+        oldest = self._oldest_submitted_locked()
+        if oldest is not None and now - oldest >= self.flush_interval_s:
             return FLUSH_TIMEOUT
         if self._closed:
             return FLUSH_CLOSE
         return None
 
-    def _take_batch(self) -> list[ServeRequest]:
-        """Pop front requests up to the budgets (always at least one)."""
-        count = first_chunk_size(self._pending, self.max_atoms, self.max_graphs)
-        batch = self._pending[:count]
-        del self._pending[:count]
-        self._pending_atoms -= sum(request.n_atoms for request in batch)
+    def _select_lane(self, now: float) -> str:
+        """Which lane serves next: aged head first, else smallest clock."""
+        aged: str | None = None
+        aged_at = 0.0
+        for lane in LANES:
+            queue = self._lanes[lane]
+            if not queue:
+                continue
+            head = queue[0]
+            if now - head.submitted_at >= self.lane_aging_s and (
+                aged is None or head.submitted_at < aged_at
+            ):
+                aged, aged_at = lane, head.submitted_at
+        if aged is not None:
+            return aged
+        best: str | None = None
+        for lane in LANES:
+            if self._lanes[lane] and (
+                best is None or self._virtual[lane] < self._virtual[best]
+            ):
+                best = lane
+        assert best is not None  # caller checked _pending_count
+        return best
+
+    def _take_batch(self, now: float) -> list[ServeRequest]:
+        """Pop requests up to the budgets via weighted-fair selection.
+
+        Always takes at least one request; FIFO within each lane.  The
+        same budget rule as :func:`first_chunk_size`: stop at
+        ``max_graphs``, or when the next request would push a non-empty
+        batch past ``max_atoms``.
+        """
+        batch: list[ServeRequest] = []
+        atoms = 0
+        while self._pending_count:
+            lane = self._select_lane(now)
+            head = self._lanes[lane][0]
+            if batch and (
+                len(batch) >= self.max_graphs
+                or atoms + head.n_atoms > self.max_atoms
+            ):
+                break
+            self._lanes[lane].popleft()
+            self._pending_count -= 1
+            self._pending_atoms -= head.n_atoms
+            self._vtime = self._virtual[lane]
+            self._virtual[lane] += 1.0 / LANE_WEIGHTS[lane]
+            batch.append(head)
+            atoms += head.n_atoms
+            if self.on_dequeue_wait is not None:
+                self.on_dequeue_wait(max(0.0, now - head.submitted_at))
         return batch
 
     def _drop_expired(self, now: float) -> None:
@@ -232,21 +407,24 @@ class MicroBatcher:
         already given up on.  The waiting client is released immediately
         with :class:`DeadlineExceeded` rather than at flush time.
         """
-        kept = []
-        for request in self._pending:
-            if request.expired(now):
-                self.expired += 1
-                self._pending_atoms -= request.n_atoms
-                request.fail(
-                    DeadlineExceeded(
-                        f"request {request.key[:12]} expired after waiting "
-                        f"{now - request.submitted_at:.3f}s in the queue"
+        for lane, queue in self._lanes.items():
+            if not any(request.expired(now) for request in queue):
+                continue
+            kept: deque[ServeRequest] = deque()
+            for request in queue:
+                if request.expired(now):
+                    self.expired += 1
+                    self._pending_count -= 1
+                    self._pending_atoms -= request.n_atoms
+                    request.fail(
+                        DeadlineExceeded(
+                            f"request {request.key[:12]} expired after waiting "
+                            f"{now - request.submitted_at:.3f}s in the queue"
+                        )
                     )
-                )
-            else:
-                kept.append(request)
-        if len(kept) != len(self._pending):
-            self._pending[:] = kept
+                else:
+                    kept.append(request)
+            self._lanes[lane] = kept
 
     def next_batch(self) -> list[ServeRequest] | None:
         """Block until a batch is ready; ``None`` once closed and drained.
@@ -261,12 +439,13 @@ class MicroBatcher:
                 reason = self._flush_reason(now)
                 if reason is not None:
                     self.flush_reasons[reason] = self.flush_reasons.get(reason, 0) + 1
-                    return self._take_batch()
-                if self._closed and not self._pending:
+                    return self._take_batch(now)
+                if self._closed and not self._pending_count:
                     return None
-                if self._pending:
+                if self._pending_count:
                     # Sleep exactly until the oldest request's deadline.
-                    deadline = self._pending[0].submitted_at + self.flush_interval_s
+                    oldest = self._oldest_submitted_locked()
+                    deadline = oldest + self.flush_interval_s
                     self._cond.wait(timeout=max(0.0, deadline - now))
                 else:
                     self._cond.wait()

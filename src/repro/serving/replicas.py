@@ -376,12 +376,20 @@ class ReplicaSupervisor:
     # health + restart
     # ------------------------------------------------------------------
     def _probe(self, handle: _ReplicaHandle) -> tuple[bool, float]:
-        """(healthz ok?, age of the replica's oldest in-flight request)."""
+        """(healthz ok?, age of the replica's oldest in-flight request).
+
+        Also relays the replica's ``saturation`` section (queue depth,
+        brownout level) to the router, which sheds low-priority lanes at
+        the front door once the whole fleet is in brownout.
+        """
         url = f"http://{self.router.replica_host}:{handle.port}/v1/healthz"
         try:
             with urllib.request.urlopen(url, timeout=self.probe_timeout_s) as response:
                 payload = json.loads(response.read())
                 oldest = payload.get("oldest_inflight_s") or 0.0
+                self.router.set_saturation(
+                    handle.replica_id, payload.get("saturation") or {}
+                )
                 return payload.get("status") == "ok", float(oldest)
         except (OSError, ValueError):
             return False, 0.0

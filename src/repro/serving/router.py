@@ -54,6 +54,8 @@ import time
 from collections.abc import Callable
 from dataclasses import dataclass, field
 
+from repro.serving.admission import merge_admission_telemetry, retry_after_header
+
 #: Mirrors ``repro.api.schemas.SCHEMA_VERSION`` (serving must not import
 #: api); ``tests/serving/test_replicas.py`` pins the two together.
 SCHEMA_VERSION = "v1"
@@ -65,6 +67,19 @@ MAX_BODY_BYTES = 64 * 1024 * 1024
 #: Mirrors ``repro.api.schemas.DEADLINE_HEADER`` (serving must not
 #: import api); pinned together by ``tests/serving/test_replicas.py``.
 DEADLINE_HEADER = "X-Repro-Deadline-Ms"
+
+#: Mirror ``repro.api.schemas.CLIENT_HEADER``/``PRIORITY_HEADER`` (same
+#: no-api-import stance); pinned together by ``tests/serving/test_replicas.py``.
+#: The priority header exists precisely so this router can shed by lane
+#: without parsing request bodies.
+CLIENT_HEADER = "X-Repro-Client"
+PRIORITY_HEADER = "X-Repro-Priority"
+
+#: Front-door shedding: the minimum fleet-wide brownout level at which a
+#: lane is rejected here instead of crossing the wire to a replica that
+#: would shed it anyway.  Mirrors the admission controller's shedding
+#: order — background first, then bulk, never interactive.
+_LANE_SHED_LEVEL = {"background": 1, "bulk": 2}
 
 #: Circuit-breaker states.  ``closed`` = normal traffic; ``open`` =
 #: repeated connection failures, no traffic until the reset window
@@ -90,9 +105,13 @@ class ReplicaState:
     breaker: str = BREAKER_CLOSED
     breaker_failures: int = 0  # consecutive connection failures
     breaker_opened_at: float = 0.0
+    #: Last healthz ``saturation`` section the supervisor relayed —
+    #: queue depth, estimated wait, brownout level/state.  Feeds the
+    #: router's front-door lane shedding.
+    saturation: dict = field(default_factory=dict)
 
     def describe(self) -> dict:
-        return {
+        payload = {
             "port": self.port,
             "pid": self.pid,
             "healthy": self.healthy,
@@ -102,16 +121,28 @@ class ReplicaState:
             "breaker": self.breaker,
             "uptime_s": round(time.monotonic() - self.started_at, 3),
         }
+        if self.saturation:
+            payload["saturation"] = dict(self.saturation)
+        return payload
 
 
-def _error_body(code: str, message: str, status: int) -> bytes:
+def _error_body(
+    code: str, message: str, status: int, retry_after_s: float | None = None
+) -> bytes:
     """A v1 ``ErrorPayload`` body, byte-compatible with the api package."""
+    error: dict = {"code": code, "message": message, "status": status}
+    if retry_after_s is not None:
+        error["retry_after_s"] = float(retry_after_s)
     return json.dumps(
-        {
-            "schema_version": SCHEMA_VERSION,
-            "error": {"code": code, "message": message, "status": status},
-        }
+        {"schema_version": SCHEMA_VERSION, "error": error}
     ).encode("utf-8")
+
+
+def _retryable_headers(status: int, retry_after_s: float | None = None) -> dict:
+    """``Retry-After`` for router-authored 429/503 envelopes, else nothing."""
+    if status in (429, 503):
+        return {"Retry-After": retry_after_header(retry_after_s)}
+    return {}
 
 
 # ----------------------------------------------------------------------
@@ -253,8 +284,15 @@ def _merge_model(entries: list[dict]) -> dict:
             "max_pending": sec(first, "batching").get("max_pending"),
             "rejected": int(total("batching", "rejected")),
             "expired": int(total("batching", "expired")),
+            "shed_predicted": int(total("batching", "shed_predicted")),
             "flush_reasons": flush_reasons,
         },
+        # Fleet-wide overload-protection view: lane counters and shed
+        # reasons sum, the brownout level reports the worst replica, and
+        # the per-client top-k is re-ranked over the union.
+        "admission": merge_admission_telemetry(
+            [sec(entry, "admission") for entry in entries if sec(entry, "admission")]
+        ),
         "relax": {
             "sessions": int(total("relax", "sessions")),
             "steps": int(total("relax", "steps")),
@@ -334,6 +372,7 @@ class Router:
             "proxy_errors": 0,
             "breaker_opens": 0,
             "deadline_expired": 0,
+            "brownout_shed": 0,
         }
         self._started_at = time.monotonic()
         #: Optional supervisor hook: a callable returning the watchdog
@@ -438,6 +477,41 @@ class Router:
             state = self._replicas.get(replica_id)
             if state is not None:
                 state.draining = bool(draining)
+
+    def set_saturation(self, replica_id: int, saturation: dict | None) -> None:
+        """Record one replica's healthz ``saturation`` section.
+
+        The supervisor's monitor loop relays what the probe saw; the
+        router uses it to shed low-priority lanes at the front door once
+        the whole fleet is in brownout (see :meth:`_fleet_shed_hint`).
+        """
+        with self._lock:
+            state = self._replicas.get(replica_id)
+            if state is not None:
+                state.saturation = dict(saturation or {})
+
+    def _fleet_shed_hint(self, required_level: int) -> float | None:
+        """Retry hint when *every* available replica sheds at this level.
+
+        ``None`` means at least one replica would still accept the lane
+        (or none has reported saturation yet) — forward as usual.  Front-
+        door shedding is deliberately unanimous: a single recovered
+        replica is enough to stop rejecting here, and a fleet with no
+        available replica at all falls through to the 503 path instead.
+        """
+        with self._lock:
+            infos = [
+                state.saturation
+                for state in self._replicas.values()
+                if state.healthy and not state.draining
+            ]
+        if not infos or not all(
+            info and int(info.get("brownout_level", 0)) >= required_level
+            for info in infos
+        ):
+            return None
+        hint = max((float(info.get("estimated_wait_s", 0.0)) for info in infos), default=0.0)
+        return hint if hint > 0.0 else 1.0
 
     def replica_in_flight(self, replica_id: int) -> int:
         with self._lock:
@@ -562,11 +636,16 @@ class Router:
                 method, path, headers, body = request
                 keep_alive = headers.get("connection", "").lower() != "close"
                 try:
-                    status, payload = await self._dispatch(method, path, headers, body)
+                    status, payload, response_headers = await self._dispatch(
+                        method, path, headers, body
+                    )
                 except Exception as error:  # noqa: BLE001 - boundary
                     status = 500
                     payload = _error_body("internal_error", f"router error: {error}", 500)
-                await self._write_response(writer, status, payload, keep_alive)
+                    response_headers = {}
+                await self._write_response(
+                    writer, status, payload, keep_alive, response_headers
+                )
                 if not keep_alive:
                     break
         except (
@@ -607,12 +686,18 @@ class Router:
         return method.upper(), path, headers, body
 
     @staticmethod
-    async def _write_response(writer, status: int, payload, keep_alive: bool) -> None:
+    async def _write_response(
+        writer, status: int, payload, keep_alive: bool, extra_headers: dict | None = None
+    ) -> None:
         body = json.dumps(payload).encode("utf-8") if isinstance(payload, dict) else payload
+        extra = "".join(
+            f"{name}: {value}\r\n" for name, value in (extra_headers or {}).items()
+        )
         head = (
             f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}\r\n"
             "Content-Type: application/json\r\n"
             f"Content-Length: {len(body)}\r\n"
+            f"{extra}"
             f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n\r\n"
         ).encode("latin-1")
         writer.write(head + body)
@@ -620,7 +705,7 @@ class Router:
 
     async def _dispatch(
         self, method: str, path: str, headers: dict, body: bytes
-    ) -> tuple[int, object]:
+    ) -> tuple[int, object, dict]:
         if method == "POST" and path in ("/v1/predict", "/v1/relax", "/v1/md"):
             return await self._post(path, headers, body)
         if method == "GET" and path == "/v1/healthz":
@@ -628,39 +713,71 @@ class Router:
             if payload["status"] == "unavailable":
                 # Zero healthy replicas: a typed 503 so load balancers
                 # and the retrying client both read it unambiguously.
-                return 503, _error_body(
+                body_bytes = _error_body(
                     "unavailable",
                     f"no healthy replica ({payload['total_replicas']} registered)",
                     503,
                 )
-            return 200, payload
+                return 503, body_bytes, _retryable_headers(503)
+            return 200, payload, {}
         if method == "GET" and path == "/v1/stats":
             payload = await self.stats_payload()
             if not payload["models"] and not any(
                 entry["healthy"] for entry in payload["replicas"].values()
             ):
-                return 503, _error_body(
+                body_bytes = _error_body(
                     "unavailable",
                     f"no healthy replica to aggregate stats from "
                     f"({len(payload['replicas'])} registered)",
                     503,
                 )
-            return 200, payload
+                return 503, body_bytes, _retryable_headers(503)
+            return 200, payload, {}
         if method == "GET" and path == "/v1/models":
             return await self._proxy_any("GET", "/v1/models")
-        return 404, _error_body("not_found", f"no such endpoint: {method} {path}", 404)
+        return 404, _error_body("not_found", f"no such endpoint: {method} {path}", 404), {}
 
-    async def _post(self, path: str, headers: dict, body: bytes) -> tuple[int, bytes]:
+    async def _post(
+        self, path: str, headers: dict, body: bytes
+    ) -> tuple[int, bytes, dict]:
         # One body, one replica: a relax request pins its whole descent —
         # and an md request its whole segment — to the replica it lands
         # on (the trajectory's plan bucket and skin neighbor list stay
         # hot there), exactly like a predict pins its one forward.
         if not self.admitting:
             self._count("rejected")
-            return 503, _error_body(
-                "unavailable", "router is draining; not admitting new requests", 503
+            return (
+                503,
+                _error_body(
+                    "unavailable", "router is draining; not admitting new requests", 503
+                ),
+                _retryable_headers(503),
             )
+        # Front-door brownout shed: when every available replica reports
+        # a brownout level that sheds this request's lane, reject here —
+        # the request would only cross the wire to be 429'd anyway.  The
+        # lane comes from the priority *header* (the body is opaque at
+        # this layer); an absent or unknown value rides the interactive
+        # default, which is never shed.
+        lane_raw = headers.get(PRIORITY_HEADER.lower())
+        shed_level = _LANE_SHED_LEVEL.get(lane_raw or "")
+        if shed_level is not None:
+            hint = self._fleet_shed_hint(shed_level)
+            if hint is not None:
+                self._count("brownout_shed")
+                return (
+                    429,
+                    _error_body(
+                        "overloaded",
+                        f"fleet brownout: {lane_raw} lane is shedding at the "
+                        "router; retry later",
+                        429,
+                        retry_after_s=round(hint, 3),
+                    ),
+                    _retryable_headers(429, hint),
+                )
         self._count("requests")
+        client_raw = headers.get(CLIENT_HEADER.lower())
         # Deadline budget: stamp the header's remaining milliseconds on
         # arrival; each forwarding attempt re-advertises what is left.
         # A malformed value is forwarded untouched so the replica
@@ -676,6 +793,10 @@ class Router:
         tried: set[int] = set()
         while True:
             extra_headers = {}
+            if client_raw is not None:
+                extra_headers[CLIENT_HEADER] = client_raw
+            if lane_raw is not None:
+                extra_headers[PRIORITY_HEADER] = lane_raw
             timeout_s = self.proxy_timeout_s
             if forward_raw is not None:
                 extra_headers[DEADLINE_HEADER] = forward_raw
@@ -687,24 +808,28 @@ class Router:
                         "deadline_exceeded",
                         "deadline expired at the router before a replica answered",
                         504,
-                    )
+                    ), {}
                 extra_headers[DEADLINE_HEADER] = f"{remaining_s * 1000.0:.1f}"
                 timeout_s = min(timeout_s, remaining_s)
             state = self._acquire(tried)
             if state is None:
                 self._count("proxy_errors")
-                return 503, _error_body(
-                    "unavailable",
-                    f"no healthy replica available ({len(tried)} tried)",
+                return (
                     503,
+                    _error_body(
+                        "unavailable",
+                        f"no healthy replica available ({len(tried)} tried)",
+                        503,
+                    ),
+                    _retryable_headers(503),
                 )
             try:
-                status, payload = await asyncio.wait_for(
+                status, payload, response_headers = await asyncio.wait_for(
                     self._proxy(state, "POST", path, body, extra_headers=extra_headers),
                     timeout=timeout_s,
                 )
                 self._record_success(state)
-                return status, payload
+                return status, payload, response_headers
             except (asyncio.TimeoutError, TimeoutError):
                 if deadline is not None and time.monotonic() >= deadline:
                     self._count("deadline_expired")
@@ -712,7 +837,7 @@ class Router:
                         "deadline_exceeded",
                         f"deadline expired while replica {state.replica_id} was serving",
                         504,
-                    )
+                    ), {}
                 # The replica is alive but slow; retrying elsewhere would
                 # double the fleet's load exactly when it is slowest.
                 return 504, _error_body(
@@ -720,7 +845,7 @@ class Router:
                     f"replica {state.replica_id} did not answer "
                     f"within {self.proxy_timeout_s}s",
                     504,
-                )
+                ), {}
             except (ConnectionError, asyncio.IncompleteReadError, OSError, ValueError):
                 # Connection-level failure: the replica is gone or
                 # incoherent.  Mark it down, feed its circuit breaker,
@@ -733,10 +858,14 @@ class Router:
             finally:
                 self._release(state)
 
-    async def _proxy_any(self, method: str, path: str) -> tuple[int, bytes]:
+    async def _proxy_any(self, method: str, path: str) -> tuple[int, bytes, dict]:
         state = self._acquire(set())
         if state is None:
-            return 503, _error_body("unavailable", "no healthy replica available", 503)
+            return (
+                503,
+                _error_body("unavailable", "no healthy replica available", 503),
+                _retryable_headers(503),
+            )
         try:
             result = await asyncio.wait_for(
                 self._proxy(state, method, path), timeout=self.proxy_timeout_s
@@ -754,7 +883,7 @@ class Router:
             self._count("proxy_errors")
             return 502, _error_body(
                 "transport_error", f"replica {state.replica_id}: {error}", 502
-            )
+            ), {}
         finally:
             self._release(state)
 
@@ -765,13 +894,16 @@ class Router:
         path: str,
         body: bytes = b"",
         extra_headers: dict | None = None,
-    ) -> tuple[int, bytes]:
-        """Forward one request to a replica; returns (status, body bytes).
+    ) -> tuple[int, bytes, dict]:
+        """Forward one request to a replica; returns (status, body, headers).
 
         One connection per proxied request (``Connection: close``): on
         loopback the handshake is microseconds, and it keeps the failure
         model trivial — any I/O error here means *this* request, not a
-        pooled connection in an unknown state.
+        pooled connection in an unknown state.  Of the replica's response
+        headers only ``Retry-After`` is relayed — the framing headers are
+        re-authored by :meth:`_write_response`, but the backoff hint
+        belongs to the client.
         """
         reader, writer = await asyncio.open_connection(self.replica_host, state.port)
         try:
@@ -795,15 +927,19 @@ class Router:
                 raise ValueError(f"malformed status line from replica: {status_line!r}")
             status = int(parts[1])
             length: int | None = None
+            response_headers: dict = {}
             while True:
                 line = await reader.readline()
                 if line in (b"\r\n", b"\n", b""):
                     break
                 name, _, value = line.decode("latin-1").partition(":")
-                if name.strip().lower() == "content-length":
+                lowered = name.strip().lower()
+                if lowered == "content-length":
                     length = int(value.strip())
+                elif lowered == "retry-after":
+                    response_headers["Retry-After"] = value.strip()
             payload = await (reader.readexactly(length) if length is not None else reader.read())
-            return status, payload
+            return status, payload, response_headers
         finally:
             writer.close()
             try:
@@ -852,7 +988,7 @@ class Router:
 
         async def fetch(state: ReplicaState):
             try:
-                status, raw = await asyncio.wait_for(
+                status, raw, _headers = await asyncio.wait_for(
                     self._proxy(state, "GET", "/v1/stats"), timeout=self.proxy_timeout_s
                 )
                 if status != 200:

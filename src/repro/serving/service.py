@@ -41,7 +41,9 @@ from repro.data.normalize import Normalizer
 from repro.graph.atoms import AtomGraph
 from repro.graph.batch import collate
 from repro.models.hydra import HydraModel
+from repro.serving.admission import BROWNOUT_STATES, AdmissionConfig, AdmissionController
 from repro.serving.batcher import (
+    DEFAULT_LANE,
     DeadlineExceeded,
     MicroBatcher,
     ServeRequest,
@@ -112,6 +114,25 @@ class ServiceConfig:
     #: is process-global: services in one process share decisions, and
     #: each configured file receives the union.
     autotune_cache: str | None = None
+    #: Per-client token-bucket refill (structures/s); 0 disables rate
+    #: quotas.  Quotas key on the request's ``client_id`` — anonymous
+    #: requests are exempt (there is no identity to account against).
+    client_rate: float = 0.0
+    #: Per-client bucket capacity; 0 derives ``max(1, 2*client_rate)``.
+    client_burst: float = 0.0
+    #: Per-client in-flight structure bound; 0 disables.
+    client_concurrency: int = 0
+    #: Queue-age p95 (seconds) that enters brownout shedding — background
+    #: lane first, then bulk, never interactive.  0 disables brownout.
+    brownout_enter_s: float = 0.0
+    #: Queue-age p95 that exits brownout; 0 derives ``enter/2``.
+    brownout_exit_s: float = 0.0
+    #: Minimum seconds between brownout level transitions (hysteresis).
+    brownout_dwell_s: float = 0.25
+    #: Anti-starvation bound for the batcher's weighted-fair lanes: a
+    #: request older than this is served next regardless of lane.
+    #: ``None`` derives 10 flush intervals (floored at 50 ms).
+    lane_aging_s: float | None = None
 
 
 class PredictionService:
@@ -135,6 +156,19 @@ class PredictionService:
         self._flush_reasons: dict[str, int] = {}  # accumulated across sessions
         self._rejected = 0  # admission-control rejections, accumulated likewise
         self._expired = 0  # deadline-expired drops, accumulated likewise
+        self._shed_predicted = 0  # predicted-wait submit sheds, accumulated likewise
+        # Quota + brownout policy gate (always present; with default
+        # config it admits everything and only counts).
+        self.admission = AdmissionController(
+            AdmissionConfig(
+                client_rate=self.config.client_rate,
+                client_burst=self.config.client_burst,
+                client_concurrency=self.config.client_concurrency,
+                brownout_enter_s=self.config.brownout_enter_s,
+                brownout_exit_s=self.config.brownout_exit_s,
+                brownout_dwell_s=self.config.brownout_dwell_s,
+            )
+        )
         # Trajectory-workload counters (relax loops + trajectory sessions);
         # written from whichever thread runs the loop, hence the lock.
         self._relax_lock = threading.Lock()
@@ -199,6 +233,11 @@ class PredictionService:
             max_graphs=self.config.max_graphs,
             flush_interval_s=self.config.flush_interval_s,
             max_pending=self.config.max_pending,
+            lane_aging_s=self.config.lane_aging_s,
+            workers=workers,
+            # Each dequeued request's queue age feeds the brownout
+            # controller — the saturation signal is *measured* wait.
+            on_dequeue_wait=self.admission.observe_wait,
         )
         for index in range(workers):
             thread = threading.Thread(
@@ -242,6 +281,7 @@ class PredictionService:
                 self._flush_reasons[reason] = self._flush_reasons.get(reason, 0) + count
             self._rejected += self._batcher.rejected
             self._expired += self._batcher.expired
+            self._shed_predicted += self._batcher.shed_predicted
             self._workers.clear()
             self._batcher = None
         self._save_autotune_cache()
@@ -269,7 +309,14 @@ class PredictionService:
     # ------------------------------------------------------------------
     # client API
     # ------------------------------------------------------------------
-    def submit(self, graph: AtomGraph, deadline: float | None = None) -> ServeRequest:
+    def submit(
+        self,
+        graph: AtomGraph,
+        deadline: float | None = None,
+        lane: str = DEFAULT_LANE,
+        client_id: str | None = None,
+        admit: bool = True,
+    ) -> ServeRequest:
         """Enqueue one structure (served mode); returns its handle.
 
         Cache hits are resolved immediately — the returned request is
@@ -277,7 +324,10 @@ class PredictionService:
         is an absolute ``time.monotonic()`` instant; entries still
         queued past it are dropped at dequeue with
         :class:`~repro.serving.batcher.DeadlineExceeded` instead of
-        burning a forward.
+        burning a forward.  Admission policy (quotas, brownout) runs
+        *before* the cache lookup, so hits charge rate buckets too;
+        ``admit=False`` is the internal bypass for force evaluations
+        inside an already-admitted relax/MD session.
         """
         # Capture the batcher once: a concurrent stop() nulls the
         # attribute, and the capture turns that race into the clean
@@ -286,26 +336,52 @@ class PredictionService:
         batcher = self._batcher
         if batcher is None:
             raise RuntimeError("submit() requires a started service; use predict()")
-        key = structure_hash(graph, self.config.hash_decimals)
-        request = ServeRequest(graph=graph, key=key, deadline=deadline)
-        payload = self.cache.get(key)
-        if payload is not None:
-            # A hit is instant — it beats any deadline that hasn't
-            # already passed at the transport layer.
-            request.resolve(self._hit_result(key, graph, payload))
-            self.stats.record_request(latency_s=0.0, cached=True, batch_graphs=1)
+        lease = self.admission.admit(client_id, lane) if admit else None
+        try:
+            key = structure_hash(graph, self.config.hash_decimals)
+            request = ServeRequest(
+                graph=graph, key=key, deadline=deadline, lane=lane, client_id=client_id
+            )
+            payload = self.cache.get(key)
+            if payload is not None:
+                # A hit is instant — it beats any deadline that hasn't
+                # already passed at the transport layer.  The rate bucket
+                # was charged above; only the concurrency slot frees now.
+                if lease is not None:
+                    lease.release()
+                request.resolve(self._hit_result(key, graph, payload))
+                self.stats.record_request(latency_s=0.0, cached=True, batch_graphs=1)
+                return request
+            if lease is not None:
+                request.on_done = lease.release
+            batcher.submit(request)
             return request
-        batcher.submit(request)
-        return request
+        except BaseException:
+            if lease is not None:
+                lease.release()
+            raise
 
-    def predict(self, graph: AtomGraph, deadline: float | None = None) -> PredictionResult:
+    def predict(
+        self,
+        graph: AtomGraph,
+        deadline: float | None = None,
+        lane: str = DEFAULT_LANE,
+        client_id: str | None = None,
+        admit: bool = True,
+    ) -> PredictionResult:
         """Serve one structure, blocking until its result is ready."""
         if self.running:
-            return self.submit(graph, deadline=deadline).wait(self.config.request_timeout_s)
-        return self.predict_many([graph], deadline=deadline)[0]
+            return self.submit(
+                graph, deadline=deadline, lane=lane, client_id=client_id, admit=admit
+            ).wait(self.config.request_timeout_s)
+        return self.predict_many([graph], deadline=deadline, lane=lane, client_id=client_id)[0]
 
     def predict_many(
-        self, graphs: list[AtomGraph], deadline: float | None = None
+        self,
+        graphs: list[AtomGraph],
+        deadline: float | None = None,
+        lane: str = DEFAULT_LANE,
+        client_id: str | None = None,
     ) -> list[PredictionResult]:
         """Serve a list of structures; results come back in input order.
 
@@ -317,7 +393,10 @@ class PredictionService:
         chunk boundaries inline.
         """
         if self.running:
-            requests = [self.submit(graph, deadline=deadline) for graph in graphs]
+            requests = [
+                self.submit(graph, deadline=deadline, lane=lane, client_id=client_id)
+                for graph in graphs
+            ]
             return [request.wait(self.config.request_timeout_s) for request in requests]
 
         results: list[PredictionResult | None] = [None] * len(graphs)
@@ -396,6 +475,8 @@ class PredictionService:
         graph: AtomGraph,
         settings: RelaxSettings | None = None,
         deadline: float | None = None,
+        lane: str = DEFAULT_LANE,
+        client_id: str | None = None,
     ) -> RelaxResult:
         """Relax ``graph``'s geometry on served forces (see :mod:`.relax`).
 
@@ -406,19 +487,26 @@ class PredictionService:
         owns connectivity for the whole descent.  A ``deadline``
         (absolute monotonic instant) is re-checked before every force
         evaluation, so a long descent stops between steps rather than
-        holding a worker past its budget.
+        holding a worker past its budget.  Admission policy runs once
+        for the whole descent (a relax is one request, not one per force
+        evaluation); the inner predicts inherit the lane for scheduling
+        but never re-charge quotas.
         """
-        predict = self.predict
-        if deadline is not None:
+        lease = self.admission.admit(client_id, lane)
 
-            def predict(graph, _deadline=deadline):  # noqa: F811 — deadline-guarded shim
-                if time.monotonic() >= _deadline:
-                    with self._relax_lock:
-                        self._expired += 1
-                    raise DeadlineExceeded("relax deadline expired between force evaluations")
-                return self.predict(graph, deadline=_deadline)
+        def predict(graph, _deadline=deadline):  # deadline-guarded, lane-tagged shim
+            if _deadline is not None and time.monotonic() >= _deadline:
+                with self._relax_lock:
+                    self._expired += 1
+                raise DeadlineExceeded("relax deadline expired between force evaluations")
+            return self.predict(
+                graph, deadline=_deadline, lane=lane, client_id=client_id, admit=False
+            )
 
-        result = relax_positions(predict, graph, settings)
+        try:
+            result = relax_positions(predict, graph, settings)
+        finally:
+            lease.release()
         with self._relax_lock:
             self._relax_sessions += 1
             self._relax_steps += result.steps
@@ -433,6 +521,8 @@ class PredictionService:
         graph: AtomGraph,
         settings: MDSettings | None = None,
         deadline: float | None = None,
+        lane: str = DEFAULT_LANE,
+        client_id: str | None = None,
     ):
         """Run molecular dynamics on served forces (see :mod:`.md`).
 
@@ -446,15 +536,16 @@ class PredictionService:
         so a long run stops between steps rather than holding a worker
         past its budget — chunked clients resume from the last frame.
         """
-        predict = self.predict
-        if deadline is not None:
+        lease = self.admission.admit(client_id, lane)
 
-            def predict(graph, _deadline=deadline):  # noqa: F811 — deadline-guarded shim
-                if time.monotonic() >= _deadline:
-                    with self._relax_lock:
-                        self._expired += 1
-                    raise DeadlineExceeded("md deadline expired between force evaluations")
-                return self.predict(graph, deadline=_deadline)
+        def predict(graph, _deadline=deadline):  # deadline-guarded, lane-tagged shim
+            if _deadline is not None and time.monotonic() >= _deadline:
+                with self._relax_lock:
+                    self._expired += 1
+                raise DeadlineExceeded("md deadline expired between force evaluations")
+            return self.predict(
+                graph, deadline=_deadline, lane=lane, client_id=client_id, admit=False
+            )
 
         settings = settings or MDSettings()
         with self._relax_lock:
@@ -475,6 +566,7 @@ class PredictionService:
             try:
                 yield from run_md(predict, graph, settings, on_step=record_step)
             finally:
+                lease.release()
                 # Counted from force evaluations, not the terminal result,
                 # so a deadline-aborted run still records its progress.
                 with self._relax_lock:
@@ -551,6 +643,11 @@ class PredictionService:
                     outputs = self.model.serve(batch, plan=self.config.plan)
                 duration = time.perf_counter() - start
                 self.stats.record_batch(batch.num_graphs, batch.num_nodes, duration)
+                batcher = self._batcher
+                if batcher is not None:
+                    # Feed the drain-rate EWMA behind the batcher's
+                    # predicted-wait shed at submit.
+                    batcher.record_service(batch.num_graphs, duration)
                 for key, graph, energy, forces in zip(
                     order,
                     graphs,
@@ -659,6 +756,24 @@ class PredictionService:
                 "thermostats": dict(self._md_thermostats),
             }
 
+    def saturation(self) -> dict:
+        """Cheap load gauges for the healthz probe (no full telemetry walk).
+
+        The replica supervisor polls healthz every tick; these numbers
+        let the router shed at the front door before a request ever
+        crosses the wire to a replica already in brownout.
+        """
+        batcher = self._batcher  # captured: concurrent stop() nulls the attribute
+        level = self.admission.brownout.level
+        return {
+            "queue_depth": batcher.pending_graphs if batcher is not None else 0,
+            "estimated_wait_s": round(
+                batcher.estimated_wait_s if batcher is not None else 0.0, 6
+            ),
+            "brownout_level": level,
+            "brownout_state": BROWNOUT_STATES[level],
+        }
+
     def telemetry(self) -> dict:
         """JSON-ready stats: serving, result cache, buffer pool, plans, engine."""
         from repro.tensor.kernels import active_backend
@@ -680,8 +795,14 @@ class PredictionService:
                 "max_pending": self.config.max_pending,
                 "rejected": self._rejected + (batcher.rejected if batcher is not None else 0),
                 "expired": self._expired + (batcher.expired if batcher is not None else 0),
+                "shed_predicted": self._shed_predicted
+                + (batcher.shed_predicted if batcher is not None else 0),
+                "estimated_wait_s": batcher.estimated_wait_s if batcher is not None else 0.0,
                 "flush_reasons": self._all_flush_reasons(),
             },
+            "admission": self.admission.telemetry(
+                lane_depths=batcher.lane_depths() if batcher is not None else None
+            ),
             "engine": {
                 "backend": self.config.backend or active_backend(),
                 "physical_units": self.normalizer is not None,

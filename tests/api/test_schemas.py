@@ -199,6 +199,33 @@ class TestPredictRequest:
         with pytest.raises(SchemaError, match="model"):
             PredictRequest.from_json_dict(obj)
 
+    def test_identity_fields_round_trip(self):
+        request = PredictRequest.from_graphs(make_molecule_graphs(1, seed=0))
+        request.client_id = "tenant-42"
+        request.priority = "bulk"
+        recovered = PredictRequest.from_json_dict(wire_round_trip(request.to_json_dict()))
+        assert recovered.client_id == "tenant-42"
+        assert recovered.priority == "bulk"
+
+    def test_identity_fields_absent_when_unset(self):
+        """Additive contract: an anonymous request emits exactly the old keys."""
+        obj = PredictRequest.from_graphs(make_molecule_graphs(1, seed=0)).to_json_dict()
+        assert "client_id" not in obj
+        assert "priority" not in obj
+
+    def test_bad_priority_rejected(self):
+        structure = {"atomic_numbers": [1], "positions": [[0.0, 0.0, 0.0]]}
+        obj = {"schema_version": "v1", "structures": [structure], "priority": "express"}
+        with pytest.raises(SchemaError, match="priority"):
+            PredictRequest.from_json_dict(obj)
+
+    def test_bad_client_id_rejected(self):
+        structure = {"atomic_numbers": [1], "positions": [[0.0, 0.0, 0.0]]}
+        for bad in ("", 7, "x" * 129):
+            obj = {"schema_version": "v1", "structures": [structure], "client_id": bad}
+            with pytest.raises(SchemaError, match="client_id"):
+                PredictRequest.from_json_dict(obj)
+
 
 class TestPredictResponse:
     def payload(self) -> PredictionPayload:
@@ -264,6 +291,28 @@ class TestErrorPayload:
         assert isinstance(error, UnavailableError)
         assert error.http_status == 503
 
+    def test_retry_after_round_trips_onto_rebuilt_error(self):
+        source = OverloadedError("rate quota")
+        source.retry_after_s = 2.5
+        payload = ErrorPayload.from_error(source)
+        recovered = ErrorPayload.from_json_dict(wire_round_trip(payload.to_json_dict()))
+        assert recovered.retry_after_s == 2.5
+        assert recovered.to_error().retry_after_s == 2.5
+
+    def test_retry_after_absent_when_error_has_no_hint(self):
+        """Additive contract: hint-free errors emit exactly the old keys."""
+        obj = ErrorPayload.from_error(OverloadedError("queue full")).to_json_dict()
+        assert "retry_after_s" not in obj["error"]
+        assert ErrorPayload.from_json_dict(obj).to_error().retry_after_s is None
+
+    def test_bad_retry_after_rejected(self):
+        base = ErrorPayload.from_error(OverloadedError("x")).to_json_dict()
+        for bad in ("soon", -1.0, float("inf"), True):
+            obj = json.loads(json.dumps(base))
+            obj["error"]["retry_after_s"] = bad
+            with pytest.raises(SchemaError, match="retry_after_s"):
+                ErrorPayload.from_json_dict(obj)
+
 
 class TestServerInfoAndStats:
     def test_server_info_round_trip(self):
@@ -326,8 +375,10 @@ class TestGoldenFiles:
         "name, schema",
         [
             ("predict_request.json", PredictRequest),
+            ("predict_request_identity.json", PredictRequest),
             ("predict_response.json", PredictResponse),
             ("error_overloaded.json", ErrorPayload),
+            ("error_retry_after.json", ErrorPayload),
             ("server_info.json", ServerInfo),
             ("stats_snapshot.json", StatsSnapshot),
         ],
@@ -362,6 +413,20 @@ class TestGoldenFiles:
         golden = json.loads((GOLDEN / "error_overloaded.json").read_text())
         error = ErrorPayload.from_json_dict(golden).to_error()
         assert isinstance(error, OverloadedError)
+
+    def test_golden_identity_request_carries_lane_and_client(self):
+        """New fields are additive: the old request golden is untouched,
+        the new one pins client_id/priority on the wire."""
+        golden = json.loads((GOLDEN / "predict_request_identity.json").read_text())
+        request = PredictRequest.from_json_dict(golden)
+        assert request.client_id == "tenant-42"
+        assert request.priority == "bulk"
+
+    def test_golden_retry_after_error_rebuilds_hint(self):
+        golden = json.loads((GOLDEN / "error_retry_after.json").read_text())
+        error = ErrorPayload.from_json_dict(golden).to_error()
+        assert isinstance(error, OverloadedError)
+        assert error.retry_after_s == 2.5
 
 
 class TestStructuresFromJson:

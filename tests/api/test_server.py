@@ -191,6 +191,109 @@ class TestErrorMapping:
             assert "retry" in error.message
 
 
+def post_raw(url: str, body: bytes, headers: dict | None = None):
+    """POST and return (status, response headers, parsed JSON body)."""
+    request = urllib.request.Request(
+        url, data=body, headers={"Content-Type": "application/json", **(headers or {})}
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, dict(response.headers), json.loads(response.read())
+    except urllib.error.HTTPError as err:
+        return err.code, dict(err.headers), json.loads(err.read())
+
+
+class TestOverloadProtection:
+    """Per-client quotas, identity headers, Retry-After, saturation."""
+
+    def test_429_carries_retry_after_header(self):
+        config = ServiceConfig(max_pending=1, flush_interval_s=0.5)
+        with ApiServer(make_registry(), config=config, workers=1) as server:
+            body = json.dumps(predict_body(6)).encode()
+            status, headers, payload = post_raw(server.url + "/v1/predict", body)
+            assert status == 429
+            assert int(headers["Retry-After"]) >= 1
+
+    def test_rate_quota_keyed_on_client_header(self):
+        config = ServiceConfig(client_rate=0.001, client_burst=1.0)
+        with ApiServer(make_registry(), config=config, workers=1) as server:
+            url = server.url + "/v1/predict"
+            body = json.dumps(predict_body(1)).encode()
+            identity = {"X-Repro-Client": "tenant-a"}
+            status, _, _ = post_raw(url, body, headers=identity)
+            assert status == 200
+            status, headers, payload = post_raw(url, body, headers=identity)
+            assert status == 429
+            assert payload["error"]["code"] == "overloaded"
+            assert "rate quota" in payload["error"]["message"]
+            # The honest hint rides both the header and the body.
+            assert int(headers["Retry-After"]) >= 1
+            assert payload["error"]["retry_after_s"] > 0
+            # Anonymous requests and other tenants are unaffected.
+            assert post_raw(url, body)[0] == 200
+            assert post_raw(url, body, headers={"X-Repro-Client": "tenant-b"})[0] == 200
+
+    def test_body_client_id_charges_the_same_bucket(self):
+        config = ServiceConfig(client_rate=0.001, client_burst=1.0)
+        with ApiServer(make_registry(), config=config, workers=1) as server:
+            url = server.url + "/v1/predict"
+            obj = predict_body(1)
+            obj["client_id"] = "tenant-a"
+            body = json.dumps(obj).encode()
+            assert post_raw(url, body)[0] == 200
+            # Second request names the same tenant via the header instead.
+            status, _, _ = post_raw(
+                url, json.dumps(predict_body(1)).encode(),
+                headers={"X-Repro-Client": "tenant-a"},
+            )
+            assert status == 429
+
+    def test_invalid_priority_header_is_400(self, server):
+        body = json.dumps(predict_body(1)).encode()
+        status, _, payload = post_raw(
+            server.url + "/v1/predict", body, headers={"X-Repro-Priority": "express"}
+        )
+        assert status == 400
+        assert payload["error"]["code"] == "invalid_request"
+        assert "X-Repro-Priority" in payload["error"]["message"]
+
+    def test_oversized_client_header_is_400(self, server):
+        body = json.dumps(predict_body(1)).encode()
+        status, _, payload = post_raw(
+            server.url + "/v1/predict", body, headers={"X-Repro-Client": "x" * 200}
+        )
+        assert status == 400
+        assert "client" in payload["error"]["message"].lower()
+
+    def test_priority_header_accepted_on_success_path(self, server):
+        body = json.dumps(predict_body(1)).encode()
+        status, _, payload = post_raw(
+            server.url + "/v1/predict", body,
+            headers={"X-Repro-Priority": "background", "X-Repro-Client": "batch-job"},
+        )
+        assert status == 200
+        assert PredictResponse.from_json_dict(payload).results
+
+    def test_healthz_reports_saturation(self, server):
+        post(server.url + "/v1/predict", predict_body(1))
+        status, payload = get(server.url + "/v1/healthz")
+        assert status == 200
+        saturation = payload["saturation"]
+        assert saturation["queue_depth"] == 0
+        assert saturation["estimated_wait_s"] >= 0.0
+        assert saturation["brownout_level"] == 0
+        assert saturation["brownout_state"] == "normal"
+
+    def test_stats_carry_admission_section(self, server):
+        post(server.url + "/v1/predict", predict_body(1))
+        status, payload = get(server.url + "/v1/stats")
+        assert status == 200
+        section = payload["models"]["tiny"]["admission"]
+        assert section["lanes"]["interactive"]["admitted"] >= 1
+        assert section["brownout"]["state"] == "normal"
+        assert "shed_predicted" in payload["models"]["tiny"]["batching"]
+
+
 class TestModelSelection:
     def test_single_model_is_implicit_default(self, server):
         status, payload = post(server.url + "/v1/predict", predict_body(1))

@@ -151,9 +151,10 @@ def test_overload_raises_overloaded_error(mode):
 class _ScriptedServer:
     """A real HTTP listener whose per-request behavior is a scripted list.
 
-    Each entry is ``(status, body_dict)``; the last entry repeats
-    forever.  Records every request's path and headers so tests can
-    assert what the transport actually sent.
+    Each entry is ``(status, body_dict)`` or ``(status, body_dict,
+    extra_headers)``; the last entry repeats forever.  Records every
+    request's path and headers so tests can assert what the transport
+    actually sent.
     """
 
     def __init__(self, script):
@@ -165,11 +166,15 @@ class _ScriptedServer:
             def _serve(self):
                 index = min(len(outer.requests), len(outer.script) - 1)
                 outer.requests.append((self.path, dict(self.headers)))
-                status, body = outer.script[index]
+                entry = outer.script[index]
+                status, body = entry[0], entry[1]
+                extra = entry[2] if len(entry) > 2 else {}
                 data = json.dumps(body).encode("utf-8")
                 self.send_response(status)
                 self.send_header("Content-Type", "application/json")
                 self.send_header("Content-Length", str(len(data)))
+                for name, value in extra.items():
+                    self.send_header(name, value)
                 self.end_headers()
                 self.wfile.write(data)
 
@@ -340,6 +345,64 @@ class TestHttpResilience:
         with pytest.raises(DeadlineExceededError):
             transport._request("POST", "/v1/predict", {"deadline_ms": 200.0})
         assert time.monotonic() - start < 5.0  # it did not sleep the full backoff
+
+    def test_server_retry_hint_overrides_blind_backoff(self):
+        """A 503 carrying retry_after_s paces the retry at the server's
+        honest hint, not the (much larger) exponential backoff."""
+        hinted = dict(_error_503()[1])
+        hinted["error"] = dict(hinted["error"], retry_after_s=0.05)
+        server = _ScriptedServer([(503, hinted), (200, {"status": "ok"})])
+        try:
+            transport = HttpTransport(
+                server.url, retries=1, backoff_s=5.0, backoff_max_s=10.0
+            )
+            start = time.monotonic()
+            assert transport.healthz() == {"status": "ok"}
+            # Blind backoff would sleep >= 2.5 s; the hint says 50 ms.
+            assert time.monotonic() - start < 2.0
+        finally:
+            server.stop()
+        assert len(server.requests) == 2
+
+    def test_retry_after_header_backfills_missing_body_hint(self):
+        """Transports must honor the header even when the error body
+        predates the retry_after_s field (additive contract both ways)."""
+        server = _ScriptedServer(
+            [(*_error_503(), {"Retry-After": "1"}), (200, {"status": "ok"})]
+        )
+        try:
+            transport = HttpTransport(
+                server.url, retries=1, backoff_s=30.0, backoff_max_s=30.0
+            )
+            start = time.monotonic()
+            assert transport.healthz() == {"status": "ok"}
+            elapsed = time.monotonic() - start
+            assert 0.9 < elapsed < 5.0  # slept the header's second, not 15-45 s
+        finally:
+            server.stop()
+
+    def test_quota_429_surfaces_hint_without_retrying(self):
+        """429 is a verdict on this client's traffic, not a glitch: it
+        is not retried, and the hint rides the typed error for callers
+        that want to pace themselves."""
+        body = {
+            "schema_version": "v1",
+            "error": {
+                "code": "overloaded",
+                "message": "rate quota",
+                "status": 429,
+                "retry_after_s": 2.5,
+            },
+        }
+        server = _ScriptedServer([(429, body, {"Retry-After": "3"})])
+        try:
+            transport = HttpTransport(server.url, retries=3, backoff_s=0.005)
+            with pytest.raises(OverloadedError) as excinfo:
+                transport._request("POST", "/v1/predict", {})
+            assert excinfo.value.retry_after_s == 2.5  # body hint wins
+        finally:
+            server.stop()
+        assert len(server.requests) == 1  # exactly one attempt
 
 
 class _OkHandler(http.server.BaseHTTPRequestHandler):

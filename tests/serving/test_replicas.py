@@ -245,6 +245,8 @@ class TestRouter:
         assert router_module.SCHEMA_VERSION == schemas.SCHEMA_VERSION
         assert router_module.MAX_BODY_BYTES == server.MAX_BODY_BYTES
         assert router_module.DEADLINE_HEADER == schemas.DEADLINE_HEADER
+        assert router_module.CLIENT_HEADER == schemas.CLIENT_HEADER
+        assert router_module.PRIORITY_HEADER == schemas.PRIORITY_HEADER
 
     def test_load_balances_across_replicas(self, two_fakes):
         router, fakes = two_fakes
@@ -272,6 +274,94 @@ class TestRouter:
             post(router.url + "/v1/predict", WATER_BODY)
         assert excinfo.value.code == 503
         assert json.loads(excinfo.value.read())["error"]["code"] == "unavailable"
+        # Retryable by contract: the 503 carries a Retry-After hint.
+        assert int(excinfo.value.headers["Retry-After"]) >= 1
+
+    def _saturated(self, level: int, wait_s: float = 0.5) -> dict:
+        return {
+            "queue_depth": 8,
+            "estimated_wait_s": wait_s,
+            "brownout_level": level,
+            "brownout_state": ("normal", "shed_background", "shed_bulk")[level],
+        }
+
+    def post_lane(self, router, lane: str | None):
+        headers = {} if lane is None else {schemas.PRIORITY_HEADER: lane}
+        request = urllib.request.Request(
+            router.url + "/v1/predict",
+            data=WATER_BODY,
+            headers={"Content-Type": "application/json", **headers},
+        )
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status
+
+    def test_front_door_sheds_only_when_fleet_is_unanimous(self, two_fakes):
+        router, fakes = two_fakes
+        # One replica in brownout: the healthy sibling still accepts, so
+        # the router keeps forwarding every lane.
+        router.set_saturation(0, self._saturated(1))
+        for lane in (None, "interactive", "bulk", "background"):
+            assert self.post_lane(router, lane) == 200
+        # Whole fleet at level 1: background is shed at the front door
+        # with an honest hint; bulk and interactive still cross the wire.
+        router.set_saturation(1, self._saturated(1, wait_s=2.2))
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            self.post_lane(router, "background")
+        assert excinfo.value.code == 429
+        body = json.loads(excinfo.value.read())
+        assert body["error"]["code"] == "overloaded"
+        assert "fleet brownout" in body["error"]["message"]
+        assert body["error"]["retry_after_s"] == pytest.approx(2.2)
+        assert int(excinfo.value.headers["Retry-After"]) == 3
+        assert self.post_lane(router, "bulk") == 200
+        assert self.post_lane(router, "interactive") == 200
+        # Level 2 sheds bulk too; interactive always crosses.
+        router.set_saturation(0, self._saturated(2))
+        router.set_saturation(1, self._saturated(2))
+        with pytest.raises(urllib.error.HTTPError):
+            self.post_lane(router, "bulk")
+        assert self.post_lane(router, "interactive") == 200
+        assert self.post_lane(router, None) == 200
+        # Recovery on one replica reopens the front door for every lane.
+        router.set_saturation(0, self._saturated(0))
+        assert self.post_lane(router, "background") == 200
+        assert get(router.url + "/v1/stats")[1]["router"]["brownout_shed"] == 2
+
+    def test_identity_headers_forwarded_to_replicas(self):
+        seen = {}
+
+        class _Recorder(_FakeReplica):
+            def __init__(self):
+                super().__init__()
+
+        fake = _Recorder()
+        original_handler = fake.server.RequestHandlerClass
+        do_post = original_handler.do_POST
+
+        def recording_post(handler):
+            seen["client"] = handler.headers.get(schemas.CLIENT_HEADER)
+            seen["priority"] = handler.headers.get(schemas.PRIORITY_HEADER)
+            do_post(handler)
+
+        original_handler.do_POST = recording_post
+        router = Router().start()
+        router.set_replica(0, fake.port, pid=1)
+        try:
+            request = urllib.request.Request(
+                router.url + "/v1/predict",
+                data=WATER_BODY,
+                headers={
+                    "Content-Type": "application/json",
+                    schemas.CLIENT_HEADER: "tenant-a",
+                    schemas.PRIORITY_HEADER: "bulk",
+                },
+            )
+            with urllib.request.urlopen(request, timeout=30) as response:
+                assert response.status == 200
+            assert seen == {"client": "tenant-a", "priority": "bulk"}
+        finally:
+            router.close()
+            fake.stop()
 
     def test_draining_rejects_new_while_in_flight_finishes(self):
         fake = _FakeReplica(predict_delay_s=0.6)
@@ -413,6 +503,12 @@ class TestSupervisor:
             assert replica["healthy"] is True
             assert "models" in replica
         assert snapshot.router["requests"] >= 4
+        # Fleet-merged overload-protection view: every admitted request
+        # rode a lane, and a healthy fleet reports brownout "normal".
+        admission = entry["admission"]
+        assert admission["lanes"]["interactive"]["admitted"] >= 4
+        assert admission["brownout"]["state"] == "normal"
+        assert admission["shed"].get("brownout", 0) == 0
 
     def test_sigkill_reroutes_and_respawns(self, fleet):
         victim_id, victim_pid = 0, fleet.pids()[0]
